@@ -1,0 +1,104 @@
+// Package clio is a log service exploiting write-once storage: a Go
+// implementation of the Clio system from "Log Files: An Extended File
+// Service Exploiting Write-Once Storage" (Finlayson & Cheriton, 1987).
+//
+// Clio provides *log files*: readable, append-only files accessed much like
+// conventional files — named in a directory hierarchy, read sequentially or
+// randomly, seekable by time — stored on media that only ever need support
+// append-only writes (write-once optical disk in the paper; simulated
+// write-once devices or plain files here, with the append-only policy
+// enforced at the device layer).
+//
+// # Quick start
+//
+//	svc, err := clio.CreateDir("/var/log/clio", clio.Options{})
+//	if err != nil { ... }
+//	defer svc.Close()
+//
+//	id, _ := svc.CreateLog("/audit", 0o644, "root")
+//	svc.Append(id, []byte("user smith logged in"), clio.AppendOptions{Forced: true})
+//
+//	cur, _ := svc.OpenCursor("/audit")
+//	for {
+//		e, err := cur.Next()
+//		if err == io.EOF { break }
+//		fmt.Printf("%s\n", e.Data)
+//	}
+//
+// The heavy lifting lives in internal packages; this package re-exports the
+// service API and provides file-backed deployment helpers.
+package clio
+
+import (
+	"clio/internal/core"
+	"clio/internal/vclock"
+	"clio/internal/volume"
+	"clio/internal/wodev"
+)
+
+// Service is the Clio log service for one volume sequence. See the internal
+// core package for method documentation.
+type Service = core.Service
+
+// Options configures a Service.
+type Options = core.Options
+
+// AppendOptions controls one append (timestamping and forced durability).
+type AppendOptions = core.AppendOptions
+
+// Entry is one log entry as returned by a cursor.
+type Entry = core.Entry
+
+// Cursor iterates a log file in either direction and seeks by time.
+type Cursor = core.Cursor
+
+// Stats aggregates service activity counters.
+type Stats = core.Stats
+
+// RecoveryReport describes the work done by server initialization.
+type RecoveryReport = core.RecoveryReport
+
+// NVRAM models the rewriteable non-volatile tail storage of §2.3.1.
+type NVRAM = core.NVRAM
+
+// Allocator provides successor volumes when the active volume fills.
+type Allocator = core.Allocator
+
+// Errors re-exported from the core service.
+var (
+	ErrClosed        = core.ErrClosed
+	ErrEntryTooLarge = core.ErrEntryTooLarge
+	ErrNoAllocator   = core.ErrNoAllocator
+	ErrSystemLog     = core.ErrSystemLog
+	ErrLost          = core.ErrLost
+)
+
+// NewMemNVRAM returns an in-memory NVRAM simulation.
+func NewMemNVRAM() *core.MemNVRAM { return core.NewMemNVRAM() }
+
+// NewFileNVRAM returns an NVRAM persisted in a sidecar file.
+func NewFileNVRAM(path string) *core.FileNVRAM { return core.NewFileNVRAM(path) }
+
+// NewCostClock returns a virtual clock charging the paper-calibrated cost
+// model, for use as Options.Clock in experiments.
+func NewCostClock() *vclock.Clock { return vclock.New(vclock.DefaultModel()) }
+
+// New creates a brand-new volume sequence on a fresh write-once device.
+func New(dev wodev.Device, opt Options) (*Service, error) { return core.New(dev, opt) }
+
+// Open mounts the devices of an existing volume sequence and recovers.
+func Open(devs []wodev.Device, opt Options) (*Service, error) { return core.Open(devs, opt) }
+
+// NewMemDevice returns an in-memory write-once device for testing and
+// experimentation. capacityBlocks <= 0 selects a large default.
+func NewMemDevice(blockSize, capacityBlocks int) *wodev.MemDevice {
+	return wodev.NewMem(wodev.MemOptions{BlockSize: blockSize, Capacity: capacityBlocks})
+}
+
+// MemAllocator returns an Allocator minting in-memory volumes of the given
+// capacity, for tests and experiments that span many volumes.
+func MemAllocator(capacityBlocks int) Allocator {
+	return func(_ volume.SeqID, _ uint32, _ uint64, blockSize int) (wodev.Device, error) {
+		return wodev.NewMem(wodev.MemOptions{BlockSize: blockSize, Capacity: capacityBlocks}), nil
+	}
+}

@@ -1,0 +1,138 @@
+package clio
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestCreateOpenDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateDir(dir, DirOptions{VolumeBlocks: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.CreateLog("/app", 0o644, "me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 30; i++ {
+		p := fmt.Sprintf("line-%02d", i)
+		if _, err := s.Append(id, []byte(p), AppendOptions{Forced: i%5 == 0}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDir(dir, DirOptions{VolumeBlocks: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	c, err := s2.OpenCursor("/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		e, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(e.Data))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("round trip through files: %v", got)
+	}
+}
+
+func TestCreateDirRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateDir(dir, DirOptions{VolumeBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := CreateDir(dir, DirOptions{VolumeBlocks: 64}); err == nil {
+		t.Error("CreateDir over existing store accepted")
+	}
+}
+
+func TestOpenDirEmpty(t *testing.T) {
+	if _, err := OpenDir(t.TempDir(), DirOptions{}); err == nil {
+		t.Error("OpenDir on empty dir accepted")
+	}
+}
+
+func TestDirStoreSpansVolumeFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateDir(dir, DirOptions{VolumeBlocks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.CreateLog("/big", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 200)
+	for i := 0; i < 200; i++ {
+		if _, err := s.Append(id, payload, AppendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := listVolumes(dir)
+	if err != nil || len(names) < 2 {
+		t.Fatalf("volume files: %v, %v", names, err)
+	}
+	s2, err := OpenDir(dir, DirOptions{VolumeBlocks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	c, _ := s2.OpenCursor("/big")
+	count := 0
+	for {
+		_, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 200 {
+		t.Errorf("recovered %d entries across volume files", count)
+	}
+}
+
+func TestMemAllocatorFacade(t *testing.T) {
+	dev := NewMemDevice(256, 16)
+	s, err := New(dev, Options{BlockSize: 256, Degree: 4, Allocate: MemAllocator(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id, err := s.CreateLog("/x", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Append(id, make([]byte, 100), AppendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.Volumes()) < 2 {
+		t.Errorf("allocator not used: %d volumes", len(s.Volumes()))
+	}
+}

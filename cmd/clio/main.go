@@ -1,0 +1,429 @@
+// Command clio is the command-line client for a Clio log server (or a local
+// store): create log files, append entries, read them back, list the log
+// directory hierarchy, and seek by time.
+//
+// Against a server:
+//
+//	clio -addr localhost:7846 create /audit
+//	echo "user smith logged in" | clio -addr localhost:7846 append /audit
+//	clio -addr localhost:7846 cat /audit
+//	clio -addr localhost:7846 tail -n 10 /audit
+//	clio -addr localhost:7846 ls /
+//	clio -addr localhost:7846 stat /audit
+//
+// Against a local store directory (no server):
+//
+//	clio -store /var/lib/clio cat /audit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"clio"
+	"clio/internal/archive"
+	"clio/internal/client"
+	"clio/internal/scrub"
+	"clio/internal/server"
+	"clio/internal/wodev"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: clio [-addr host:port | -store dir] <command> [args]
+
+commands:
+  create <path>            create a log file (parents must exist)
+  append <path>            append one entry per stdin line (forced)
+  cat <path>               print every entry
+  tail [-n K] [-f] <path>  print the last K entries; -f follows
+  since <path> <RFC3339>   print entries at/after a time
+  ls <path>                list sublogs
+  stat <path>              show a log file's descriptor
+  retire <path>            close a log file for appends
+  stats                    server counters
+  fsck [-repair]           verify a local store's media (-store only; the
+                           NVRAM-staged tail is not on the media yet)
+  du                       per-log-file space usage (-store only)
+  backup <archive-dir>     incremental backup of a local store (-store only)
+  verify-backup <archive-dir>  open an archive and scrub it
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "", "log server address")
+	store := flag.String("store", "", "local store directory (serve in-process)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	switch args[0] {
+	case "fsck":
+		runFsck(*store, args[1:])
+		return
+	case "backup":
+		need(args, 2)
+		runBackup(*store, args[1])
+		return
+	case "verify-backup":
+		need(args, 2)
+		runVerifyBackup(args[1])
+		return
+	case "du":
+		runDu(*store)
+		return
+	}
+
+	cl, cleanup, err := connect(*addr, *store)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
+	switch args[0] {
+	case "create":
+		need(args, 2)
+		id, err := cl.CreateLog(args[1], 0o644, os.Getenv("USER"))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("created %s (id %d)\n", args[1], id)
+
+	case "append":
+		need(args, 2)
+		id, err := cl.Resolve(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		n := 0
+		for sc.Scan() {
+			if _, err := cl.Append(id, append([]byte(nil), sc.Bytes()...),
+				client.AppendOptions{Timestamped: true, Forced: true}); err != nil {
+				fatal(err)
+			}
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("appended %d entries\n", n)
+
+	case "cat":
+		need(args, 2)
+		cur, err := cl.OpenCursor(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer cur.Close()
+		dump(cur, -1)
+
+	case "tail":
+		fs := flag.NewFlagSet("tail", flag.ExitOnError)
+		n := fs.Int("n", 10, "entries")
+		follow := fs.Bool("f", false, "keep following new entries")
+		_ = fs.Parse(args[1:])
+		if fs.NArg() != 1 {
+			usage()
+		}
+		cur, err := cl.OpenCursor(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer cur.Close()
+		if err := cur.SeekEnd(); err != nil {
+			fatal(err)
+		}
+		var entries []*client.Entry
+		for len(entries) < *n {
+			e, err := cur.Prev()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			entries = append(entries, e)
+		}
+		for i := len(entries) - 1; i >= 0; i-- {
+			printEntry(entries[i])
+		}
+		if *follow {
+			// Re-walk forward past what was printed, then poll: cursors
+			// observe new entries as the log grows.
+			for range entries {
+				if _, err := cur.Next(); err != nil && err != io.EOF {
+					fatal(err)
+				}
+			}
+			for {
+				e, err := cur.Next()
+				if err == io.EOF {
+					time.Sleep(500 * time.Millisecond)
+					continue
+				}
+				if err != nil {
+					fatal(err)
+				}
+				printEntry(e)
+			}
+		}
+
+	case "since":
+		need(args, 3)
+		ts, err := time.Parse(time.RFC3339, args[2])
+		if err != nil {
+			fatal(fmt.Errorf("bad time %q: %w (want RFC3339)", args[2], err))
+		}
+		cur, err := cl.OpenCursor(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer cur.Close()
+		if err := cur.SeekTime(ts.UnixNano()); err != nil {
+			fatal(err)
+		}
+		dump(cur, -1)
+
+	case "ls":
+		need(args, 2)
+		names, err := cl.List(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+
+	case "stat":
+		need(args, 2)
+		st, err := cl.Stat(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("id:      %d\nname:    %s\nperms:   %o\nowner:   %s\ncreated: %s\nretired: %v\nsystem:  %v\n",
+			st.ID, st.Name, st.Perms, st.Owner,
+			time.Unix(0, st.Created).Format(time.RFC3339), st.Retired, st.System)
+
+	case "retire":
+		need(args, 2)
+		if err := cl.Retire(args[1]); err != nil {
+			fatal(err)
+		}
+
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("entries appended: %d\nblocks sealed:    %d\nclient bytes:     %d\ndata blocks:      %d\n",
+			st.EntriesAppended, st.BlocksSealed, st.ClientBytes, st.EndBlocks)
+
+	default:
+		usage()
+	}
+}
+
+// connect returns a client either over TCP or over a net.Pipe to an
+// in-process server on a local store.
+func connect(addr, store string) (*client.Client, func(), error) {
+	switch {
+	case addr != "" && store != "":
+		return nil, nil, fmt.Errorf("clio: -addr and -store are mutually exclusive")
+	case addr != "":
+		cl, err := client.Dial(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cl, func() { cl.Close() }, nil
+	case store != "":
+		svc, err := clio.OpenDir(store, clio.DirOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		srv := server.New(svc)
+		cConn, sConn := net.Pipe()
+		go srv.ServeConn(sConn)
+		cl := client.New(cConn)
+		return cl, func() {
+			cl.Close()
+			srv.Close()
+			svc.Close()
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("clio: one of -addr or -store is required")
+	}
+}
+
+func dump(cur *client.Cursor, limit int) {
+	for i := 0; limit < 0 || i < limit; i++ {
+		e, err := cur.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			fatal(err)
+		}
+		printEntry(e)
+	}
+}
+
+func printEntry(e *client.Entry) {
+	ts := time.Unix(0, e.Timestamp).Format(time.RFC3339Nano)
+	fmt.Printf("[%s #%s.%d] %s\n", ts, strconv.Itoa(e.Block), e.Index, e.Data)
+}
+
+// runFsck scrubs a local store's volume files directly.
+func runFsck(store string, args []string) {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	repair := fs.Bool("repair", false, "invalidate damaged blocks on the medium")
+	_ = fs.Parse(args)
+	if store == "" {
+		fatal(fmt.Errorf("fsck requires -store"))
+	}
+	devs, closeAll, err := openStoreDevices(store)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeAll()
+	rep, err := scrub.Volumes(devs, scrub.Options{Repair: *repair})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scrubbed %d data blocks: %d readable, %d invalidated, %d damaged",
+		rep.Blocks, rep.Readable, rep.Invalidated, rep.Damaged)
+	if *repair {
+		fmt.Printf(", %d repaired", rep.Repaired)
+	}
+	fmt.Printf("\n%d records, %d entrymap entries verified, %d catalog records\n",
+		rep.Entries, rep.EntrymapEntries, rep.CatalogRecords)
+	for _, p := range rep.Problems {
+		fmt.Printf("problem: %s\n", p)
+	}
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+	fmt.Println("clean")
+}
+
+// runDu prints per-log-file space usage for a local store.
+func runDu(store string) {
+	if store == "" {
+		fatal(fmt.Errorf("du requires -store"))
+	}
+	devs, closeAll, err := openStoreDevices(store)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeAll()
+	rep, err := scrub.Volumes(devs, scrub.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%10s %10s  %s\n", "entries", "bytes", "log file")
+	for _, u := range rep.Usage {
+		fmt.Printf("%10d %10d  %s\n", u.Entries, u.Bytes, u.Path)
+	}
+}
+
+// runBackup incrementally archives a local store's volumes (§1: only the
+// tail written since the last run is copied).
+func runBackup(store, archiveDir string) {
+	if store == "" {
+		fatal(fmt.Errorf("backup requires -store"))
+	}
+	devs, closeAll, err := openStoreDevices(store)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeAll()
+	res, err := archive.Backup(devs, archiveDir)
+	if err != nil {
+		fatal(err)
+	}
+	// The NVRAM sidecar holds the staged (not yet sealed) tail block; a
+	// complete backup carries it along.
+	nvSrc := filepath.Join(store, "nvram.clio")
+	if data, err := os.ReadFile(nvSrc); err == nil {
+		if err := os.WriteFile(filepath.Join(archiveDir, "nvram.clio"), data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("captured the staged NVRAM tail")
+	}
+	fmt.Printf("backed up %d volumes: %d blocks copied, %d already archived\n",
+		res.VolumesSeen, res.BlocksCopied, res.BlocksSkipped)
+}
+
+// runVerifyBackup restores an archive in memory and scrubs it.
+func runVerifyBackup(archiveDir string) {
+	devs, err := archive.Restore(archiveDir)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := scrub.Volumes(devs, scrub.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("archive holds %d data blocks, %d records, %d catalog records\n",
+		rep.Blocks, rep.Entries, rep.CatalogRecords)
+	for _, p := range rep.Problems {
+		fmt.Printf("problem: %s\n", p)
+	}
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+	fmt.Println("clean")
+}
+
+// openStoreDevices opens every volume file in a store directory.
+func openStoreDevices(dir string) ([]wodev.Device, func(), error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var devs []wodev.Device
+	closeAll := func() {
+		for _, d := range devs {
+			d.Close()
+		}
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "vol-") || !strings.HasSuffix(name, ".clio") {
+			continue
+		}
+		dev, err := wodev.OpenFile(filepath.Join(dir, name), wodev.FileOptions{})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		devs = append(devs, dev)
+	}
+	if len(devs) == 0 {
+		return nil, nil, fmt.Errorf("no volume files in %s", dir)
+	}
+	return devs, closeAll, nil
+}
+
+func need(args []string, n int) {
+	if len(args) != n {
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "clio: %v\n", err)
+	os.Exit(1)
+}

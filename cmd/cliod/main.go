@@ -1,0 +1,76 @@
+// Command cliod runs the Clio log server: it opens (or creates) a
+// file-backed log store and serves the log-file protocol over TCP — the
+// stand-alone deployment of the paper's extended file server.
+//
+// Usage:
+//
+//	cliod -store /var/lib/clio [-listen :7846] [-create] [-volume-blocks N]
+//
+// The store directory holds one file per log volume plus the NVRAM sidecar
+// that stages the current partial block across restarts (§2.3.1).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"clio"
+	"clio/internal/server"
+)
+
+func main() {
+	store := flag.String("store", "", "store directory (required)")
+	listen := flag.String("listen", ":7846", "TCP listen address")
+	create := flag.Bool("create", false, "create a new store instead of opening one")
+	volBlocks := flag.Int("volume-blocks", 1<<20, "capacity of each volume file in blocks")
+	blockSize := flag.Int("block-size", 1024, "block size in bytes")
+	syncEvery := flag.Bool("sync", false, "fsync every sealed block")
+	flag.Parse()
+	if *store == "" {
+		log.Fatal("cliod: -store is required")
+	}
+
+	opts := clio.DirOptions{VolumeBlocks: *volBlocks, SyncEvery: *syncEvery}
+	opts.BlockSize = *blockSize
+	var (
+		svc *clio.Service
+		err error
+	)
+	if *create {
+		svc, err = clio.CreateDir(*store, opts)
+	} else {
+		svc, err = clio.OpenDir(*store, opts)
+	}
+	if err != nil {
+		log.Fatalf("cliod: %v", err)
+	}
+	rep := svc.LastRecovery()
+	log.Printf("cliod: store %s open: %d data blocks, %d catalog records, tail restored=%v",
+		*store, rep.SealedBlocks, rep.CatalogEntries, rep.TailRestored)
+
+	srv := server.New(svc)
+	srv.Logf = log.Printf
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("cliod: listen: %v", err)
+	}
+	log.Printf("cliod: serving on %s", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("cliod: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		log.Printf("cliod: serve: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Printf("cliod: close: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation (§3) plus the ablations listed in DESIGN.md, printing paper
+// values and measured values side by side.
+//
+// Usage:
+//
+//	experiments [-run all|write|table1|fig3|fig4|space|baseline|nvram|tailgrowth] [-deep]
+//
+// -deep extends the locate experiments to distance N^5 (the paper's full
+// Table 1 range); it builds a ~10^6-block volume and needs ~0.5 GiB of
+// memory and a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"clio/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiments to run (comma separated): all, write, table1, fig3, fig4, space, baseline, nvram, cache, degree, tailgrowth")
+	deep := flag.Bool("deep", false, "extend locate experiments to the paper's full N^5 distance (slow, ~0.5 GiB)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+	out := os.Stdout
+
+	maxK := 4
+	blockSize := 256
+	if *deep {
+		maxK = 5
+		blockSize = 128
+	}
+
+	step := func(name string, f func() error) {
+		if !sel(name) {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	step("write", func() error {
+		rows, err := experiments.RunWrite(2000)
+		if err != nil {
+			return err
+		}
+		experiments.PrintWrite(out, rows)
+		return nil
+	})
+
+	var dv *experiments.DistanceVolume
+	step("table1", func() error {
+		rows, built, err := experiments.RunTable1(blockSize, maxK)
+		if err != nil {
+			return err
+		}
+		dv = built
+		experiments.PrintTable1(out, rows)
+		return nil
+	})
+
+	step("fig3", func() error {
+		rows, err := experiments.RunFig3(dv) // dv may be nil: theory only
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig3(out, rows)
+		return nil
+	})
+	if dv != nil {
+		dv.Svc.Close()
+		dv = nil
+	}
+
+	step("fig4", func() error {
+		stages := []int{100, 1_000, 10_000, 50_000}
+		if *deep {
+			stages = append(stages, 200_000)
+		}
+		rows, err := experiments.RunFig4(blockSize, []int{4, 16, 64}, stages)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig4(out, rows)
+		return nil
+	})
+
+	step("space", func() error {
+		row, err := experiments.RunSpace(30_000)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSpace(out, row)
+		return nil
+	})
+
+	step("baseline", func() error {
+		rows, err := experiments.RunBaselines(blockSize, maxK, 16)
+		if err != nil {
+			return err
+		}
+		experiments.PrintBaselines(out, rows)
+		return nil
+	})
+
+	step("nvram", func() error {
+		rows, err := experiments.RunNVRAM(2000)
+		if err != nil {
+			return err
+		}
+		experiments.PrintNVRAM(out, rows)
+		return nil
+	})
+
+	step("cache", func() error {
+		rows, breakEven, err := experiments.RunCacheSweep(256, 2000, nil)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCacheSweep(out, rows, breakEven)
+		return nil
+	})
+
+	step("degree", func() error {
+		rows, err := experiments.RunDegreeSweep(256, 5000, nil)
+		if err != nil {
+			return err
+		}
+		experiments.PrintDegreeSweep(out, rows)
+		return nil
+	})
+
+	step("tailgrowth", func() error {
+		rows, err := experiments.RunTailGrowth(1024, []int{64, 512, 2048})
+		if err != nil {
+			return err
+		}
+		experiments.PrintTailGrowth(out, rows)
+		return nil
+	})
+}

@@ -1,0 +1,146 @@
+package clio_test
+
+import (
+	"fmt"
+	"io"
+
+	"clio"
+)
+
+// Example demonstrates the basic lifecycle: create a store on an in-memory
+// write-once device, write entries, and read them back.
+func Example() {
+	svc, err := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+
+	id, err := svc.CreateLog("/events", 0o644, "example")
+	if err != nil {
+		panic(err)
+	}
+	for _, line := range []string{"first", "second", "third"} {
+		if _, err := svc.Append(id, []byte(line), clio.AppendOptions{}); err != nil {
+			panic(err)
+		}
+	}
+
+	cur, err := svc.OpenCursor("/events")
+	if err != nil {
+		panic(err)
+	}
+	for {
+		e, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(string(e.Data))
+	}
+	// Output:
+	// first
+	// second
+	// third
+}
+
+// ExampleCursor_Prev reads a log backwards from the end — "access can be
+// provided to the sequence of entries in the file either subsequent to, or
+// prior to, any previous point in time".
+func ExampleCursor_Prev() {
+	svc, _ := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{})
+	defer svc.Close()
+	id, _ := svc.CreateLog("/l", 0, "")
+	for i := 1; i <= 3; i++ {
+		svc.Append(id, []byte(fmt.Sprintf("entry %d", i)), clio.AppendOptions{})
+	}
+	cur, _ := svc.OpenCursor("/l")
+	cur.SeekEnd()
+	for {
+		e, err := cur.Prev()
+		if err == io.EOF {
+			break
+		}
+		fmt.Println(string(e.Data))
+	}
+	// Output:
+	// entry 3
+	// entry 2
+	// entry 1
+}
+
+// ExampleService_CreateLog shows the sublog hierarchy: a log file is also a
+// directory of sublogs, and reading a parent includes its sublogs' entries.
+func ExampleService_CreateLog() {
+	svc, _ := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{})
+	defer svc.Close()
+	svc.CreateLog("/mail", 0o755, "postmaster")
+	smith, _ := svc.CreateLog("/mail/smith", 0o600, "smith")
+	jones, _ := svc.CreateLog("/mail/jones", 0o600, "jones")
+	svc.Append(smith, []byte("to smith"), clio.AppendOptions{})
+	svc.Append(jones, []byte("to jones"), clio.AppendOptions{})
+
+	names, _ := svc.List("/mail")
+	fmt.Println(names)
+
+	cur, _ := svc.OpenCursor("/mail") // parent: both sublogs' entries
+	n := 0
+	for {
+		if _, err := cur.Next(); err == io.EOF {
+			break
+		}
+		n++
+	}
+	fmt.Println(n, "entries")
+	// Output:
+	// [jones smith]
+	// 2 entries
+}
+
+// ExampleCursor_SeekTime retrieves entries written at or after a moment.
+func ExampleCursor_SeekTime() {
+	var now int64
+	svc, _ := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{
+		Now: func() int64 { now += 1000; return now },
+	})
+	defer svc.Close()
+	id, _ := svc.CreateLog("/t", 0, "")
+	svc.Append(id, []byte("early"), clio.AppendOptions{Timestamped: true})
+	cut, _ := svc.Append(id, []byte("middle"), clio.AppendOptions{Timestamped: true})
+	svc.Append(id, []byte("late"), clio.AppendOptions{Timestamped: true})
+
+	cur, _ := svc.OpenCursor("/t")
+	cur.SeekTime(cut)
+	for {
+		e, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		fmt.Println(string(e.Data))
+	}
+	// Output:
+	// middle
+	// late
+}
+
+// ExampleService_AppendMulti writes one entry into several log files at
+// once — §2.1's multi-membership ("the logging service allows a log entry
+// to be a member of more than one log file").
+func ExampleService_AppendMulti() {
+	svc, _ := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{})
+	defer svc.Close()
+	alerts, _ := svc.CreateLog("/alerts", 0, "")
+	audit, _ := svc.CreateLog("/audit", 0, "")
+	svc.AppendMulti([]uint16{alerts, audit}, []byte("disk failure on vol 3"), clio.AppendOptions{})
+
+	for _, path := range []string{"/alerts", "/audit"} {
+		cur, _ := svc.OpenCursor(path)
+		e, _ := cur.Next()
+		fmt.Printf("%s: %s\n", path, e.Data)
+	}
+	// Output:
+	// /alerts: disk failure on vol 3
+	// /audit: disk failure on vol 3
+}

@@ -1,0 +1,90 @@
+// Mailstore: the §4.2 history-based electronic mail design. Each mailbox is
+// a log file of delivered messages; the agent's read/hide flags are logged
+// in a sublog; nothing is ever destroyed, so "a user's mail messages are
+// permanently accessible" even after the agent hides them.
+//
+//	go run ./examples/mailstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clio"
+	"clio/internal/logapi"
+	"clio/internal/mailstore"
+)
+
+func main() {
+	svc, err := clio.New(clio.NewMemDevice(1024, 1<<15), clio.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	store, err := mailstore.New(logapi.FromService(svc), "/mail")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.CreateMailbox("smith"); err != nil {
+		log.Fatal(err)
+	}
+
+	var ids []int64
+	for _, m := range []struct{ from, subj, body string }{
+		{"cheriton", "V-System build", "the new kernel boots on the Sun-3s"},
+		{"finlayson", "log service", "entrymap level-2 entries are working"},
+		{"spam-bot", "WIN BIG", "click here"},
+	} {
+		id, err := store.Deliver("smith", m.from, m.subj, m.body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// A CC'd announcement: one multi-membership log entry, two mailboxes.
+	if err := store.CreateMailbox("jones"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.DeliverCC([]string{"smith", "jones"},
+		"root", "maintenance", "the optical drive arrives tuesday"); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := store.MarkRead("smith", ids[0]); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Hide("smith", ids[2]); err != nil { // "delete" the spam
+		log.Fatal(err)
+	}
+
+	fmt.Println("== mailbox view (hidden messages filtered) ==")
+	printBox(store, "smith", false)
+
+	fmt.Println("== the permanent history (nothing is ever gone) ==")
+	printBox(store, "smith", true)
+
+	// The agent's state is just a cache over the logs: drop it and the
+	// mailbox — including the flags — rebuilds from the history.
+	store.EvictCache()
+	fmt.Println("== after rebuilding the agent's cache from the logs ==")
+	printBox(store, "smith", true)
+}
+
+func printBox(store *mailstore.Store, user string, all bool) {
+	msgs, err := store.List(user, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range msgs {
+		flags := ""
+		if m.Read {
+			flags += "R"
+		}
+		if m.Hidden {
+			flags += "H"
+		}
+		fmt.Printf("  [%2s] %-10s %-16s %s\n", flags, m.From, m.Subject, m.Body)
+	}
+}

@@ -1,0 +1,91 @@
+// Quickstart: create a log store, write some entries, read them back
+// forwards, backwards, and from a point in time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"clio"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "clio-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A store directory holds one file per write-once volume plus the
+	// NVRAM sidecar staging the current partial block.
+	svc, err := clio.CreateDir(dir, clio.DirOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Log files live in a directory hierarchy; each is also a directory of
+	// sublogs.
+	id, err := svc.CreateLog("/notes", 0o644, "me")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var midway int64
+	for i := 1; i <= 6; i++ {
+		ts, err := svc.Append(id, []byte(fmt.Sprintf("note #%d", i)),
+			clio.AppendOptions{Timestamped: true, Forced: i%2 == 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 4 {
+			midway = ts
+		}
+	}
+
+	fmt.Println("forwards:")
+	cur, err := svc.OpenCursor("/notes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		e, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s  %s\n", time.Unix(0, e.Timestamp).Format(time.RFC3339), e.Data)
+	}
+
+	fmt.Println("backwards from the end:")
+	cur.SeekEnd()
+	for i := 0; i < 2; i++ {
+		e, err := cur.Prev()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", e.Data)
+	}
+
+	fmt.Println("from a point in time (note #4 onwards):")
+	if err := cur.SeekTime(midway); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		e, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", e.Data)
+	}
+}

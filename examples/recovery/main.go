@@ -1,0 +1,99 @@
+// Recovery: crash tolerance and media-corruption handling (§2.3). The
+// example force-writes transaction commits through the NVRAM tail, crashes
+// the server, damages blocks on the medium, and shows what server
+// initialization recovers: the end of the written portion (by binary
+// search), the reconstructed entrymap state, the replayed catalog, and the
+// surviving entries — with the damaged blocks' entries lost but everything
+// else intact.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"clio"
+	"clio/internal/core"
+	"clio/internal/wodev"
+)
+
+func main() {
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 1 << 12})
+	nv := clio.NewMemNVRAM() // battery-backed RAM: survives the crash
+	var now int64
+	opt := clio.Options{
+		BlockSize: 256, Degree: 4, NVRAM: nv,
+		Now: func() int64 { now += 1000; return now },
+	}
+	svc, err := core.New(dev, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := svc.CreateLog("/txn", 0o600, "db")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 1; i <= 40; i++ {
+		payload := fmt.Sprintf("commit txid=%04d", i)
+		// Forced: the commit is durable when Append returns (§2.3.1).
+		if _, err := svc.Append(id, []byte(payload), clio.AppendOptions{Timestamped: true, Forced: true}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// One unforced entry: staged in volatile memory only. It will be lost
+	// with the crash — durability is exactly what a forced write buys, and
+	// what is lost is only the unforced suffix (prefix durability).
+	if _, err := svc.Append(id, []byte("commit txid=9999 (unforced)"), clio.AppendOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== power failure ==")
+	svc.Crash()
+
+	// The medium also took damage: one written block is scribbled, and the
+	// device forgot where its written portion ends.
+	dev.Damage(5, []byte("garbage garbage garbage"))
+	dev.SetReportEnd(false)
+
+	svc2, err := core.Open([]wodev.Device{dev}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc2.Close()
+	rep := svc2.LastRecovery()
+	fmt.Printf("server initialization (§2.3.1):\n")
+	fmt.Printf("  end of written portion: %d data blocks (found with %d probes)\n",
+		rep.SealedBlocks, rep.EndProbes)
+	fmt.Printf("  entrymap reconstruction examined %d blocks + %d entries\n",
+		rep.EntrymapBlocksScanned, rep.EntrymapEntriesRead)
+	fmt.Printf("  catalog records replayed: %d\n", rep.CatalogEntries)
+	fmt.Printf("  NVRAM tail restored: %v\n", rep.TailRestored)
+
+	cur, err := svc2.OpenCursor("/txn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var got []string
+	for {
+		e, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		got = append(got, string(e.Data))
+	}
+	fmt.Printf("recovered %d commits; first=%q last=%q\n", len(got), got[0], got[len(got)-1])
+	fmt.Println("(the scribbled block's commits and the unforced suffix are lost —")
+	fmt.Println(" §2.3.2 and prefix durability — everything forced elsewhere survives)")
+
+	// Life goes on: the service keeps writing after recovery.
+	if _, err := svc2.Append(id, []byte("commit txid=0041 (post-recovery)"), clio.AppendOptions{Forced: true}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("post-recovery commit accepted")
+}

@@ -1,0 +1,3 @@
+module clio
+
+go 1.22

@@ -1,0 +1,275 @@
+package clio_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"clio"
+	"clio/internal/archive"
+	"clio/internal/atomicfs"
+	"clio/internal/client"
+	"clio/internal/core"
+	"clio/internal/histfs"
+	"clio/internal/logapi"
+	"clio/internal/mailstore"
+	"clio/internal/rewritefs"
+	"clio/internal/scrub"
+	"clio/internal/server"
+	"clio/internal/wodev"
+)
+
+// TestFullSystemIntegration is the capstone: a file-backed store served over
+// TCP to concurrent clients running all three history-based applications,
+// then a crash, recovery, verification (fsck), incremental backup, restore,
+// and a final cross-check that the restored sequence holds the same data.
+func TestFullSystemIntegration(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := clio.CreateDir(dir, clio.DirOptions{VolumeBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(svc)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	// Three concurrent application clients over TCP.
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+
+	wg.Add(1)
+	go func() { // the mail agent
+		defer wg.Done()
+		cl, err := client.Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer cl.Close()
+		ms, err := mailstore.New(logapi.FromClient(cl), "/mail")
+		if err != nil {
+			errs <- err
+			return
+		}
+		if err := ms.CreateMailbox("ops"); err != nil {
+			errs <- err
+			return
+		}
+		for i := 0; i < 25; i++ {
+			if _, err := ms.Deliver("ops", "monitor", fmt.Sprintf("alert %d", i), "disk almost full"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // the versioned-file service
+		defer wg.Done()
+		cl, err := client.Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer cl.Close()
+		fs, err := histfs.New(logapi.FromClient(cl), "/histfs")
+		if err != nil {
+			errs <- err
+			return
+		}
+		if err := fs.Create("config", 0o644); err != nil {
+			errs <- err
+			return
+		}
+		for i := 0; i < 15; i++ {
+			if err := fs.Truncate("config", 0); err != nil {
+				errs <- err
+				return
+			}
+			if err := fs.Append("config", []byte(fmt.Sprintf("version=%d", i))); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // a plain audit logger
+		defer wg.Done()
+		cl, err := client.Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer cl.Close()
+		id, err := cl.CreateLog("/audit", 0o600, "sec")
+		if err != nil {
+			errs <- err
+			return
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := cl.Append(id, []byte(fmt.Sprintf("audit-%03d", i)),
+				client.AppendOptions{Timestamped: true, Forced: i%10 == 0}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Force everything durable, then crash the whole server.
+	if err := svc.Force(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	svc.Crash()
+
+	// Reopen from disk (recovery: end-find, entrymap rebuild, catalog
+	// replay, NVRAM tail restore).
+	svc2, err := clio.OpenDir(dir, clio.DirOptions{VolumeBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := svc2.LastRecovery()
+	if rep.CatalogEntries == 0 {
+		t.Error("no catalog records replayed")
+	}
+
+	// All three applications see their state.
+	ms, err := mailstore.New(logapi.FromService(svc2), "/mail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := ms.List("ops", true)
+	if err != nil || len(msgs) != 25 {
+		t.Fatalf("mail after recovery: %d, %v", len(msgs), err)
+	}
+	fs2, err := histfs.New(logapi.FromService(svc2), "/histfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := fs2.Read("config")
+	if err != nil || string(cfg) != "version=14" {
+		t.Fatalf("config after recovery: %q, %v", cfg, err)
+	}
+	cur, err := svc2.OpenCursor("/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := 0
+	for {
+		if _, err := cur.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		audit++
+	}
+	if audit != 100 {
+		t.Fatalf("audit entries after recovery: %d", audit)
+	}
+
+	// The atomic-update extension shares the same sequence.
+	afs, err := atomicfs.New(svc2, rewritefs.New(rewritefs.NewStore(1024, 1<<16)), "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := afs.Begin()
+	_ = txn.Create("ledger")
+	_ = txn.WriteAt("ledger", 0, []byte("balanced"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seal the staged tail onto the medium (as one would before removing
+	// a volume), close cleanly, then fsck the store on disk.
+	if err := svc2.SealTail(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	devs, err := openVolumeFiles(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := scrub.Volumes(devs, scrub.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range srep.Problems {
+		t.Errorf("fsck: %s", p)
+	}
+
+	// Incremental backup, then restore and compare the audit log.
+	arch := t.TempDir()
+	if _, err := archive.Backup(devs, arch); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range devs {
+		d.Close()
+	}
+	restored, err := archive.Restore(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc3, err := core.Open(restored, core.Options{BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc3.Close()
+	cur3, err := svc3.OpenCursor("/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []byte
+	n := 0
+	for {
+		e, err := cur3.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			first = e.Data
+		}
+		n++
+	}
+	if n != 100 || !bytes.Equal(first, []byte("audit-000")) {
+		t.Fatalf("restored audit: %d entries, first %q", n, first)
+	}
+}
+
+func openVolumeFiles(t *testing.T, dir string) ([]wodev.Device, error) {
+	t.Helper()
+	var out []wodev.Device
+	for i := 0; ; i++ {
+		dev, err := wodev.OpenFile(fmt.Sprintf("%s/vol-%08d.clio", dir, i), wodev.FileOptions{Capacity: 4096})
+		if err != nil {
+			if i == 0 {
+				return nil, err
+			}
+			break
+		}
+		if dev.Written() == 0 {
+			dev.Close()
+			break
+		}
+		out = append(out, dev)
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"clio/internal/core"
+	"clio/internal/volume"
+	"clio/internal/wodev"
+)
+
+func newSeq(t *testing.T) (*core.Service, *[]*wodev.MemDevice, core.Options, uint16) {
+	t.Helper()
+	devs := &[]*wodev.MemDevice{wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 24})}
+	now := int64(0)
+	opt := core.Options{
+		BlockSize: 256, Degree: 4,
+		Now: func() int64 { now += 1000; return now },
+		Allocate: func(_ volume.SeqID, _ uint32, _ uint64, blockSize int) (wodev.Device, error) {
+			d := wodev.NewMem(wodev.MemOptions{BlockSize: blockSize, Capacity: 24})
+			*devs = append(*devs, d)
+			return d, nil
+		},
+	}
+	svc, err := core.New((*devs)[0], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.CreateLog("/l", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, devs, opt, id
+}
+
+func appendN(t *testing.T, svc *core.Service, id uint16, from, to int) []string {
+	t.Helper()
+	var out []string
+	for i := from; i < to; i++ {
+		p := fmt.Sprintf("entry-%04d-%s", i, "padpadpadpadpadpad")
+		if _, err := svc.Append(id, []byte(p), core.AppendOptions{Forced: true}); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func asDevices(devs *[]*wodev.MemDevice) []wodev.Device {
+	out := make([]wodev.Device, len(*devs))
+	for i, d := range *devs {
+		out[i] = d
+	}
+	return out
+}
+
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	svc, devs, opt, id := newSeq(t)
+	want := appendN(t, svc, id, 0, 80)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	res, err := Backup(asDevices(devs), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksCopied == 0 || res.VolumesSeen < 2 {
+		t.Fatalf("result: %+v", res)
+	}
+
+	restored, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := core.Open(restored, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	cur, err := svc2.OpenCursor("/l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		e, err := cur.Next()
+		if err != nil {
+			break
+		}
+		got = append(got, string(e.Data))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("restored %d entries, want %d", len(got), len(want))
+	}
+}
+
+func TestIncrementalBackupCopiesOnlyTheTail(t *testing.T) {
+	svc, devs, _, id := newSeq(t)
+	appendN(t, svc, id, 0, 60)
+	if err := svc.Force(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	res1, err := Backup(asDevices(devs), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No new writes: the second run copies nothing.
+	res2, err := Backup(asDevices(devs), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BlocksCopied != 0 {
+		t.Errorf("idle rerun copied %d blocks", res2.BlocksCopied)
+	}
+	if res2.BlocksSkipped < res1.BlocksCopied {
+		t.Errorf("skipped %d < previously copied %d", res2.BlocksSkipped, res1.BlocksCopied)
+	}
+	// More writes: the third run copies only the increment.
+	appendN(t, svc, id, 60, 80)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := Backup(asDevices(devs), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.BlocksCopied == 0 || res3.BlocksCopied >= res1.BlocksCopied {
+		t.Errorf("increment copied %d blocks (initial %d)", res3.BlocksCopied, res1.BlocksCopied)
+	}
+}
+
+func TestBackupPreservesInvalidatedBlocks(t *testing.T) {
+	svc, devs, opt, id := newSeq(t)
+	appendN(t, svc, id, 0, 10)
+	// Damage the next unwritten block so the writer invalidates it.
+	d0 := (*devs)[0]
+	if err := d0.Damage(d0.Written(), nil); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, svc, id, 10, 30)
+	if svc.Stats().DeadBlocks != 1 {
+		t.Fatalf("DeadBlocks = %d", svc.Stats().DeadBlocks)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Backup(asDevices(devs), dir); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := core.Open(restored, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	cur, _ := svc2.OpenCursor("/l")
+	n := 0
+	for {
+		if _, err := cur.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 30 {
+		t.Errorf("restored %d entries, want 30", n)
+	}
+}
+
+func TestRestoreEmptyDir(t *testing.T) {
+	if _, err := Restore(t.TempDir()); err == nil {
+		t.Error("empty dir restored")
+	}
+}
+
+func TestBackupRejectsUnformattedDevice(t *testing.T) {
+	raw := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 8})
+	if _, err := Backup([]wodev.Device{raw}, t.TempDir()); err == nil {
+		t.Error("unformatted device accepted")
+	}
+}
+
+func TestManifestCorruptionDetected(t *testing.T) {
+	svc, devs, _, id := newSeq(t)
+	appendN(t, svc, id, 0, 10)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Backup(asDevices(devs), dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/MANIFEST", []byte("not a manifest\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	if _, err := Backup(asDevices(devs), dir); err == nil {
+		t.Error("backup over corrupt manifest accepted")
+	}
+}

@@ -1,0 +1,292 @@
+package atomicfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"clio/internal/core"
+	"clio/internal/rewritefs"
+	"clio/internal/wodev"
+)
+
+func newRig(t *testing.T) (*FS, *core.Service, *wodev.MemDevice, core.Options) {
+	t.Helper()
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
+	now := int64(0)
+	opt := core.Options{BlockSize: 512, Degree: 8, NVRAM: core.NewMemNVRAM(),
+		Now: func() int64 { now += 1000; return now }}
+	svc, err := core.New(dev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rewritefs.New(rewritefs.NewStore(512, 1<<16))
+	a, err := New(svc, fs, "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, svc, dev, opt
+}
+
+func TestCommitApplies(t *testing.T) {
+	a, svc, _, _ := newRig(t)
+	defer svc.Close()
+	txn := a.Begin()
+	if err := txn.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.WriteAt("f", 0, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 11)
+	if err := a.Files().ReadAt("f", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Errorf("read %q", got)
+	}
+	// Reuse after commit is rejected.
+	if err := txn.WriteAt("f", 0, []byte("x")); !errors.Is(err, ErrTxnClosed) {
+		t.Errorf("write after commit: %v", err)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrTxnClosed) {
+		t.Errorf("double commit: %v", err)
+	}
+}
+
+func TestAbortAppliesNothing(t *testing.T) {
+	a, svc, _, _ := newRig(t)
+	defer svc.Close()
+	txn := a.Begin()
+	_ = txn.Create("f")
+	txn.Abort()
+	if _, err := a.Files().Size("f"); !errors.Is(err, rewritefs.ErrNotFound) {
+		t.Errorf("aborted create applied: %v", err)
+	}
+}
+
+func TestCrashMidApplyRecovers(t *testing.T) {
+	// A transaction touches two files; the "process" dies after applying
+	// only the first update. Recovery must complete the transaction so
+	// both files reflect it — atomicity.
+	a, svc, dev, opt := newRig(t)
+	setup := a.Begin()
+	_ = setup.Create("acct-a")
+	_ = setup.Create("acct-b")
+	_ = setup.WriteAt("acct-a", 0, []byte("balance=100"))
+	_ = setup.WriteAt("acct-b", 0, []byte("balance=000"))
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("power failure")
+	a.SetApplyHook(func(i int) error {
+		if i == 1 {
+			return boom // die before the second update
+		}
+		return nil
+	})
+	txn := a.Begin()
+	_ = txn.WriteAt("acct-a", 0, []byte("balance=070"))
+	_ = txn.WriteAt("acct-b", 0, []byte("balance=030"))
+	err := txn.Commit()
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("commit: %v", err)
+	}
+	// The FS is now torn: a updated, b not.
+	buf := make([]byte, 11)
+	_ = a.Files().ReadAt("acct-b", 0, buf)
+	if string(buf) == "balance=030" {
+		t.Fatal("test setup wrong: b already updated")
+	}
+
+	// Crash the service; the journal (forced) survives. Note the torn
+	// rewritefs state survives too — it models the on-disk FS.
+	svc.Crash()
+	svc2, err := core.Open([]wodev.Device{dev}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	a2, err := New(svc2, a.Files(), "/wal") // recovery replays the journal
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct{ name, want string }{
+		{"acct-a", "balance=070"}, {"acct-b", "balance=030"},
+	} {
+		if err := a2.Files().ReadAt(f.name, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != f.want {
+			t.Errorf("%s = %q, want %q", f.name, buf, f.want)
+		}
+	}
+}
+
+func TestUncommittedTxnInvisibleAfterCrash(t *testing.T) {
+	a, svc, dev, opt := newRig(t)
+	setup := a.Begin()
+	_ = setup.Create("f")
+	_ = setup.WriteAt("f", 0, []byte("original"))
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Build a transaction but crash before Commit: nothing was journaled.
+	txn := a.Begin()
+	_ = txn.WriteAt("f", 0, []byte("phantom!"))
+	svc.Crash()
+
+	svc2, err := core.Open([]wodev.Device{dev}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	freshFS := rewritefs.New(rewritefs.NewStore(512, 1<<16))
+	a2, err := New(svc2, freshFS, "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if err := a2.Files().ReadAt("f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "original" {
+		t.Errorf("recovered %q", buf)
+	}
+}
+
+func TestFullRebuildFromEmptyFS(t *testing.T) {
+	// The journal alone reconstructs the whole file system — the
+	// history-based claim of §4 applied to regular files.
+	a, svc, dev, opt := newRig(t)
+	want := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("file%d", i)
+		data := bytes.Repeat([]byte{byte('a' + i)}, 100*(i+1))
+		txn := a.Begin()
+		_ = txn.Create(name)
+		_ = txn.WriteAt(name, 0, data)
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = data
+	}
+	// Overwrite one interior region in a later transaction.
+	txn := a.Begin()
+	_ = txn.WriteAt("file2", 50, []byte("PATCH"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	copy(want["file2"][50:], "PATCH")
+
+	svc.Crash()
+	svc2, err := core.Open([]wodev.Device{dev}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	a2, err := New(svc2, rewritefs.New(rewritefs.NewStore(512, 1<<16)), "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range want {
+		got := make([]byte, len(data))
+		if err := a2.Files().ReadAt(name, 0, got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s content mismatch", name)
+		}
+	}
+}
+
+func TestCheckpointBoundsReplay(t *testing.T) {
+	a, svc, dev, opt := newRig(t)
+	txn := a.Begin()
+	_ = txn.Create("f")
+	_ = txn.WriteAt("f", 0, []byte("v1"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	txn = a.Begin()
+	_ = txn.WriteAt("f", 0, []byte("v2"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc.Crash()
+	svc2, err := core.Open([]wodev.Device{dev}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	// Reuse the applied FS: recovery must replay only the post-checkpoint
+	// transaction (replaying the first would be harmless but we verify the
+	// checkpoint is honored by rebuilding from a FS that already has v1).
+	fs := rewritefs.New(rewritefs.NewStore(512, 1<<16))
+	if err := fs.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("f", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := New(svc2, fs, "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if err := a2.Files().ReadAt("f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "v2" {
+		t.Errorf("after checkpointed recovery: %q", buf)
+	}
+}
+
+func TestTruncateAndGrow(t *testing.T) {
+	a, svc, _, _ := newRig(t)
+	defer svc.Close()
+	txn := a.Begin()
+	_ = txn.Create("f")
+	_ = txn.WriteAt("f", 0, []byte("0123456789"))
+	_ = txn.Truncate("f", 4)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if err := a.Files().ReadAt("f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "0123" {
+		t.Errorf("after truncate: %q", buf)
+	}
+}
+
+func TestEncodeDecodeCommit(t *testing.T) {
+	ops := []op{
+		{kind: opCreate, file: "a"},
+		{kind: opWriteAt, file: "b", offset: 42, data: []byte("xyz")},
+		{kind: opTruncate, file: "c", offset: 7},
+	}
+	got, err := decodeCommit(encodeCommit(ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1].file != "b" || got[1].offset != 42 || string(got[1].data) != "xyz" {
+		t.Errorf("round trip: %+v", got)
+	}
+	if _, err := decodeCommit([]byte{recCommit}); err == nil {
+		t.Error("truncated commit accepted")
+	}
+	if _, err := decodeCommit([]byte{99, 0}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package blockfmt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hardens the block parser against arbitrary media contents: it
+// must never panic, and whatever it accepts must re-encode consistently.
+func FuzzParse(f *testing.F) {
+	b, _ := NewBuilder(256, 3)
+	_ = b.Append(Record{LogID: 4, Form: FormFull, Timestamp: 9, Data: []byte("seed")})
+	_ = b.Append(Record{LogID: 5, Form: FormMulti, Timestamp: 10, ExtraIDs: []uint16{6}, Data: []byte("multi")})
+	f.Add(b.Seal())
+	f.Add(bytes.Repeat([]byte{0xFF}, 256))
+	f.Add(make([]byte, 256))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted blocks must be internally consistent: re-append every
+		// record into a fresh builder without error.
+		nb, berr := NewBuilder(len(data), p.BlockIndex)
+		if berr != nil {
+			return
+		}
+		for _, r := range p.Records {
+			rec := Record{
+				LogID: r.LogID, Form: r.Form, AttrFlags: r.AttrFlags,
+				Timestamp: r.Timestamp, Continued: r.Continued,
+				Continues: r.Continues, Data: r.Data, ExtraIDs: r.ExtraIDs,
+			}
+			if r.Form > FormMulti {
+				continue // unknown future forms tolerated by the parser
+			}
+			if err := nb.Append(rec); err != nil {
+				t.Fatalf("accepted record does not re-encode: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,557 @@
+// Package catalog implements the catalog log file of §2.2: the log of
+// log-file-specific attributes. Per-entry headers carry only a 12-bit local
+// log-file id; everything that is an attribute of a log file as a whole —
+// its name, access permissions, creation time, its place in the sublog
+// hierarchy — is recorded separately in the catalog log file, and every
+// change to those attributes is itself logged there.
+//
+// Access permissions and ownership are recorded and replayed faithfully
+// (every change is logged, §2.2) but, as in the paper, enforcement is the
+// surrounding system's concern — this package stores attributes, it does
+// not authenticate callers.
+//
+// Replaying the catalog log yields the in-memory Table (the paper's
+// "catalog ... of log file specific information (i.e. file descriptors)
+// maintained by the server, and derived from the catalog log file"). The
+// sublog relationship doubles as the naming hierarchy: "/mail/smith" names
+// both a log file and a directory of sublogs (§2.1).
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"clio/internal/wire"
+)
+
+// Reserved ids, mirroring internal/entrymap's constants (kept in sync by a
+// test) without importing it.
+const (
+	VolumeSeqID   = 0
+	EntrymapID    = 1
+	CatalogID     = 2
+	BadBlockID    = 3
+	FirstClientID = 4
+)
+
+// MaxLogID is the top of the 12-bit id space.
+const MaxLogID = wire.MaxLogID
+
+// Errors.
+var (
+	// ErrNotFound indicates an unknown log file id or path.
+	ErrNotFound = errors.New("catalog: log file not found")
+	// ErrExists indicates a name collision under the same parent.
+	ErrExists = errors.New("catalog: log file already exists")
+	// ErrBadName indicates an invalid log file name component.
+	ErrBadName = errors.New("catalog: invalid name")
+	// ErrIDsExhausted indicates the 12-bit id space is exhausted.
+	ErrIDsExhausted = errors.New("catalog: log-file id space exhausted")
+	// ErrBadRecord indicates an undecodable catalog record.
+	ErrBadRecord = errors.New("catalog: malformed record")
+	// ErrRetired indicates an operation on a retired log file.
+	ErrRetired = errors.New("catalog: log file retired")
+	// ErrReserved indicates an operation on a reserved system log file.
+	ErrReserved = errors.New("catalog: reserved log file")
+)
+
+// Record kinds.
+const (
+	kindCreate  = 1
+	kindSetPerm = 2
+	kindRetire  = 3
+	kindSetOwn  = 4
+)
+
+// Record is one catalog log entry: a create or an attribute change.
+type Record struct {
+	Kind    uint8
+	ID      uint16
+	Parent  uint16 // kindCreate
+	Perms   uint16 // kindCreate, kindSetPerm
+	Created int64  // kindCreate (Unix nanoseconds)
+	Name    string // kindCreate
+	Owner   string // kindCreate, kindSetOwn
+}
+
+// Encode appends the record's wire form to dst.
+func (r *Record) Encode(dst []byte) []byte {
+	dst = append(dst, r.Kind)
+	dst = wire.PutUvarint(dst, uint64(r.ID))
+	switch r.Kind {
+	case kindCreate:
+		dst = wire.PutUvarint(dst, uint64(r.Parent))
+		dst = wire.PutUvarint(dst, uint64(r.Perms))
+		dst = wire.PutUint64(dst, uint64(r.Created))
+		dst = wire.PutUvarint(dst, uint64(len(r.Name)))
+		dst = append(dst, r.Name...)
+		dst = wire.PutUvarint(dst, uint64(len(r.Owner)))
+		dst = append(dst, r.Owner...)
+	case kindSetPerm:
+		dst = wire.PutUvarint(dst, uint64(r.Perms))
+	case kindRetire:
+		// id only
+	case kindSetOwn:
+		dst = wire.PutUvarint(dst, uint64(len(r.Owner)))
+		dst = append(dst, r.Owner...)
+	}
+	return dst
+}
+
+// DecodeRecord parses one catalog record.
+func DecodeRecord(data []byte) (*Record, error) {
+	if len(data) < 2 {
+		return nil, ErrBadRecord
+	}
+	r := &Record{Kind: data[0]}
+	rest := data[1:]
+	id, n, err := wire.Uvarint(rest)
+	if err != nil || id > MaxLogID {
+		return nil, ErrBadRecord
+	}
+	r.ID = uint16(id)
+	rest = rest[n:]
+	readStr := func() (string, error) {
+		l, n, err := wire.Uvarint(rest)
+		if err != nil || l > 4096 {
+			return "", ErrBadRecord
+		}
+		rest = rest[n:]
+		if uint64(len(rest)) < l {
+			return "", ErrBadRecord
+		}
+		s := string(rest[:l])
+		rest = rest[l:]
+		return s, nil
+	}
+	switch r.Kind {
+	case kindCreate:
+		p, n, err := wire.Uvarint(rest)
+		if err != nil || p > MaxLogID {
+			return nil, ErrBadRecord
+		}
+		r.Parent = uint16(p)
+		rest = rest[n:]
+		perms, n, err := wire.Uvarint(rest)
+		if err != nil || perms > 0xFFFF {
+			return nil, ErrBadRecord
+		}
+		r.Perms = uint16(perms)
+		rest = rest[n:]
+		created, err := wire.Uint64(rest)
+		if err != nil {
+			return nil, ErrBadRecord
+		}
+		r.Created = int64(created)
+		rest = rest[8:]
+		if r.Name, err = readStr(); err != nil {
+			return nil, err
+		}
+		if r.Owner, err = readStr(); err != nil {
+			return nil, err
+		}
+	case kindSetPerm:
+		perms, _, err := wire.Uvarint(rest)
+		if err != nil || perms > 0xFFFF {
+			return nil, ErrBadRecord
+		}
+		r.Perms = uint16(perms)
+	case kindRetire:
+	case kindSetOwn:
+		var err error
+		if r.Owner, err = readStr(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, ErrBadRecord
+	}
+	return r, nil
+}
+
+// Descriptor is the in-memory state of one log file.
+type Descriptor struct {
+	ID      uint16
+	Parent  uint16
+	Name    string // final path component; "/" for the volume sequence log
+	Perms   uint16
+	Created int64
+	Owner   string
+	Retired bool
+	// System marks the reserved service log files.
+	System bool
+}
+
+// Table is the server's catalog: id → descriptor plus the name tree. It is
+// not safe for concurrent use; the owning service serializes access.
+type Table struct {
+	byID     map[uint16]*Descriptor
+	children map[uint16]map[string]uint16
+	nextID   uint16
+}
+
+// NewTable returns a catalog pre-populated with the reserved system log
+// files: "/" (the volume sequence log), "/.entrymap", "/.catalog" and
+// "/.badblocks".
+func NewTable() *Table {
+	t := &Table{
+		byID:     make(map[uint16]*Descriptor),
+		children: make(map[uint16]map[string]uint16),
+		nextID:   FirstClientID,
+	}
+	sys := []struct {
+		id   uint16
+		name string
+	}{
+		{VolumeSeqID, "/"},
+		{EntrymapID, ".entrymap"},
+		{CatalogID, ".catalog"},
+		{BadBlockID, ".badblocks"},
+	}
+	for _, s := range sys {
+		d := &Descriptor{ID: s.id, Parent: VolumeSeqID, Name: s.name, System: true}
+		t.byID[s.id] = d
+		if s.id != VolumeSeqID {
+			t.child(VolumeSeqID)[s.name] = s.id
+		}
+	}
+	return t
+}
+
+func (t *Table) child(parent uint16) map[string]uint16 {
+	m, ok := t.children[parent]
+	if !ok {
+		m = make(map[string]uint16)
+		t.children[parent] = m
+	}
+	return m
+}
+
+// Get returns the descriptor for id.
+func (t *Table) Get(id uint16) (*Descriptor, error) {
+	d, ok := t.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return d, nil
+}
+
+// Len returns the number of log files known, including the system ones.
+func (t *Table) Len() int { return len(t.byID) }
+
+// ValidName reports whether name is a legal path component.
+func ValidName(name string) bool {
+	if name == "" || len(name) > 255 || name == "." || name == ".." {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\x00")
+}
+
+// Create allocates an id and returns both the descriptor and the catalog
+// record that must be appended to the catalog log file. The parent makes the
+// new log file a sublog: every entry logged in it also belongs to the parent
+// (§2.1). Creating under the volume sequence log (parent 0) makes a
+// top-level log file.
+func (t *Table) Create(parent uint16, name string, perms uint16, owner string, created int64) (*Descriptor, *Record, error) {
+	pd, ok := t.byID[parent]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: parent id %d", ErrNotFound, parent)
+	}
+	if pd.Retired {
+		return nil, nil, fmt.Errorf("%w: parent %q", ErrRetired, pd.Name)
+	}
+	if pd.System && parent != VolumeSeqID {
+		return nil, nil, fmt.Errorf("%w: cannot create under %q", ErrReserved, pd.Name)
+	}
+	if !ValidName(name) {
+		return nil, nil, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if _, exists := t.child(parent)[name]; exists {
+		return nil, nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	id, err := t.allocID()
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &Record{
+		Kind:    kindCreate,
+		ID:      id,
+		Parent:  parent,
+		Perms:   perms,
+		Created: created,
+		Name:    name,
+		Owner:   owner,
+	}
+	if err := t.Apply(rec); err != nil {
+		return nil, nil, err
+	}
+	return t.byID[id], rec, nil
+}
+
+func (t *Table) allocID() (uint16, error) {
+	for probe := 0; probe <= MaxLogID; probe++ {
+		id := t.nextID
+		t.nextID++
+		if t.nextID > MaxLogID {
+			t.nextID = FirstClientID
+		}
+		if id < FirstClientID {
+			continue
+		}
+		if _, taken := t.byID[id]; !taken {
+			return id, nil
+		}
+	}
+	return 0, ErrIDsExhausted
+}
+
+// SetPerms returns the record for a permission change and applies it.
+func (t *Table) SetPerms(id uint16, perms uint16) (*Record, error) {
+	if _, err := t.mutable(id); err != nil {
+		return nil, err
+	}
+	rec := &Record{Kind: kindSetPerm, ID: id, Perms: perms}
+	if err := t.Apply(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// SetOwner returns the record for an ownership change and applies it.
+func (t *Table) SetOwner(id uint16, owner string) (*Record, error) {
+	if _, err := t.mutable(id); err != nil {
+		return nil, err
+	}
+	rec := &Record{Kind: kindSetOwn, ID: id, Owner: owner}
+	if err := t.Apply(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Retire marks a log file closed for further appends. Its entries remain
+// readable forever — nothing is ever deleted from a log volume — and its id
+// is never reused within the volume sequence ("distinct from that of all
+// other log files ever created on the same volume sequence", §2.1).
+func (t *Table) Retire(id uint16) (*Record, error) {
+	if _, err := t.mutable(id); err != nil {
+		return nil, err
+	}
+	rec := &Record{Kind: kindRetire, ID: id}
+	if err := t.Apply(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func (t *Table) mutable(id uint16) (*Descriptor, error) {
+	d, ok := t.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	if d.System {
+		return nil, fmt.Errorf("%w: %q", ErrReserved, d.Name)
+	}
+	if d.Retired {
+		return nil, fmt.Errorf("%w: %q", ErrRetired, d.Name)
+	}
+	return d, nil
+}
+
+// Apply replays one catalog record into the table (used both on the live
+// path and when rebuilding from the catalog log at recovery, §2.3.1).
+func (t *Table) Apply(rec *Record) error {
+	switch rec.Kind {
+	case kindCreate:
+		if rec.ID < FirstClientID || rec.ID > MaxLogID {
+			return fmt.Errorf("%w: create with reserved id %d", ErrBadRecord, rec.ID)
+		}
+		if have, dup := t.byID[rec.ID]; dup {
+			// Snapshot records re-create known log files at volume
+			// transitions; an identical create is an idempotent no-op.
+			if have.Parent == rec.Parent && have.Name == rec.Name {
+				return nil
+			}
+			return fmt.Errorf("%w: duplicate create of id %d", ErrBadRecord, rec.ID)
+		}
+		if _, ok := t.byID[rec.Parent]; !ok {
+			return fmt.Errorf("%w: create under unknown parent %d", ErrBadRecord, rec.Parent)
+		}
+		if !ValidName(rec.Name) {
+			return fmt.Errorf("%w: create with bad name %q", ErrBadRecord, rec.Name)
+		}
+		if _, exists := t.child(rec.Parent)[rec.Name]; exists {
+			return fmt.Errorf("%w: create duplicate name %q", ErrBadRecord, rec.Name)
+		}
+		t.byID[rec.ID] = &Descriptor{
+			ID:      rec.ID,
+			Parent:  rec.Parent,
+			Name:    rec.Name,
+			Perms:   rec.Perms,
+			Created: rec.Created,
+			Owner:   rec.Owner,
+		}
+		t.child(rec.Parent)[rec.Name] = rec.ID
+		if rec.ID >= t.nextID {
+			t.nextID = rec.ID + 1
+			if t.nextID > MaxLogID {
+				t.nextID = FirstClientID
+			}
+		}
+	case kindSetPerm:
+		d, ok := t.byID[rec.ID]
+		if !ok {
+			return fmt.Errorf("%w: setperm on unknown id %d", ErrBadRecord, rec.ID)
+		}
+		d.Perms = rec.Perms
+	case kindSetOwn:
+		d, ok := t.byID[rec.ID]
+		if !ok {
+			return fmt.Errorf("%w: setowner on unknown id %d", ErrBadRecord, rec.ID)
+		}
+		d.Owner = rec.Owner
+	case kindRetire:
+		d, ok := t.byID[rec.ID]
+		if !ok {
+			return fmt.Errorf("%w: retire of unknown id %d", ErrBadRecord, rec.ID)
+		}
+		d.Retired = true
+	default:
+		return fmt.Errorf("%w: kind %d", ErrBadRecord, rec.Kind)
+	}
+	return nil
+}
+
+// Resolve walks a slash-separated path to a log file id. "/" resolves to the
+// volume sequence log.
+func (t *Table) Resolve(path string) (uint16, error) {
+	if path == "" || path[0] != '/' {
+		return 0, fmt.Errorf("%w: path %q must be absolute", ErrBadName, path)
+	}
+	cur := uint16(VolumeSeqID)
+	for _, comp := range strings.Split(path, "/") {
+		if comp == "" {
+			continue
+		}
+		next, ok := t.child(cur)[comp]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNotFound, path)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// PathOf returns the absolute path of id.
+func (t *Table) PathOf(id uint16) (string, error) {
+	if id == VolumeSeqID {
+		return "/", nil
+	}
+	var parts []string
+	for cur := id; cur != VolumeSeqID; {
+		d, ok := t.byID[cur]
+		if !ok {
+			return "", fmt.Errorf("%w: id %d", ErrNotFound, cur)
+		}
+		parts = append(parts, d.Name)
+		cur = d.Parent
+	}
+	var sb strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		sb.WriteByte('/')
+		sb.WriteString(parts[i])
+	}
+	return sb.String(), nil
+}
+
+// List returns the child names of id, sorted. Every log file is also a
+// directory of (zero or more) sublogs (§2.1).
+func (t *Table) List(id uint16) ([]string, error) {
+	if _, ok := t.byID[id]; !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	m := t.child(id)
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Descendants returns id and every transitive sublog id beneath it, sorted.
+// Reading a log file yields the entries of the whole set: an entry logged in
+// a sublog also belongs to its ancestors.
+func (t *Table) Descendants(id uint16) ([]uint16, error) {
+	if _, ok := t.byID[id]; !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	var out []uint16
+	var walk func(uint16)
+	walk = func(cur uint16) {
+		out = append(out, cur)
+		kids := make([]uint16, 0, len(t.child(cur)))
+		for _, kid := range t.child(cur) {
+			kids = append(kids, kid)
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, kid := range kids {
+			walk(kid)
+		}
+	}
+	walk(id)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// SnapshotRecords returns the records that reconstruct every client log
+// file's current descriptor — the catalog snapshot written at the start of
+// each successor volume so that the newest volume alone suffices to rebuild
+// the catalog when earlier volumes are offline (§2.1: only the newest
+// volume of a sequence is assumed on-line).
+func (t *Table) SnapshotRecords() []*Record {
+	var out []*Record
+	// Parents must precede children; emit in id order after a topological
+	// pass (parents always have smaller create times but not necessarily
+	// smaller ids, so walk the tree).
+	emitted := make(map[uint16]bool)
+	var emit func(id uint16)
+	emit = func(id uint16) {
+		if emitted[id] || id < FirstClientID {
+			return
+		}
+		d := t.byID[id]
+		if d == nil || d.System {
+			return
+		}
+		emit(d.Parent)
+		emitted[id] = true
+		out = append(out, &Record{
+			Kind:    kindCreate,
+			ID:      d.ID,
+			Parent:  d.Parent,
+			Perms:   d.Perms,
+			Created: d.Created,
+			Name:    d.Name,
+			Owner:   d.Owner,
+		})
+		if d.Retired {
+			out = append(out, &Record{Kind: kindRetire, ID: d.ID})
+		}
+	}
+	for _, id := range t.IDs() {
+		emit(id)
+	}
+	return out
+}
+
+// IDs returns every known id, sorted (for iteration in tests and tools).
+func (t *Table) IDs() []uint16 {
+	out := make([]uint16, 0, len(t.byID))
+	for id := range t.byID {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,401 @@
+// Package client is the client side of the Clio log-service protocol: the
+// library an application links to access log files through the extended
+// file server, in the spirit of the V-System UIO interface the paper uses —
+// "log files are named using the standard file directory mechanism, and are
+// accessed and managed using the same I/O and utility routines that are
+// used to access and manage conventional files" (§2).
+//
+// A Client speaks over any net.Conn: a net.Pipe to an in-process server
+// (the same-machine IPC case) or a TCP connection (cross-machine). Calls
+// are synchronous request/response, matching the paper's IPC model; a
+// Client serializes concurrent callers.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"clio/internal/server"
+	"clio/internal/wire"
+)
+
+// Entry mirrors the service-side entry.
+type Entry struct {
+	LogID       uint16
+	Timestamp   int64
+	Timestamped bool
+	Forced      bool
+	Data        []byte
+	Block       int
+	Index       int
+	// ExtraIDs lists additional member log files for multi-membership
+	// entries (§2.1).
+	ExtraIDs []uint16
+}
+
+// Stat is the client-side view of a log file descriptor.
+type Stat struct {
+	ID      uint16
+	Parent  uint16
+	Name    string
+	Perms   uint16
+	Created int64
+	Owner   string
+	Retired bool
+	System  bool
+}
+
+// Stats is the subset of server counters exposed over the protocol.
+type Stats struct {
+	EntriesAppended int64
+	BlocksSealed    int64
+	ClientBytes     int64
+	EndBlocks       int64
+}
+
+// Client is a connection to a Clio log server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// New wraps an established connection.
+func New(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Dial connects to a TCP log server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(conn), nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// call performs one synchronous round trip.
+func (c *Client) call(op byte, payload []byte) (byte, *server.Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := server.WriteFrame(c.conn, op, payload); err != nil {
+		return 0, nil, fmt.Errorf("client: send: %w", err)
+	}
+	status, resp, err := server.ReadFrame(c.conn)
+	if err != nil {
+		return 0, nil, fmt.Errorf("client: recv: %w", err)
+	}
+	d := server.NewDecoder(resp)
+	if status == server.StatusErr {
+		msg, derr := d.String()
+		if derr != nil {
+			msg = "unknown server error"
+		}
+		return status, nil, errors.New(msg)
+	}
+	return status, d, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, _, err := c.call(server.OpPing, nil)
+	return err
+}
+
+// CreateLog creates a log file (a sublog of its parent path).
+func (c *Client) CreateLog(path string, perms uint16, owner string) (uint16, error) {
+	p := server.PutString(nil, path)
+	p = wire.PutUint16(p, perms)
+	p = server.PutString(p, owner)
+	_, d, err := c.call(server.OpCreate, p)
+	if err != nil {
+		return 0, err
+	}
+	return d.Uint16()
+}
+
+// Resolve maps a path to a log-file id.
+func (c *Client) Resolve(path string) (uint16, error) {
+	_, d, err := c.call(server.OpResolve, server.PutString(nil, path))
+	if err != nil {
+		return 0, err
+	}
+	return d.Uint16()
+}
+
+// List returns the sublog names under a path.
+func (c *Client) List(path string) ([]string, error) {
+	_, d, err := c.call(server.OpList, server.PutString(nil, path))
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Stat returns a log file's descriptor.
+func (c *Client) Stat(path string) (Stat, error) {
+	var st Stat
+	_, d, err := c.call(server.OpStat, server.PutString(nil, path))
+	if err != nil {
+		return st, err
+	}
+	if st.ID, err = d.Uint16(); err != nil {
+		return st, err
+	}
+	if st.Parent, err = d.Uint16(); err != nil {
+		return st, err
+	}
+	if st.Perms, err = d.Uint16(); err != nil {
+		return st, err
+	}
+	if st.Created, err = d.Int64(); err != nil {
+		return st, err
+	}
+	if st.Name, err = d.String(); err != nil {
+		return st, err
+	}
+	if st.Owner, err = d.String(); err != nil {
+		return st, err
+	}
+	flags, err := d.Byte()
+	if err != nil {
+		return st, err
+	}
+	st.Retired = flags&1 != 0
+	st.System = flags&2 != 0
+	return st, nil
+}
+
+// SetPerms changes a log file's permissions.
+func (c *Client) SetPerms(path string, perms uint16) error {
+	p := server.PutString(nil, path)
+	p = wire.PutUint16(p, perms)
+	_, _, err := c.call(server.OpSetPerms, p)
+	return err
+}
+
+// Retire closes a log file for further appends.
+func (c *Client) Retire(path string) error {
+	_, _, err := c.call(server.OpRetire, server.PutString(nil, path))
+	return err
+}
+
+// AppendOptions mirrors the service-side append options.
+type AppendOptions struct {
+	Timestamped bool
+	Forced      bool
+}
+
+// Append writes one entry and returns its server timestamp.
+func (c *Client) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
+	p := wire.PutUint16(nil, id)
+	var flags byte
+	if opts.Timestamped {
+		flags |= server.AppendTimestamped
+	}
+	if opts.Forced {
+		flags |= server.AppendForced
+	}
+	p = append(p, flags)
+	p = server.PutBytes(p, data)
+	_, d, err := c.call(server.OpAppend, p)
+	if err != nil {
+		return 0, err
+	}
+	return d.Int64()
+}
+
+// AppendMulti writes one entry belonging to several log files at once
+// (§2.1); ids[0] is the primary. The entry appears in every listed log.
+func (c *Client) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	p := wire.PutUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		p = wire.PutUint16(p, id)
+	}
+	var flags byte
+	if opts.Timestamped {
+		flags |= server.AppendTimestamped
+	}
+	if opts.Forced {
+		flags |= server.AppendForced
+	}
+	p = append(p, flags)
+	p = server.PutBytes(p, data)
+	_, d, err := c.call(server.OpAppendMulti, p)
+	if err != nil {
+		return 0, err
+	}
+	return d.Int64()
+}
+
+// ReadAt fetches the entry previously reported at (block, index).
+func (c *Client) ReadAt(block, index int) (*Entry, error) {
+	p := wire.PutUvarint(nil, uint64(block))
+	p = wire.PutUvarint(p, uint64(index))
+	_, d, err := c.call(server.OpReadAt, p)
+	if err != nil {
+		return nil, err
+	}
+	return decodeEntry(d)
+}
+
+// Stats fetches server counters.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	_, d, err := c.call(server.OpStats, nil)
+	if err != nil {
+		return st, err
+	}
+	v1, err := d.Int64()
+	if err != nil {
+		return st, err
+	}
+	v2, err := d.Int64()
+	if err != nil {
+		return st, err
+	}
+	v3, err := d.Int64()
+	if err != nil {
+		return st, err
+	}
+	v4, err := d.Int64()
+	if err != nil {
+		return st, err
+	}
+	st.EntriesAppended, st.BlocksSealed, st.ClientBytes, st.EndBlocks = v1, v2, v3, v4
+	return st, nil
+}
+
+// Cursor is a remote cursor over a log file.
+type Cursor struct {
+	c      *Client
+	handle uint32
+}
+
+// OpenCursor opens a cursor positioned at the start of the log file.
+func (c *Client) OpenCursor(path string) (*Cursor, error) {
+	_, d, err := c.call(server.OpCursorOpen, server.PutString(nil, path))
+	if err != nil {
+		return nil, err
+	}
+	h, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{c: c, handle: h}, nil
+}
+
+func decodeEntry(d *server.Decoder) (*Entry, error) {
+	e := &Entry{}
+	var err error
+	if e.LogID, err = d.Uint16(); err != nil {
+		return nil, err
+	}
+	if e.Timestamp, err = d.Int64(); err != nil {
+		return nil, err
+	}
+	flags, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	e.Timestamped = flags&server.EntryTimestamped != 0
+	e.Forced = flags&server.EntryForced != 0
+	b, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	e.Block = int(b)
+	idx, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	e.Index = int(idx)
+	nExtra, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nExtra > 0 {
+		e.ExtraIDs = make([]uint16, nExtra)
+		for i := range e.ExtraIDs {
+			if e.ExtraIDs[i], err = d.Uint16(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if e.Data, err = d.Bytes(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Next returns the next matching entry, or io.EOF at the end of the log.
+func (cu *Cursor) Next() (*Entry, error) { return cu.step(server.OpNext) }
+
+// Prev returns the previous matching entry, or io.EOF at the beginning.
+func (cu *Cursor) Prev() (*Entry, error) { return cu.step(server.OpPrev) }
+
+func (cu *Cursor) step(op byte) (*Entry, error) {
+	status, d, err := cu.c.call(op, wire.PutUvarint(nil, uint64(cu.handle)))
+	if err != nil {
+		return nil, err
+	}
+	if status == server.StatusEOF {
+		return nil, io.EOF
+	}
+	return decodeEntry(d)
+}
+
+// SeekTime positions the cursor so Next returns the first entry at/after ts.
+func (cu *Cursor) SeekTime(ts int64) error {
+	p := wire.PutUvarint(nil, uint64(cu.handle))
+	p = wire.PutUint64(p, uint64(ts))
+	_, _, err := cu.c.call(server.OpSeekTime, p)
+	return err
+}
+
+// SeekStart positions the cursor before the first entry.
+func (cu *Cursor) SeekStart() error {
+	_, _, err := cu.c.call(server.OpSeekStart, wire.PutUvarint(nil, uint64(cu.handle)))
+	return err
+}
+
+// SeekEnd positions the cursor after the last entry.
+func (cu *Cursor) SeekEnd() error {
+	_, _, err := cu.c.call(server.OpSeekEnd, wire.PutUvarint(nil, uint64(cu.handle)))
+	return err
+}
+
+// SeekPos restores the cursor to a previously observed (block, rec) gap
+// position, for resumable consumers.
+func (cu *Cursor) SeekPos(block, rec int) error {
+	p := wire.PutUvarint(nil, uint64(cu.handle))
+	p = wire.PutUvarint(p, uint64(block))
+	p = wire.PutUvarint(p, uint64(rec))
+	_, _, err := cu.c.call(server.OpSeekPos, p)
+	return err
+}
+
+// Close releases the server-side cursor.
+func (cu *Cursor) Close() error {
+	_, _, err := cu.c.call(server.OpCursorEnd, wire.PutUvarint(nil, uint64(cu.handle)))
+	return err
+}

@@ -1,0 +1,90 @@
+package client
+
+import (
+	"io"
+)
+
+// The UIO adapters make a log file usable through the standard Go I/O
+// interfaces, echoing the paper's point that "a uniform I/O interface ...
+// supports access to this type of file" (§6): a log file reads like a
+// regular (append-only) file and writes like one too.
+
+// Reader streams a log file's entry payloads as a single byte stream,
+// inserting sep (which may be empty) between entries. It implements
+// io.Reader over a Cursor.
+type Reader struct {
+	cur *Cursor
+	sep []byte
+	buf []byte
+	eof bool
+}
+
+// NewReader returns a Reader over cur with the given entry separator.
+func NewReader(cur *Cursor, sep []byte) *Reader {
+	return &Reader{cur: cur, sep: sep}
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	for len(r.buf) == 0 {
+		if r.eof {
+			return 0, io.EOF
+		}
+		e, err := r.cur.Next()
+		if err == io.EOF {
+			r.eof = true
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		r.buf = append(r.buf, e.Data...)
+		r.buf = append(r.buf, r.sep...)
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+// Writer appends each Write call as one log entry. It implements io.Writer
+// over a Client and log-file id.
+type Writer struct {
+	c    *Client
+	id   uint16
+	opts AppendOptions
+}
+
+// NewWriter returns a Writer appending to the given log file.
+func NewWriter(c *Client, id uint16, opts AppendOptions) *Writer {
+	return &Writer{c: c, id: id, opts: opts}
+}
+
+// Write implements io.Writer: one call, one log entry.
+func (w *Writer) Write(p []byte) (int, error) {
+	if _, err := w.c.Append(w.id, p, w.opts); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// LocateUnique finds an entry by the client-generated unique identifier of
+// §2.1, mirroring the service-side cursor helper: seek to the client's own
+// timestamp minus the clock-skew bound, then scan forward until the match
+// function accepts an entry or the skew window passes.
+func (cu *Cursor) LocateUnique(clientTS, maxSkew int64, match func(*Entry) bool) (*Entry, error) {
+	if err := cu.SeekTime(clientTS - maxSkew); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := cu.Next()
+		if err != nil {
+			return nil, err // io.EOF when the window is exhausted
+		}
+		if e.Timestamp > clientTS+maxSkew {
+			return nil, io.EOF
+		}
+		if match(e) {
+			return e, nil
+		}
+	}
+}

@@ -1,0 +1,544 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"clio/internal/blockfmt"
+	"clio/internal/cache"
+	"clio/internal/catalog"
+	"clio/internal/entrymap"
+	"clio/internal/volume"
+	"clio/internal/wire"
+	"clio/internal/wodev"
+)
+
+// AppendOptions controls one append.
+type AppendOptions struct {
+	// Timestamped selects the full 14-byte header carrying a 64-bit
+	// timestamp, which uniquely identifies the entry and lets it be located
+	// by time later (§2.1). The minimal 4-byte header is used otherwise.
+	Timestamped bool
+	// Forced makes the write synchronous: when Append returns, the entry is
+	// durable — staged to the NVRAM tail, or, without one, sealed to the
+	// device in a padded block (§2.3.1). Forced entries always carry a
+	// timestamp, which the client obtains as a consequence of the write.
+	Forced bool
+}
+
+// Append writes one entry to the given log file and returns the entry's
+// server timestamp (the time the logging service received it).
+func (s *Service) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
+	return s.appendClient([]uint16{id}, data, opts)
+}
+
+// AppendMulti writes one entry belonging to several log files at once —
+// §2.1: "the logging service allows a log entry to be a member of more than
+// one log file". The entry appears in every listed log file (and their
+// ancestors); ids[0] is the entry's primary id. Multi-member entries always
+// carry the full timestamped header.
+func (s *Service) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("clio: AppendMulti needs at least one log file")
+	}
+	if len(ids)-1 > blockfmt.MaxExtraIDs {
+		return 0, fmt.Errorf("clio: %d member log files exceeds maximum %d",
+			len(ids), blockfmt.MaxExtraIDs+1)
+	}
+	return s.appendClient(ids, data, opts)
+}
+
+func (s *Service) appendClient(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if len(data) > s.opt.MaxEntrySize {
+		return 0, fmt.Errorf("%w: %d > %d bytes", ErrEntryTooLarge, len(data), s.opt.MaxEntrySize)
+	}
+	seen := make(map[uint16]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return 0, fmt.Errorf("clio: duplicate member id %d", id)
+		}
+		seen[id] = true
+		d, err := s.cat.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		if d.System {
+			return 0, fmt.Errorf("%w: %q", ErrSystemLog, d.Name)
+		}
+		if d.Retired {
+			return 0, fmt.Errorf("clio: %w: %q", catalog.ErrRetired, d.Name)
+		}
+	}
+	form := uint8(blockfmt.FormMinimal)
+	var attr uint8
+	if opts.Timestamped || opts.Forced {
+		form = blockfmt.FormFull
+	}
+	var extras []uint16
+	if len(ids) > 1 {
+		form = blockfmt.FormMulti
+		extras = ids[1:]
+	}
+	if opts.Forced {
+		attr |= blockfmt.AttrForced
+	}
+	ts := s.nextTS(form != blockfmt.FormMinimal)
+	clk := s.opt.Clock
+	clk.ChargeIPC(s.opt.RemoteIPC) // the synchronous client write IPC (§3.2)
+	clk.ChargeWriteFixed()
+	clk.ChargeCopy(len(data))
+	if err := s.appendEntryLocked(ids[0], extras, data, form, attr, ts); err != nil {
+		return 0, err
+	}
+	clk.ChargeEntrymapMaint()
+	s.stats.EntriesAppended++
+	s.stats.ClientBytes += int64(len(data))
+	s.stats.HeaderBytes += int64(blockfmt.HeaderLen(form) + 2*len(extras) + 2)
+	if opts.Forced {
+		s.stats.ForcedWrites++
+		if err := s.forceLocked(); err != nil {
+			return 0, err
+		}
+	} else {
+		// Keep the staged tail readable by cursors.
+		if err := s.stageTailLocked(false); err != nil {
+			return 0, err
+		}
+	}
+	return ts, nil
+}
+
+// SealTail forces the staged tail block onto the write-once medium itself,
+// padding the remainder — used before unmounting a volume or taking a
+// media-level backup, when the NVRAM staging must be emptied onto the
+// removable medium.
+func (s *Service) SealTail() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.tailGlobal < 0 {
+		return nil
+	}
+	return s.sealTailLocked(true)
+}
+
+// Force makes everything appended so far durable (a group commit).
+func (s *Service) Force() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.tailGlobal < 0 {
+		return nil
+	}
+	s.stats.ForcedWrites++
+	return s.forceLocked()
+}
+
+// appendEntryLocked writes one entry, fragmenting it over blocks as needed
+// and flushing pending entrymap entries at chain completion. extras lists
+// additional member log files (FormMulti, first fragment only).
+func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, form, attr uint8, ts int64) error {
+	remaining := data
+	first := true
+	s.midChain = true
+	for {
+		if err := s.ensureTailLocked(); err != nil {
+			s.midChain = false
+			return err
+		}
+		f, a := form, attr
+		continued := !first
+		recExtras := extras
+		if continued {
+			f, a, recExtras = blockfmt.FormMinimal, 0, nil
+		}
+		headerLen := blockfmt.HeaderLen(f) + 2*len(recExtras)
+		avail := s.builder.Free() - headerLen
+		canPlace := avail >= 1
+		if len(remaining) == 0 {
+			canPlace = avail >= 0
+		}
+		if !canPlace {
+			// No room for even a header (or one data byte): seal and retry
+			// in a fresh block.
+			if err := s.sealTailLocked(false); err != nil {
+				s.midChain = false
+				return err
+			}
+			continue
+		}
+		take := len(remaining)
+		continues := false
+		if take > avail {
+			take = avail
+			continues = true
+		}
+		// The block footer's first-entry timestamp is mandatory even for
+		// minimal headers (§2.1); a block opened by a continuation fragment
+		// inherits the entry's timestamp.
+		if _, ok := s.builder.FirstTimestamp(); !ok {
+			s.builder.SetFirstTimestamp(ts)
+		}
+		rec := blockfmt.Record{
+			LogID:     id,
+			Form:      f,
+			AttrFlags: a,
+			Timestamp: ts,
+			Continued: continued,
+			Continues: continues,
+			Data:      remaining[:take],
+			ExtraIDs:  recExtras,
+		}
+		if err := s.builder.Append(rec); err != nil {
+			s.midChain = false
+			return fmt.Errorf("clio: append record: %w", err)
+		}
+		s.tailIDs[id] = true
+		for _, ex := range recExtras {
+			s.tailIDs[ex] = true
+		}
+		remaining = remaining[take:]
+		first = false
+		if continues {
+			// Fragment filled the block exactly; seal it and continue the
+			// chain as the first same-id record of the next block.
+			if err := s.sealTailLocked(false); err != nil {
+				s.midChain = false
+				return err
+			}
+			continue
+		}
+		break
+	}
+	s.midChain = false
+	if err := s.flushDueLocked(); err != nil {
+		return err
+	}
+	return s.flushSnapshotLocked()
+}
+
+// ensureTailLocked makes sure a tail block is staged, emitting the entrymap
+// entries due at any boundary crossed.
+func (s *Service) ensureTailLocked() error {
+	if s.tailGlobal >= 0 {
+		return nil
+	}
+	g := s.sealedEnd
+	if s.builder == nil {
+		b, err := blockfmt.NewBuilder(s.opt.BlockSize, uint32(g))
+		if err != nil {
+			return err
+		}
+		s.builder = b
+	} else {
+		s.builder.Reset(uint32(g))
+	}
+	s.tailGlobal = g
+	s.tailIDs = make(map[uint16]bool)
+	s.emitDueLocked(g)
+	return nil
+}
+
+// emitDueLocked runs the accumulator for every boundary in (lastBound, g]
+// and queues the resulting entrymap entries for writing.
+func (s *Service) emitDueLocked(g int) {
+	n := s.opt.Degree
+	for b := (s.lastBound/n + 1) * n; b <= g; b += n {
+		s.pendingDue = append(s.pendingDue, s.acc.EntriesDue(b)...)
+		s.lastBound = b
+	}
+}
+
+// flushDueLocked writes queued entrymap entries to the entrymap log file.
+// It must not run while a fragmented entry is incomplete; the entries land
+// at (or displaced just after) their boundary block, and the blocks holding
+// them are flagged for the displaced-entry scan (§2.3.2).
+func (s *Service) flushDueLocked() error {
+	for len(s.pendingDue) > 0 && !s.midChain {
+		e := s.pendingDue[0]
+		s.pendingDue = s.pendingDue[1:]
+		payload := e.Encode(nil)
+		s.stats.EntrymapBytes += int64(len(payload) + 4)
+		if err := s.appendSystemLocked(entrymap.EntrymapID, payload, blockfmt.FormMinimal, 0, 0, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendSystemLocked appends a service-internal record (entrymap, catalog,
+// bad-block). boundary=true marks the receiving block(s) with the
+// entrymap-boundary flag.
+func (s *Service) appendSystemLocked(id uint16, data []byte, form, attr uint8, ts int64, boundary bool) error {
+	remaining := data
+	first := true
+	for {
+		if err := s.ensureTailLocked(); err != nil {
+			return err
+		}
+		f, a := form, attr
+		continued := !first
+		if continued {
+			f, a = blockfmt.FormMinimal, 0
+		}
+		avail := s.builder.FreeData(f)
+		canPlace := avail >= 1
+		if len(remaining) == 0 {
+			canPlace = s.builder.Free() >= blockfmt.HeaderLen(f)
+		}
+		if !canPlace {
+			if err := s.sealTailLocked(false); err != nil {
+				return err
+			}
+			continue
+		}
+		take := len(remaining)
+		continues := false
+		if take > avail {
+			take = avail
+			continues = true
+		}
+		if _, ok := s.builder.FirstTimestamp(); !ok {
+			stamp := ts
+			if stamp == 0 {
+				stamp = s.lastTS
+			}
+			s.builder.SetFirstTimestamp(stamp)
+		}
+		rec := blockfmt.Record{
+			LogID:     id,
+			Form:      f,
+			AttrFlags: a,
+			Timestamp: ts,
+			Continued: continued,
+			Continues: continues,
+			Data:      remaining[:take],
+		}
+		if err := s.builder.Append(rec); err != nil {
+			return fmt.Errorf("clio: append system record: %w", err)
+		}
+		if boundary {
+			s.builder.SetFlags(blockfmt.FlagEntrymapBoundary)
+		}
+		s.tailIDs[id] = true
+		remaining = remaining[take:]
+		first = false
+		if continues {
+			if err := s.sealTailLocked(false); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// appendCatalogLocked durably logs a catalog record (§2.2: attribute changes
+// are logged at the time of the change).
+func (s *Service) appendCatalogLocked(rec *catalog.Record, ts int64) error {
+	payload := rec.Encode(nil)
+	s.stats.CatalogBytes += int64(len(payload) + 14)
+	if err := s.appendSystemLocked(entrymap.CatalogID, payload,
+		blockfmt.FormFull, blockfmt.AttrSystem, ts, false); err != nil {
+		return err
+	}
+	if err := s.flushDueLocked(); err != nil {
+		return err
+	}
+	return s.forceLocked()
+}
+
+// forceLocked makes the staged tail durable: stored to the NVRAM tail, or
+// sealed (padded) straight to the device when no NVRAM is configured.
+func (s *Service) forceLocked() error {
+	if s.tailGlobal < 0 {
+		return nil
+	}
+	if s.opt.NVRAM != nil {
+		return s.stageTailLocked(true)
+	}
+	return s.sealTailLocked(true)
+}
+
+// stageTailLocked publishes the tail image to the cache (for readers) and,
+// when persist is set, to the NVRAM tail (for durability).
+func (s *Service) stageTailLocked(persist bool) error {
+	img := s.builder.Seal()
+	s.cache.Put(cache.Key{Block: s.tailGlobal}, img)
+	if persist && s.opt.NVRAM != nil {
+		if err := s.opt.NVRAM.Store(s.tailGlobal, img); err != nil {
+			return fmt.Errorf("clio: nvram store: %w", err)
+		}
+	}
+	return nil
+}
+
+// sealTailLocked writes the tail block to the write-once device, handling
+// damaged blocks (invalidate and slide forward, §2.3.2) and full volumes
+// (allocate and chain a successor, §2.1). forced marks a block sealed early
+// to satisfy a synchronous write without an NVRAM tail.
+func (s *Service) sealTailLocked(forced bool) error {
+	if s.tailGlobal < 0 {
+		return nil
+	}
+	if forced {
+		s.builder.SetFlags(blockfmt.FlagSealedByForce)
+		s.stats.PaddingBytes += int64(s.builder.Free() + 2)
+	}
+	var slidBad []int
+	for {
+		img := s.builder.Seal()
+		v, local, err := s.locateForWriteLocked(s.tailGlobal)
+		if err != nil {
+			return err
+		}
+		if local == v.DataCapacity()-1 {
+			// The volume's final data block: mark it so readers (and
+			// operators) can see the log continues on a successor (§2.1).
+			s.builder.SetFlags(blockfmt.FlagVolumeSealed)
+			img = s.builder.Seal()
+		}
+		devIdx := v.DeviceBlock(local)
+		werr := v.Dev.WriteAt(devIdx, img)
+		switch {
+		case werr == nil:
+			// Sealed. Publish, account, advance.
+			s.cache.Put(cache.Key{Block: s.tailGlobal}, img)
+			ids := make([]uint16, 0, len(s.tailIDs))
+			for id := range s.tailIDs {
+				ids = append(ids, id)
+			}
+			s.acc.NoteBlock(s.tailGlobal, ids)
+			s.stats.BlocksSealed++
+			s.stats.FooterBytes += blockfmt.FooterSize
+			s.sealedEnd = s.tailGlobal + 1
+			s.tailGlobal = -1
+			s.tailIDs = nil
+			if s.opt.NVRAM != nil {
+				if err := s.opt.NVRAM.Clear(); err != nil {
+					return fmt.Errorf("clio: nvram clear: %w", err)
+				}
+			}
+			// Record any blocks invalidated along the way in the bad-block
+			// log file, so a rebooted server can find them (§2.3.2).
+			for _, bad := range slidBad {
+				payload := wire.PutUvarint(nil, uint64(bad))
+				if err := s.appendSystemLocked(entrymap.BadBlockID, payload,
+					blockfmt.FormMinimal, 0, 0, false); err != nil {
+					return err
+				}
+			}
+			return nil
+		case errors.Is(werr, wodev.ErrCorrupt):
+			// The target block was damaged while unwritten: invalidate it
+			// and slide the staged contents to the next block.
+			if ierr := v.Dev.Invalidate(devIdx); ierr != nil {
+				return fmt.Errorf("clio: invalidate damaged block: %w", ierr)
+			}
+			s.cache.Invalidate(cache.Key{Block: s.tailGlobal})
+			slidBad = append(slidBad, s.tailGlobal)
+			s.stats.DeadBlocks++
+			s.tailGlobal++
+			s.builder.SetBlockIndex(uint32(s.tailGlobal))
+			// The slide may cross an entrymap boundary; run the accumulator
+			// for it now so the sealed block's NoteBlock lands in the new
+			// span (the emitted entries queue as displaced, §2.3.2).
+			s.emitDueLocked(s.tailGlobal)
+		case errors.Is(werr, wodev.ErrFull):
+			if err := s.extendLocked(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("clio: seal block %d: %w", s.tailGlobal, werr)
+		}
+	}
+}
+
+// locateForWriteLocked maps a global index to a mounted volume for writing,
+// allocating successor volumes as needed.
+func (s *Service) locateForWriteLocked(global int) (*volume.Volume, int, error) {
+	for {
+		a := s.set.Active()
+		if a == nil {
+			return nil, 0, errors.New("clio: no volumes mounted")
+		}
+		end := int(a.Hdr.StartOffset) + a.DataCapacity()
+		if global < end {
+			v, local, err := s.set.Locate(global)
+			if err != nil {
+				return nil, 0, err
+			}
+			if v != a {
+				return nil, 0, fmt.Errorf("clio: write position %d on read-only volume %d", global, v.Hdr.Index)
+			}
+			return v, local, nil
+		}
+		if err := s.extendLocked(); err != nil {
+			return nil, 0, err
+		}
+	}
+}
+
+// extendLocked formats and mounts the successor of the active volume.
+func (s *Service) extendLocked() error {
+	if s.opt.Allocate == nil {
+		return ErrNoAllocator
+	}
+	a := s.set.Active()
+	idx := a.Hdr.Index + 1
+	start := a.Hdr.StartOffset + uint64(a.DataCapacity())
+	dev, err := s.opt.Allocate(s.set.Seq(), idx, start, s.opt.BlockSize)
+	if err != nil {
+		return fmt.Errorf("clio: allocate volume %d: %w", idx, err)
+	}
+	hdr := volume.Header{
+		Seq:         s.set.Seq(),
+		Index:       idx,
+		StartOffset: start,
+		BlockSize:   uint32(s.opt.BlockSize),
+		N:           uint16(s.opt.Degree),
+		Created:     s.nextTS(false),
+	}
+	if err := volume.Format(dev, hdr); err != nil {
+		return err
+	}
+	v, err := volume.Mount(dev, s.nextTag)
+	if err != nil {
+		return err
+	}
+	s.nextTag++
+	if err := s.set.Add(v); err != nil {
+		return err
+	}
+	// Carry a catalog snapshot onto the new volume so that it alone can
+	// rebuild the catalog when its predecessors are offline (§2.1). The
+	// snapshot records land in the first blocks of the fresh volume.
+	s.pendingSnapshot = s.cat.SnapshotRecords()
+	return nil
+}
+
+// flushSnapshotLocked writes any pending catalog snapshot records. Called
+// from ensureTail once the write position is on the new volume (never
+// mid-chain).
+func (s *Service) flushSnapshotLocked() error {
+	for len(s.pendingSnapshot) > 0 {
+		rec := s.pendingSnapshot[0]
+		s.pendingSnapshot = s.pendingSnapshot[1:]
+		payload := rec.Encode(nil)
+		s.stats.CatalogBytes += int64(len(payload) + 4)
+		if err := s.appendSystemLocked(entrymap.CatalogID, payload,
+			blockfmt.FormMinimal, 0, 0, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

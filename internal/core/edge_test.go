@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clio/internal/volume"
+	"clio/internal/wodev"
+)
+
+func TestDisplacedEntrymapEntryStillLocates(t *testing.T) {
+	// Damage the unwritten device block where the next entrymap boundary
+	// would land. The writer invalidates it and slides forward, so the
+	// boundary's entrymap entry is displaced (§2.3.2); locates must still
+	// work and still use the entrymap (not raw scans everywhere).
+	tc := &testClock{}
+	opt := Options{BlockSize: 256, Degree: 4, Now: tc.Now, CacheBlocks: -1}
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 1 << 12})
+	s, err := New(dev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a := mustCreate(t, s, "/a")
+	b := mustCreate(t, s, "/b")
+
+	// Fill up to just before a level-1 boundary (data block 8 = device 9),
+	// then damage the boundary block while unwritten.
+	fillers := 0
+	for s.End() < 7 {
+		mustAppend(t, s, a, "filler-filler-filler", AppendOptions{Forced: true})
+		fillers++
+	}
+	if err := dev.Damage(9, nil); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 120; i++ {
+		p := fmt.Sprintf("b-%03d", i)
+		mustAppend(t, s, b, p, AppendOptions{Forced: true})
+		want = append(want, p)
+	}
+	if s.Stats().DeadBlocks != 1 {
+		t.Fatalf("DeadBlocks = %d", s.Stats().DeadBlocks)
+	}
+	if got := datas(readAll(t, s, "/b")); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("entries across displaced boundary: %d vs %d", len(datas(readAll(t, s, "/b"))), len(want))
+	}
+	// Backwards iteration exercises FindPrev over the displaced entry.
+	cur, _ := s.OpenCursor("/a")
+	cur.SeekEnd()
+	n := 0
+	for {
+		if _, err := cur.Prev(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != fillers {
+		t.Errorf("backwards over /a: %d entries, want %d", n, fillers)
+	}
+}
+
+func TestFragmentChainAcrossVolumes(t *testing.T) {
+	// An entry large enough to straddle a volume boundary must reassemble.
+	alloc := func(_ volume.SeqID, _ uint32, _ uint64, blockSize int) (wodev.Device, error) {
+		return wodev.NewMem(wodev.MemOptions{BlockSize: blockSize, Capacity: 8}), nil
+	}
+	tc := &testClock{}
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 8})
+	s, err := New(dev, Options{BlockSize: 256, Degree: 4, Now: tc.Now, Allocate: alloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id := mustCreate(t, s, "/big")
+	big := make([]byte, 3000) // ~13 fragments over 7-data-block volumes
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	mustAppend(t, s, id, string(big), AppendOptions{Timestamped: true})
+	mustAppend(t, s, id, "tail-entry", AppendOptions{})
+	if len(s.Volumes()) < 2 {
+		t.Fatalf("entry did not span volumes (%d)", len(s.Volumes()))
+	}
+	got := readAll(t, s, "/big")
+	if len(got) != 2 || !bytes.Equal(got[0].Data, big) || string(got[1].Data) != "tail-entry" {
+		t.Fatalf("cross-volume reassembly failed: %d entries", len(got))
+	}
+	// And backwards.
+	cur, _ := s.OpenCursor("/big")
+	cur.SeekEnd()
+	if e, err := cur.Prev(); err != nil || string(e.Data) != "tail-entry" {
+		t.Fatal(err)
+	}
+	if e, err := cur.Prev(); err != nil || !bytes.Equal(e.Data, big) {
+		t.Fatalf("Prev over chain: %v", err)
+	}
+}
+
+func TestRandomizedWorkloadMatchesModel(t *testing.T) {
+	// Property: for random interleavings of appends across log files with
+	// random sizes and forced flags, every log reads back exactly its own
+	// writes, in order, forwards and backwards.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tc := &testClock{}
+		dev := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 1 << 13})
+		s, err := New(dev, Options{BlockSize: 256, Degree: 4, Now: tc.Now})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		const logs = 3
+		ids := make([]uint16, logs)
+		model := make([][]string, logs)
+		for i := range ids {
+			id, err := s.CreateLog(fmt.Sprintf("/l%d", i), 0, "")
+			if err != nil {
+				return false
+			}
+			ids[i] = id
+		}
+		for op := 0; op < 250; op++ {
+			w := rng.Intn(logs)
+			size := rng.Intn(400)
+			payload := fmt.Sprintf("%d-%d-", w, op)
+			for len(payload) < size {
+				payload += "x"
+			}
+			opts := AppendOptions{
+				Timestamped: rng.Intn(2) == 0,
+				Forced:      rng.Intn(5) == 0,
+			}
+			if _, err := s.Append(ids[w], []byte(payload), opts); err != nil {
+				return false
+			}
+			model[w] = append(model[w], payload)
+		}
+		for i := range ids {
+			got := datas(readAll(t, s, fmt.Sprintf("/l%d", i)))
+			if fmt.Sprint(got) != fmt.Sprint(model[i]) {
+				return false
+			}
+			// Backwards.
+			cur, err := s.OpenCursorID(ids[i])
+			if err != nil {
+				return false
+			}
+			cur.SeekEnd()
+			for j := len(model[i]) - 1; j >= 0; j-- {
+				e, err := cur.Prev()
+				if err != nil || string(e.Data) != model[i][j] {
+					return false
+				}
+			}
+			if _, err := cur.Prev(); err != io.EOF {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomizedCrashRecoveryProperty(t *testing.T) {
+	// Property: after a crash at a random point, the recovered service
+	// holds exactly the forced prefix per log (prefix durability), and
+	// continues accepting writes.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := NewMemNVRAM()
+		tc := &testClock{}
+		opt := Options{BlockSize: 256, Degree: 4, Now: tc.Now, NVRAM: nv}
+		dev := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 1 << 13})
+		s, err := New(dev, opt)
+		if err != nil {
+			return false
+		}
+		id, err := s.CreateLog("/p", 0, "")
+		if err != nil {
+			return false
+		}
+		var durable []string
+		var pendingSince int // index of first entry not yet forced
+		total := 50 + rng.Intn(150)
+		var all []string
+		for i := 0; i < total; i++ {
+			p := fmt.Sprintf("e%04d", i)
+			forced := rng.Intn(4) == 0
+			if _, err := s.Append(id, []byte(p), AppendOptions{Forced: forced}); err != nil {
+				return false
+			}
+			all = append(all, p)
+			if forced {
+				durable = all[:len(all):len(all)]
+				pendingSince = len(all)
+			}
+		}
+		_ = pendingSince
+		s.Crash()
+		s2, err := Open([]wodev.Device{dev}, opt)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		got := datas(readAll(t, s2, "/p"))
+		// The recovered log must be a prefix of all writes, at least as
+		// long as the durable prefix (seals may have persisted more).
+		if len(got) < len(durable) || len(got) > len(all) {
+			return false
+		}
+		for i, g := range got {
+			if g != all[i] {
+				return false
+			}
+		}
+		// Still writable.
+		if _, err := s2.Append(id, []byte("post"), AppendOptions{Forced: true}); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRetiredLogStillReadable(t *testing.T) {
+	s, _ := newTestService(t, Options{})
+	defer s.Close()
+	id := mustCreate(t, s, "/r")
+	mustAppend(t, s, id, "kept", AppendOptions{})
+	if err := s.Retire("/r"); err != nil {
+		t.Fatal(err)
+	}
+	if got := datas(readAll(t, s, "/r")); fmt.Sprint(got) != "[kept]" {
+		t.Errorf("retired log: %v", got)
+	}
+}
+
+func TestVolumeSequenceLogSeesEverything(t *testing.T) {
+	// Invariant 5: "/" contains every entry, including system entries.
+	s, _ := newTestService(t, Options{BlockSize: 256, Degree: 4})
+	defer s.Close()
+	id := mustCreate(t, s, "/x")
+	for i := 0; i < 40; i++ {
+		mustAppend(t, s, id, fmt.Sprintf("e%d", i), AppendOptions{})
+	}
+	all := readAll(t, s, "/")
+	var client, system int
+	for _, e := range all {
+		if e.LogID == id {
+			client++
+		}
+		if e.LogID < 4 {
+			system++
+		}
+	}
+	if client != 40 {
+		t.Errorf("client entries in '/': %d", client)
+	}
+	if system == 0 {
+		t.Error("no system entries visible in the volume sequence log")
+	}
+}

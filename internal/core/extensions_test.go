@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"clio/internal/wodev"
+)
+
+func TestLocateUnique(t *testing.T) {
+	s, _ := newTestService(t, Options{})
+	defer s.Close()
+	id := mustCreate(t, s, "/async")
+	// An async client tags entries with its own sequence number and keeps
+	// its own (slightly skewed) clock.
+	type pending struct {
+		seq      int
+		clientTS int64
+	}
+	var writes []pending
+	for i := 0; i < 50; i++ {
+		serverTS := mustAppend(t, s, id, fmt.Sprintf("seq=%04d payload", i),
+			AppendOptions{Timestamped: true})
+		// Client clock runs 3 "ticks" behind the server.
+		writes = append(writes, pending{seq: i, clientTS: serverTS - 3000})
+	}
+	cur, err := s.OpenCursor("/async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 7, 25, 49} {
+		want := fmt.Sprintf("seq=%04d payload", writes[w].seq)
+		e, err := cur.LocateUnique(writes[w].clientTS, 10_000, func(e *Entry) bool {
+			return bytes.HasPrefix(e.Data, []byte(fmt.Sprintf("seq=%04d", writes[w].seq)))
+		})
+		if err != nil {
+			t.Fatalf("LocateUnique(%d): %v", w, err)
+		}
+		if string(e.Data) != want {
+			t.Errorf("LocateUnique(%d) = %q", w, e.Data)
+		}
+	}
+	// Outside the skew window: not found.
+	if _, err := cur.LocateUnique(writes[10].clientTS, 500, func(e *Entry) bool {
+		return bytes.HasPrefix(e.Data, []byte("seq=0049"))
+	}); err != io.EOF {
+		t.Errorf("out-of-window locate: %v", err)
+	}
+}
+
+func TestMirroredDeviceSurvivesReplicaDamage(t *testing.T) {
+	primary := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 1 << 12})
+	replica := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 1 << 12})
+	mirror, err := wodev.NewMirror(primary, replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testClock{}
+	opt := Options{BlockSize: 256, Degree: 4, Now: tc.Now, CacheBlocks: -1}
+	s, err := New(mirror, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustCreate(t, s, "/m")
+	var want []string
+	for i := 0; i < 60; i++ {
+		p := fmt.Sprintf("entry-%02d", i)
+		mustAppend(t, s, id, p, AppendOptions{Forced: true})
+		want = append(want, p)
+	}
+	// Silently corrupt several blocks on the PRIMARY only.
+	garbage := make([]byte, 256)
+	for i := range garbage {
+		garbage[i] = 0x99
+	}
+	for _, blk := range []int{2, 5, 9} {
+		if err := primary.Damage(blk, garbage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.FlushCache()
+	if got := datas(readAll(t, s, "/m")); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("mirrored read lost entries: %d vs %d", len(got), len(want))
+	}
+	// Damage the same block on BOTH replicas: now it is really lost.
+	if err := replica.Damage(2, garbage); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Damage(2, garbage); err != nil {
+		t.Fatal(err)
+	}
+	s.FlushCache()
+	got := datas(readAll(t, s, "/m"))
+	if len(got) >= len(want) {
+		t.Errorf("doubly-damaged block lost nothing")
+	}
+	s.Crash()
+	// Recovery over the mirror works too.
+	s2, err := Open([]wodev.Device{mirror}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := datas(readAll(t, s2, "/m")); len(got) == 0 {
+		t.Error("nothing recovered over mirror")
+	}
+}
+
+func TestMirrorGeometryChecks(t *testing.T) {
+	a := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 16})
+	b := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 16})
+	if _, err := wodev.NewMirror(a, b); err == nil {
+		t.Error("mismatched geometry accepted")
+	}
+	if _, err := wodev.NewMirror(); err == nil {
+		t.Error("empty mirror accepted")
+	}
+}
+
+func TestConcurrentAppendersAndReaders(t *testing.T) {
+	var nowMu sync.Mutex
+	var now int64
+	s, _ := newTestService(t, Options{
+		BlockSize: 512, Degree: 8,
+		Now: func() int64 { nowMu.Lock(); defer nowMu.Unlock(); now += 1000; return now },
+	})
+	defer s.Close()
+
+	const writers = 4
+	const perWriter = 200
+	ids := make([]uint16, writers)
+	for i := range ids {
+		ids[i] = mustCreate(t, s, fmt.Sprintf("/w%d", i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := s.Append(ids[w], []byte(fmt.Sprintf("w%d-%04d", w, i)),
+					AppendOptions{Forced: i%7 == 0}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+		// A concurrent reader chasing the same log.
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cur, err := s.OpenCursorID(ids[w])
+			if err != nil {
+				errs <- err
+				return
+			}
+			seen := 0
+			for seen < perWriter {
+				e, err := cur.Next()
+				if err == io.EOF {
+					continue // writer not done yet
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := fmt.Sprintf("w%d-%04d", w, seen); string(e.Data) != want {
+					errs <- fmt.Errorf("reader %d: got %q want %q", w, e.Data, want)
+					return
+				}
+				seen++
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Everything is intact and ordered per log.
+	for w := 0; w < writers; w++ {
+		got := datas(readAll(t, s, fmt.Sprintf("/w%d", w)))
+		if len(got) != perWriter {
+			t.Fatalf("writer %d: %d entries", w, len(got))
+		}
+		for i, g := range got {
+			if g != fmt.Sprintf("w%d-%04d", w, i) {
+				t.Fatalf("writer %d entry %d: %q", w, i, g)
+			}
+		}
+	}
+}
+
+func TestAppendErrorsAreAtomic(t *testing.T) {
+	// An append that fails validation must leave no trace.
+	s, _ := newTestService(t, Options{})
+	defer s.Close()
+	id := mustCreate(t, s, "/x")
+	mustAppend(t, s, id, "before", AppendOptions{})
+	if _, err := s.Append(id, make([]byte, s.Options().MaxEntrySize+1), AppendOptions{}); !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("oversize: %v", err)
+	}
+	mustAppend(t, s, id, "after", AppendOptions{})
+	if got := datas(readAll(t, s, "/x")); fmt.Sprint(got) != "[before after]" {
+		t.Errorf("entries: %v", got)
+	}
+}
+
+func TestSeekPosResume(t *testing.T) {
+	s, _ := newTestService(t, Options{})
+	defer s.Close()
+	id := mustCreate(t, s, "/resume")
+	for i := 0; i < 30; i++ {
+		mustAppend(t, s, id, fmt.Sprintf("e%02d", i), AppendOptions{})
+	}
+	// A monitoring pass drains ten entries and remembers its position.
+	cur, _ := s.OpenCursor("/resume")
+	var last *Entry
+	for i := 0; i < 10; i++ {
+		e, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = e
+	}
+	block, rec := cur.Position()
+
+	// A fresh cursor (a later monitoring run) resumes from there.
+	cur2, _ := s.OpenCursor("/resume")
+	if err := cur2.SeekPos(block, rec); err != nil {
+		t.Fatal(err)
+	}
+	e, err := cur2.Next()
+	if err != nil || string(e.Data) != "e10" {
+		t.Fatalf("resume: %v %q (after %q)", err, e.Data, last.Data)
+	}
+	// Resuming via the entry's own coordinates re-reads it...
+	cur3, _ := s.OpenCursor("/resume")
+	if err := cur3.SeekPos(last.Block, last.Index); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := cur3.Next(); err != nil || string(e.Data) != "e09" {
+		t.Fatalf("seek before entry: %v", err)
+	}
+	// ...and Index+1 skips past it.
+	if err := cur3.SeekPos(last.Block, last.Index+1); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := cur3.Next(); err != nil || string(e.Data) != "e10" {
+		t.Fatalf("seek after entry: %v", err)
+	}
+	if err := cur3.SeekPos(-1, 0); err == nil {
+		t.Error("negative position accepted")
+	}
+}

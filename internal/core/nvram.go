@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"clio/internal/wire"
+)
+
+// NVRAM models the battery-backed RAM of §2.3.1: small rewriteable
+// non-volatile storage holding the current partial tail block so that
+// frequent forced writes need not seal (and pad) a write-once block each
+// time. Its contents survive crashes; Open restores a staged block whose
+// position matches the device's written end.
+type NVRAM interface {
+	// Store persists the staged tail block image for the given global
+	// data-block index, replacing any previous image.
+	Store(global int, image []byte) error
+	// Load returns the staged image, or (0, nil, nil) when none is staged.
+	Load() (global int, image []byte, err error)
+	// Clear discards the staged image (the block was sealed to the device).
+	Clear() error
+}
+
+// MemNVRAM is an in-process NVRAM simulation. Because battery-backed RAM
+// survives power failures, tests model a crash by reusing the same MemNVRAM
+// across a Crash/Open pair while discarding everything else.
+type MemNVRAM struct {
+	mu     sync.Mutex
+	global int
+	image  []byte
+}
+
+// NewMemNVRAM returns an empty NVRAM.
+func NewMemNVRAM() *MemNVRAM { return &MemNVRAM{} }
+
+// Store implements NVRAM.
+func (m *MemNVRAM) Store(global int, image []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.global = global
+	m.image = append(m.image[:0], image...)
+	return nil
+}
+
+// Load implements NVRAM.
+func (m *MemNVRAM) Load() (int, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.image == nil {
+		return 0, nil, nil
+	}
+	out := make([]byte, len(m.image))
+	copy(out, m.image)
+	return m.global, out, nil
+}
+
+// Clear implements NVRAM.
+func (m *MemNVRAM) Clear() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.image = nil
+	m.global = 0
+	return nil
+}
+
+// FileNVRAM persists the staged tail block in a small sidecar file, giving
+// file-backed deployments the same crash durability the paper gets from
+// battery-backed RAM. The file layout is: global(u64) imageLen(u32) image
+// crc(u32); a torn write is detected by the checksum and treated as empty.
+type FileNVRAM struct {
+	mu   sync.Mutex
+	path string
+}
+
+// NewFileNVRAM returns an NVRAM backed by the given sidecar file.
+func NewFileNVRAM(path string) *FileNVRAM { return &FileNVRAM{path: path} }
+
+// Store implements NVRAM. The image is written to a temp file and renamed,
+// so a crash mid-store preserves the previous staging.
+func (f *FileNVRAM) Store(global int, image []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	buf := wire.PutUint64(nil, uint64(global))
+	buf = wire.PutUint32(buf, uint32(len(image)))
+	buf = append(buf, image...)
+	buf = wire.PutUint32(buf, wire.Checksum(buf))
+	tmp := f.path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, f.path)
+}
+
+// Load implements NVRAM.
+func (f *FileNVRAM) Load() (int, []byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	buf, err := os.ReadFile(f.path)
+	if os.IsNotExist(err) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(buf) < 16 {
+		return 0, nil, nil
+	}
+	body, crcBytes := buf[:len(buf)-4], buf[len(buf)-4:]
+	crc, _ := wire.Uint32(crcBytes)
+	if wire.Checksum(body) != crc {
+		return 0, nil, nil // torn store: treat as empty
+	}
+	g, _ := wire.Uint64(body)
+	n, _ := wire.Uint32(body[8:])
+	img := body[12:]
+	if int(n) != len(img) {
+		return 0, nil, fmt.Errorf("clio: nvram file %s inconsistent", f.path)
+	}
+	out := make([]byte, len(img))
+	copy(out, img)
+	return int(g), out, nil
+}
+
+// Clear implements NVRAM.
+func (f *FileNVRAM) Clear() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err := os.Remove(f.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

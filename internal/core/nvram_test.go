@@ -1,0 +1,93 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemNVRAMRoundTrip(t *testing.T) {
+	nv := NewMemNVRAM()
+	if g, img, err := nv.Load(); err != nil || img != nil || g != 0 {
+		t.Fatalf("empty load: %d %v %v", g, img, err)
+	}
+	if err := nv.Store(7, []byte("block image")); err != nil {
+		t.Fatal(err)
+	}
+	g, img, err := nv.Load()
+	if err != nil || g != 7 || string(img) != "block image" {
+		t.Fatalf("load: %d %q %v", g, img, err)
+	}
+	// Load returns a copy.
+	img[0] = 'X'
+	if _, img2, _ := nv.Load(); string(img2) != "block image" {
+		t.Error("Load aliases internal buffer")
+	}
+	if err := nv.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if _, img, _ := nv.Load(); img != nil {
+		t.Error("Clear did not clear")
+	}
+}
+
+func TestFileNVRAMRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nv")
+	nv := NewFileNVRAM(path)
+	if g, img, err := nv.Load(); err != nil || img != nil || g != 0 {
+		t.Fatalf("missing file load: %d %v %v", g, img, err)
+	}
+	if err := nv.Store(42, []byte("staged tail block")); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh handle (new process) sees the staged image.
+	nv2 := NewFileNVRAM(path)
+	g, img, err := nv2.Load()
+	if err != nil || g != 42 || string(img) != "staged tail block" {
+		t.Fatalf("reload: %d %q %v", g, img, err)
+	}
+	// Replacement.
+	if err := nv2.Store(43, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	if g, img, _ := nv2.Load(); g != 43 || string(img) != "newer" {
+		t.Errorf("after replace: %d %q", g, img)
+	}
+	if err := nv2.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if _, img, _ := nv2.Load(); img != nil {
+		t.Error("Clear left an image")
+	}
+	if err := nv2.Clear(); err != nil {
+		t.Error("double Clear errored")
+	}
+}
+
+func TestFileNVRAMTornStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nv")
+	nv := NewFileNVRAM(path)
+	if err := nv.Store(1, []byte("good image")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file (simulated torn write): checksum fails → treated as
+	// empty, never as garbage.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, img, err := nv.Load(); err != nil || img != nil {
+		t.Errorf("torn file: img=%v err=%v, want empty", img, err)
+	}
+	// Truncated file likewise.
+	if err := os.WriteFile(path, raw[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, img, err := nv.Load(); err != nil || img != nil {
+		t.Errorf("truncated file: img=%v err=%v, want empty", img, err)
+	}
+}

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"clio/internal/blockfmt"
+	"clio/internal/entrymap"
+)
+
+// Entry is one log entry as returned by a cursor.
+type Entry struct {
+	// LogID is the log file the entry was written to (its most specific
+	// sublog).
+	LogID uint16
+	// Timestamp is the entry's effective server timestamp: its own when the
+	// full header form was used, otherwise inherited from the nearest
+	// preceding timestamp in the block (at worst the block's mandatory
+	// first-entry timestamp, §2.1).
+	Timestamp int64
+	// Timestamped reports whether the entry carried its own timestamp.
+	Timestamped bool
+	// Forced reports whether the entry was written synchronously.
+	Forced bool
+	// Data is the entry's client data.
+	Data []byte
+	// Block and Index locate the entry's first fragment (global data block
+	// and record index within it).
+	Block int
+	Index int
+	// ExtraIDs lists additional member log files for multi-membership
+	// entries (§2.1); nil for ordinary entries.
+	ExtraIDs []uint16
+}
+
+// Cursor iterates over the entries of a log file — in either direction, and
+// seekable by time (§2.1: "access can be provided to the sequence of entries
+// in the file either subsequent to, or prior to, any previous point in
+// time").
+//
+// The cursor's position is a gap between entries: Next returns the entry
+// after the gap and advances; Prev returns the entry before the gap and
+// retreats. A cursor remains valid as the log grows.
+//
+// A Cursor may be used alongside concurrent appends and other cursors (the
+// service serializes internally), but a single Cursor must not be shared by
+// concurrent goroutines.
+type Cursor struct {
+	s   *Service
+	ids map[uint16]bool // nil means every entry (the volume sequence log)
+	// linear disables entrymap-guided block skipping: set when the id set
+	// includes a log file the entrymap does not track (the entrymap log
+	// itself — footnote 6 — cannot index itself).
+	linear bool
+
+	block int // current block (gap position)
+	rec   int // next record index to consider within block
+
+	// Per-cursor parse memo: one block's decoded form is reused across the
+	// Next/Prev steps that stay within it, so an entry read touches each
+	// block once (the unit Table 1 counts). The staged tail block is never
+	// memoized — it grows.
+	memoBlock  int
+	memoParsed *blockfmt.Parsed
+}
+
+// OpenCursor returns a cursor over the log file at the given path,
+// positioned at the start. Reading a log file includes its sublogs'
+// entries: an entry logged in a sublog also belongs to the parent (§2.1).
+// Opening "/" reads the volume sequence log — every entry on the sequence,
+// including the service's own entrymap and catalog entries.
+func (s *Service) OpenCursor(path string) (*Cursor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	id, err := s.cat.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.cursorForLocked(id)
+}
+
+// OpenCursorID is OpenCursor by log-file id.
+func (s *Service) OpenCursorID(id uint16) (*Cursor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.cursorForLocked(id)
+}
+
+func (s *Service) cursorForLocked(id uint16) (*Cursor, error) {
+	c := &Cursor{s: s, memoBlock: -1}
+	if id != entrymap.VolumeSeqID {
+		ids, err := s.cat.Descendants(id)
+		if err != nil {
+			return nil, err
+		}
+		c.ids = make(map[uint16]bool, len(ids))
+		for _, d := range ids {
+			c.ids[d] = true
+			if d == entrymap.EntrymapID {
+				c.linear = true
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *Cursor) match(id uint16) bool {
+	return c.ids == nil || c.ids[id]
+}
+
+// matchRecord reports whether the record belongs to the cursor's set,
+// considering multi-membership entries (§2.1).
+func (c *Cursor) matchRecord(r *blockfmt.RecordView) bool {
+	if c.match(r.LogID) {
+		return true
+	}
+	for _, ex := range r.ExtraIDs {
+		if c.match(ex) {
+			return true
+		}
+	}
+	return false
+}
+
+// idList returns the cursor's id set, sorted (for locator fan-out).
+func (c *Cursor) idList() []uint16 {
+	out := make([]uint16, 0, len(c.ids))
+	for id := range c.ids {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// parseCached decodes a block, reusing the cursor's memo when the same
+// block is examined repeatedly. The staged tail block bypasses the memo.
+func (c *Cursor) parseCached(block int) (*blockfmt.Parsed, error) {
+	if block == c.memoBlock && c.memoParsed != nil && block != c.s.tailGlobal {
+		return c.memoParsed, nil
+	}
+	p, err := c.s.parseBlockLocked(block)
+	if err == nil && block != c.s.tailGlobal {
+		c.memoBlock, c.memoParsed = block, p
+	} else {
+		c.memoBlock, c.memoParsed = -1, nil
+	}
+	return p, err
+}
+
+// SeekStart positions the cursor before the first entry.
+func (c *Cursor) SeekStart() {
+	c.block, c.rec = 0, 0
+}
+
+// SeekEnd positions the cursor after the last entry.
+func (c *Cursor) SeekEnd() {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	c.block, c.rec = c.s.endLocked(), 0
+}
+
+// Next returns the first matching entry after the cursor position and
+// advances past it. It returns io.EOF at the end of the log. The service is
+// charged one IPC round trip per call under the cost model.
+func (c *Cursor) Next() (*Entry, error) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	c.s.opt.Clock.ChargeIPC(c.s.opt.RemoteIPC)
+	c.s.opt.Clock.ChargeServerFixed()
+	return c.nextLocked()
+}
+
+func (c *Cursor) nextLocked() (*Entry, error) {
+	s := c.s
+	if s.closed {
+		return nil, ErrClosed
+	}
+	for {
+		end := s.endLocked()
+		if c.block >= end {
+			return nil, io.EOF
+		}
+		parsed, err := c.parseCached(c.block)
+		if err != nil {
+			// Damaged or invalidated block: its entries are lost (§2.3.2);
+			// skip to the next candidate block.
+			if err := c.advanceBlockLocked(end); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		effs := effectiveTimestamps(parsed)
+		for c.rec < len(parsed.Records) {
+			i := c.rec
+			r := parsed.Records[i]
+			c.rec++
+			if r.Continued || !c.matchRecord(&r) {
+				continue
+			}
+			data, aerr := s.assembleLocked(c.block, i, parsed)
+			if aerr != nil {
+				continue // torn chain: skip the lost entry
+			}
+			return &Entry{
+				LogID:       r.LogID,
+				Timestamp:   effs[i],
+				Timestamped: r.Form != blockfmt.FormMinimal,
+				Forced:      r.AttrFlags&blockfmt.AttrForced != 0,
+				Data:        data,
+				Block:       c.block,
+				Index:       i,
+				ExtraIDs:    r.ExtraIDs,
+			}, nil
+		}
+		if c.block == s.tailGlobal {
+			// The staged tail block can still grow: stay parked on it with
+			// c.rec at the scanned count, so entries appended later to this
+			// same block are seen by the next call.
+			return nil, io.EOF
+		}
+		if err := c.advanceBlockLocked(end); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// advanceBlockLocked moves the cursor to the next block that may contain a
+// matching entry, using the entrymap tree when the cursor is selective.
+// When nothing lies ahead, the cursor parks on the staged tail block (it
+// can still grow) rather than past it.
+func (c *Cursor) advanceBlockLocked(end int) error {
+	if c.ids == nil || c.linear {
+		c.block++
+		c.rec = 0
+		return nil
+	}
+	next := -1
+	for _, id := range c.idList() {
+		b, err := c.s.loc.FindNext(id, c.block+1)
+		if err != nil {
+			return err
+		}
+		if b >= 0 && (next == -1 || b < next) {
+			next = b
+		}
+	}
+	if next == -1 {
+		if tail := c.s.tailGlobal; tail > c.block {
+			c.block, c.rec = tail, 0
+		} else {
+			c.block, c.rec = end, 0
+		}
+		return nil
+	}
+	c.block, c.rec = next, 0
+	return nil
+}
+
+// Prev returns the first matching entry before the cursor position and
+// retreats before it. It returns io.EOF at the beginning of the log.
+func (c *Cursor) Prev() (*Entry, error) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	c.s.opt.Clock.ChargeIPC(c.s.opt.RemoteIPC)
+	c.s.opt.Clock.ChargeServerFixed()
+	return c.prevLocked()
+}
+
+func (c *Cursor) prevLocked() (*Entry, error) {
+	s := c.s
+	if s.closed {
+		return nil, ErrClosed
+	}
+	end := s.endLocked()
+	if c.block > end {
+		c.block, c.rec = end, 0
+	}
+	for {
+		if c.block < 0 {
+			return nil, io.EOF
+		}
+		var parsed *blockfmt.Parsed
+		var err error
+		if c.block < end {
+			parsed, err = c.parseCached(c.block)
+		}
+		if c.block == end || err != nil {
+			// Past-the-end gap position or unreadable block: step back.
+			if err := c.retreatBlockLocked(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		effs := effectiveTimestamps(parsed)
+		for c.rec > 0 {
+			i := c.rec - 1
+			c.rec--
+			r := parsed.Records[i]
+			if r.Continued || !c.matchRecord(&r) {
+				continue
+			}
+			data, aerr := s.assembleLocked(c.block, i, parsed)
+			if aerr != nil {
+				continue
+			}
+			return &Entry{
+				LogID:       r.LogID,
+				Timestamp:   effs[i],
+				Timestamped: r.Form != blockfmt.FormMinimal,
+				Forced:      r.AttrFlags&blockfmt.AttrForced != 0,
+				Data:        data,
+				Block:       c.block,
+				Index:       i,
+				ExtraIDs:    r.ExtraIDs,
+			}, nil
+		}
+		if err := c.retreatBlockLocked(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// retreatBlockLocked moves the cursor to the previous candidate block and
+// positions after its last record.
+func (c *Cursor) retreatBlockLocked() error {
+	var prev int
+	if c.ids == nil || c.linear {
+		prev = c.block - 1
+	} else {
+		prev = -1
+		for _, id := range c.idList() {
+			b, err := c.s.loc.FindPrev(id, c.block)
+			if err != nil {
+				return err
+			}
+			if b > prev {
+				prev = b
+			}
+		}
+	}
+	if prev < 0 {
+		c.block, c.rec = -1, 0
+		return nil
+	}
+	c.block = prev
+	if parsed, err := c.parseCached(prev); err == nil {
+		c.rec = len(parsed.Records)
+	} else {
+		c.rec = 0
+	}
+	return nil
+}
+
+// SeekTime positions the cursor so that the following Next returns the
+// first matching entry whose effective timestamp is >= ts (and Prev returns
+// the last matching entry before that point). The block is located with the
+// entrymap-landmark timestamp search of §2.1.
+func (c *Cursor) SeekTime(ts int64) error {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	c.s.opt.Clock.ChargeIPC(c.s.opt.RemoteIPC)
+	c.s.opt.Clock.ChargeServerFixed()
+	b, err := c.s.loc.FindByTime(ts - 1)
+	if err != nil {
+		return err
+	}
+	if b < 0 {
+		c.block, c.rec = 0, 0
+		return nil
+	}
+	// Scan forward from the located block for the first entry at/after ts,
+	// leaving the gap just before it.
+	c.block, c.rec = b, 0
+	for {
+		prevBlock, prevRec := c.block, c.rec
+		e, err := c.nextLocked()
+		if err == io.EOF {
+			return nil // gap at end: everything is before ts
+		}
+		if err != nil {
+			return err
+		}
+		if e.Timestamp >= ts {
+			c.block, c.rec = prevBlock, prevRec
+			return nil
+		}
+	}
+}
+
+// Position returns the cursor's gap position (global block, record index)
+// for diagnostics and tests.
+func (c *Cursor) Position() (block, rec int) { return c.block, c.rec }
+
+// SeekPos restores a cursor to a previously observed gap position, so a
+// client can persist (block, rec) and resume iteration later — e.g. a
+// monitoring process that periodically drains new entries (§3's "audit and
+// monitoring processes read hundreds of records ... periodically"). Passing
+// the Block/Index of an Entry positions the gap *before* that entry;
+// resume after it by passing Index+1.
+func (c *Cursor) SeekPos(block, rec int) error {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.s.closed {
+		return ErrClosed
+	}
+	if block < 0 || rec < 0 {
+		return fmt.Errorf("clio: invalid cursor position (%d, %d)", block, rec)
+	}
+	c.block, c.rec = block, rec
+	return nil
+}
+
+// effectiveTimestamps computes, for each record in a block, the timestamp in
+// force when it was written: its own for full-header records, otherwise the
+// nearest preceding timestamp (at worst the block's mandatory first-entry
+// footer timestamp).
+func effectiveTimestamps(p *blockfmt.Parsed) []int64 {
+	out := make([]int64, len(p.Records))
+	cur := p.FirstTimestamp
+	for i, r := range p.Records {
+		if r.Form != blockfmt.FormMinimal && r.Timestamp != 0 {
+			cur = r.Timestamp
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// LocateUnique finds an entry by the client-generated unique identifier of
+// §2.1: a client that writes asynchronously tags entries with its own
+// sequence number (inside the data) and remembers its own timestamp; the
+// server timestamp of the entry then lies within the clock skew of the
+// client's. The search seeks to clientTS−maxSkew and scans matching
+// entries until clientTS+maxSkew, returning the first entry `match`
+// accepts. As the paper notes, efficiency depends on clock synchronization
+// quality, and correctness on the client's sequence number not wrapping
+// within the skew window.
+func (c *Cursor) LocateUnique(clientTS, maxSkew int64, match func(*Entry) bool) (*Entry, error) {
+	if err := c.SeekTime(clientTS - maxSkew); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := c.Next()
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e.Timestamp > clientTS+maxSkew {
+			return nil, io.EOF
+		}
+		if match(e) {
+			return e, nil
+		}
+	}
+}
+
+// ReadAt returns the single entry at the given (block, index) position, as
+// previously reported in an Entry. It allows a client to retain a compact
+// reference to an entry and fetch it later.
+func (s *Service) ReadAt(block, index int) (*Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	parsed, err := s.parseBlockLocked(block)
+	if err != nil {
+		return nil, fmt.Errorf("%w: block %d unreadable: %v", ErrLost, block, err)
+	}
+	if index < 0 || index >= len(parsed.Records) {
+		return nil, fmt.Errorf("clio: no record %d in block %d", index, block)
+	}
+	r := parsed.Records[index]
+	if r.Continued {
+		return nil, fmt.Errorf("clio: record %d of block %d is a continuation fragment", index, block)
+	}
+	data, err := s.assembleLocked(block, index, parsed)
+	if err != nil {
+		return nil, err
+	}
+	effs := effectiveTimestamps(parsed)
+	return &Entry{
+		LogID:       r.LogID,
+		Timestamp:   effs[index],
+		Timestamped: r.Form != blockfmt.FormMinimal,
+		Forced:      r.AttrFlags&blockfmt.AttrForced != 0,
+		Data:        data,
+		Block:       block,
+		Index:       index,
+		ExtraIDs:    r.ExtraIDs,
+	}, nil
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"clio/internal/blockfmt"
+	"clio/internal/cache"
+	"clio/internal/catalog"
+	"clio/internal/entrymap"
+	"clio/internal/wire"
+)
+
+// RecoveryReport describes the work server initialization performed, for
+// the Figure 4 experiments (§2.3.1 / §3.4).
+type RecoveryReport struct {
+	// SealedBlocks is the located end of the written portion.
+	SealedBlocks int
+	// EndProbes counts device reads used to find the end (binary search).
+	EndProbes int64
+	// EntrymapBlocksScanned counts raw blocks examined to reconstruct
+	// missing entrymap information.
+	EntrymapBlocksScanned int
+	// EntrymapEntriesRead counts entrymap entries read back.
+	EntrymapEntriesRead int
+	// CatalogEntries counts replayed catalog records.
+	CatalogEntries int
+	// TailRestored reports whether an NVRAM-staged tail block was restored.
+	TailRestored bool
+	// BadBlocks lists the known corrupted block indices from the bad-block
+	// log file.
+	BadBlocks []int
+}
+
+// LastRecovery returns the report from the service's Open.
+func (s *Service) LastRecovery() RecoveryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// recover performs server initialization (§2.3.1):
+//
+//  1. locate the most recently written block (binary search if the device
+//     cannot be queried directly);
+//  2. examine recently-written blocks to reconstruct entrymap information
+//     that was only in volatile memory at the crash;
+//  3. read the catalog log file to rebuild the log-file table;
+//
+// plus, in this implementation, restoring the NVRAM-staged tail block and
+// the bad-block list.
+func (s *Service) recover() error {
+	probesBefore := s.DeviceStats().Probes
+	end, err := s.set.GlobalEnd()
+	if err != nil {
+		return fmt.Errorf("clio: locate end of written portion: %w", err)
+	}
+	s.sealedEnd = end
+	s.recovery.SealedBlocks = end
+	s.recovery.EndProbes = s.DeviceStats().Probes - probesBefore
+
+	// Step 2: reconstruct the entrymap accumulator from the sealed blocks.
+	acc, rstats, err := entrymap.Reconstruct((*locatorSource)(s), s.opt.Degree, s.sealedEnd)
+	if err != nil {
+		return fmt.Errorf("clio: reconstruct entrymap state: %w", err)
+	}
+	s.acc = acc
+	s.recovery.EntrymapBlocksScanned = rstats.BlocksScanned
+	s.recovery.EntrymapEntriesRead = rstats.EntriesRead
+	if s.sealedEnd > 0 {
+		s.lastBound = ((s.sealedEnd - 1) / s.opt.Degree) * s.opt.Degree
+	}
+
+	// Restore the NVRAM-staged tail block, if it is current.
+	if err := s.restoreTail(); err != nil {
+		return err
+	}
+
+	// Step 3: replay the catalog log file.
+	if err := s.replayCatalog(); err != nil {
+		return err
+	}
+
+	// Load the bad-block list (§2.3.2).
+	if err := s.replayBadBlocks(); err != nil {
+		return err
+	}
+
+	// Re-arm the timestamp clock past anything already written.
+	s.restoreLastTS()
+	return nil
+}
+
+// restoreTail re-stages an NVRAM-held tail block whose position matches the
+// device's written end, rebuilding the block builder from its records and
+// re-running the boundary accumulator work the dead server had done.
+func (s *Service) restoreTail() error {
+	nv := s.opt.NVRAM
+	if nv == nil {
+		return nil
+	}
+	g, img, err := nv.Load()
+	if err != nil {
+		return fmt.Errorf("clio: nvram load: %w", err)
+	}
+	if img == nil {
+		return nil
+	}
+	if g < s.sealedEnd {
+		// Stale: the block was sealed to the device before the crash.
+		return nv.Clear()
+	}
+	if g > s.sealedEnd {
+		return fmt.Errorf("clio: nvram holds block %d but device end is %d (missing volume?)", g, s.sealedEnd)
+	}
+	parsed, err := blockfmt.Parse(img)
+	if err != nil {
+		// A torn NVRAM image: discard; the unsynced tail entries are lost.
+		return nv.Clear()
+	}
+	if n := len(parsed.Records); n > 0 && parsed.Records[n-1].Continues {
+		// The image ends mid-chain, which a consistent staging never does:
+		// treat as torn.
+		return nv.Clear()
+	}
+	b, err := blockfmt.NewBuilder(s.opt.BlockSize, uint32(g))
+	if err != nil {
+		return err
+	}
+	if fts := parsed.FirstTimestamp; fts != 0 {
+		b.SetFirstTimestamp(fts)
+	}
+	b.SetFlags(parsed.Flags)
+	s.tailIDs = make(map[uint16]bool)
+	for _, r := range parsed.Records {
+		rec := blockfmt.Record{
+			LogID:     r.LogID,
+			Form:      r.Form,
+			AttrFlags: r.AttrFlags,
+			Timestamp: r.Timestamp,
+			Continued: r.Continued,
+			Continues: r.Continues,
+			Data:      r.Data,
+			ExtraIDs:  r.ExtraIDs,
+		}
+		if err := b.Append(rec); err != nil {
+			return fmt.Errorf("clio: rebuild staged tail: %w", err)
+		}
+		s.tailIDs[r.LogID] = true
+		for _, ex := range r.ExtraIDs {
+			s.tailIDs[ex] = true
+		}
+	}
+	s.builder = b
+	s.tailGlobal = g
+	s.cache.Put(cache.Key{Block: g}, img)
+	s.recovery.TailRestored = true
+
+	// Re-run the accumulator for boundaries the dead server had already
+	// emitted when it started this block; entries it had physically written
+	// are in the image, the rest must be queued again.
+	var due []*entrymap.Entry
+	n := s.opt.Degree
+	for bnd := (s.lastBound/n + 1) * n; bnd <= g; bnd += n {
+		due = append(due, s.acc.EntriesDue(bnd)...)
+		s.lastBound = bnd
+	}
+	for _, e := range due {
+		if !s.tailHasEntrymapEntry(parsed, e.Level, e.Boundary) {
+			s.pendingDue = append(s.pendingDue, e)
+		}
+	}
+	return nil
+}
+
+// tailHasEntrymapEntry reports whether the staged image already contains the
+// entrymap entry for (level, boundary).
+func (s *Service) tailHasEntrymapEntry(parsed *blockfmt.Parsed, level, boundary int) bool {
+	for _, r := range parsed.Records {
+		if r.LogID != entrymap.EntrymapID || r.Continued || r.Continues {
+			continue
+		}
+		e, err := entrymap.Decode(r.Data)
+		if err != nil {
+			continue
+		}
+		if e.Level == level && e.Boundary == boundary {
+			return true
+		}
+	}
+	return false
+}
+
+// replayCatalog rebuilds the log-file table by reading the catalog log file
+// from the beginning of the sequence.
+func (s *Service) replayCatalog() error {
+	b, err := s.loc.FindNext(entrymap.CatalogID, 0)
+	if err != nil {
+		return err
+	}
+	for b >= 0 {
+		parsed, perr := s.parseBlockLocked(b)
+		if perr == nil {
+			for i, r := range parsed.Records {
+				if r.LogID != entrymap.CatalogID || r.Continued {
+					continue
+				}
+				data, aerr := s.assembleLocked(b, i, parsed)
+				if aerr != nil {
+					continue // lost catalog record: the files it described
+					// are recoverable only via their entries
+				}
+				rec, derr := catalog.DecodeRecord(data)
+				if derr != nil {
+					continue
+				}
+				if err := s.cat.Apply(rec); err != nil {
+					return fmt.Errorf("clio: catalog replay: %w", err)
+				}
+				s.recovery.CatalogEntries++
+			}
+		}
+		b, err = s.loc.FindNext(entrymap.CatalogID, b+1)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayBadBlocks loads the bad-block log file (§2.3.2).
+func (s *Service) replayBadBlocks() error {
+	b, err := s.loc.FindNext(entrymap.BadBlockID, 0)
+	if err != nil {
+		return err
+	}
+	for b >= 0 {
+		parsed, perr := s.parseBlockLocked(b)
+		if perr == nil {
+			for i, r := range parsed.Records {
+				if r.LogID != entrymap.BadBlockID || r.Continued {
+					continue
+				}
+				data, aerr := s.assembleLocked(b, i, parsed)
+				if aerr != nil {
+					continue
+				}
+				if idx, _, uerr := wire.Uvarint(data); uerr == nil {
+					s.recovery.BadBlocks = append(s.recovery.BadBlocks, int(idx))
+				}
+			}
+		}
+		b, err = s.loc.FindNext(entrymap.BadBlockID, b+1)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreLastTS arms the timestamp clock past every written timestamp by
+// examining the newest readable blocks.
+func (s *Service) restoreLastTS() {
+	end := s.endLocked()
+	const scanLimit = 64
+	for b := end - 1; b >= 0 && b >= end-scanLimit; b-- {
+		parsed, err := s.parseBlockLocked(b)
+		if err != nil {
+			continue
+		}
+		max := parsed.FirstTimestamp
+		for _, r := range parsed.Records {
+			if r.Form == blockfmt.FormFull && r.Timestamp > max {
+				max = r.Timestamp
+			}
+		}
+		if max > s.lastTS {
+			s.lastTS = max
+		}
+		return // the newest readable block suffices: timestamps are monotone
+	}
+}

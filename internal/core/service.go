@@ -1,0 +1,553 @@
+// Package core implements the Clio log service itself — the paper's primary
+// contribution. It glues the substrates together: write-once devices
+// (internal/wodev) carrying volumes (internal/volume), the block format
+// (internal/blockfmt), the server block cache (internal/cache), the entrymap
+// search tree (internal/entrymap) and the catalog (internal/catalog).
+//
+// A Service owns one volume sequence and exposes the log-file abstraction:
+// readable, append-only files named in a directory hierarchy, written with
+// optional timestamps and forced (synchronous) durability, and read through
+// cursors that iterate forwards or backwards and seek by time (§2.1).
+//
+// # Write path
+//
+// Entries are packed into the current tail block. With an NVRAM tail
+// (§2.3.1) the partial block is staged in rewriteable non-volatile storage
+// and re-staged on each forced write; the write-once device only ever
+// receives full blocks. Without an NVRAM tail a forced write must seal the
+// partial block to the device immediately, padding the remainder — the
+// internal fragmentation the paper warns about.
+//
+// At every Nth block boundary the entrymap accumulator emits its due entries
+// (highest level first), which are appended to the entrymap log file at the
+// boundary block, or displaced slightly when a fragmented entry straddles
+// the boundary or the boundary block is damaged (§2.3.2).
+//
+// # Read path
+//
+// Cursors locate blocks via the entrymap locator and reassemble fragmented
+// entries. Reads of recent data are served from the block cache; distant
+// reads cost O(log_N d) block fetches (§3.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"clio/internal/blockfmt"
+	"clio/internal/cache"
+	"clio/internal/catalog"
+	"clio/internal/entrymap"
+	"clio/internal/vclock"
+	"clio/internal/volume"
+	"clio/internal/wodev"
+)
+
+// Errors.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("clio: service closed")
+	// ErrEntryTooLarge is returned for entries above MaxEntrySize.
+	ErrEntryTooLarge = errors.New("clio: entry exceeds maximum size")
+	// ErrNoAllocator is returned when the active volume fills and no
+	// successor-volume allocator was configured.
+	ErrNoAllocator = errors.New("clio: volume full and no allocator configured")
+	// ErrSystemLog is returned for client appends to reserved log files.
+	ErrSystemLog = errors.New("clio: cannot append to a system log file")
+	// ErrLost is returned when an entry's block was damaged or invalidated
+	// and its contents cannot be recovered (§2.3.2).
+	ErrLost = errors.New("clio: entry lost to media damage")
+)
+
+// Allocator provides a fresh, unwritten device for the next volume of a
+// sequence when the active volume fills up.
+type Allocator func(seq volume.SeqID, index uint32, startOffset uint64, blockSize int) (wodev.Device, error)
+
+// Options configures a Service.
+type Options struct {
+	// BlockSize is the device block size; defaults to 1024 (§3.2).
+	BlockSize int
+	// Degree is the entrymap tree degree N; defaults to 16 (§3.2).
+	Degree int
+	// CacheBlocks bounds the block cache; 0 means unbounded; defaults to
+	// 4096 blocks (4 MiB at the default block size).
+	CacheBlocks int
+	// Clock, when set, charges the paper's cost model for every operation so
+	// experiments can report deterministic virtual times. Nil charges
+	// nothing.
+	Clock *vclock.Clock
+	// NVRAM, when non-nil, stages the partial tail block in rewriteable
+	// non-volatile storage so forced writes need not pad out blocks
+	// (§2.3.1). Nil disables the tail: forced writes seal immediately.
+	NVRAM NVRAM
+	// Now supplies timestamps (Unix nanoseconds); defaults to time.Now.
+	// The service enforces strictly increasing timestamps.
+	Now func() int64
+	// Allocate provides successor volumes; nil limits the sequence to the
+	// initially mounted volumes.
+	Allocate Allocator
+	// MaxEntrySize bounds a single entry's data; defaults to 1 MiB.
+	MaxEntrySize int
+	// DisplacementLimit bounds how far an entrymap entry may be displaced
+	// from its nominal boundary block before the locator gives up and falls
+	// back to lower levels; defaults to the degree N.
+	DisplacementLimit int
+	// RemoteIPC selects the cross-machine IPC charge for the cost model.
+	RemoteIPC bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize <= 0 {
+		o.BlockSize = wodev.DefaultBlockSize
+	}
+	if o.Degree <= 0 {
+		o.Degree = entrymap.DefaultDegree
+	}
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 4096
+	} else if o.CacheBlocks < 0 {
+		o.CacheBlocks = 0 // explicit "unbounded"
+	}
+	if o.Now == nil {
+		o.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	if o.MaxEntrySize <= 0 {
+		o.MaxEntrySize = 1 << 20
+	}
+	if o.DisplacementLimit <= 0 {
+		o.DisplacementLimit = o.Degree
+	}
+	return o
+}
+
+// Stats aggregates service activity, including the space-overhead accounting
+// used by the §3.5 experiment.
+type Stats struct {
+	EntriesAppended int64
+	ForcedWrites    int64
+	BlocksSealed    int64
+	DeadBlocks      int64 // blocks invalidated due to damage
+	ClientBytes     int64 // client data bytes appended
+	HeaderBytes     int64 // entry header + size-slot bytes (client entries)
+	EntrymapBytes   int64 // entrymap entry bytes incl. their headers
+	CatalogBytes    int64 // catalog entry bytes incl. their headers
+	PaddingBytes    int64 // block bytes wasted by force-sealing
+	FooterBytes     int64 // per-block footer bytes
+}
+
+// Service is the Clio log service for one volume sequence.
+type Service struct {
+	mu  sync.Mutex
+	opt Options
+
+	set   *volume.Set
+	cache *cache.Cache
+	cat   *catalog.Table
+	acc   *entrymap.Accumulator
+	loc   *entrymap.Locator
+
+	// Tail state.
+	builder    *blockfmt.Builder
+	tailGlobal int             // global data index of the staged tail; -1 when none
+	tailIDs    map[uint16]bool // ids with records in the staged tail
+	sealedEnd  int             // global data blocks durably on device (incl. dead)
+	midChain   bool            // a fragmented entry is incomplete
+	pendingDue []*entrymap.Entry
+
+	lastTS          int64
+	lastBound       int // last boundary EntriesDue has been called for
+	pendingSnapshot []*catalog.Record
+	closed          bool
+	stats           Stats
+	recovery        RecoveryReport
+
+	nextTag int // next cache volume tag
+}
+
+// New creates a brand-new volume sequence on the given fresh device and
+// returns the running service. The sequence id is derived from the creation
+// time and the device geometry.
+func New(dev wodev.Device, opt Options) (*Service, error) {
+	opt = opt.withDefaults()
+	if dev.BlockSize() != opt.BlockSize {
+		return nil, fmt.Errorf("clio: device block size %d != option %d", dev.BlockSize(), opt.BlockSize)
+	}
+	now := opt.Now()
+	var seq volume.SeqID
+	for i := 0; i < 8; i++ {
+		seq[i] = byte(now >> (8 * i))
+	}
+	seq[8] = byte(opt.Degree)
+	seq[9] = byte(opt.BlockSize >> 8)
+	hdr := volume.Header{
+		Seq:         seq,
+		Index:       0,
+		StartOffset: 0,
+		BlockSize:   uint32(opt.BlockSize),
+		N:           uint16(opt.Degree),
+		Created:     now,
+	}
+	if err := volume.Format(dev, hdr); err != nil {
+		return nil, err
+	}
+	return Open([]wodev.Device{dev}, opt)
+}
+
+// Open mounts the given devices (the volumes of one sequence, any order;
+// the newest must be present) and recovers the service state: locate the end
+// of the written portion, reconstruct entrymap information, replay the
+// catalog, and restore any NVRAM-staged tail block (§2.3.1).
+func Open(devs []wodev.Device, opt Options) (*Service, error) {
+	opt = opt.withDefaults()
+	if len(devs) == 0 {
+		return nil, errors.New("clio: no devices to mount")
+	}
+	s := &Service{
+		opt:        opt,
+		cache:      cache.New(opt.CacheBlocks, opt.Clock),
+		cat:        catalog.NewTable(),
+		tailGlobal: -1,
+	}
+	// Mount all volumes; adopt the sequence id from the first header.
+	var vols []*volume.Volume
+	for _, dev := range devs {
+		v, err := volume.Mount(dev, s.nextTag)
+		if err != nil {
+			return nil, err
+		}
+		s.nextTag++
+		vols = append(vols, v)
+	}
+	s.set = volume.NewSet(vols[0].Hdr.Seq)
+	for _, v := range vols {
+		if int(v.Hdr.BlockSize) != opt.BlockSize {
+			return nil, fmt.Errorf("clio: volume %d block size %d != option %d",
+				v.Hdr.Index, v.Hdr.BlockSize, opt.BlockSize)
+		}
+		if int(v.Hdr.N) != opt.Degree {
+			return nil, fmt.Errorf("clio: volume %d degree %d != option %d",
+				v.Hdr.Index, v.Hdr.N, opt.Degree)
+		}
+		if err := s.set.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	acc, err := entrymap.NewAccumulator(opt.Degree)
+	if err != nil {
+		return nil, err
+	}
+	s.acc = acc
+	loc, err := entrymap.NewLocator((*locatorSource)(s), opt.Degree)
+	if err != nil {
+		return nil, err
+	}
+	s.loc = loc
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Options returns the service's effective options.
+func (s *Service) Options() Options { return s.opt }
+
+// Degree returns the entrymap tree degree N.
+func (s *Service) Degree() int { return s.opt.Degree }
+
+// BlockSize returns the block size in bytes.
+func (s *Service) BlockSize() int { return s.opt.BlockSize }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CacheStats returns the block cache counters.
+func (s *Service) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// ResetCounters zeroes service, cache and device counters (experiments).
+func (s *Service) ResetCounters() {
+	s.mu.Lock()
+	s.stats = Stats{}
+	s.mu.Unlock()
+	s.cache.ResetStats()
+	for _, v := range s.set.Volumes() {
+		v.Dev.ResetStats()
+	}
+}
+
+// SetCacheCapacity replaces the block cache with one bounded to the given
+// number of blocks (negative = unbounded), used by the §4 cache-economics
+// experiment. The staged tail block is restaged so the service remains
+// readable.
+func (s *Service) SetCacheCapacity(blocks int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if blocks == 0 {
+		blocks = 4096
+	} else if blocks < 0 {
+		blocks = 0
+	}
+	s.cache = cache.New(blocks, s.opt.Clock)
+	if s.tailGlobal >= 0 {
+		s.stageTailLocked(false)
+	}
+}
+
+// FlushCache empties the block cache (the §3.3.1 no-caching worst case).
+// The staged tail block, if any, is restored afterwards so the service
+// remains readable.
+func (s *Service) FlushCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.Flush()
+	if s.tailGlobal >= 0 {
+		s.stageTailLocked(false)
+	}
+}
+
+// End returns the number of readable data blocks (sealed plus staged tail).
+func (s *Service) End() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.endLocked()
+}
+
+func (s *Service) endLocked() int {
+	if s.tailGlobal >= 0 {
+		return s.tailGlobal + 1
+	}
+	return s.sealedEnd
+}
+
+// DeviceStats sums the device counters across mounted volumes.
+func (s *Service) DeviceStats() wodev.Stats {
+	var out wodev.Stats
+	for _, v := range s.set.Volumes() {
+		st := v.Dev.Stats()
+		out.Reads += st.Reads
+		out.Appends += st.Appends
+		out.Invalidations += st.Invalidations
+		out.Seeks += st.Seeks
+		out.Probes += st.Probes
+	}
+	return out
+}
+
+// LocateStats returns the cumulative entrymap locator counters.
+func (s *Service) LocateStats() entrymap.LocateStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loc.Stats
+}
+
+// ResetLocateStats zeroes the locator counters.
+func (s *Service) ResetLocateStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loc.Stats = entrymap.LocateStats{}
+}
+
+// Close flushes the tail and stops the service. With an NVRAM tail the
+// partial block stays staged (it survives restarts); without one it is
+// sealed to the device, padding the remainder. The devices themselves are
+// owned by the caller and remain open.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if s.tailGlobal >= 0 {
+		if s.opt.NVRAM != nil {
+			if err := s.stageTailLocked(true); err != nil {
+				return err
+			}
+		} else {
+			if err := s.sealTailLocked(false); err != nil {
+				return err
+			}
+		}
+	}
+	s.closed = true
+	return nil
+}
+
+// Crash simulates a power failure: the service is abandoned without
+// flushing anything. Only NVRAM-staged and device-sealed state survives for
+// a subsequent Open. The devices are left open for reuse by the test.
+func (s *Service) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// Volumes returns the mounted volumes.
+func (s *Service) Volumes() []*volume.Volume { return s.set.Volumes() }
+
+// MountVolume brings a previously offline volume of this sequence online
+// for reading ("previous volumes ... may be made available on demand,
+// either automatically or manually", §2.1).
+func (s *Service) MountVolume(dev wodev.Device) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	v, err := volume.Mount(dev, s.nextTag)
+	if err != nil {
+		return err
+	}
+	if v.Hdr.Seq != s.set.Seq() {
+		return volume.ErrSequenceMismatch
+	}
+	s.nextTag++
+	return s.set.Add(v)
+}
+
+// UnmountVolume takes a non-active volume offline; its blocks become
+// unreadable until it is mounted again.
+func (s *Service) UnmountVolume(index uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.set.Remove(index)
+	return err
+}
+
+// Catalog surface.
+
+// CreateLog creates a log file at the given absolute path; the parent path
+// must already exist ("/" for top-level log files). The new log file is a
+// sublog of its parent (§2.1). The catalog record is logged durably before
+// CreateLog returns.
+func (s *Service) CreateLog(path string, perms uint16, owner string) (uint16, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if len(path) == 0 || path[0] != '/' {
+		return 0, fmt.Errorf("clio: %w: path %q must be absolute", catalog.ErrBadName, path)
+	}
+	dir, name := splitPath(path)
+	parent, err := s.cat.Resolve(dir)
+	if err != nil {
+		return 0, err
+	}
+	ts := s.nextTS(false)
+	d, rec, err := s.cat.Create(parent, name, perms, owner, ts)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.appendCatalogLocked(rec, ts); err != nil {
+		return 0, err
+	}
+	return d.ID, nil
+}
+
+// Resolve maps an absolute path to a log-file id.
+func (s *Service) Resolve(path string) (uint16, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cat.Resolve(path)
+}
+
+// PathOf maps an id back to its absolute path.
+func (s *Service) PathOf(id uint16) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cat.PathOf(id)
+}
+
+// List returns the sublog names beneath the given path, sorted.
+func (s *Service) List(path string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.cat.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.cat.List(id)
+}
+
+// Stat returns the catalog descriptor for a path.
+func (s *Service) Stat(path string) (catalog.Descriptor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.cat.Resolve(path)
+	if err != nil {
+		return catalog.Descriptor{}, err
+	}
+	d, err := s.cat.Get(id)
+	if err != nil {
+		return catalog.Descriptor{}, err
+	}
+	return *d, nil
+}
+
+// SetPerms logs and applies a permissions change (§2.2: every attribute
+// change is itself logged in the catalog log file).
+func (s *Service) SetPerms(path string, perms uint16) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.cat.Resolve(path)
+	if err != nil {
+		return err
+	}
+	rec, err := s.cat.SetPerms(id, perms)
+	if err != nil {
+		return err
+	}
+	return s.appendCatalogLocked(rec, s.nextTS(false))
+}
+
+// Retire closes a log file for further appends; its entries remain readable.
+func (s *Service) Retire(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.cat.Resolve(path)
+	if err != nil {
+		return err
+	}
+	rec, err := s.cat.Retire(id)
+	if err != nil {
+		return err
+	}
+	return s.appendCatalogLocked(rec, s.nextTS(false))
+}
+
+// splitPath separates an absolute path into its parent directory and final
+// component ("/mail/smith" → "/mail", "smith").
+func splitPath(path string) (dir, name string) {
+	if path == "" {
+		return "/", ""
+	}
+	last := -1
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			last = i
+		}
+	}
+	if last <= 0 {
+		return "/", path[last+1:]
+	}
+	return path[:last], path[last+1:]
+}
+
+// nextTS returns a strictly increasing timestamp, charging the cost model
+// when the timestamp is client-visible.
+func (s *Service) nextTS(charge bool) int64 {
+	ts := s.opt.Now()
+	if ts <= s.lastTS {
+		ts = s.lastTS + 1
+	}
+	s.lastTS = ts
+	if charge {
+		s.opt.Clock.ChargeTimestamp()
+	}
+	return ts
+}

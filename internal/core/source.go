@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+
+	"clio/internal/blockfmt"
+	"clio/internal/cache"
+	"clio/internal/entrymap"
+	"clio/internal/wire"
+	"clio/internal/wodev"
+)
+
+// locatorSource adapts the service's block storage to the entrymap locator's
+// Source and RecoverSource interfaces. All methods assume s.mu is held by
+// the caller (the locator only runs inside service operations).
+type locatorSource Service
+
+func (ls *locatorSource) svc() *Service { return (*Service)(ls) }
+
+// End implements entrymap.Source.
+func (ls *locatorSource) End() int { return ls.svc().endLocked() }
+
+// EntryAt implements entrymap.Source and entrymap.RecoverSource: it reads
+// the entrymap entry nominally due at the given boundary, scanning forward
+// up to the displacement limit when the boundary block is unreadable or the
+// entry was displaced by a fragment chain or a damaged block (§2.3.2).
+// Entrymap entries are self-identifying (level, boundary), so the scan
+// cannot mistake a neighbouring boundary's entry for the requested one.
+func (ls *locatorSource) EntryAt(level, boundary int) (*entrymap.Entry, error) {
+	s := ls.svc()
+	end := s.endLocked()
+	limit := boundary + s.opt.DisplacementLimit
+	for b := boundary; b <= limit && b < end; b++ {
+		parsed, err := s.parseBlockLocked(b)
+		if err != nil {
+			continue // unreadable: keep scanning forward
+		}
+		if b > boundary && parsed.Flags&blockfmt.FlagEntrymapBoundary == 0 {
+			// Displaced entries always land in flagged blocks; skip the
+			// unflagged block but keep scanning (a long fragment chain can
+			// push the displaced entry several blocks past its boundary).
+			continue
+		}
+		for i, rec := range parsed.Records {
+			if rec.LogID != entrymap.EntrymapID || rec.Continued {
+				continue
+			}
+			data, aerr := s.assembleLocked(b, i, parsed)
+			if aerr != nil {
+				continue
+			}
+			e, derr := entrymap.Decode(data)
+			if derr != nil {
+				continue
+			}
+			if e.Level == level && e.Boundary == boundary {
+				return e, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// Pending implements entrymap.Source: the accumulator's in-progress bitmap,
+// widened with the staged tail block's contents (the tail is readable but
+// not yet noted in the accumulator — that happens at seal).
+func (ls *locatorSource) Pending(level int, id uint16) wire.Bitmap {
+	s := ls.svc()
+	bm, _ := s.acc.Pending(level, id)
+	if level == 1 && s.tailGlobal >= 0 && s.tailIDs[id] {
+		n := s.opt.Degree
+		eff := make(wire.Bitmap, (n+7)/8)
+		copy(eff, bm)
+		eff.Set(s.tailGlobal % n)
+		return eff
+	}
+	return bm
+}
+
+// BlockContains implements entrymap.Source. Fragments count: the entrymap
+// marks every block holding any part of an entry.
+func (ls *locatorSource) BlockContains(block int, id uint16) (bool, error) {
+	parsed, err := ls.svc().parseBlockLocked(block)
+	if err != nil {
+		return false, nil // unreadable blocks contribute nothing
+	}
+	for _, rec := range parsed.Records {
+		if rec.LogID == id {
+			return true, nil
+		}
+		for _, ex := range rec.ExtraIDs {
+			if ex == id {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// BlockFirstTS implements entrymap.Source.
+func (ls *locatorSource) BlockFirstTS(block int) (int64, bool, error) {
+	parsed, err := ls.svc().parseBlockLocked(block)
+	if err != nil {
+		return 0, false, nil
+	}
+	return parsed.FirstTimestamp, true, nil
+}
+
+// BlockIDs implements entrymap.RecoverSource.
+func (ls *locatorSource) BlockIDs(block int) ([]uint16, error) {
+	parsed, err := ls.svc().parseBlockLocked(block)
+	if err != nil {
+		return nil, nil // lost block: its entrymap info is simply absent
+	}
+	seen := make(map[uint16]bool)
+	var out []uint16
+	note := func(id uint16) {
+		if id == entrymap.VolumeSeqID || id == entrymap.EntrymapID || seen[id] {
+			return
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	for _, rec := range parsed.Records {
+		note(rec.LogID)
+		for _, ex := range rec.ExtraIDs {
+			note(ex)
+		}
+	}
+	return out, nil
+}
+
+// readBlockLocked returns the raw image of a global data block, via the
+// cache. Unreadable conditions (unwritten, invalidated, offline) surface as
+// errors; damaged blocks surface later as parse errors.
+func (s *Service) readBlockLocked(global int) ([]byte, error) {
+	key := cache.Key{Block: global}
+	if img := s.cache.Lookup(key); img != nil {
+		s.opt.Clock.ChargeCachedBlock()
+		return img, nil
+	}
+	if global == s.tailGlobal {
+		// The staged tail exists only in memory (and NVRAM); if the cache
+		// evicted its image, re-seal it from the builder.
+		img := s.builder.Seal()
+		s.cache.Put(key, img)
+		s.opt.Clock.ChargeCachedBlock()
+		return img, nil
+	}
+	v, local, err := s.set.Locate(global)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, s.opt.BlockSize)
+	s.opt.Clock.ChargeDeviceRead(s.opt.BlockSize)
+	devIdx := v.DeviceBlock(local)
+	// Mirrored devices (§5 footnote 11) can route around a silently
+	// corrupted primary copy when a replica's copy still validates.
+	if mv, ok := v.Dev.(validatedReader); ok {
+		if err := mv.ReadValidated(devIdx, buf, blockfmt.Validate); err != nil {
+			return nil, err
+		}
+	} else if err := v.Dev.ReadBlock(devIdx, buf); err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, buf)
+	s.opt.Clock.ChargeCachedBlock()
+	return buf, nil
+}
+
+// validatedReader is implemented by mirrored devices.
+type validatedReader interface {
+	ReadValidated(idx int, dst []byte, valid func([]byte) bool) error
+}
+
+// parseBlockLocked reads and decodes a global data block.
+func (s *Service) parseBlockLocked(global int) (*blockfmt.Parsed, error) {
+	img, err := s.readBlockLocked(global)
+	if err != nil {
+		return nil, err
+	}
+	return blockfmt.Parse(img)
+}
+
+// assembleLocked reassembles the full data of the entry whose first fragment
+// is record idx of block `global` (already parsed as `parsed`). Fragmented
+// entries continue as the first same-id continued record of each following
+// block. A chain that runs off the readable end is torn (lost): ErrLost.
+func (s *Service) assembleLocked(global, idx int, parsed *blockfmt.Parsed) ([]byte, error) {
+	rec := parsed.Records[idx]
+	if !rec.Continues {
+		return rec.Data, nil
+	}
+	out := append([]byte(nil), rec.Data...)
+	id := rec.LogID
+	end := s.endLocked()
+	for b := global + 1; ; b++ {
+		if b >= end {
+			return nil, ErrLost // torn chain: writer died mid-entry
+		}
+		p, err := s.parseBlockLocked(b)
+		if err != nil {
+			if errors.Is(err, wodev.ErrUnwritten) {
+				return nil, ErrLost
+			}
+			return nil, ErrLost // damaged or invalidated continuation block
+		}
+		found := false
+		done := false
+		for _, r := range p.Records {
+			if r.LogID != id || !r.Continued {
+				continue
+			}
+			out = append(out, r.Data...)
+			found = true
+			done = !r.Continues
+			break
+		}
+		if !found {
+			return nil, ErrLost // chain broken
+		}
+		if done {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package entrymap implements the entrymap log file of §2.1 — the sparse,
+// hierarchical bitmap index that lets the Clio service locate the blocks
+// containing a given log file's entries with O(log_N d) block reads.
+//
+// A level-1 entrymap log entry appears every N blocks and carries, for each
+// active log file with entries in the previous N blocks, an N-bit bitmap of
+// which of those blocks contain such entries. A level-2 entry appears every
+// N² blocks and marks which N-block groups contain entries, and so on: the
+// entries form a search tree of degree N (Figure 2). The entrymap is pure
+// redundancy — the same information is recoverable by scanning every block —
+// which is what makes the displaced/missing-entry fallbacks of §2.3.2 sound.
+//
+// The package has three parts:
+//
+//   - Entry: the wire format of one entrymap log entry;
+//   - Accumulator: the writer-side state that collects bitmaps for the
+//     in-progress span of each level and emits the entries due at each
+//     block boundary;
+//   - Locator: the read-side search (FindPrev/FindNext/FindByTime) over an
+//     abstract Source, counting the entrymap entries it examines so the
+//     experiments can reproduce Figure 3 and Table 1.
+//
+// Block indices in this package are *data-block* indices: volume-relative
+// indices with the volume header block excluded, so the first data block of
+// a volume is index 0.
+package entrymap
+
+import (
+	"errors"
+	"sort"
+
+	"clio/internal/wire"
+)
+
+// Reserved local log-file ids (§2.1's special log files).
+const (
+	// VolumeSeqID denotes the volume sequence log file: the sequence of all
+	// entries ever written to the volume. It is implicit and never carried
+	// in entrymap bitmaps (footnote 6).
+	VolumeSeqID = 0
+	// EntrymapID is the log file holding entrymap entries themselves, also
+	// excluded from its own bitmaps (footnote 6).
+	EntrymapID = 1
+	// CatalogID is the catalog log file of §2.2.
+	CatalogID = 2
+	// BadBlockID is the log file recording corrupted unwritten blocks
+	// (§2.3.2).
+	BadBlockID = 3
+	// FirstClientID is the first id available to client log files.
+	FirstClientID = 4
+)
+
+// Errors.
+var (
+	// ErrBadEntry indicates an undecodable entrymap entry.
+	ErrBadEntry = errors.New("entrymap: malformed entry")
+	// ErrDegree indicates an unsupported tree degree N.
+	ErrDegree = errors.New("entrymap: unsupported degree")
+)
+
+// MinDegree and MaxDegree bound the tree degree N. The paper evaluates
+// N ∈ {4..128} and recommends 16–32.
+const (
+	MinDegree = 2
+	MaxDegree = 256
+)
+
+// DefaultDegree is the paper's measured configuration (N = 16).
+const DefaultDegree = 16
+
+// IDMap is one (log file, bitmap) pair within an entrymap entry.
+type IDMap struct {
+	ID   uint16
+	Bits wire.Bitmap
+}
+
+// Entry is a decoded entrymap log entry.
+type Entry struct {
+	// Level is the entry's tree level, 1-based.
+	Level int
+	// Boundary is the nominal data-block index this entry was due at; the
+	// entry covers the span [Boundary-N^Level, Boundary). Recording the
+	// boundary in the entry makes displaced entries (§2.3.2)
+	// self-identifying.
+	Boundary int
+	// N is the tree degree, recorded for self-description.
+	N int
+	// Maps holds the per-log-file bitmaps, sorted by ID.
+	Maps []IDMap
+}
+
+// Get returns the bitmap for id, or nil if id has no entries in the span.
+func (e *Entry) Get(id uint16) wire.Bitmap {
+	i := sort.Search(len(e.Maps), func(i int) bool { return e.Maps[i].ID >= id })
+	if i < len(e.Maps) && e.Maps[i].ID == id {
+		return e.Maps[i].Bits
+	}
+	return nil
+}
+
+// Encode appends the entry's wire form to dst.
+//
+// Layout: level(1) boundary(u32) n(u16) count(uvarint) then per map:
+// id(uvarint) bitmap((N+7)/8 bytes).
+func (e *Entry) Encode(dst []byte) []byte {
+	dst = append(dst, byte(e.Level))
+	dst = wire.PutUint32(dst, uint32(e.Boundary))
+	dst = wire.PutUint16(dst, uint16(e.N))
+	dst = wire.PutUvarint(dst, uint64(len(e.Maps)))
+	for _, m := range e.Maps {
+		dst = wire.PutUvarint(dst, uint64(m.ID))
+		dst = append(dst, m.Bits...)
+	}
+	return dst
+}
+
+// EncodedSize returns the byte length Encode would append.
+func (e *Entry) EncodedSize() int {
+	n := 1 + 4 + 2 + uvarintLen(uint64(len(e.Maps)))
+	mapBytes := (e.N + 7) / 8
+	for _, m := range e.Maps {
+		n += uvarintLen(uint64(m.ID)) + mapBytes
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Decode parses an entrymap entry from data.
+func Decode(data []byte) (*Entry, error) {
+	if len(data) < 7 {
+		return nil, ErrBadEntry
+	}
+	e := &Entry{Level: int(data[0])}
+	b32, err := wire.Uint32(data[1:])
+	if err != nil {
+		return nil, ErrBadEntry
+	}
+	e.Boundary = int(b32)
+	n16, err := wire.Uint16(data[5:])
+	if err != nil {
+		return nil, ErrBadEntry
+	}
+	e.N = int(n16)
+	if e.N < MinDegree || e.N > MaxDegree || e.Level < 1 || e.Level > 16 {
+		return nil, ErrBadEntry
+	}
+	rest := data[7:]
+	count, used, err := wire.Uvarint(rest)
+	if err != nil {
+		return nil, ErrBadEntry
+	}
+	rest = rest[used:]
+	mapBytes := (e.N + 7) / 8
+	// The count is attacker-controlled on damaged media: bound the
+	// preallocation by what the remaining bytes could possibly hold.
+	if count > uint64(len(rest)) {
+		return nil, ErrBadEntry
+	}
+	e.Maps = make([]IDMap, 0, count)
+	for i := uint64(0); i < count; i++ {
+		id, used, err := wire.Uvarint(rest)
+		if err != nil || id > wire.MaxLogID {
+			return nil, ErrBadEntry
+		}
+		rest = rest[used:]
+		if len(rest) < mapBytes {
+			return nil, ErrBadEntry
+		}
+		bits := make(wire.Bitmap, mapBytes)
+		copy(bits, rest[:mapBytes])
+		rest = rest[mapBytes:]
+		e.Maps = append(e.Maps, IDMap{ID: uint16(id), Bits: bits})
+	}
+	if !sort.SliceIsSorted(e.Maps, func(i, j int) bool { return e.Maps[i].ID < e.Maps[j].ID }) {
+		return nil, ErrBadEntry
+	}
+	return e, nil
+}
+
+// pow returns n^i, saturating well above any real volume size.
+func pow(n, i int) int {
+	out := 1
+	for ; i > 0; i-- {
+		if out > 1<<40 {
+			return 1 << 40
+		}
+		out *= n
+	}
+	return out
+}
+
+// SpanSize returns N^level, the number of data blocks a level's entry covers.
+func SpanSize(n, level int) int { return pow(n, level) }
+
+// MaxLevel returns the highest level whose span fits within blocks data
+// blocks, minimum 1.
+func MaxLevel(n, blocks int) int {
+	level := 1
+	for pow(n, level+1) <= blocks {
+		level++
+	}
+	return level
+}
+
+// tracked reports whether an id participates in entrymap bitmaps.
+func tracked(id uint16) bool { return id != VolumeSeqID && id != EntrymapID }

@@ -1,0 +1,24 @@
+package entrymap
+
+import "testing"
+
+// FuzzDecode hardens the entrymap entry decoder: no panics, and accepted
+// entries round-trip.
+func FuzzDecode(f *testing.F) {
+	e := &Entry{Level: 2, Boundary: 512, N: 16, Maps: []IDMap{{ID: 4, Bits: make([]byte, 2)}}}
+	f.Add(e.Encode(nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Decode(e.Encode(nil))
+		if err != nil {
+			t.Fatalf("accepted entry does not round-trip: %v", err)
+		}
+		if re.Level != e.Level || re.Boundary != e.Boundary || len(re.Maps) != len(e.Maps) {
+			t.Fatal("round-trip mismatch")
+		}
+	})
+}

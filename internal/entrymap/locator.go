@@ -1,0 +1,439 @@
+package entrymap
+
+import (
+	"sort"
+
+	"clio/internal/wire"
+)
+
+// Source is the read-side view the Locator searches over. It is implemented
+// by the core service (backed by the block cache and the writer's in-memory
+// accumulator) and by test fakes.
+type Source interface {
+	// End returns the number of readable data blocks: sealed blocks plus the
+	// staged tail block, if any.
+	End() int
+	// EntryAt returns the entrymap entry of the given level nominally due at
+	// the given boundary block. Implementations handle displaced entries
+	// (§2.3.2). A (nil, nil) return means the entry is missing — the caller
+	// falls back to searching lower levels.
+	EntryAt(level, boundary int) (*Entry, error)
+	// Pending returns the writer's in-memory bitmap for the given level's
+	// in-progress span, or nil when the log file has no entries there.
+	Pending(level int, id uint16) wire.Bitmap
+	// BlockContains reports whether the given data block holds at least one
+	// entry (or fragment) of the log file. Used only when entrymap
+	// information is missing; unreadable blocks report false.
+	BlockContains(block int, id uint16) (bool, error)
+	// BlockFirstTS returns the footer timestamp of the block's first entry;
+	// ok is false for unreadable blocks.
+	BlockFirstTS(block int) (ts int64, ok bool, err error)
+}
+
+// LocateStats counts the work a locate performed, for the Figure 3 / Table 1
+// experiments.
+type LocateStats struct {
+	// EntriesExamined counts entrymap log entries decoded and inspected.
+	EntriesExamined int
+	// PendingExamined counts in-memory (accumulator) bitmap inspections.
+	PendingExamined int
+	// RawScans counts data blocks scanned directly because entrymap
+	// information was missing.
+	RawScans int
+	// TimestampReads counts block footers read during a time search.
+	TimestampReads int
+}
+
+// Locator searches the entrymap tree.
+type Locator struct {
+	src Source
+	n   int
+	// Stats accumulates across calls; callers reset it between measurements.
+	Stats LocateStats
+}
+
+// NewLocator returns a locator of degree n over src.
+func NewLocator(src Source, n int) (*Locator, error) {
+	if n < MinDegree || n > MaxDegree {
+		return nil, ErrDegree
+	}
+	return &Locator{src: src, n: n}, nil
+}
+
+// bitmapAt fetches the bitmap covering the level-`level` span starting at
+// spanStart for id. known=false means entrymap information for the span is
+// unavailable and the caller must search lower levels conservatively.
+func (l *Locator) bitmapAt(level, spanStart int, id uint16, end int) (bm wire.Bitmap, known bool, err error) {
+	bm, known, _, err = l.bitmapAtP(level, spanStart, id, end)
+	return bm, known, err
+}
+
+// bitmapAtP additionally reports whether the span was the in-progress
+// partial span (answered from the accumulator rather than a written entry).
+func (l *Locator) bitmapAtP(level, spanStart int, id uint16, end int) (bm wire.Bitmap, known, partial bool, err error) {
+	span := pow(l.n, level)
+	boundary := spanStart + span
+	if boundary < end {
+		e, err := l.src.EntryAt(level, boundary)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if e == nil {
+			return nil, false, false, nil
+		}
+		l.Stats.EntriesExamined++
+		return e.Get(id), true, false, nil
+	}
+	// The span is still in progress (or its boundary block is the staged
+	// tail): the writer's accumulator is authoritative.
+	l.Stats.PendingExamined++
+	bm = l.src.Pending(level, id)
+	if level >= 2 {
+		// The accumulator's level-L bitmap only covers child spans whose
+		// entries have been emitted. The child span containing the write
+		// point has not rolled up yet: synthesize its bit from the lower
+		// levels' pending state.
+		if l.pendingBelow(level-1, id) {
+			childSpan := span / l.n
+			gCur := (end - 1 - spanStart) / childSpan
+			if gCur >= 0 && gCur < l.n {
+				eff := make(wire.Bitmap, (l.n+7)/8)
+				copy(eff, bm)
+				eff.Set(gCur)
+				bm = eff
+			}
+		}
+	}
+	return bm, true, true, nil
+}
+
+// pendingBelow reports whether id has any entry recorded in the pending
+// spans of levels 1..lvl.
+func (l *Locator) pendingBelow(lvl int, id uint16) bool {
+	for i := lvl; i >= 1; i-- {
+		if bm := l.src.Pending(i, id); bm != nil && !bm.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// FindPrev returns the greatest data-block index < before containing at
+// least one entry (or fragment) of log file id, or -1 if there is none.
+func (l *Locator) FindPrev(id uint16, before int) (int, error) {
+	end := l.src.End()
+	if before > end {
+		before = end
+	}
+	if before <= 0 {
+		return -1, nil
+	}
+	low := before // invariant: no entries of id in [low, before)
+	for level := 1; ; {
+		span := pow(l.n, level)
+		childSpan := span / l.n
+		spanStart := ((low - 1) / span) * span
+		gLow := (low - spanStart + childSpan - 1) / childSpan // first group at/above low
+		bm, known, partial, err := l.bitmapAtP(level, spanStart, id, end)
+		if err != nil {
+			return -1, err
+		}
+		if known {
+			for g := bm.LastSet(gLow); g >= 0; g = bm.LastSet(g) {
+				if level == 1 {
+					return spanStart + g, nil
+				}
+				r, err := l.descendPrev(id, level-1, spanStart+g*childSpan, end)
+				if err != nil {
+					return -1, err
+				}
+				if r >= 0 {
+					return r, nil
+				}
+			}
+		} else {
+			for g := gLow - 1; g >= 0; g-- {
+				r, err := l.probePrev(id, level, spanStart, g, end)
+				if err != nil {
+					return -1, err
+				}
+				if r >= 0 {
+					return r, nil
+				}
+			}
+		}
+		if spanStart == 0 {
+			return -1, nil
+		}
+		low = spanStart
+		// A miss in the in-progress partial span was answered from memory;
+		// the adjacent *written* span at the same level is checked next
+		// (§3.3.1's accounting: the first entrymap log entry read is the
+		// level-1 entry just below the write point). A miss in a written
+		// span ascends.
+		if !partial {
+			level++
+		}
+	}
+}
+
+// descendPrev returns the last block containing id within the level-`level`
+// span starting at spanStart, all of which is in scope, or -1.
+func (l *Locator) descendPrev(id uint16, level, spanStart, end int) (int, error) {
+	if level == 0 {
+		// A single block vouched for by a parent bitmap; verify by raw scan
+		// only if asked to (parents are authoritative), so return directly.
+		return spanStart, nil
+	}
+	childSpan := pow(l.n, level-1)
+	bm, known, err := l.bitmapAt(level, spanStart, id, end)
+	if err != nil {
+		return -1, err
+	}
+	if known {
+		if bm == nil {
+			return -1, nil
+		}
+		for g := bm.LastSet(l.n); g >= 0; g = bm.LastSet(g) {
+			if level == 1 {
+				return spanStart + g, nil
+			}
+			r, err := l.descendPrev(id, level-1, spanStart+g*childSpan, end)
+			if err != nil {
+				return -1, err
+			}
+			if r >= 0 {
+				return r, nil
+			}
+		}
+		return -1, nil
+	}
+	for g := l.n - 1; g >= 0; g-- {
+		r, err := l.probePrev(id, level, spanStart, g, end)
+		if err != nil {
+			return -1, err
+		}
+		if r >= 0 {
+			return r, nil
+		}
+	}
+	return -1, nil
+}
+
+// probePrev searches group g of the level-`level` span at spanStart without
+// bitmap help: level 1 groups are raw blocks, higher groups recurse.
+func (l *Locator) probePrev(id uint16, level, spanStart, g, end int) (int, error) {
+	childSpan := pow(l.n, level-1)
+	lo := spanStart + g*childSpan
+	if lo >= end {
+		return -1, nil
+	}
+	if level == 1 {
+		l.Stats.RawScans++
+		ok, err := l.src.BlockContains(lo, id)
+		if err != nil {
+			return -1, err
+		}
+		if ok {
+			return lo, nil
+		}
+		return -1, nil
+	}
+	return l.descendPrev(id, level-1, lo, end)
+}
+
+// FindNext returns the smallest data-block index >= from containing at least
+// one entry (or fragment) of log file id, or -1 if there is none.
+func (l *Locator) FindNext(id uint16, from int) (int, error) {
+	end := l.src.End()
+	if from < 0 {
+		from = 0
+	}
+	if from >= end {
+		return -1, nil
+	}
+	high := from // invariant: no entries of id in [from, high)
+	for level := 1; ; level++ {
+		span := pow(l.n, level)
+		childSpan := span / l.n
+		spanStart := (high / span) * span
+		gHigh := (high - spanStart) / childSpan // first group at/above high
+		bm, known, err := l.bitmapAt(level, spanStart, id, end)
+		if err != nil {
+			return -1, err
+		}
+		if known {
+			g := -1
+			if bm != nil {
+				g = bm.FirstSet(gHigh)
+			}
+			for g >= 0 {
+				if level == 1 {
+					return spanStart + g, nil
+				}
+				r, err := l.descendNext(id, level-1, spanStart+g*childSpan, end)
+				if err != nil {
+					return -1, err
+				}
+				if r >= 0 {
+					return r, nil
+				}
+				g = bm.FirstSet(g + 1)
+			}
+		} else {
+			for g := gHigh; g < l.n; g++ {
+				r, err := l.probeNext(id, level, spanStart, g, end)
+				if err != nil {
+					return -1, err
+				}
+				if r >= 0 {
+					return r, nil
+				}
+			}
+		}
+		high = spanStart + span
+		if high >= end {
+			return -1, nil
+		}
+	}
+}
+
+// descendNext mirrors descendPrev for forward search.
+func (l *Locator) descendNext(id uint16, level, spanStart, end int) (int, error) {
+	if level == 0 {
+		return spanStart, nil
+	}
+	childSpan := pow(l.n, level-1)
+	bm, known, err := l.bitmapAt(level, spanStart, id, end)
+	if err != nil {
+		return -1, err
+	}
+	if known {
+		if bm == nil {
+			return -1, nil
+		}
+		for g := bm.FirstSet(0); g >= 0; g = bm.FirstSet(g + 1) {
+			if level == 1 {
+				return spanStart + g, nil
+			}
+			r, err := l.descendNext(id, level-1, spanStart+g*childSpan, end)
+			if err != nil {
+				return -1, err
+			}
+			if r >= 0 {
+				return r, nil
+			}
+		}
+		return -1, nil
+	}
+	for g := 0; g < l.n; g++ {
+		r, err := l.probeNext(id, level, spanStart, g, end)
+		if err != nil {
+			return -1, err
+		}
+		if r >= 0 {
+			return r, nil
+		}
+	}
+	return -1, nil
+}
+
+func (l *Locator) probeNext(id uint16, level, spanStart, g, end int) (int, error) {
+	childSpan := pow(l.n, level-1)
+	lo := spanStart + g*childSpan
+	if lo >= end {
+		return -1, nil
+	}
+	if level == 1 {
+		l.Stats.RawScans++
+		ok, err := l.src.BlockContains(lo, id)
+		if err != nil {
+			return -1, err
+		}
+		if ok {
+			return lo, nil
+		}
+		return -1, nil
+	}
+	return l.descendNext(id, level-1, lo, end)
+}
+
+// FindByTime returns the greatest data-block index whose first-entry
+// timestamp is <= ts, or -1 if ts precedes the volume's first entry. Block
+// first-entry timestamps are non-decreasing in write order, and a header
+// timestamp is mandatory for the first entry in each block, so the result
+// block either contains the last entry written at or before ts or directly
+// follows it (§2.1).
+//
+// The search descends level by level using the blocks at entrymap boundaries
+// as landmarks — "at the upper levels of the tree, the search uses those
+// blocks that happen to contain entrymap log entries" — so repeated time
+// searches hit the same well-known blocks in the cache.
+func (l *Locator) FindByTime(ts int64) (int, error) {
+	end := l.src.End()
+	if end == 0 {
+		return -1, nil
+	}
+	first, ok, err := l.readTS(0)
+	if err != nil {
+		return -1, err
+	}
+	if ok && first > ts {
+		return -1, nil
+	}
+	lo, hi := 0, end // invariant: firstTS(lo) <= ts (when readable), answer in [lo, hi)
+	for level := MaxLevel(l.n, end) + 1; level >= 1; level-- {
+		span := pow(l.n, level)
+		firstLandmark := (lo/span + 1) * span
+		if firstLandmark >= hi {
+			continue
+		}
+		count := (hi-1-firstLandmark)/span + 1
+		// Binary search the landmarks for the last one with firstTS <= ts.
+		idx := sort.Search(count, func(i int) bool {
+			b := firstLandmark + i*span
+			bts, ok, rerr := l.readTS(b)
+			if rerr != nil {
+				err = rerr
+				return true
+			}
+			if !ok {
+				// Unreadable landmark: treat as > ts to stay below it; the
+				// lower levels will search the region before it.
+				return true
+			}
+			return bts > ts
+		})
+		if err != nil {
+			return -1, err
+		}
+		if idx > 0 {
+			lo = firstLandmark + (idx-1)*span
+		}
+		if idx < count {
+			hi = firstLandmark + idx*span
+		}
+	}
+	// Final linear refinement within (lo, hi): at most N blocks.
+	best := lo
+	for b := lo + 1; b < hi; b++ {
+		bts, ok, err := l.readTS(b)
+		if err != nil {
+			return -1, err
+		}
+		if !ok {
+			continue
+		}
+		if bts <= ts {
+			best = b
+		} else {
+			break
+		}
+	}
+	return best, nil
+}
+
+func (l *Locator) readTS(block int) (int64, bool, error) {
+	l.Stats.TimestampReads++
+	return l.src.BlockFirstTS(block)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"clio/internal/analytic"
+	"clio/internal/core"
+	"clio/internal/wodev"
+)
+
+// Fig4Row is one point of Figure 4: the cost of reconstructing entrymap
+// information at server initialization, as a function of volume fill.
+type Fig4Row struct {
+	N      int
+	Blocks int
+	Theory float64 // (N·log_N b)/2 average
+	// Measured is blocks examined (raw scans + entrymap entry reads) by an
+	// actual crash recovery, or -1 for theory-only points.
+	Measured int
+	// EndProbes is the binary-search cost of finding the end (§2.3.1).
+	EndProbes int64
+}
+
+// RunFig4 reproduces Figure 4: for each N, write a volume in stages and
+// crash+recover at each stage, recording the reconstruction work. Theory
+// rows cover the paper's full range.
+func RunFig4(blockSize int, ns []int, stages []int) ([]Fig4Row, error) {
+	if len(ns) == 0 {
+		ns = []int{4, 16, 64}
+	}
+	if len(stages) == 0 {
+		stages = []int{100, 1_000, 10_000, 50_000}
+	}
+	var rows []Fig4Row
+	// Theory curves across the paper's x-range.
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		for _, b := range []int{100, 1000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000} {
+			rows = append(rows, Fig4Row{
+				N: n, Blocks: b,
+				Theory:   analytic.Fig4RecoveryBlocks(n, float64(b)),
+				Measured: -1,
+			})
+		}
+	}
+	for _, n := range ns {
+		maxStage := stages[len(stages)-1]
+		dev := wodev.NewMem(wodev.MemOptions{BlockSize: blockSize, Capacity: maxStage + 256})
+		opt := core.Options{
+			BlockSize:   blockSize,
+			Degree:      n,
+			CacheBlocks: -1,
+			Now:         testNow(),
+		}
+		svc, err := core.New(dev, opt)
+		if err != nil {
+			return nil, err
+		}
+		// Several active log files so entrymap entries carry real bitmaps.
+		ids := make([]uint16, 6)
+		for i := range ids {
+			path := []string{"/a", "/b", "/c", "/d", "/e", "/f"}[i]
+			if _, err := svc.CreateLog(path, 0, ""); err != nil {
+				return nil, err
+			}
+			ids[i], _ = svc.Resolve(path)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		payload := make([]byte, blockSize/3)
+		for _, stage := range stages {
+			for svc.End() < stage {
+				id := ids[rng.Intn(len(ids))]
+				if _, err := svc.Append(id, payload, core.AppendOptions{}); err != nil {
+					return nil, err
+				}
+			}
+			if err := svc.Force(); err != nil {
+				return nil, err
+			}
+			svc.Crash()
+			// The reopened device does not report its end, so recovery pays
+			// the binary search of §2.3.1 too.
+			dev.SetReportEnd(false)
+			svc, err = core.Open([]wodev.Device{dev}, opt)
+			if err != nil {
+				return nil, err
+			}
+			dev.SetReportEnd(true)
+			rep := svc.LastRecovery()
+			rows = append(rows, Fig4Row{
+				N:         n,
+				Blocks:    rep.SealedBlocks,
+				Theory:    analytic.Fig4RecoveryBlocks(n, float64(rep.SealedBlocks)),
+				Measured:  rep.EntrymapBlocksScanned + rep.EntrymapEntriesRead,
+				EndProbes: rep.EndProbes,
+			})
+		}
+		svc.Close()
+	}
+	return rows, nil
+}
+
+// PrintFig4 renders Figure 4.
+func PrintFig4(w io.Writer, rows []Fig4Row) {
+	fprintf(w, "Figure 4: blocks examined to reconstruct entrymap information at recovery\n")
+	fprintf(w, "%5s %12s %12s %10s %10s\n", "N", "b(blocks)", "theory-avg", "measured", "end-probes")
+	for _, r := range rows {
+		if r.Measured < 0 {
+			fprintf(w, "%5d %12d %12.1f %10s %10s\n", r.N, r.Blocks, r.Theory, "-", "-")
+		} else {
+			fprintf(w, "%5d %12d %12.1f %10d %10d\n", r.N, r.Blocks, r.Theory, r.Measured, r.EndProbes)
+		}
+	}
+}

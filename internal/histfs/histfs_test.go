@@ -1,0 +1,351 @@
+package histfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+
+	"clio/internal/client"
+	"clio/internal/core"
+	"clio/internal/logapi"
+	"clio/internal/server"
+	"clio/internal/wodev"
+)
+
+func newFS(t *testing.T) (*FS, *core.Service) {
+	t.Helper()
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
+	now := int64(0)
+	svc, err := core.New(dev, core.Options{
+		BlockSize: 512, Degree: 8,
+		Now: func() int64 { now += 1000; return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	fs, err := New(logapi.FromService(svc), "/histfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, svc
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Create("hello.txt", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("hello.txt", []byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("hello.txt", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("hello.txt")
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("Read: %q, %v", got, err)
+	}
+	info, err := fs.Stat("hello.txt")
+	if err != nil || info.Size != 11 || info.Mode != 0o644 || info.Versions != 3 {
+		t.Errorf("Stat: %+v, %v", info, err)
+	}
+}
+
+func TestWriteAtAndTruncate(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Create("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAt("f", 4, []byte("ABCD")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.Read("f")
+	if !bytes.Equal(got, []byte("\x00\x00\x00\x00ABCD")) {
+		t.Fatalf("sparse write: %q", got)
+	}
+	if err := fs.Truncate("f", 6); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.Read("f")
+	if !bytes.Equal(got, []byte("\x00\x00\x00\x00AB")) {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if err := fs.WriteAt("f", 0, []byte("zz")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.Read("f")
+	if !bytes.Equal(got, []byte("zz\x00\x00AB")) {
+		t.Fatalf("overwrite: %q", got)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Create("", 0); !errors.Is(err, ErrBadName) {
+		t.Errorf("empty name: %v", err)
+	}
+	if err := fs.Create("dup", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("dup", 0); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := fs.Read("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing read: %v", err)
+	}
+}
+
+func TestVersionTravel(t *testing.T) {
+	fs, svc := newFS(t)
+	if err := fs.Create("doc", 0); err != nil {
+		t.Fatal(err)
+	}
+	versions := []string{"v1", "v2 longer", "v3"}
+	var stamps []int64
+	for _, v := range versions {
+		if err := fs.Truncate("doc", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Append("doc", []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		// Snapshot timestamp after each version (monotonic clock).
+		stamps = append(stamps, lastHistTS(t, svc))
+	}
+	for i, v := range versions {
+		got, err := fs.ReadAsOf("doc", stamps[i])
+		if err != nil || string(got) != v {
+			t.Errorf("version %d: %q, %v (want %q)", i, got, err, v)
+		}
+	}
+	// Current equals last version.
+	got, _ := fs.Read("doc")
+	if string(got) != "v3" {
+		t.Errorf("current: %q", got)
+	}
+}
+
+// lastHistTS returns the newest timestamp visible in the volume sequence.
+func lastHistTS(t *testing.T, svc *core.Service) int64 {
+	t.Helper()
+	c, err := svc.OpenCursor("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SeekEnd()
+	e, err := c.Prev()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Timestamp
+}
+
+func TestDeleteKeepsHistory(t *testing.T) {
+	fs, svc := newFS(t)
+	if err := fs.Create("gone", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("gone", []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	before := lastHistTS(t, svc)
+	if err := fs.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("gone"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("read after delete: %v", err)
+	}
+	names, _ := fs.List()
+	for _, n := range names {
+		if n == "gone" {
+			t.Error("deleted file still listed")
+		}
+	}
+	// But the old version is still there.
+	got, err := fs.ReadAsOf("gone", before)
+	if err != nil || string(got) != "precious" {
+		t.Errorf("ReadAsOf deleted file: %q, %v", got, err)
+	}
+}
+
+func TestCacheIsPure(t *testing.T) {
+	fs, _ := newFS(t)
+	files := []string{"a", "b", "c"}
+	for i, f := range files {
+		if err := fs.Create(f, uint16(i)); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 5; j++ {
+			if err := fs.Append(f, []byte(fmt.Sprintf("%s-%d;", f, j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var before [][]byte
+	for _, f := range files {
+		b, err := fs.Read(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = append(before, b)
+	}
+	fs.EvictCache()
+	for i, f := range files {
+		b, err := fs.Read(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, before[i]) {
+			t.Errorf("file %s differs after cache eviction", f)
+		}
+	}
+}
+
+func TestSurvivesServiceRecovery(t *testing.T) {
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
+	now := int64(0)
+	opt := core.Options{BlockSize: 512, Degree: 8,
+		Now: func() int64 { now += 1000; return now }}
+	svc, err := core.New(dev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(logapi.FromService(svc), "/histfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("persist", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("persist", []byte("data!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Force(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Crash()
+	svc2, err := core.Open([]wodev.Device{dev}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	fs2, err := New(logapi.FromService(svc2), "/histfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Read("persist")
+	if err != nil || string(got) != "data!" {
+		t.Fatalf("after recovery: %q, %v", got, err)
+	}
+	info, err := fs2.Stat("persist")
+	if err != nil || info.Mode != 0o600 {
+		t.Errorf("mode after recovery: %+v, %v", info, err)
+	}
+}
+
+func TestEscapedNames(t *testing.T) {
+	fs, _ := newFS(t)
+	name := "dir/sub/file%.txt"
+	if err := fs.Create(name, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(name, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.List()
+	if err != nil || len(names) != 1 || names[0] != name {
+		t.Errorf("List = %v, %v", names, err)
+	}
+}
+
+func TestSetMode(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Create("m", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetMode("m", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("m")
+	if info.Mode != 0o755 {
+		t.Errorf("mode = %o", info.Mode)
+	}
+}
+
+func TestReadAccessLogging(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Create("watched", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("watched", []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	// Reads are silent by default.
+	if _, err := fs.Read("watched"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs.ReadAccesses("watched"); n != 0 {
+		t.Errorf("accesses logged while disabled: %d", n)
+	}
+	fs.SetLogReads(true)
+	for i := 0; i < 3; i++ {
+		if _, err := fs.Read("watched"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := fs.ReadAccesses("watched")
+	if err != nil || n != 3 {
+		t.Fatalf("accesses = %d, %v", n, err)
+	}
+	// Access records do not perturb contents or replay.
+	fs.EvictCache()
+	got, err := fs.Read("watched")
+	if err != nil || string(got) != "secret" {
+		t.Fatalf("contents after access logging: %q, %v", got, err)
+	}
+}
+
+func TestHistfsOverTheNetwork(t *testing.T) {
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
+	now := int64(0)
+	svc, err := core.New(dev, core.Options{
+		BlockSize: 512, Degree: 8,
+		Now: func() int64 { now += 1000; return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := server.New(svc)
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	cl := client.New(cConn)
+	defer func() { cl.Close(); srv.Close() }()
+
+	rfs, err := New(logapi.FromClient(cl), "/histfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rfs.Create("remote.txt", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := rfs.Append("remote.txt", []byte("over the wire")); err != nil {
+		t.Fatal(err)
+	}
+	// A second agent on a fresh connection sees the same file.
+	cConn2, sConn2 := net.Pipe()
+	go srv.ServeConn(sConn2)
+	cl2 := client.New(cConn2)
+	defer cl2.Close()
+	rfs2, err := New(logapi.FromClient(cl2), "/histfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rfs2.Read("remote.txt")
+	if err != nil || string(got) != "over the wire" {
+		t.Fatalf("remote read: %q, %v", got, err)
+	}
+}

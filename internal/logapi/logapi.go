@@ -1,0 +1,217 @@
+// Package logapi defines the uniform client interface to a log service —
+// the paper's point that log files are "accessed and managed using the same
+// I/O and utility routines that are used to access and manage conventional
+// files" (§2), regardless of whether the service is in-process or across
+// the network.
+//
+// The history-based applications (internal/histfs, internal/mailstore,
+// internal/atomicfs) are written against Store, so the same application
+// code runs over a local core.Service or a network client.Client — the
+// paper's deployment, where "application programs and subsystems use log
+// services" through IPC.
+package logapi
+
+import (
+	"clio/internal/client"
+	"clio/internal/core"
+)
+
+// AppendOptions mirrors the service-side append options.
+type AppendOptions struct {
+	// Timestamped selects the full header form.
+	Timestamped bool
+	// Forced makes the write synchronous (durable on return).
+	Forced bool
+}
+
+// Entry is one log entry.
+type Entry struct {
+	LogID       uint16
+	Timestamp   int64
+	Timestamped bool
+	Forced      bool
+	Data        []byte
+	Block       int
+	Index       int
+	// ExtraIDs lists additional member log files (§2.1).
+	ExtraIDs []uint16
+}
+
+// MemberOf reports whether the entry belongs to the given log file,
+// considering multi-membership.
+func (e *Entry) MemberOf(id uint16) bool {
+	if e.LogID == id {
+		return true
+	}
+	for _, ex := range e.ExtraIDs {
+		if ex == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Cursor iterates a log file.
+type Cursor interface {
+	// Next returns the next entry, or io.EOF at the end.
+	Next() (*Entry, error)
+	// Prev returns the previous entry, or io.EOF at the beginning.
+	Prev() (*Entry, error)
+	// SeekStart positions before the first entry.
+	SeekStart() error
+	// SeekEnd positions after the last entry.
+	SeekEnd() error
+	// SeekTime positions so Next returns the first entry at/after ts.
+	SeekTime(ts int64) error
+	// Close releases the cursor.
+	Close() error
+}
+
+// Store is the log-service surface the applications need.
+type Store interface {
+	// CreateLog creates a log file at an absolute path (a sublog of its
+	// parent).
+	CreateLog(path string, perms uint16, owner string) (uint16, error)
+	// Resolve maps a path to a log-file id.
+	Resolve(path string) (uint16, error)
+	// List returns the sublog names beneath a path.
+	List(path string) ([]string, error)
+	// Append writes one entry and returns its server timestamp.
+	Append(id uint16, data []byte, opts AppendOptions) (int64, error)
+	// OpenCursor opens a cursor at the start of the log file at path.
+	OpenCursor(path string) (Cursor, error)
+}
+
+// MultiStore is implemented by stores that support multi-membership
+// appends (§2.1): one entry belonging to several log files. Both adapters
+// in this package implement it.
+type MultiStore interface {
+	Store
+	// AppendMulti writes one entry into every listed log file; ids[0] is
+	// the primary member.
+	AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error)
+}
+
+// FromService adapts an in-process core.Service.
+func FromService(svc *core.Service) Store { return serviceStore{svc} }
+
+type serviceStore struct{ svc *core.Service }
+
+func (s serviceStore) CreateLog(path string, perms uint16, owner string) (uint16, error) {
+	return s.svc.CreateLog(path, perms, owner)
+}
+
+func (s serviceStore) Resolve(path string) (uint16, error) { return s.svc.Resolve(path) }
+
+func (s serviceStore) List(path string) ([]string, error) { return s.svc.List(path) }
+
+func (s serviceStore) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
+	return s.svc.Append(id, data, core.AppendOptions{
+		Timestamped: opts.Timestamped, Forced: opts.Forced,
+	})
+}
+
+func (s serviceStore) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	return s.svc.AppendMulti(ids, data, core.AppendOptions{
+		Timestamped: opts.Timestamped, Forced: opts.Forced,
+	})
+}
+
+func (s serviceStore) OpenCursor(path string) (Cursor, error) {
+	cur, err := s.svc.OpenCursor(path)
+	if err != nil {
+		return nil, err
+	}
+	return serviceCursor{cur}, nil
+}
+
+type serviceCursor struct{ cur *core.Cursor }
+
+func (c serviceCursor) Next() (*Entry, error) { return convCore(c.cur.Next()) }
+func (c serviceCursor) Prev() (*Entry, error) { return convCore(c.cur.Prev()) }
+func (c serviceCursor) SeekStart() error      { c.cur.SeekStart(); return nil }
+func (c serviceCursor) SeekEnd() error        { c.cur.SeekEnd(); return nil }
+func (c serviceCursor) SeekTime(ts int64) error {
+	return c.cur.SeekTime(ts)
+}
+func (c serviceCursor) Close() error { return nil }
+
+func convCore(e *core.Entry, err error) (*Entry, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{
+		LogID:       e.LogID,
+		Timestamp:   e.Timestamp,
+		Timestamped: e.Timestamped,
+		Forced:      e.Forced,
+		Data:        e.Data,
+		Block:       e.Block,
+		Index:       e.Index,
+		ExtraIDs:    e.ExtraIDs,
+	}, nil
+}
+
+// FromClient adapts a network client.Client.
+func FromClient(cl *client.Client) Store { return clientStore{cl} }
+
+// Compile-time checks: both adapters support multi-membership.
+var (
+	_ MultiStore = serviceStore{}
+	_ MultiStore = clientStore{}
+)
+
+type clientStore struct{ cl *client.Client }
+
+func (s clientStore) CreateLog(path string, perms uint16, owner string) (uint16, error) {
+	return s.cl.CreateLog(path, perms, owner)
+}
+
+func (s clientStore) Resolve(path string) (uint16, error) { return s.cl.Resolve(path) }
+
+func (s clientStore) List(path string) ([]string, error) { return s.cl.List(path) }
+
+func (s clientStore) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
+	return s.cl.Append(id, data, client.AppendOptions{
+		Timestamped: opts.Timestamped, Forced: opts.Forced,
+	})
+}
+
+func (s clientStore) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	return s.cl.AppendMulti(ids, data, client.AppendOptions{
+		Timestamped: opts.Timestamped, Forced: opts.Forced,
+	})
+}
+
+func (s clientStore) OpenCursor(path string) (Cursor, error) {
+	cur, err := s.cl.OpenCursor(path)
+	if err != nil {
+		return nil, err
+	}
+	return clientCursor{cur}, nil
+}
+
+type clientCursor struct{ cur *client.Cursor }
+
+func (c clientCursor) Next() (*Entry, error)   { return convClient(c.cur.Next()) }
+func (c clientCursor) Prev() (*Entry, error)   { return convClient(c.cur.Prev()) }
+func (c clientCursor) SeekStart() error        { return c.cur.SeekStart() }
+func (c clientCursor) SeekEnd() error          { return c.cur.SeekEnd() }
+func (c clientCursor) SeekTime(ts int64) error { return c.cur.SeekTime(ts) }
+func (c clientCursor) Close() error            { return c.cur.Close() }
+
+func convClient(e *client.Entry, err error) (*Entry, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{
+		LogID:       e.LogID,
+		Timestamp:   e.Timestamp,
+		Timestamped: e.Timestamped,
+		Forced:      e.Forced,
+		Data:        e.Data,
+		Block:       e.Block,
+		Index:       e.Index,
+		ExtraIDs:    e.ExtraIDs,
+	}, nil
+}

@@ -1,0 +1,231 @@
+package mailstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"clio/internal/core"
+	"clio/internal/logapi"
+	"clio/internal/wodev"
+)
+
+func newStore(t *testing.T) (*Store, *core.Service, wodev.Device, core.Options) {
+	t.Helper()
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
+	now := int64(0)
+	opt := core.Options{BlockSize: 512, Degree: 8,
+		Now: func() int64 { now += 1000; return now }}
+	svc, err := core.New(dev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(logapi.FromService(svc), "/mail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, svc, dev, opt
+}
+
+func TestDeliverAndList(t *testing.T) {
+	st, svc, _, _ := newStore(t)
+	defer svc.Close()
+	if err := st.CreateMailbox("smith"); err != nil {
+		t.Fatal(err)
+	}
+	id1, err := st.Deliver("smith", "alice", "hi", "hello smith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := st.Deliver("smith", "bob", "re: hi", "hello again")
+	if err != nil || id2 <= id1 {
+		t.Fatalf("second delivery: %d, %v", id2, err)
+	}
+	msgs, err := st.List("smith", false)
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("List: %d msgs, %v", len(msgs), err)
+	}
+	if msgs[0].From != "alice" || msgs[0].Subject != "hi" || msgs[0].Body != "hello smith" {
+		t.Errorf("msg 0: %+v", msgs[0])
+	}
+	if msgs[0].Delivered != id1 {
+		t.Errorf("msg id: %d vs %d", msgs[0].Delivered, id1)
+	}
+}
+
+func TestUnknownMailbox(t *testing.T) {
+	st, svc, _, _ := newStore(t)
+	defer svc.Close()
+	if _, err := st.Deliver("ghost", "x", "y", "z"); !errors.Is(err, ErrNoMailbox) {
+		t.Errorf("deliver to ghost: %v", err)
+	}
+	if _, err := st.List("ghost", false); !errors.Is(err, ErrNoMailbox) {
+		t.Errorf("list ghost: %v", err)
+	}
+}
+
+func TestFlagsAndHiding(t *testing.T) {
+	st, svc, _, _ := newStore(t)
+	defer svc.Close()
+	if err := st.CreateMailbox("u"); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		id, err := st.Deliver("u", "from", fmt.Sprintf("s%d", i), "body")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := st.MarkRead("u", ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Hide("u", ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _ := st.List("u", false)
+	if len(msgs) != 2 {
+		t.Fatalf("visible: %d", len(msgs))
+	}
+	if !msgs[0].Read || msgs[0].Delivered != ids[0] {
+		t.Errorf("msg 0 flags: %+v", msgs[0])
+	}
+	all, _ := st.List("u", true)
+	if len(all) != 3 || !all[1].Hidden {
+		t.Errorf("all: %d, hidden=%v", len(all), all[1].Hidden)
+	}
+	if err := st.MarkRead("u", 424242); !errors.Is(err, ErrNoMessage) {
+		t.Errorf("flag unknown: %v", err)
+	}
+}
+
+func TestCacheRebuildFromHistory(t *testing.T) {
+	st, svc, _, _ := newStore(t)
+	defer svc.Close()
+	if err := st.CreateMailbox("u"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.Deliver("u", "a", "s", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.MarkRead("u", id); err != nil {
+		t.Fatal(err)
+	}
+	st.EvictCache()
+	msgs, err := st.List("u", true)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("after evict: %d, %v", len(msgs), err)
+	}
+	if !msgs[0].Read || msgs[0].From != "a" {
+		t.Errorf("rebuilt message: %+v", msgs[0])
+	}
+}
+
+func TestMailSurvivesCrash(t *testing.T) {
+	st, svc, dev, opt := newStore(t)
+	if err := st.CreateMailbox("u"); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for i := 0; i < 10; i++ {
+		id, err := st.Deliver("u", "postmaster", fmt.Sprintf("msg %d", i), "body body body")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	svc.Crash()
+	svc2, err := core.Open([]wodev.Device{dev}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	st2, err := New(logapi.FromService(svc2), "/mail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := st2.List("u", true)
+	if err != nil || len(msgs) != 10 {
+		t.Fatalf("after crash: %d msgs, %v", len(msgs), err)
+	}
+	for i, m := range msgs {
+		if m.Delivered != ids[i] || m.Subject != fmt.Sprintf("msg %d", i) {
+			t.Errorf("msg %d: %+v", i, m)
+		}
+	}
+	// The mail history remains appendable.
+	if _, err := st2.Deliver("u", "x", "new", "mail"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsersAndGet(t *testing.T) {
+	st, svc, _, _ := newStore(t)
+	defer svc.Close()
+	for _, u := range []string{"alice", "bob"} {
+		if err := st.CreateMailbox(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	users, err := st.Users()
+	if err != nil || fmt.Sprint(users) != "[alice bob]" {
+		t.Errorf("Users: %v, %v", users, err)
+	}
+	id, _ := st.Deliver("alice", "bob", "s", "b")
+	m, err := st.Get("alice", id)
+	if err != nil || m.From != "bob" {
+		t.Errorf("Get: %+v, %v", m, err)
+	}
+	if _, err := st.Get("alice", 1); !errors.Is(err, ErrNoMessage) {
+		t.Errorf("Get missing: %v", err)
+	}
+}
+
+func TestDeliverCC(t *testing.T) {
+	st, svc, _, _ := newStore(t)
+	defer svc.Close()
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if err := st.CreateMailbox(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := st.DeliverCC([]string{"alice", "bob"}, "carol", "meeting", "3pm in the lab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob"} {
+		msgs, err := st.List(u, false)
+		if err != nil || len(msgs) != 1 {
+			t.Fatalf("%s: %d msgs, %v", u, len(msgs), err)
+		}
+		if msgs[0].Delivered != id || msgs[0].Subject != "meeting" {
+			t.Errorf("%s: %+v", u, msgs[0])
+		}
+	}
+	if msgs, _ := st.List("carol", false); len(msgs) != 0 {
+		t.Errorf("carol got a copy: %d", len(msgs))
+	}
+	// The agents' caches rebuild the CC'd message from the single entry.
+	st.EvictCache()
+	for _, u := range []string{"alice", "bob"} {
+		msgs, err := st.List(u, false)
+		if err != nil || len(msgs) != 1 || msgs[0].Body != "3pm in the lab" {
+			t.Fatalf("%s after evict: %v, %v", u, msgs, err)
+		}
+	}
+	// Per-recipient flags stay independent.
+	if err := st.Hide("alice", id); err != nil {
+		t.Fatal(err)
+	}
+	if msgs, _ := st.List("alice", false); len(msgs) != 0 {
+		t.Error("alice still sees hidden CC")
+	}
+	if msgs, _ := st.List("bob", false); len(msgs) != 1 {
+		t.Error("bob lost the CC when alice hid hers")
+	}
+	if _, err := st.DeliverCC(nil, "x", "y", "z"); err == nil {
+		t.Error("empty recipient list accepted")
+	}
+}

@@ -1,0 +1,219 @@
+// Package server implements the extended-file-server side of Clio: a
+// message protocol exposing the log service to clients over a byte-stream
+// connection, mirroring the paper's V-System file server with attached log
+// devices (§2). The client side lives in internal/client.
+//
+// The paper's clients talk to the server with synchronous IPC; here a
+// request/response protocol runs over any net.Conn — a net.Pipe for the
+// same-machine case (the paper's 0.5–1 ms IPC) or TCP for the cross-machine
+// case (2.5–3 ms).
+//
+// Wire format: every message is a length-prefixed frame
+//
+//	u32 frameLen | u8 op | payload...
+//
+// with integers little-endian and strings/bytes length-prefixed by uvarint.
+// Responses reuse the frame with op = status code (ok / error / EOF).
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"clio/internal/wire"
+)
+
+// Request opcodes.
+const (
+	OpCreate      = 1
+	OpResolve     = 2
+	OpList        = 3
+	OpStat        = 4
+	OpSetPerms    = 5
+	OpRetire      = 6
+	OpAppend      = 7
+	OpCursorOpen  = 8
+	OpNext        = 9
+	OpPrev        = 10
+	OpSeekTime    = 11
+	OpSeekStart   = 12
+	OpSeekEnd     = 13
+	OpCursorEnd   = 14
+	OpReadAt      = 15
+	OpPing        = 16
+	OpStats       = 17
+	OpAppendMulti = 18
+	OpSeekPos     = 19
+)
+
+// Response status codes.
+const (
+	StatusOK  = 0
+	StatusErr = 1
+	StatusEOF = 2
+)
+
+// Append flag bits.
+const (
+	AppendTimestamped = 1 << 0
+	AppendForced      = 1 << 1
+)
+
+// Entry flag bits (in entry responses).
+const (
+	EntryTimestamped = 1 << 0
+	EntryForced      = 1 << 1
+)
+
+// MaxFrame bounds a single protocol frame.
+const MaxFrame = 8 << 20
+
+// ErrFrameTooLarge is returned for frames above MaxFrame.
+var ErrFrameTooLarge = errors.New("server: frame too large")
+
+// WriteFrame writes one length-prefixed frame (op byte + payload).
+func WriteFrame(w io.Writer, op byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, returning its op byte and payload.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Payload encoding helpers.
+
+// PutString appends a uvarint-length-prefixed string.
+func PutString(dst []byte, s string) []byte {
+	dst = wire.PutUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// PutBytes appends a uvarint-length-prefixed byte slice.
+func PutBytes(dst []byte, b []byte) []byte {
+	dst = wire.PutUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// Decoder consumes a payload front to back.
+type Decoder struct {
+	buf []byte
+}
+
+// NewDecoder wraps a payload.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err constructs the canonical malformed-payload error.
+func (d *Decoder) fail(what string) error {
+	return fmt.Errorf("server: malformed payload: %s", what)
+}
+
+// Uvarint consumes an unsigned varint.
+func (d *Decoder) Uvarint() (uint64, error) {
+	v, n, err := wire.Uvarint(d.buf)
+	if err != nil {
+		return 0, d.fail("uvarint")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+// Uint16 consumes a little-endian uint16.
+func (d *Decoder) Uint16() (uint16, error) {
+	v, err := wire.Uint16(d.buf)
+	if err != nil {
+		return 0, d.fail("uint16")
+	}
+	d.buf = d.buf[2:]
+	return v, nil
+}
+
+// Uint32 consumes a little-endian uint32.
+func (d *Decoder) Uint32() (uint32, error) {
+	v, err := wire.Uint32(d.buf)
+	if err != nil {
+		return 0, d.fail("uint32")
+	}
+	d.buf = d.buf[4:]
+	return v, nil
+}
+
+// Int64 consumes a little-endian int64.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := wire.Uint64(d.buf)
+	if err != nil {
+		return 0, d.fail("int64")
+	}
+	d.buf = d.buf[8:]
+	return int64(v), nil
+}
+
+// Byte consumes one byte.
+func (d *Decoder) Byte() (byte, error) {
+	if len(d.buf) < 1 {
+		return 0, d.fail("byte")
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+// String consumes a length-prefixed string.
+func (d *Decoder) String() (string, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.buf)) < n {
+		return "", d.fail("string body")
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+// Bytes consumes a length-prefixed byte slice (copied).
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(d.buf)) < n {
+		return nil, d.fail("bytes body")
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	d.buf = d.buf[n:]
+	return out, nil
+}
+
+// Remaining returns the unconsumed byte count.
+func (d *Decoder) Remaining() int { return len(d.buf) }

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpAppend, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, StatusOK, nil); err != nil {
+		t.Fatal(err)
+	}
+	op, p, err := ReadFrame(&buf)
+	if err != nil || op != OpAppend || string(p) != "payload" {
+		t.Fatalf("frame 1: %d %q %v", op, p, err)
+	}
+	op, p, err = ReadFrame(&buf)
+	if err != nil || op != StatusOK || len(p) != 0 {
+		t.Fatalf("frame 2: %d %q %v", op, p, err)
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, make([]byte, MaxFrame)); err != ErrFrameTooLarge {
+		t.Errorf("oversize write: %v", err)
+	}
+	// A poisoned length prefix must be rejected before allocation.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Errorf("oversize read: %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 7, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestFrameProperty(t *testing.T) {
+	f := func(op byte, payload []byte) bool {
+		if len(payload)+1 > MaxFrame {
+			return true
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, op, payload); err != nil {
+			return false
+		}
+		gotOp, gotP, err := ReadFrame(&buf)
+		return err == nil && gotOp == op && bytes.Equal(gotP, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderConsumesInOrder(t *testing.T) {
+	p := PutString(nil, "hello")
+	p = PutBytes(p, []byte{1, 2, 3})
+	var d *Decoder = NewDecoder(p)
+	s, err := d.String()
+	if err != nil || s != "hello" {
+		t.Fatalf("String: %q %v", s, err)
+	}
+	bts, err := d.Bytes()
+	if err != nil || !bytes.Equal(bts, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes: %v %v", bts, err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+	// Reading past the end fails cleanly.
+	if _, err := d.Byte(); err == nil {
+		t.Error("read past end accepted")
+	}
+	if _, err := d.Uint16(); err == nil {
+		t.Error("u16 past end accepted")
+	}
+	if _, err := d.Uint32(); err == nil {
+		t.Error("u32 past end accepted")
+	}
+	if _, err := d.Int64(); err == nil {
+		t.Error("i64 past end accepted")
+	}
+}
+
+func TestDecoderRejectsOversizeString(t *testing.T) {
+	// Length prefix claims more than available.
+	d := NewDecoder([]byte{200, 1, 'x'})
+	if _, err := d.String(); err == nil {
+		t.Error("oversize string accepted")
+	}
+}

@@ -1,0 +1,427 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"clio/internal/core"
+	"clio/internal/wire"
+)
+
+// Server serves the Clio protocol over stream connections, fronting one log
+// service (the paper's combined file server + log server, §2 and §6: "the
+// combined implementation allows for the sharing not only of hardware
+// resources, but also of code").
+type Server struct {
+	svc *core.Service
+	// Logf, when set, receives connection-level error logs.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	closed bool
+	lns    []net.Listener
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// New returns a server fronting svc.
+func New(svc *core.Service) *Server {
+	return &Server{svc: svc, conns: make(map[net.Conn]bool)}
+}
+
+// Service returns the underlying log service.
+func (s *Server) Service() *core.Service { return s.svc }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener closes. It returns the
+// listener's final error (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: closed")
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return errors.New("server: closed")
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops listeners and connections and waits for handlers to drain.
+// The underlying service is not closed; the owner does that.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lns := s.lns
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// ServeConn handles one connection until EOF or error. Exported so callers
+// can serve over a net.Pipe (the paper's same-machine IPC).
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	h := &connHandler{srv: s, cursors: make(map[uint32]*core.Cursor)}
+	for {
+		op, payload, err := ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("clio server: read: %v", err)
+			}
+			return
+		}
+		status, resp := h.handle(op, payload)
+		if err := WriteFrame(conn, status, resp); err != nil {
+			s.logf("clio server: write: %v", err)
+			return
+		}
+	}
+}
+
+type connHandler struct {
+	srv        *Server
+	cursors    map[uint32]*core.Cursor
+	nextCursor uint32
+}
+
+func errResp(err error) (byte, []byte) {
+	return StatusErr, PutString(nil, err.Error())
+}
+
+func (h *connHandler) handle(op byte, payload []byte) (byte, []byte) {
+	svc := h.srv.svc
+	d := NewDecoder(payload)
+	switch op {
+	case OpPing:
+		return StatusOK, nil
+
+	case OpCreate:
+		path, err := d.String()
+		if err != nil {
+			return errResp(err)
+		}
+		perms, err := d.Uint16()
+		if err != nil {
+			return errResp(err)
+		}
+		owner, err := d.String()
+		if err != nil {
+			return errResp(err)
+		}
+		id, err := svc.CreateLog(path, perms, owner)
+		if err != nil {
+			return errResp(err)
+		}
+		return StatusOK, wire.PutUint16(nil, id)
+
+	case OpResolve:
+		path, err := d.String()
+		if err != nil {
+			return errResp(err)
+		}
+		id, err := svc.Resolve(path)
+		if err != nil {
+			return errResp(err)
+		}
+		return StatusOK, wire.PutUint16(nil, id)
+
+	case OpList:
+		path, err := d.String()
+		if err != nil {
+			return errResp(err)
+		}
+		names, err := svc.List(path)
+		if err != nil {
+			return errResp(err)
+		}
+		out := wire.PutUvarint(nil, uint64(len(names)))
+		for _, n := range names {
+			out = PutString(out, n)
+		}
+		return StatusOK, out
+
+	case OpStat:
+		path, err := d.String()
+		if err != nil {
+			return errResp(err)
+		}
+		desc, err := svc.Stat(path)
+		if err != nil {
+			return errResp(err)
+		}
+		out := wire.PutUint16(nil, desc.ID)
+		out = wire.PutUint16(out, desc.Parent)
+		out = wire.PutUint16(out, desc.Perms)
+		out = wire.PutUint64(out, uint64(desc.Created))
+		out = PutString(out, desc.Name)
+		out = PutString(out, desc.Owner)
+		var flags byte
+		if desc.Retired {
+			flags |= 1
+		}
+		if desc.System {
+			flags |= 2
+		}
+		return StatusOK, append(out, flags)
+
+	case OpSetPerms:
+		path, err := d.String()
+		if err != nil {
+			return errResp(err)
+		}
+		perms, err := d.Uint16()
+		if err != nil {
+			return errResp(err)
+		}
+		if err := svc.SetPerms(path, perms); err != nil {
+			return errResp(err)
+		}
+		return StatusOK, nil
+
+	case OpRetire:
+		path, err := d.String()
+		if err != nil {
+			return errResp(err)
+		}
+		if err := svc.Retire(path); err != nil {
+			return errResp(err)
+		}
+		return StatusOK, nil
+
+	case OpAppend:
+		id, err := d.Uint16()
+		if err != nil {
+			return errResp(err)
+		}
+		flags, err := d.Byte()
+		if err != nil {
+			return errResp(err)
+		}
+		data, err := d.Bytes()
+		if err != nil {
+			return errResp(err)
+		}
+		ts, err := svc.Append(id, data, core.AppendOptions{
+			Timestamped: flags&AppendTimestamped != 0,
+			Forced:      flags&AppendForced != 0,
+		})
+		if err != nil {
+			return errResp(err)
+		}
+		return StatusOK, wire.PutUint64(nil, uint64(ts))
+
+	case OpAppendMulti:
+		nIDs, err := d.Uvarint()
+		if err != nil {
+			return errResp(err)
+		}
+		if nIDs == 0 || nIDs > 64 {
+			return errResp(fmt.Errorf("server: bad member count %d", nIDs))
+		}
+		ids := make([]uint16, nIDs)
+		for i := range ids {
+			if ids[i], err = d.Uint16(); err != nil {
+				return errResp(err)
+			}
+		}
+		flags, err := d.Byte()
+		if err != nil {
+			return errResp(err)
+		}
+		data, err := d.Bytes()
+		if err != nil {
+			return errResp(err)
+		}
+		ts, err := svc.AppendMulti(ids, data, core.AppendOptions{
+			Timestamped: flags&AppendTimestamped != 0,
+			Forced:      flags&AppendForced != 0,
+		})
+		if err != nil {
+			return errResp(err)
+		}
+		return StatusOK, wire.PutUint64(nil, uint64(ts))
+
+	case OpCursorOpen:
+		path, err := d.String()
+		if err != nil {
+			return errResp(err)
+		}
+		cur, err := svc.OpenCursor(path)
+		if err != nil {
+			return errResp(err)
+		}
+		h.nextCursor++
+		h.cursors[h.nextCursor] = cur
+		return StatusOK, wire.PutUint32(nil, h.nextCursor)
+
+	case OpNext, OpPrev:
+		cur, err := h.cursor(d)
+		if err != nil {
+			return errResp(err)
+		}
+		var e *core.Entry
+		if op == OpNext {
+			e, err = cur.Next()
+		} else {
+			e, err = cur.Prev()
+		}
+		if err == io.EOF {
+			return StatusEOF, nil
+		}
+		if err != nil {
+			return errResp(err)
+		}
+		return StatusOK, encodeEntry(e)
+
+	case OpSeekTime:
+		cur, err := h.cursor(d)
+		if err != nil {
+			return errResp(err)
+		}
+		ts, err := d.Int64()
+		if err != nil {
+			return errResp(err)
+		}
+		if err := cur.SeekTime(ts); err != nil {
+			return errResp(err)
+		}
+		return StatusOK, nil
+
+	case OpSeekStart, OpSeekEnd:
+		cur, err := h.cursor(d)
+		if err != nil {
+			return errResp(err)
+		}
+		if op == OpSeekStart {
+			cur.SeekStart()
+		} else {
+			cur.SeekEnd()
+		}
+		return StatusOK, nil
+
+	case OpSeekPos:
+		cur, err := h.cursor(d)
+		if err != nil {
+			return errResp(err)
+		}
+		block, err := d.Uvarint()
+		if err != nil {
+			return errResp(err)
+		}
+		rec, err := d.Uvarint()
+		if err != nil {
+			return errResp(err)
+		}
+		if err := cur.SeekPos(int(block), int(rec)); err != nil {
+			return errResp(err)
+		}
+		return StatusOK, nil
+
+	case OpCursorEnd:
+		handle, err := d.Uvarint()
+		if err != nil {
+			return errResp(err)
+		}
+		delete(h.cursors, uint32(handle))
+		return StatusOK, nil
+
+	case OpReadAt:
+		block, err := d.Uvarint()
+		if err != nil {
+			return errResp(err)
+		}
+		index, err := d.Uvarint()
+		if err != nil {
+			return errResp(err)
+		}
+		e, err := svc.ReadAt(int(block), int(index))
+		if err != nil {
+			return errResp(err)
+		}
+		return StatusOK, encodeEntry(e)
+
+	case OpStats:
+		st := svc.Stats()
+		out := wire.PutUint64(nil, uint64(st.EntriesAppended))
+		out = wire.PutUint64(out, uint64(st.BlocksSealed))
+		out = wire.PutUint64(out, uint64(st.ClientBytes))
+		out = wire.PutUint64(out, uint64(svc.End()))
+		return StatusOK, out
+
+	default:
+		return errResp(fmt.Errorf("server: unknown op %d", op))
+	}
+}
+
+func (h *connHandler) cursor(d *Decoder) (*core.Cursor, error) {
+	handle, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	cur, ok := h.cursors[uint32(handle)]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown cursor handle %d", handle)
+	}
+	return cur, nil
+}
+
+func encodeEntry(e *core.Entry) []byte {
+	out := wire.PutUint16(nil, e.LogID)
+	out = wire.PutUint64(out, uint64(e.Timestamp))
+	var flags byte
+	if e.Timestamped {
+		flags |= EntryTimestamped
+	}
+	if e.Forced {
+		flags |= EntryForced
+	}
+	out = append(out, flags)
+	out = wire.PutUvarint(out, uint64(e.Block))
+	out = wire.PutUvarint(out, uint64(e.Index))
+	out = wire.PutUvarint(out, uint64(len(e.ExtraIDs)))
+	for _, id := range e.ExtraIDs {
+		out = wire.PutUint16(out, id)
+	}
+	return PutBytes(out, e.Data)
+}

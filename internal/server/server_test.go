@@ -1,0 +1,147 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"clio/internal/core"
+	"clio/internal/wire"
+	"clio/internal/wodev"
+)
+
+func testServer(t *testing.T) (*Server, net.Conn) {
+	t.Helper()
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 12})
+	now := int64(0)
+	svc, err := core.New(dev, core.Options{
+		BlockSize: 512, Degree: 8,
+		Now: func() int64 { now += 1000; return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(svc)
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	t.Cleanup(func() { cConn.Close(); srv.Close(); svc.Close() })
+	return srv, cConn
+}
+
+// roundTrip sends one raw frame and returns the response.
+func roundTrip(t *testing.T, conn net.Conn, op byte, payload []byte) (byte, []byte) {
+	t.Helper()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := WriteFrame(conn, op, payload); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return status, resp
+}
+
+func TestMalformedPayloadsReturnErrors(t *testing.T) {
+	_, conn := testServer(t)
+	cases := []struct {
+		name    string
+		op      byte
+		payload []byte
+	}{
+		{"unknown op", 200, nil},
+		{"create empty", OpCreate, nil},
+		{"create truncated", OpCreate, PutString(nil, "/x")},
+		{"append no body", OpAppend, []byte{1}},
+		{"append truncated data", OpAppend, append(wire.PutUint16(nil, 4), 0, 255)},
+		{"next bad handle varint", OpNext, []byte{0xFF}},
+		{"next unknown handle", OpNext, wire.PutUvarint(nil, 999)},
+		{"seek missing ts", OpSeekTime, wire.PutUvarint(nil, 1)},
+		{"stat empty", OpStat, nil},
+		{"readat empty", OpReadAt, nil},
+	}
+	for _, c := range cases {
+		status, resp := roundTrip(t, conn, c.op, c.payload)
+		if status != StatusErr {
+			t.Errorf("%s: status %d, want error", c.name, status)
+			continue
+		}
+		d := NewDecoder(resp)
+		if msg, err := d.String(); err != nil || msg == "" {
+			t.Errorf("%s: bad error message %q %v", c.name, msg, err)
+		}
+	}
+	// The connection remains usable after every malformed request.
+	if status, _ := roundTrip(t, conn, OpPing, nil); status != StatusOK {
+		t.Error("connection dead after malformed requests")
+	}
+}
+
+func TestServerCursorLifecycle(t *testing.T) {
+	_, conn := testServer(t)
+	p := PutString(nil, "/l")
+	p = wire.PutUint16(p, 0)
+	p = PutString(p, "")
+	if status, _ := roundTrip(t, conn, OpCreate, p); status != StatusOK {
+		t.Fatal("create failed")
+	}
+	status, resp := roundTrip(t, conn, OpCursorOpen, PutString(nil, "/l"))
+	if status != StatusOK {
+		t.Fatal("cursor open failed")
+	}
+	handle, err := NewDecoder(resp).Uint32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty log: EOF.
+	if status, _ := roundTrip(t, conn, OpNext, wire.PutUvarint(nil, uint64(handle))); status != StatusEOF {
+		t.Errorf("Next on empty: %d", status)
+	}
+	// Close then reuse: error.
+	if status, _ := roundTrip(t, conn, OpCursorEnd, wire.PutUvarint(nil, uint64(handle))); status != StatusOK {
+		t.Error("cursor close failed")
+	}
+	status, resp = roundTrip(t, conn, OpNext, wire.PutUvarint(nil, uint64(handle)))
+	if status != StatusErr {
+		t.Errorf("Next after close: %d", status)
+	}
+	msg, _ := NewDecoder(resp).String()
+	if !strings.Contains(msg, "unknown cursor") {
+		t.Errorf("error = %q", msg)
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 256})
+	now := int64(0)
+	svc, err := core.New(dev, core.Options{BlockSize: 512, Degree: 8,
+		Now: func() int64 { now += 1000; return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := New(svc)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	if err := srv.Serve(ln); err == nil {
+		t.Error("Serve after Close accepted")
+	}
+}

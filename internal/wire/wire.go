@@ -1,0 +1,208 @@
+// Package wire provides the low-level binary encoding primitives shared by
+// the on-disk formats of the Clio log service: fixed-width little-endian
+// integers, 12-bit log-file-id packing, unsigned varints, CRC-32 block
+// checksums, and the fixed-size bitmaps used by entrymap log entries.
+//
+// Everything in this package is deterministic and allocation-conscious; the
+// append-style encoders follow the standard library convention of appending
+// to a caller-supplied slice and returning the extended slice.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Errors returned by decoders.
+var (
+	// ErrShortBuffer indicates the input ended before a complete value.
+	ErrShortBuffer = errors.New("wire: short buffer")
+	// ErrOverflow indicates a varint exceeded 64 bits.
+	ErrOverflow = errors.New("wire: varint overflows uint64")
+	// ErrIDRange indicates a log-file id outside the 12-bit space.
+	ErrIDRange = errors.New("wire: log-file id out of 12-bit range")
+)
+
+// MaxLogID is the largest representable local log-file id. The paper's
+// minimal entry header dedicates 12 bits to the local-logfile-id, so a
+// volume sequence can name at most 4096 log files.
+const MaxLogID = 0xFFF
+
+// PutUint16 appends v in little-endian order.
+func PutUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+
+// Uint16 decodes a little-endian uint16 from the front of b.
+func Uint16(b []byte) (uint16, error) {
+	if len(b) < 2 {
+		return 0, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+// PutUint32 appends v in little-endian order.
+func PutUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// Uint32 decodes a little-endian uint32 from the front of b.
+func Uint32(b []byte) (uint32, error) {
+	if len(b) < 4 {
+		return 0, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// PutUint64 appends v in little-endian order.
+func PutUint64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// Uint64 decodes a little-endian uint64 from the front of b.
+func Uint64(b []byte) (uint64, error) {
+	if len(b) < 8 {
+		return 0, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// PutUvarint appends v using the standard varint encoding.
+func PutUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// Uvarint decodes a varint from the front of b, returning the value and the
+// number of bytes consumed.
+func Uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	switch {
+	case n == 0:
+		return 0, 0, ErrShortBuffer
+	case n < 0:
+		return 0, 0, ErrOverflow
+	}
+	return v, n, nil
+}
+
+// PackVerID packs a 4-bit header version and a 12-bit log-file id into the
+// two leading bytes of the paper's minimal entry header.
+func PackVerID(version uint8, id uint16) ([2]byte, error) {
+	var out [2]byte
+	if version > 0xF {
+		return out, fmt.Errorf("wire: header version %d out of 4-bit range", version)
+	}
+	if id > MaxLogID {
+		return out, ErrIDRange
+	}
+	v := uint16(version)<<12 | id
+	out[0] = byte(v)
+	out[1] = byte(v >> 8)
+	return out, nil
+}
+
+// UnpackVerID is the inverse of PackVerID.
+func UnpackVerID(b []byte) (version uint8, id uint16, err error) {
+	if len(b) < 2 {
+		return 0, 0, ErrShortBuffer
+	}
+	v := binary.LittleEndian.Uint16(b)
+	return uint8(v >> 12), v & MaxLogID, nil
+}
+
+// castagnoliTable is the CRC-32C table used for block checksums.
+var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC-32C of b.
+func Checksum(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoliTable)
+}
+
+// Bitmap is a little-endian fixed-capacity bitset, as carried inside an
+// entrymap log entry: bit i set means "group i of the covered span contains
+// at least one entry of the log file in question".
+type Bitmap []byte
+
+// NewBitmap returns an all-zero bitmap with capacity for n bits.
+func NewBitmap(n int) Bitmap {
+	return make(Bitmap, (n+7)/8)
+}
+
+// Set marks bit i.
+func (m Bitmap) Set(i int) {
+	m[i/8] |= 1 << (uint(i) % 8)
+}
+
+// Clear unmarks bit i.
+func (m Bitmap) Clear(i int) {
+	m[i/8] &^= 1 << (uint(i) % 8)
+}
+
+// Get reports whether bit i is set.
+func (m Bitmap) Get(i int) bool {
+	return m[i/8]&(1<<(uint(i)%8)) != 0
+}
+
+// Len returns the bit capacity of the map.
+func (m Bitmap) Len() int { return len(m) * 8 }
+
+// Empty reports whether no bit is set.
+func (m Bitmap) Empty() bool {
+	for _, b := range m {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LastSet returns the index of the highest set bit < before, or -1 if none.
+// Pass before = m.Len() to search the whole map.
+func (m Bitmap) LastSet(before int) int {
+	if before > m.Len() {
+		before = m.Len()
+	}
+	for i := before - 1; i >= 0; i-- {
+		if m.Get(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// FirstSet returns the index of the lowest set bit >= from, or -1 if none.
+func (m Bitmap) FirstSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < m.Len(); i++ {
+		if m.Get(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns an independent copy of the bitmap.
+func (m Bitmap) Clone() Bitmap {
+	out := make(Bitmap, len(m))
+	copy(out, m)
+	return out
+}
+
+// String renders the bitmap as a 0/1 string, lowest bit first, for debugging.
+func (m Bitmap) String() string {
+	out := make([]byte, m.Len())
+	for i := 0; i < m.Len(); i++ {
+		if m.Get(i) {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

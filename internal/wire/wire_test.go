@@ -1,0 +1,226 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint16RoundTrip(t *testing.T) {
+	for _, v := range []uint16{0, 1, 0x7FFF, 0x8000, 0xFFFF} {
+		b := PutUint16(nil, v)
+		if len(b) != 2 {
+			t.Fatalf("PutUint16 wrote %d bytes", len(b))
+		}
+		got, err := Uint16(b)
+		if err != nil {
+			t.Fatalf("Uint16: %v", err)
+		}
+		if got != v {
+			t.Errorf("round trip %#x -> %#x", v, got)
+		}
+	}
+}
+
+func TestUint16Short(t *testing.T) {
+	if _, err := Uint16([]byte{1}); err != ErrShortBuffer {
+		t.Errorf("want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestUint32RoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0xDEADBEEF, 0xFFFFFFFF} {
+		b := PutUint32(nil, v)
+		got, err := Uint32(b)
+		if err != nil || got != v {
+			t.Errorf("round trip %#x -> %#x err=%v", v, got, err)
+		}
+	}
+	if _, err := Uint32([]byte{1, 2, 3}); err != ErrShortBuffer {
+		t.Errorf("want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := PutUint64(nil, v)
+		got, err := Uint64(b)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := Uint64(make([]byte, 7)); err != ErrShortBuffer {
+		t.Errorf("want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := PutUvarint(nil, v)
+		got, n, err := Uvarint(b)
+		return err == nil && got == v && n == len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintErrors(t *testing.T) {
+	if _, _, err := Uvarint(nil); err != ErrShortBuffer {
+		t.Errorf("empty: want ErrShortBuffer, got %v", err)
+	}
+	over := bytes.Repeat([]byte{0xFF}, 10)
+	over = append(over, 1)
+	if _, _, err := Uvarint(over); err != ErrOverflow {
+		t.Errorf("overlong: want ErrOverflow, got %v", err)
+	}
+}
+
+func TestPackVerIDRoundTrip(t *testing.T) {
+	for ver := uint8(0); ver <= 0xF; ver++ {
+		for _, id := range []uint16{0, 1, 42, 0xABC, MaxLogID} {
+			packed, err := PackVerID(ver, id)
+			if err != nil {
+				t.Fatalf("PackVerID(%d,%d): %v", ver, id, err)
+			}
+			gotVer, gotID, err := UnpackVerID(packed[:])
+			if err != nil {
+				t.Fatalf("UnpackVerID: %v", err)
+			}
+			if gotVer != ver || gotID != id {
+				t.Errorf("round trip (%d,%d) -> (%d,%d)", ver, id, gotVer, gotID)
+			}
+		}
+	}
+}
+
+func TestPackVerIDRange(t *testing.T) {
+	if _, err := PackVerID(16, 0); err == nil {
+		t.Error("version 16 accepted")
+	}
+	if _, err := PackVerID(0, MaxLogID+1); err != ErrIDRange {
+		t.Errorf("id 4096: want ErrIDRange, got %v", err)
+	}
+	if _, _, err := UnpackVerID([]byte{1}); err != ErrShortBuffer {
+		t.Errorf("short unpack: want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestChecksumDistinguishes(t *testing.T) {
+	a := Checksum([]byte("hello"))
+	b := Checksum([]byte("hellp"))
+	if a == b {
+		t.Error("checksum collision on 1-byte difference")
+	}
+	if Checksum(nil) != Checksum([]byte{}) {
+		t.Error("nil and empty differ")
+	}
+}
+
+func TestBitmapSetGetClear(t *testing.T) {
+	m := NewBitmap(16)
+	if m.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", m.Len())
+	}
+	if !m.Empty() {
+		t.Error("new bitmap not empty")
+	}
+	m.Set(0)
+	m.Set(7)
+	m.Set(8)
+	m.Set(15)
+	for i := 0; i < 16; i++ {
+		want := i == 0 || i == 7 || i == 8 || i == 15
+		if m.Get(i) != want {
+			t.Errorf("bit %d = %v, want %v", i, m.Get(i), want)
+		}
+	}
+	m.Clear(7)
+	if m.Get(7) {
+		t.Error("bit 7 still set after Clear")
+	}
+	if m.Empty() {
+		t.Error("bitmap reports empty with bits set")
+	}
+}
+
+func TestBitmapRoundedCapacity(t *testing.T) {
+	m := NewBitmap(12)
+	if m.Len() != 16 {
+		t.Errorf("capacity for 12 bits = %d, want 16 (rounded to bytes)", m.Len())
+	}
+}
+
+func TestBitmapLastSet(t *testing.T) {
+	m := NewBitmap(32)
+	if m.LastSet(32) != -1 {
+		t.Error("LastSet on empty != -1")
+	}
+	m.Set(3)
+	m.Set(17)
+	cases := []struct{ before, want int }{
+		{32, 17}, {18, 17}, {17, 3}, {4, 3}, {3, -1}, {0, -1}, {100, 17},
+	}
+	for _, c := range cases {
+		if got := m.LastSet(c.before); got != c.want {
+			t.Errorf("LastSet(%d) = %d, want %d", c.before, got, c.want)
+		}
+	}
+}
+
+func TestBitmapFirstSet(t *testing.T) {
+	m := NewBitmap(32)
+	if m.FirstSet(0) != -1 {
+		t.Error("FirstSet on empty != -1")
+	}
+	m.Set(5)
+	m.Set(20)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 20}, {20, 20}, {21, -1}, {-3, 5},
+	}
+	for _, c := range cases {
+		if got := m.FirstSet(c.from); got != c.want {
+			t.Errorf("FirstSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestBitmapCloneIndependent(t *testing.T) {
+	m := NewBitmap(8)
+	m.Set(1)
+	c := m.Clone()
+	c.Set(2)
+	if m.Get(2) {
+		t.Error("clone shares storage with original")
+	}
+	if !c.Get(1) {
+		t.Error("clone lost original bit")
+	}
+}
+
+func TestBitmapString(t *testing.T) {
+	m := NewBitmap(8)
+	m.Set(0)
+	m.Set(6)
+	if got := m.String(); got != "10000010" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBitmapProperty(t *testing.T) {
+	// Setting then clearing any subset leaves the map empty.
+	f := func(bits []uint8) bool {
+		m := NewBitmap(256)
+		for _, b := range bits {
+			m.Set(int(b))
+		}
+		for _, b := range bits {
+			m.Clear(int(b))
+		}
+		return m.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

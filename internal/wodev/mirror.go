@@ -1,0 +1,167 @@
+package wodev
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mirror is device-level replication — the paper notes its design "does not
+// preclude the possibility of replication occurring at the log device level
+// (that is, with mirrored disks)" (§5, footnote 11). Writes go to every
+// replica; reads are served by the primary, falling over per block to a
+// replica when the primary's copy is unreadable or damaged, so a mirrored
+// volume survives block loss that would lose entries on a single device.
+//
+// The mirror validates reads only to the extent the device can (unwritten/
+// invalidated); garbage with a clean device read is detected by the block
+// parser above, so ReadValidated lets callers supply that check.
+type Mirror struct {
+	replicas []Device
+}
+
+// NewMirror mirrors the given devices; all must share geometry.
+func NewMirror(replicas ...Device) (*Mirror, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("wodev: mirror needs at least one replica")
+	}
+	for _, d := range replicas[1:] {
+		if d.BlockSize() != replicas[0].BlockSize() || d.Capacity() != replicas[0].Capacity() {
+			return nil, errors.New("wodev: mirror replicas must share geometry")
+		}
+	}
+	return &Mirror{replicas: replicas}, nil
+}
+
+// BlockSize implements Device.
+func (m *Mirror) BlockSize() int { return m.replicas[0].BlockSize() }
+
+// Capacity implements Device.
+func (m *Mirror) Capacity() int { return m.replicas[0].Capacity() }
+
+// Written implements Device: the minimum across replicas (a block is only
+// durable once every replica has it).
+func (m *Mirror) Written() int {
+	min := -1
+	for _, d := range m.replicas {
+		w := d.Written()
+		if w == EndUnknown {
+			return EndUnknown
+		}
+		if min == -1 || w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+// ReadBlock implements Device: primary first, replicas on failure.
+func (m *Mirror) ReadBlock(idx int, dst []byte) error {
+	var firstErr error
+	for _, d := range m.replicas {
+		err := d.ReadBlock(idx, dst)
+		if err == nil {
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// ErrUnwritten on the primary is authoritative (replicas can only
+		// be behind, never ahead, for sealed blocks).
+		if errors.Is(err, ErrUnwritten) {
+			return err
+		}
+	}
+	return firstErr
+}
+
+// ReadValidated reads block idx, trying each replica until `valid` accepts
+// the contents — the hook a caller uses to route around silent corruption
+// that only the block checksum can detect.
+func (m *Mirror) ReadValidated(idx int, dst []byte, valid func([]byte) bool) error {
+	var firstErr error
+	for _, d := range m.replicas {
+		err := d.ReadBlock(idx, dst)
+		if err == nil && valid(dst) {
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("wodev: replica copy of block %d failed validation", idx)
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// AppendBlock implements Device: all replicas must accept the block.
+func (m *Mirror) AppendBlock(data []byte) (int, error) {
+	idx := -1
+	for i, d := range m.replicas {
+		got, err := d.AppendBlock(data)
+		if err != nil {
+			return got, fmt.Errorf("wodev: mirror replica %d: %w", i, err)
+		}
+		if idx == -1 {
+			idx = got
+		} else if got != idx {
+			return idx, fmt.Errorf("wodev: mirror replicas diverged: %d vs %d", idx, got)
+		}
+	}
+	return idx, nil
+}
+
+// WriteAt implements Device.
+func (m *Mirror) WriteAt(idx int, data []byte) error {
+	for i, d := range m.replicas {
+		if err := d.WriteAt(idx, data); err != nil {
+			return fmt.Errorf("wodev: mirror replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Invalidate implements Device.
+func (m *Mirror) Invalidate(idx int) error {
+	for i, d := range m.replicas {
+		if err := d.Invalidate(idx); err != nil {
+			return fmt.Errorf("wodev: mirror replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats implements Device: summed across replicas.
+func (m *Mirror) Stats() Stats {
+	var out Stats
+	for _, d := range m.replicas {
+		s := d.Stats()
+		out.Reads += s.Reads
+		out.Appends += s.Appends
+		out.Invalidations += s.Invalidations
+		out.Seeks += s.Seeks
+		out.Probes += s.Probes
+	}
+	return out
+}
+
+// ResetStats implements Device.
+func (m *Mirror) ResetStats() {
+	for _, d := range m.replicas {
+		d.ResetStats()
+	}
+}
+
+// Close implements Device.
+func (m *Mirror) Close() error {
+	var firstErr error
+	for _, d := range m.replicas {
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Replica returns the i-th underlying device (for tests injecting damage).
+func (m *Mirror) Replica(i int) Device { return m.replicas[i] }

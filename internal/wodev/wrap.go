@@ -1,0 +1,142 @@
+package wodev
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"clio/internal/vclock"
+)
+
+// Timed wraps a Device and charges a virtual clock for each operation using
+// the paper's optical-disk cost model: a cold block read costs a seek plus
+// transfer time; appends are sequential (the write head is always at the end
+// of the written portion, §2.1) and charge transfer time only.
+type Timed struct {
+	Device
+	Clock *vclock.Clock
+}
+
+// NewTimed wraps dev with virtual-clock charging.
+func NewTimed(dev Device, clk *vclock.Clock) *Timed {
+	return &Timed{Device: dev, Clock: clk}
+}
+
+// ReadBlock charges a device read then delegates.
+func (t *Timed) ReadBlock(idx int, dst []byte) error {
+	t.Clock.ChargeDeviceRead(t.Device.BlockSize())
+	return t.Device.ReadBlock(idx, dst)
+}
+
+// ReadValidated charges a device read and delegates to a validating
+// replica read when the wrapped device is a Mirror.
+func (t *Timed) ReadValidated(idx int, dst []byte, valid func([]byte) bool) error {
+	t.Clock.ChargeDeviceRead(t.Device.BlockSize())
+	if m, ok := t.Device.(interface {
+		ReadValidated(int, []byte, func([]byte) bool) error
+	}); ok {
+		return m.ReadValidated(idx, dst, valid)
+	}
+	if err := t.Device.ReadBlock(idx, dst); err != nil {
+		return err
+	}
+	if !valid(dst) {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// AppendBlock charges transfer time then delegates.
+func (t *Timed) AppendBlock(data []byte) (int, error) {
+	t.Clock.Charge(vclock.CatTransfer,
+		t.Clock.Model().DeviceReadPerKB*time.Duration(len(data))/1024)
+	return t.Device.AppendBlock(data)
+}
+
+// Damager is implemented by devices that support fault injection.
+type Damager interface {
+	Damage(idx int, garbage []byte) error
+}
+
+// Faulty wraps a Device with scripted fault injection for the §2.3.2
+// experiments: after arming, the next appends scribble garbage instead of (or
+// in addition to) writing, and chosen unwritten blocks are pre-damaged so the
+// writer must invalidate and skip them.
+type Faulty struct {
+	Device
+	mu sync.Mutex
+	// garbageEvery > 0 damages every k-th appended block after the fact,
+	// simulating a failure that wrote garbage to the volume.
+	garbageEvery int
+	appendCount  int
+	rng          *rand.Rand
+	damaged      []int // indices damaged post-append, for test assertions
+}
+
+// NewFaulty wraps dev (which must implement Damager, as MemDevice does).
+func NewFaulty(dev Device, seed int64) *Faulty {
+	return &Faulty{Device: dev, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetGarbageEvery arms the wrapper to damage every k-th appended block
+// (k <= 0 disarms).
+func (f *Faulty) SetGarbageEvery(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.garbageEvery = k
+}
+
+// DamageUnwritten pre-damages an unwritten block so that the append that
+// reaches it fails with ErrCorrupt.
+func (f *Faulty) DamageUnwritten(idx int) error {
+	d, ok := f.Device.(Damager)
+	if !ok {
+		return ErrOutOfRange
+	}
+	return d.Damage(idx, nil)
+}
+
+// Damaged returns the indices of blocks this wrapper damaged after append.
+func (f *Faulty) Damaged() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, len(f.damaged))
+	copy(out, f.damaged)
+	return out
+}
+
+// AppendBlock appends and, when armed, immediately damages the block.
+func (f *Faulty) AppendBlock(data []byte) (int, error) {
+	idx, err := f.Device.AppendBlock(data)
+	if err != nil {
+		return idx, err
+	}
+	return idx, f.maybeDamage(idx)
+}
+
+// WriteAt writes and, when armed, immediately damages the block.
+func (f *Faulty) WriteAt(idx int, data []byte) error {
+	if err := f.Device.WriteAt(idx, data); err != nil {
+		return err
+	}
+	return f.maybeDamage(idx)
+}
+
+func (f *Faulty) maybeDamage(idx int) error {
+	f.mu.Lock()
+	f.appendCount++
+	hit := f.garbageEvery > 0 && f.appendCount%f.garbageEvery == 0
+	var garbage []byte
+	if hit {
+		f.damaged = append(f.damaged, idx)
+		garbage = make([]byte, f.Device.BlockSize())
+		f.rng.Read(garbage)
+	}
+	f.mu.Unlock()
+	if hit {
+		if d, ok := f.Device.(Damager); ok {
+			return d.Damage(idx, garbage)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package clio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"clio/internal/core"
+	"clio/internal/volume"
+	"clio/internal/wodev"
+)
+
+// Directory layout for file-backed stores: one file per volume plus an
+// NVRAM sidecar. The volume files enforce the append-only policy in
+// software — "the append-only storage model is appropriate even if the
+// backing storage medium happens to be rewriteable" (§6).
+const (
+	volPrefix = "vol-"
+	volSuffix = ".clio"
+	nvramFile = "nvram.clio"
+)
+
+// DirOptions configures a file-backed store.
+type DirOptions struct {
+	// Options embeds the service options. NVRAM and Allocate are set by the
+	// helpers and must be left nil.
+	Options
+	// VolumeBlocks is the capacity of each volume file in blocks; defaults
+	// to 1<<20 (1 GiB at the default block size, the capacity class of a
+	// 12" optical platter side).
+	VolumeBlocks int
+	// SyncEvery makes every sealed block fsync.
+	SyncEvery bool
+}
+
+func volPath(dir string, index uint32) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", volPrefix, index, volSuffix))
+}
+
+func (o DirOptions) withDefaults() DirOptions {
+	if o.VolumeBlocks <= 0 {
+		o.VolumeBlocks = 1 << 20
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = wodev.DefaultBlockSize
+	}
+	return o
+}
+
+// dirAllocator mints successor volume files in dir.
+func dirAllocator(dir string, o DirOptions) Allocator {
+	return func(_ volume.SeqID, index uint32, _ uint64, blockSize int) (wodev.Device, error) {
+		return wodev.OpenFile(volPath(dir, index), wodev.FileOptions{
+			BlockSize: blockSize,
+			Capacity:  o.VolumeBlocks,
+			SyncEvery: o.SyncEvery,
+		})
+	}
+}
+
+// CreateDir initializes a new file-backed log store in dir (created if
+// needed, which must not already contain a store) and returns the running
+// service.
+func CreateDir(dir string, o DirOptions) (*Service, error) {
+	o = o.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if names, err := listVolumes(dir); err != nil {
+		return nil, err
+	} else if len(names) > 0 {
+		return nil, fmt.Errorf("clio: %s already contains a log store (%d volumes)", dir, len(names))
+	}
+	dev, err := wodev.OpenFile(volPath(dir, 0), wodev.FileOptions{
+		BlockSize: o.BlockSize,
+		Capacity:  o.VolumeBlocks,
+		SyncEvery: o.SyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt := o.Options
+	opt.NVRAM = core.NewFileNVRAM(filepath.Join(dir, nvramFile))
+	opt.Allocate = dirAllocator(dir, o)
+	s, err := core.New(dev, opt)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenDir opens an existing file-backed log store in dir, recovering state
+// as server initialization does (§2.3.1).
+func OpenDir(dir string, o DirOptions) (*Service, error) {
+	o = o.withDefaults()
+	names, err := listVolumes(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("clio: no volumes in %s", dir)
+	}
+	var devs []wodev.Device
+	closeAll := func() {
+		for _, d := range devs {
+			d.Close()
+		}
+	}
+	for _, name := range names {
+		dev, err := wodev.OpenFile(filepath.Join(dir, name), wodev.FileOptions{
+			BlockSize: o.BlockSize,
+			Capacity:  o.VolumeBlocks,
+			SyncEvery: o.SyncEvery,
+		})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		devs = append(devs, dev)
+	}
+	opt := o.Options
+	opt.NVRAM = core.NewFileNVRAM(filepath.Join(dir, nvramFile))
+	opt.Allocate = dirAllocator(dir, o)
+	s, err := core.Open(devs, opt)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return s, nil
+}
+
+func listVolumes(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasPrefix(n, volPrefix) && strings.HasSuffix(n, volSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
