@@ -6,6 +6,7 @@
 package clio_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -345,7 +346,7 @@ func BenchmarkServerRoundTrip(b *testing.B) {
 	cl := client.New(cConn)
 	defer cl.Close()
 	defer srv.Close()
-	id, err := cl.CreateLog("/rpc", 0, "")
+	id, err := cl.CreateLog(context.Background(), "/rpc", 0, "")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -353,7 +354,7 @@ func BenchmarkServerRoundTrip(b *testing.B) {
 	b.SetBytes(50)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cl.Append(id, payload, client.AppendOptions{}); err != nil {
+		if _, err := cl.Append(context.Background(), id, payload, client.AppendOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

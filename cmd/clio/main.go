@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -85,6 +86,7 @@ func main() {
 		return
 	}
 
+	ctx := context.Background()
 	cl, cleanup, err := connect(*addr, *store)
 	if err != nil {
 		fatal(err)
@@ -94,7 +96,7 @@ func main() {
 	switch args[0] {
 	case "create":
 		need(args, 2)
-		id, err := cl.CreateLog(args[1], 0o644, os.Getenv("USER"))
+		id, err := cl.CreateLog(ctx, args[1], 0o644, os.Getenv("USER"))
 		if err != nil {
 			fatal(err)
 		}
@@ -102,7 +104,7 @@ func main() {
 
 	case "append":
 		need(args, 2)
-		id, err := cl.Resolve(args[1])
+		id, err := cl.Resolve(ctx, args[1])
 		if err != nil {
 			fatal(err)
 		}
@@ -110,7 +112,7 @@ func main() {
 		sc.Buffer(make([]byte, 1<<20), 1<<20)
 		n := 0
 		for sc.Scan() {
-			if _, err := cl.Append(id, append([]byte(nil), sc.Bytes()...),
+			if _, err := cl.Append(ctx, id, append([]byte(nil), sc.Bytes()...),
 				client.AppendOptions{Timestamped: true, Forced: true}); err != nil {
 				fatal(err)
 			}
@@ -123,12 +125,12 @@ func main() {
 
 	case "cat":
 		need(args, 2)
-		cur, err := cl.OpenCursor(args[1])
+		cur, err := cl.OpenCursor(ctx, args[1])
 		if err != nil {
 			fatal(err)
 		}
 		defer cur.Close()
-		dump(cur, -1)
+		dump(ctx, cur, -1)
 
 	case "tail":
 		fs := flag.NewFlagSet("tail", flag.ExitOnError)
@@ -138,17 +140,17 @@ func main() {
 		if fs.NArg() != 1 {
 			usage()
 		}
-		cur, err := cl.OpenCursor(fs.Arg(0))
+		cur, err := cl.OpenCursor(ctx, fs.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
 		defer cur.Close()
-		if err := cur.SeekEnd(); err != nil {
+		if err := cur.SeekEnd(ctx); err != nil {
 			fatal(err)
 		}
 		var entries []*client.Entry
 		for len(entries) < *n {
-			e, err := cur.Prev()
+			e, err := cur.Prev(ctx)
 			if err == io.EOF {
 				break
 			}
@@ -164,12 +166,12 @@ func main() {
 			// Re-walk forward past what was printed, then poll: cursors
 			// observe new entries as the log grows.
 			for range entries {
-				if _, err := cur.Next(); err != nil && err != io.EOF {
+				if _, err := cur.Next(ctx); err != nil && err != io.EOF {
 					fatal(err)
 				}
 			}
 			for {
-				e, err := cur.Next()
+				e, err := cur.Next(ctx)
 				if err == io.EOF {
 					time.Sleep(500 * time.Millisecond)
 					continue
@@ -187,19 +189,19 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("bad time %q: %w (want RFC3339)", args[2], err))
 		}
-		cur, err := cl.OpenCursor(args[1])
+		cur, err := cl.OpenCursor(ctx, args[1])
 		if err != nil {
 			fatal(err)
 		}
 		defer cur.Close()
-		if err := cur.SeekTime(ts.UnixNano()); err != nil {
+		if err := cur.SeekTime(ctx, ts.UnixNano()); err != nil {
 			fatal(err)
 		}
-		dump(cur, -1)
+		dump(ctx, cur, -1)
 
 	case "ls":
 		need(args, 2)
-		names, err := cl.List(args[1])
+		names, err := cl.List(ctx, args[1])
 		if err != nil {
 			fatal(err)
 		}
@@ -209,7 +211,7 @@ func main() {
 
 	case "stat":
 		need(args, 2)
-		st, err := cl.Stat(args[1])
+		st, err := cl.Stat(ctx, args[1])
 		if err != nil {
 			fatal(err)
 		}
@@ -219,12 +221,12 @@ func main() {
 
 	case "retire":
 		need(args, 2)
-		if err := cl.Retire(args[1]); err != nil {
+		if err := cl.Retire(ctx, args[1]); err != nil {
 			fatal(err)
 		}
 
 	case "stats":
-		st, err := cl.Stats()
+		st, err := cl.Stats(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -267,9 +269,9 @@ func connect(addr, store string) (*client.Client, func(), error) {
 	}
 }
 
-func dump(cur *client.Cursor, limit int) {
+func dump(ctx context.Context, cur *client.Cursor, limit int) {
 	for i := 0; limit < 0 || i < limit; i++ {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err == io.EOF {
 			return
 		}

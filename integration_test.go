@@ -2,6 +2,7 @@ package clio_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -109,13 +110,13 @@ func TestFullSystemIntegration(t *testing.T) {
 			return
 		}
 		defer cl.Close()
-		id, err := cl.CreateLog("/audit", 0o600, "sec")
+		id, err := cl.CreateLog(context.Background(), "/audit", 0o600, "sec")
 		if err != nil {
 			errs <- err
 			return
 		}
 		for i := 0; i < 100; i++ {
-			if _, err := cl.Append(id, []byte(fmt.Sprintf("audit-%03d", i)),
+			if _, err := cl.Append(context.Background(), id, []byte(fmt.Sprintf("audit-%03d", i)),
 				client.AppendOptions{Timestamped: true, Forced: i%10 == 0}); err != nil {
 				errs <- err
 				return

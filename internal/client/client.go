@@ -9,18 +9,101 @@
 // (the same-machine IPC case) or a TCP connection (cross-machine). Calls
 // are synchronous request/response, matching the paper's IPC model; a
 // Client serializes concurrent callers.
+//
+// # Fault tolerance
+//
+// A dialed Client is resilient to connection loss. Every request carries a
+// client-assigned session sequence number; the server keeps a
+// duplicate-suppression window per session, so when a connection dies
+// mid-call the Client reconnects, replays the in-flight request under the
+// same sequence number, and receives the original result — a retried append
+// is executed once. Reconnection follows a bounded faults.RetryPolicy.
+//
+// The one unanswerable case is a server restart (detected by an epoch
+// change in the reconnect handshake) while a mutating request was in
+// flight: the restarted server has no duplicate-suppression state, so the
+// Client surfaces *AmbiguousError rather than guess. All calls accept a
+// context; its deadline (or Options.CallTimeout) bounds each attempt.
 package client
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"clio/internal/faults"
 	"clio/internal/server"
 	"clio/internal/wire"
 )
+
+// DefaultDialTimeout bounds connection establishment when Options and the
+// context do not say otherwise.
+const DefaultDialTimeout = 10 * time.Second
+
+// ErrClosed is returned for calls on a closed Client.
+var ErrClosed = errors.New("client: closed")
+
+// Options configures a dialed Client. The zero value is usable.
+type Options struct {
+	// DialTimeout bounds each connection attempt (0 = DefaultDialTimeout,
+	// negative = no limit beyond the context's).
+	DialTimeout time.Duration
+	// CallTimeout bounds each request attempt when the context carries no
+	// earlier deadline (0 = no per-call limit).
+	CallTimeout time.Duration
+	// Retry is the reconnect/replay schedule for transient connection
+	// failures; nil means faults.DefaultNetPolicy.
+	Retry *faults.RetryPolicy
+	// SessionID names the client's server-side session, whose
+	// duplicate-suppression window makes replayed requests idempotent.
+	// 0 means a fresh random id.
+	SessionID uint64
+	// Dialer establishes connections; nil means TCP to the Dial address.
+	// Setting it makes the Client reconnectable over any transport.
+	Dialer func(ctx context.Context) (net.Conn, error)
+}
+
+// AmbiguousError reports a request whose outcome is unknowable: the
+// connection died while a mutating request was in flight and the server
+// restarted (losing its duplicate-suppression window) before the client
+// could replay it. The request may or may not have executed; the caller
+// must reconcile by reading (e.g. Cursor.LocateUnique, §2.1).
+type AmbiguousError struct {
+	// Op names the request.
+	Op string
+	// Err is the connection error that interrupted the request.
+	Err error
+}
+
+func (e *AmbiguousError) Error() string {
+	return fmt.Sprintf("client: %s interrupted by server restart; it may or may not have executed: %v", e.Op, e.Err)
+}
+
+func (e *AmbiguousError) Unwrap() error { return e.Err }
+
+// DegradedError reports an append that COMPLETED — the entry is durable and
+// Timestamp is its server timestamp — but required the service to relocate
+// past damaged storage (§2.3.2). Callers that ignore it lose nothing but
+// the warning.
+type DegradedError struct {
+	Timestamp int64
+}
+
+func (e *DegradedError) Error() string {
+	return "client: append completed degraded (service relocated past damaged blocks)"
+}
+
+// IsDegraded reports whether err (or anything it wraps) is a *DegradedError.
+func IsDegraded(err error) bool {
+	var d *DegradedError
+	return errors.As(err, &d)
+}
 
 // Entry mirrors the service-side entry.
 type Entry struct {
@@ -58,63 +141,303 @@ type Stats struct {
 
 // Client is a connection to a Clio log server.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	opt   Options
+	retry faults.RetryPolicy
+
+	mu         sync.Mutex
+	conn       net.Conn
+	session    uint64
+	seq        uint64
+	epoch      uint64 // last observed server epoch; 0 = none yet
+	closed     bool
+	reconnects int64
 }
 
-// New wraps an established connection.
-func New(conn net.Conn) *Client { return &Client{conn: conn} }
+// New wraps an established connection. A Client made this way has no dialer
+// and therefore cannot reconnect: the first connection error fails the call.
+func New(conn net.Conn) *Client {
+	return &Client{conn: conn, retry: faults.DefaultNetPolicy()}
+}
 
-// Dial connects to a TCP log server.
+// Dial connects to a TCP log server with default Options (in particular a
+// DefaultDialTimeout bound on connection establishment).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a TCP log server.
+func DialOptions(addr string, opt Options) (*Client, error) {
+	return DialContext(context.Background(), addr, opt)
+}
+
+// DialContext connects to a log server, performing the session handshake.
+// If opt.Dialer is nil, connections are TCP to addr; otherwise addr is
+// ignored and opt.Dialer is used (and reused on reconnect).
+func DialContext(ctx context.Context, addr string, opt Options) (*Client, error) {
+	if opt.Dialer == nil {
+		opt.Dialer = func(ctx context.Context) (net.Conn, error) {
+			d := net.Dialer{Timeout: dialTimeout(opt)}
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	c := &Client{opt: opt, session: opt.SessionID}
+	c.retry = faults.DefaultNetPolicy()
+	if opt.Retry != nil {
+		c.retry = *opt.Retry
+	}
+	if c.session == 0 {
+		c.session = randomSession()
+	}
+	c.mu.Lock()
+	err := c.reconnectLocked(ctx, false, "dial")
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return New(conn), nil
+	return c, nil
+}
+
+func dialTimeout(opt Options) time.Duration {
+	switch {
+	case opt.DialTimeout > 0:
+		return opt.DialTimeout
+	case opt.DialTimeout < 0:
+		return 0
+	default:
+		return DefaultDialTimeout
+	}
+}
+
+func randomSession() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
+}
+
+// SessionID returns the client's session id (0 for an un-dialed Client).
+func (c *Client) SessionID() uint64 { return c.session }
+
+// Epoch returns the last server epoch observed in a handshake.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Reconnects returns how many times the Client established a connection
+// (the initial dial included).
+func (c *Client) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
 }
 
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
 }
 
-// call performs one synchronous round trip.
-func (c *Client) call(op byte, payload []byte) (byte, *server.Decoder, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := server.WriteFrame(c.conn, op, payload); err != nil {
+// reconnectLocked (re)establishes the connection and runs the OpHello
+// handshake. When ambiguous is true a server epoch change makes the
+// interrupted request unanswerable: the new connection is kept (the Client
+// stays usable) but *AmbiguousError is returned.
+func (c *Client) reconnectLocked(ctx context.Context, ambiguous bool, opName string) error {
+	// DialTimeout bounds the whole connection attempt, handshake included —
+	// a server that accepts but never answers must not hang the dial.
+	if dt := dialTimeout(c.opt); dt > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, dt)
+		defer cancel()
+	}
+	conn, err := c.opt.Dialer(ctx)
+	if err != nil {
+		return err
+	}
+	hello := wire.PutUint64(nil, c.session)
+	status, d, err := c.roundTrip(ctx, conn, server.OpHello, 0, hello)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if status != server.StatusOK {
+		conn.Close()
+		return fmt.Errorf("client: handshake rejected (status %d)", status)
+	}
+	epoch, err := d.Int64()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	maxSeq, err := d.Int64()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	prev := c.epoch
+	c.epoch = uint64(epoch)
+	// A session id reused across Client instances must not collide with
+	// sequence numbers the server has already recorded.
+	if uint64(maxSeq) > c.seq {
+		c.seq = uint64(maxSeq)
+	}
+	c.conn = conn
+	c.reconnects++
+	if ambiguous && prev != 0 && uint64(epoch) != prev {
+		return &AmbiguousError{Op: opName, Err: net.ErrClosed}
+	}
+	return nil
+}
+
+// roundTrip performs one framed request/response on conn, bounded by the
+// context deadline and Options.CallTimeout and honoring cancellation.
+func (c *Client) roundTrip(ctx context.Context, conn net.Conn, op byte, seq uint64, payload []byte) (byte, *server.Decoder, error) {
+	deadline, have := ctx.Deadline()
+	if c.opt.CallTimeout > 0 {
+		if d := time.Now().Add(c.opt.CallTimeout); !have || d.Before(deadline) {
+			deadline, have = d, true
+		}
+	}
+	if have {
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				conn.SetDeadline(time.Unix(1, 0)) // unblock the read
+			case <-stop:
+			}
+		}()
+	}
+	if err := server.WriteFrame(conn, op, seq, payload); err != nil {
 		return 0, nil, fmt.Errorf("client: send: %w", err)
 	}
-	status, resp, err := server.ReadFrame(c.conn)
+	status, rseq, resp, err := server.ReadFrame(conn)
 	if err != nil {
 		return 0, nil, fmt.Errorf("client: recv: %w", err)
 	}
-	d := server.NewDecoder(resp)
-	if status == server.StatusErr {
-		msg, derr := d.String()
-		if derr != nil {
-			msg = "unknown server error"
-		}
-		return status, nil, errors.New(msg)
+	if rseq != seq {
+		return 0, nil, fmt.Errorf("client: response seq %d for request %d", rseq, seq)
 	}
-	return status, d, nil
+	return status, server.NewDecoder(resp), nil
+}
+
+// call performs one synchronous request, reconnecting and replaying it
+// under the same sequence number when the connection fails transiently.
+// mutating marks requests whose replay after a server restart would be
+// ambiguous (appends, catalog changes).
+func (c *Client) call(ctx context.Context, op byte, opName string, mutating bool, payload []byte) (byte, *server.Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	c.seq++
+	seq := c.seq
+
+	maxAttempts := c.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 4
+	}
+	inFlight := false // the request may have reached the server
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			if attempt > maxAttempts {
+				return 0, nil, fmt.Errorf("client: %s: %d attempts exhausted: %w", opName, maxAttempts, lastErr)
+			}
+			if err := c.pause(ctx, attempt-1); err != nil {
+				return 0, nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		if c.conn == nil {
+			if c.opt.Dialer == nil {
+				return 0, nil, ErrClosed
+			}
+			err := c.reconnectLocked(ctx, inFlight && mutating, opName)
+			var amb *AmbiguousError
+			if errors.As(err, &amb) {
+				return 0, nil, err
+			}
+			if err != nil {
+				if faults.Classify(err) != faults.Transient {
+					return 0, nil, err
+				}
+				lastErr = err
+				continue
+			}
+		}
+		status, d, err := c.roundTrip(ctx, c.conn, op, seq, payload)
+		if err == nil {
+			if status == server.StatusErr {
+				msg, derr := d.String()
+				if derr != nil {
+					msg = "unknown server error"
+				}
+				return status, nil, errors.New(msg)
+			}
+			return status, d, nil
+		}
+		// Connection-level failure: the conn is poisoned either way.
+		c.conn.Close()
+		c.conn = nil
+		inFlight = true
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, cerr
+		}
+		if c.opt.Dialer == nil || faults.Classify(err) != faults.Transient {
+			return 0, nil, err
+		}
+		lastErr = err
+	}
+}
+
+// pause sleeps the backoff before retry `attempt`, honoring cancellation.
+func (c *Client) pause(ctx context.Context, attempt int) error {
+	d := c.retry.Backoff(attempt)
+	if c.retry.Sleep != nil {
+		c.retry.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Ping checks liveness.
-func (c *Client) Ping() error {
-	_, _, err := c.call(server.OpPing, nil)
+func (c *Client) Ping(ctx context.Context) error {
+	_, _, err := c.call(ctx, server.OpPing, "ping", false, nil)
 	return err
 }
 
 // CreateLog creates a log file (a sublog of its parent path).
-func (c *Client) CreateLog(path string, perms uint16, owner string) (uint16, error) {
+func (c *Client) CreateLog(ctx context.Context, path string, perms uint16, owner string) (uint16, error) {
 	p := server.PutString(nil, path)
 	p = wire.PutUint16(p, perms)
 	p = server.PutString(p, owner)
-	_, d, err := c.call(server.OpCreate, p)
+	_, d, err := c.call(ctx, server.OpCreate, "create", true, p)
 	if err != nil {
 		return 0, err
 	}
@@ -122,8 +445,8 @@ func (c *Client) CreateLog(path string, perms uint16, owner string) (uint16, err
 }
 
 // Resolve maps a path to a log-file id.
-func (c *Client) Resolve(path string) (uint16, error) {
-	_, d, err := c.call(server.OpResolve, server.PutString(nil, path))
+func (c *Client) Resolve(ctx context.Context, path string) (uint16, error) {
+	_, d, err := c.call(ctx, server.OpResolve, "resolve", false, server.PutString(nil, path))
 	if err != nil {
 		return 0, err
 	}
@@ -131,8 +454,8 @@ func (c *Client) Resolve(path string) (uint16, error) {
 }
 
 // List returns the sublog names under a path.
-func (c *Client) List(path string) ([]string, error) {
-	_, d, err := c.call(server.OpList, server.PutString(nil, path))
+func (c *Client) List(ctx context.Context, path string) ([]string, error) {
+	_, d, err := c.call(ctx, server.OpList, "list", false, server.PutString(nil, path))
 	if err != nil {
 		return nil, err
 	}
@@ -152,9 +475,9 @@ func (c *Client) List(path string) ([]string, error) {
 }
 
 // Stat returns a log file's descriptor.
-func (c *Client) Stat(path string) (Stat, error) {
+func (c *Client) Stat(ctx context.Context, path string) (Stat, error) {
 	var st Stat
-	_, d, err := c.call(server.OpStat, server.PutString(nil, path))
+	_, d, err := c.call(ctx, server.OpStat, "stat", false, server.PutString(nil, path))
 	if err != nil {
 		return st, err
 	}
@@ -186,16 +509,16 @@ func (c *Client) Stat(path string) (Stat, error) {
 }
 
 // SetPerms changes a log file's permissions.
-func (c *Client) SetPerms(path string, perms uint16) error {
+func (c *Client) SetPerms(ctx context.Context, path string, perms uint16) error {
 	p := server.PutString(nil, path)
 	p = wire.PutUint16(p, perms)
-	_, _, err := c.call(server.OpSetPerms, p)
+	_, _, err := c.call(ctx, server.OpSetPerms, "setperms", true, p)
 	return err
 }
 
 // Retire closes a log file for further appends.
-func (c *Client) Retire(path string) error {
-	_, _, err := c.call(server.OpRetire, server.PutString(nil, path))
+func (c *Client) Retire(ctx context.Context, path string) error {
+	_, _, err := c.call(ctx, server.OpRetire, "retire", true, server.PutString(nil, path))
 	return err
 }
 
@@ -205,9 +528,7 @@ type AppendOptions struct {
 	Forced      bool
 }
 
-// Append writes one entry and returns its server timestamp.
-func (c *Client) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
-	p := wire.PutUint16(nil, id)
+func appendFlags(opts AppendOptions) byte {
 	var flags byte
 	if opts.Timestamped {
 		flags |= server.AppendTimestamped
@@ -215,43 +536,59 @@ func (c *Client) Append(id uint16, data []byte, opts AppendOptions) (int64, erro
 	if opts.Forced {
 		flags |= server.AppendForced
 	}
-	p = append(p, flags)
+	return flags
+}
+
+// Append writes one entry and returns its server timestamp. A non-nil
+// *DegradedError alongside a valid timestamp means the entry IS durable but
+// the service had to relocate past damaged storage (§2.3.2).
+func (c *Client) Append(ctx context.Context, id uint16, data []byte, opts AppendOptions) (int64, error) {
+	p := wire.PutUint16(nil, id)
+	p = append(p, appendFlags(opts))
 	p = server.PutBytes(p, data)
-	_, d, err := c.call(server.OpAppend, p)
+	status, d, err := c.call(ctx, server.OpAppend, "append", true, p)
 	if err != nil {
 		return 0, err
 	}
-	return d.Int64()
+	ts, err := d.Int64()
+	if err != nil {
+		return 0, err
+	}
+	if status == server.StatusDegraded {
+		return ts, &DegradedError{Timestamp: ts}
+	}
+	return ts, nil
 }
 
 // AppendMulti writes one entry belonging to several log files at once
 // (§2.1); ids[0] is the primary. The entry appears in every listed log.
-func (c *Client) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+// Degraded completion is reported as in Append.
+func (c *Client) AppendMulti(ctx context.Context, ids []uint16, data []byte, opts AppendOptions) (int64, error) {
 	p := wire.PutUvarint(nil, uint64(len(ids)))
 	for _, id := range ids {
 		p = wire.PutUint16(p, id)
 	}
-	var flags byte
-	if opts.Timestamped {
-		flags |= server.AppendTimestamped
-	}
-	if opts.Forced {
-		flags |= server.AppendForced
-	}
-	p = append(p, flags)
+	p = append(p, appendFlags(opts))
 	p = server.PutBytes(p, data)
-	_, d, err := c.call(server.OpAppendMulti, p)
+	status, d, err := c.call(ctx, server.OpAppendMulti, "appendmulti", true, p)
 	if err != nil {
 		return 0, err
 	}
-	return d.Int64()
+	ts, err := d.Int64()
+	if err != nil {
+		return 0, err
+	}
+	if status == server.StatusDegraded {
+		return ts, &DegradedError{Timestamp: ts}
+	}
+	return ts, nil
 }
 
 // ReadAt fetches the entry previously reported at (block, index).
-func (c *Client) ReadAt(block, index int) (*Entry, error) {
+func (c *Client) ReadAt(ctx context.Context, block, index int) (*Entry, error) {
 	p := wire.PutUvarint(nil, uint64(block))
 	p = wire.PutUvarint(p, uint64(index))
-	_, d, err := c.call(server.OpReadAt, p)
+	_, d, err := c.call(ctx, server.OpReadAt, "readat", false, p)
 	if err != nil {
 		return nil, err
 	}
@@ -259,9 +596,9 @@ func (c *Client) ReadAt(block, index int) (*Entry, error) {
 }
 
 // Stats fetches server counters.
-func (c *Client) Stats() (Stats, error) {
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats
-	_, d, err := c.call(server.OpStats, nil)
+	_, d, err := c.call(ctx, server.OpStats, "stats", false, nil)
 	if err != nil {
 		return st, err
 	}
@@ -285,15 +622,17 @@ func (c *Client) Stats() (Stats, error) {
 	return st, nil
 }
 
-// Cursor is a remote cursor over a log file.
+// Cursor is a remote cursor over a log file. Its server-side state lives in
+// the client's session, so it survives reconnects — but not server
+// restarts.
 type Cursor struct {
 	c      *Client
 	handle uint32
 }
 
 // OpenCursor opens a cursor positioned at the start of the log file.
-func (c *Client) OpenCursor(path string) (*Cursor, error) {
-	_, d, err := c.call(server.OpCursorOpen, server.PutString(nil, path))
+func (c *Client) OpenCursor(ctx context.Context, path string) (*Cursor, error) {
+	_, d, err := c.call(ctx, server.OpCursorOpen, "cursoropen", false, server.PutString(nil, path))
 	if err != nil {
 		return nil, err
 	}
@@ -348,13 +687,13 @@ func decodeEntry(d *server.Decoder) (*Entry, error) {
 }
 
 // Next returns the next matching entry, or io.EOF at the end of the log.
-func (cu *Cursor) Next() (*Entry, error) { return cu.step(server.OpNext) }
+func (cu *Cursor) Next(ctx context.Context) (*Entry, error) { return cu.step(ctx, server.OpNext) }
 
 // Prev returns the previous matching entry, or io.EOF at the beginning.
-func (cu *Cursor) Prev() (*Entry, error) { return cu.step(server.OpPrev) }
+func (cu *Cursor) Prev(ctx context.Context) (*Entry, error) { return cu.step(ctx, server.OpPrev) }
 
-func (cu *Cursor) step(op byte) (*Entry, error) {
-	status, d, err := cu.c.call(op, wire.PutUvarint(nil, uint64(cu.handle)))
+func (cu *Cursor) step(ctx context.Context, op byte) (*Entry, error) {
+	status, d, err := cu.c.call(ctx, op, "cursorstep", false, wire.PutUvarint(nil, uint64(cu.handle)))
 	if err != nil {
 		return nil, err
 	}
@@ -365,37 +704,37 @@ func (cu *Cursor) step(op byte) (*Entry, error) {
 }
 
 // SeekTime positions the cursor so Next returns the first entry at/after ts.
-func (cu *Cursor) SeekTime(ts int64) error {
+func (cu *Cursor) SeekTime(ctx context.Context, ts int64) error {
 	p := wire.PutUvarint(nil, uint64(cu.handle))
 	p = wire.PutUint64(p, uint64(ts))
-	_, _, err := cu.c.call(server.OpSeekTime, p)
+	_, _, err := cu.c.call(ctx, server.OpSeekTime, "seektime", false, p)
 	return err
 }
 
 // SeekStart positions the cursor before the first entry.
-func (cu *Cursor) SeekStart() error {
-	_, _, err := cu.c.call(server.OpSeekStart, wire.PutUvarint(nil, uint64(cu.handle)))
+func (cu *Cursor) SeekStart(ctx context.Context) error {
+	_, _, err := cu.c.call(ctx, server.OpSeekStart, "seekstart", false, wire.PutUvarint(nil, uint64(cu.handle)))
 	return err
 }
 
 // SeekEnd positions the cursor after the last entry.
-func (cu *Cursor) SeekEnd() error {
-	_, _, err := cu.c.call(server.OpSeekEnd, wire.PutUvarint(nil, uint64(cu.handle)))
+func (cu *Cursor) SeekEnd(ctx context.Context) error {
+	_, _, err := cu.c.call(ctx, server.OpSeekEnd, "seekend", false, wire.PutUvarint(nil, uint64(cu.handle)))
 	return err
 }
 
 // SeekPos restores the cursor to a previously observed (block, rec) gap
 // position, for resumable consumers.
-func (cu *Cursor) SeekPos(block, rec int) error {
+func (cu *Cursor) SeekPos(ctx context.Context, block, rec int) error {
 	p := wire.PutUvarint(nil, uint64(cu.handle))
 	p = wire.PutUvarint(p, uint64(block))
 	p = wire.PutUvarint(p, uint64(rec))
-	_, _, err := cu.c.call(server.OpSeekPos, p)
+	_, _, err := cu.c.call(ctx, server.OpSeekPos, "seekpos", false, p)
 	return err
 }
 
 // Close releases the server-side cursor.
 func (cu *Cursor) Close() error {
-	_, _, err := cu.c.call(server.OpCursorEnd, wire.PutUvarint(nil, uint64(cu.handle)))
+	_, _, err := cu.c.call(context.Background(), server.OpCursorEnd, "cursorend", false, wire.PutUvarint(nil, uint64(cu.handle)))
 	return err
 }

@@ -2,6 +2,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -13,6 +14,8 @@ import (
 	"clio/internal/server"
 	"clio/internal/wodev"
 )
+
+var bg = context.Background()
 
 // pipePair returns a client connected to a fresh in-memory service through
 // a net.Pipe (the paper's same-machine IPC case).
@@ -37,29 +40,29 @@ func pipePair(t *testing.T) (*Client, *core.Service) {
 
 func TestClientBasicFlow(t *testing.T) {
 	cl, _ := pipePair(t)
-	if err := cl.Ping(); err != nil {
+	if err := cl.Ping(bg); err != nil {
 		t.Fatal(err)
 	}
-	id, err := cl.CreateLog("/audit", 0o640, "ops")
+	id, err := cl.CreateLog(bg, "/audit", 0o640, "ops")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts1, err := cl.Append(id, []byte("hello"), AppendOptions{Timestamped: true})
+	ts1, err := cl.Append(bg, id, []byte("hello"), AppendOptions{Timestamped: true})
 	if err != nil || ts1 == 0 {
 		t.Fatalf("Append: %d, %v", ts1, err)
 	}
-	ts2, err := cl.Append(id, []byte("world"), AppendOptions{Forced: true})
+	ts2, err := cl.Append(bg, id, []byte("world"), AppendOptions{Forced: true})
 	if err != nil || ts2 <= ts1 {
 		t.Fatalf("Append 2: %d, %v", ts2, err)
 	}
-	cur, err := cl.OpenCursor("/audit")
+	cur, err := cl.OpenCursor(bg, "/audit")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cur.Close()
 	var got []string
 	for {
-		e, err := cur.Next()
+		e, err := cur.Next(bg)
 		if err == io.EOF {
 			break
 		}
@@ -72,12 +75,12 @@ func TestClientBasicFlow(t *testing.T) {
 		t.Errorf("entries: %v", got)
 	}
 	// Prev walks back.
-	e, err := cur.Prev()
+	e, err := cur.Prev(bg)
 	if err != nil || string(e.Data) != "world" {
 		t.Fatalf("Prev: %v", err)
 	}
 	// ReadAt round-trips the position.
-	e2, err := cl.ReadAt(e.Block, e.Index)
+	e2, err := cl.ReadAt(bg, e.Block, e.Index)
 	if err != nil || string(e2.Data) != "world" {
 		t.Fatalf("ReadAt: %v", err)
 	}
@@ -85,79 +88,79 @@ func TestClientBasicFlow(t *testing.T) {
 
 func TestClientCatalogOps(t *testing.T) {
 	cl, _ := pipePair(t)
-	if _, err := cl.CreateLog("/mail", 0o644, "root"); err != nil {
+	if _, err := cl.CreateLog(bg, "/mail", 0o644, "root"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.CreateLog("/mail/smith", 0o600, "smith"); err != nil {
+	if _, err := cl.CreateLog(bg, "/mail/smith", 0o600, "smith"); err != nil {
 		t.Fatal(err)
 	}
-	names, err := cl.List("/mail")
+	names, err := cl.List(bg, "/mail")
 	if err != nil || fmt.Sprint(names) != "[smith]" {
 		t.Fatalf("List: %v, %v", names, err)
 	}
-	st, err := cl.Stat("/mail/smith")
+	st, err := cl.Stat(bg, "/mail/smith")
 	if err != nil || st.Owner != "smith" || st.Perms != 0o600 {
 		t.Fatalf("Stat: %+v, %v", st, err)
 	}
-	if err := cl.SetPerms("/mail/smith", 0o644); err != nil {
+	if err := cl.SetPerms(bg, "/mail/smith", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if st, _ := cl.Stat("/mail/smith"); st.Perms != 0o644 {
+	if st, _ := cl.Stat(bg, "/mail/smith"); st.Perms != 0o644 {
 		t.Errorf("perms after SetPerms: %o", st.Perms)
 	}
-	if err := cl.Retire("/mail/smith"); err != nil {
+	if err := cl.Retire(bg, "/mail/smith"); err != nil {
 		t.Fatal(err)
 	}
-	if st, _ := cl.Stat("/mail/smith"); !st.Retired {
+	if st, _ := cl.Stat(bg, "/mail/smith"); !st.Retired {
 		t.Error("not retired")
 	}
-	if id, err := cl.Resolve("/mail"); err != nil || id == 0 {
+	if id, err := cl.Resolve(bg, "/mail"); err != nil || id == 0 {
 		t.Errorf("Resolve: %d, %v", id, err)
 	}
 }
 
 func TestClientErrorsSurface(t *testing.T) {
 	cl, _ := pipePair(t)
-	if _, err := cl.Resolve("/nope"); err == nil || !strings.Contains(err.Error(), "not found") {
+	if _, err := cl.Resolve(bg, "/nope"); err == nil || !strings.Contains(err.Error(), "not found") {
 		t.Errorf("Resolve missing: %v", err)
 	}
-	if _, err := cl.Append(999, []byte("x"), AppendOptions{}); err == nil {
+	if _, err := cl.Append(bg, 999, []byte("x"), AppendOptions{}); err == nil {
 		t.Error("append to unknown id accepted")
 	}
-	if _, err := cl.OpenCursor("/nope"); err == nil {
+	if _, err := cl.OpenCursor(bg, "/nope"); err == nil {
 		t.Error("cursor on missing path accepted")
 	}
 }
 
 func TestClientSeekTime(t *testing.T) {
 	cl, _ := pipePair(t)
-	id, _ := cl.CreateLog("/t", 0, "")
+	id, _ := cl.CreateLog(bg, "/t", 0, "")
 	var stamps []int64
 	for i := 0; i < 20; i++ {
-		ts, err := cl.Append(id, []byte(fmt.Sprintf("e%d", i)), AppendOptions{Timestamped: true})
+		ts, err := cl.Append(bg, id, []byte(fmt.Sprintf("e%d", i)), AppendOptions{Timestamped: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		stamps = append(stamps, ts)
 	}
-	cur, _ := cl.OpenCursor("/t")
-	if err := cur.SeekTime(stamps[7]); err != nil {
+	cur, _ := cl.OpenCursor(bg, "/t")
+	if err := cur.SeekTime(bg, stamps[7]); err != nil {
 		t.Fatal(err)
 	}
-	e, err := cur.Next()
+	e, err := cur.Next(bg)
 	if err != nil || string(e.Data) != "e7" {
 		t.Fatalf("SeekTime: %v %q", err, e.Data)
 	}
-	if err := cur.SeekEnd(); err != nil {
+	if err := cur.SeekEnd(bg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cur.Next(); err != io.EOF {
+	if _, err := cur.Next(bg); err != io.EOF {
 		t.Fatalf("Next after SeekEnd: %v", err)
 	}
-	if err := cur.SeekStart(); err != nil {
+	if err := cur.SeekStart(bg); err != nil {
 		t.Fatal(err)
 	}
-	if e, err := cur.Next(); err != nil || string(e.Data) != "e0" {
+	if e, err := cur.Next(bg); err != nil || string(e.Data) != "e0" {
 		t.Fatalf("after SeekStart: %v", err)
 	}
 }
@@ -186,23 +189,23 @@ func TestClientOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	id, err := cl.CreateLog("/tcp", 0, "")
+	id, err := cl.CreateLog(bg, "/tcp", 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := cl.Append(id, []byte(fmt.Sprintf("m%d", i)), AppendOptions{}); err != nil {
+		if _, err := cl.Append(bg, id, []byte(fmt.Sprintf("m%d", i)), AppendOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st, err := cl.Stats()
+	st, err := cl.Stats(bg)
 	if err != nil || st.EntriesAppended != 10 {
 		t.Fatalf("Stats: %+v, %v", st, err)
 	}
-	cur, _ := cl.OpenCursor("/tcp")
+	cur, _ := cl.OpenCursor(bg, "/tcp")
 	count := 0
 	for {
-		if _, err := cur.Next(); err == io.EOF {
+		if _, err := cur.Next(bg); err == io.EOF {
 			break
 		} else if err != nil {
 			t.Fatal(err)
@@ -248,13 +251,13 @@ func TestConcurrentClients(t *testing.T) {
 				return
 			}
 			defer cl.Close()
-			id, err := cl.CreateLog(fmt.Sprintf("/c%d", n), 0, "")
+			id, err := cl.CreateLog(bg, fmt.Sprintf("/c%d", n), 0, "")
 			if err != nil {
 				errs <- err
 				return
 			}
 			for j := 0; j < per; j++ {
-				if _, err := cl.Append(id, []byte(fmt.Sprintf("c%d-%d", n, j)), AppendOptions{}); err != nil {
+				if _, err := cl.Append(bg, id, []byte(fmt.Sprintf("c%d-%d", n, j)), AppendOptions{}); err != nil {
 					errs <- err
 					return
 				}
@@ -273,12 +276,12 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	defer cl.Close()
 	for i := 0; i < clients; i++ {
-		cur, err := cl.OpenCursor(fmt.Sprintf("/c%d", i))
+		cur, err := cl.OpenCursor(bg, fmt.Sprintf("/c%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
 		for j := 0; j < per; j++ {
-			e, err := cur.Next()
+			e, err := cur.Next(bg)
 			if err != nil {
 				t.Fatalf("client %d entry %d: %v", i, j, err)
 			}
@@ -286,7 +289,7 @@ func TestConcurrentClients(t *testing.T) {
 				t.Fatalf("client %d entry %d: %q want %q", i, j, e.Data, want)
 			}
 		}
-		if _, err := cur.Next(); err != io.EOF {
+		if _, err := cur.Next(bg); err != io.EOF {
 			t.Fatalf("client %d has extra entries", i)
 		}
 		cur.Close()
@@ -295,15 +298,15 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestUIOReaderWriter(t *testing.T) {
 	cl, _ := pipePair(t)
-	id, _ := cl.CreateLog("/lines", 0, "")
-	w := NewWriter(cl, id, AppendOptions{})
+	id, _ := cl.CreateLog(bg, "/lines", 0, "")
+	w := NewWriter(bg, cl, id, AppendOptions{})
 	for _, line := range []string{"first", "second", "third"} {
 		if _, err := w.Write([]byte(line)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	cur, _ := cl.OpenCursor("/lines")
-	r := bufio.NewScanner(NewReader(cur, []byte("\n")))
+	cur, _ := cl.OpenCursor(bg, "/lines")
+	r := bufio.NewScanner(NewReader(bg, cur, []byte("\n")))
 	var got []string
 	for r.Scan() {
 		got = append(got, r.Text())
@@ -315,55 +318,55 @@ func TestUIOReaderWriter(t *testing.T) {
 
 func TestClientAppendMulti(t *testing.T) {
 	cl, _ := pipePair(t)
-	a, err := cl.CreateLog("/a", 0, "")
+	a, err := cl.CreateLog(bg, "/a", 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := cl.CreateLog("/b", 0, "")
+	b, err := cl.CreateLog(bg, "/b", 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.AppendMulti([]uint16{a, b}, []byte("both"), AppendOptions{}); err != nil {
+	if _, err := cl.AppendMulti(bg, []uint16{a, b}, []byte("both"), AppendOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, path := range []string{"/a", "/b"} {
-		cur, err := cl.OpenCursor(path)
+		cur, err := cl.OpenCursor(bg, path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, err := cur.Next()
+		e, err := cur.Next(bg)
 		if err != nil || string(e.Data) != "both" {
 			t.Fatalf("%s: %v", path, err)
 		}
 		cur.Close()
 	}
-	if _, err := cl.AppendMulti(nil, []byte("x"), AppendOptions{}); err == nil {
+	if _, err := cl.AppendMulti(bg, nil, []byte("x"), AppendOptions{}); err == nil {
 		t.Error("empty id list accepted over the wire")
 	}
 }
 
 func TestClientSeekPos(t *testing.T) {
 	cl, _ := pipePair(t)
-	id, _ := cl.CreateLog("/sp", 0, "")
+	id, _ := cl.CreateLog(bg, "/sp", 0, "")
 	for i := 0; i < 10; i++ {
-		if _, err := cl.Append(id, []byte(fmt.Sprintf("e%d", i)), AppendOptions{}); err != nil {
+		if _, err := cl.Append(bg, id, []byte(fmt.Sprintf("e%d", i)), AppendOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	cur, _ := cl.OpenCursor("/sp")
+	cur, _ := cl.OpenCursor(bg, "/sp")
 	var mark *Entry
 	for i := 0; i < 5; i++ {
-		e, err := cur.Next()
+		e, err := cur.Next(bg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		mark = e
 	}
-	cur2, _ := cl.OpenCursor("/sp")
-	if err := cur2.SeekPos(mark.Block, mark.Index+1); err != nil {
+	cur2, _ := cl.OpenCursor(bg, "/sp")
+	if err := cur2.SeekPos(bg, mark.Block, mark.Index+1); err != nil {
 		t.Fatal(err)
 	}
-	e, err := cur2.Next()
+	e, err := cur2.Next(bg)
 	if err != nil || string(e.Data) != "e5" {
 		t.Fatalf("resume over wire: %v %q", err, e.Data)
 	}

@@ -1,0 +1,330 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"clio/internal/core"
+	"clio/internal/faults"
+	"clio/internal/server"
+	"clio/internal/wodev"
+)
+
+func quickNetRetry() *faults.RetryPolicy {
+	return &faults.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond,
+		MaxDelay: time.Microsecond, Sleep: func(time.Duration) {}}
+}
+
+// dropConn injects read failures into an otherwise working connection: the
+// request reaches the server, but the response is lost — the classic
+// retried-RPC ambiguity the session protocol resolves.
+type dropConn struct {
+	net.Conn
+	mu        sync.Mutex
+	failReads int
+}
+
+func (d *dropConn) FailNextRead() {
+	d.mu.Lock()
+	d.failReads++
+	d.mu.Unlock()
+}
+
+func (d *dropConn) Read(p []byte) (int, error) {
+	d.mu.Lock()
+	fail := d.failReads > 0
+	if fail {
+		d.failReads--
+	}
+	d.mu.Unlock()
+	if fail {
+		return 0, syscall.ECONNRESET
+	}
+	return d.Conn.Read(p)
+}
+
+// faultHarness is a server reachable through a reconnecting dialer whose
+// live connection the test can sabotage, and whose server the test can
+// restart.
+type faultHarness struct {
+	mu   sync.Mutex
+	srv  *server.Server
+	svc  *core.Service
+	last *dropConn
+}
+
+func newFaultHarness(t *testing.T) *faultHarness {
+	t.Helper()
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
+	now := int64(0)
+	var nowMu sync.Mutex
+	svc, err := core.New(dev, core.Options{
+		BlockSize: 512, Degree: 8,
+		Now: func() int64 { nowMu.Lock(); defer nowMu.Unlock(); now += 1000; return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &faultHarness{srv: server.New(svc), svc: svc}
+	t.Cleanup(func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.srv.Close()
+		svc.Close()
+	})
+	return h
+}
+
+func (h *faultHarness) dial(ctx context.Context) (net.Conn, error) {
+	h.mu.Lock()
+	srv := h.srv
+	h.mu.Unlock()
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	dc := &dropConn{Conn: cConn}
+	h.mu.Lock()
+	h.last = dc
+	h.mu.Unlock()
+	return dc, nil
+}
+
+// restart replaces the server with a fresh instance (new epoch, no session
+// state) over the same service, as a process restart would.
+func (h *faultHarness) restart() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.srv.Close()
+	h.srv = server.New(h.svc)
+}
+
+func (h *faultHarness) conn() *dropConn {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last
+}
+
+func (h *faultHarness) client(t *testing.T) *Client {
+	t.Helper()
+	cl, err := DialContext(bg, "", Options{Dialer: h.dial, Retry: quickNetRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestReconnectReplaysLostResponseOnce(t *testing.T) {
+	h := newFaultHarness(t)
+	cl := h.client(t)
+	id, err := cl.CreateLog(bg, "/rc", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Append(bg, id, []byte("a"), AppendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the response to the next append: the request executes on the
+	// server, the client reconnects and replays it under the same seq, and
+	// the duplicate-suppression window returns the original result.
+	h.conn().FailNextRead()
+	ts, err := cl.Append(bg, id, []byte("b"), AppendOptions{})
+	if err != nil || ts == 0 {
+		t.Fatalf("replayed append: ts=%d, %v", ts, err)
+	}
+	if cl.Reconnects() != 2 {
+		t.Fatalf("Reconnects = %d, want 2 (dial + one replay)", cl.Reconnects())
+	}
+
+	st, err := cl.Stats(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesAppended != 2 {
+		t.Fatalf("EntriesAppended = %d, want 2 (no duplicate)", st.EntriesAppended)
+	}
+	cur, err := cl.OpenCursor(bg, "/rc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		e, err := cur.Next(bg)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(e.Data))
+	}
+	if fmt.Sprint(got) != "[a b]" {
+		t.Fatalf("entries after replay: %v", got)
+	}
+}
+
+func TestCursorSurvivesReconnect(t *testing.T) {
+	h := newFaultHarness(t)
+	cl := h.client(t)
+	id, err := cl.CreateLog(bg, "/cur", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := cl.Append(bg, id, []byte(fmt.Sprintf("e%d", i)), AppendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, err := cl.OpenCursor(bg, "/cur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cur.Next(bg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The cursor's server-side state lives in the session, not the
+	// connection: a dropped connection does not lose the position.
+	h.conn().FailNextRead()
+	e, err := cur.Next(bg)
+	if err != nil || string(e.Data) != "e3" {
+		t.Fatalf("Next across reconnect: %v %+v", err, e)
+	}
+}
+
+func TestServerRestartMidAppendIsAmbiguous(t *testing.T) {
+	h := newFaultHarness(t)
+	cl := h.client(t)
+	id, err := cl.CreateLog(bg, "/amb", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Append(bg, id, []byte("a"), AppendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The response is lost AND the server restarts before the replay: the
+	// new epoch means the duplicate-suppression window is gone, so the
+	// client must refuse to replay the mutating request.
+	h.conn().FailNextRead()
+	h.restart()
+	_, err = cl.Append(bg, id, []byte("b"), AppendOptions{})
+	var amb *AmbiguousError
+	if !errors.As(err, &amb) {
+		t.Fatalf("append across restart: %v, want *AmbiguousError", err)
+	}
+	// The client remains usable on the new server.
+	if err := cl.Ping(bg); err != nil {
+		t.Fatalf("ping after ambiguity: %v", err)
+	}
+}
+
+func TestServerRestartMidReadIsRetried(t *testing.T) {
+	h := newFaultHarness(t)
+	cl := h.client(t)
+	if _, err := cl.CreateLog(bg, "/r", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Reads are safe to replay across a restart: no ambiguity.
+	h.conn().FailNextRead()
+	h.restart()
+	if _, err := cl.Resolve(bg, "/r"); err != nil {
+		t.Fatalf("resolve across restart: %v", err)
+	}
+}
+
+func TestDialTimeoutOnSilentServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { // accept and say nothing
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	start := time.Now()
+	_, err = DialOptions(ln.Addr().String(), Options{DialTimeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial of a silent server succeeded")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("dial took %v, want ~50ms", d)
+	}
+}
+
+func TestCallContextCancellation(t *testing.T) {
+	h := newFaultHarness(t)
+	cl := h.client(t)
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		// Stall the connection so the call blocks, then cancel.
+		cancel()
+	}()
+	// Exhaust the pipe: no server reads are pending, so a huge write
+	// blocks... instead simply issue calls until cancellation lands.
+	for {
+		if err := cl.Ping(ctx); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("canceled call returned %v", err)
+			}
+			return
+		}
+	}
+}
+
+func TestDegradedAppendSurfacesOverWire(t *testing.T) {
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 12})
+	now := int64(0)
+	svc, err := core.New(dev, core.Options{
+		BlockSize: 512, Degree: 8,
+		Now: func() int64 { now += 1000; return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(svc)
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	cl := New(cConn)
+	t.Cleanup(func() { cl.Close(); srv.Close(); svc.Close() })
+
+	id, err := cl.CreateLog(bg, "/deg", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Damage(dev.Written(), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := cl.Append(bg, id, []byte("x"), AppendOptions{Forced: true})
+	if !IsDegraded(err) {
+		t.Fatalf("append over damaged block: %v, want degraded", err)
+	}
+	var d *DegradedError
+	if !errors.As(err, &d) || d.Timestamp != ts || ts == 0 {
+		t.Fatalf("DegradedError.Timestamp=%v, ts=%d", d, ts)
+	}
+	// The entry is durable despite the warning.
+	cur, err := cl.OpenCursor(bg, "/deg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cur.Next(bg)
+	if err != nil || string(e.Data) != "x" {
+		t.Fatalf("degraded entry read back: %v", err)
+	}
+}

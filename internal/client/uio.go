@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"io"
 )
 
@@ -11,8 +12,10 @@ import (
 
 // Reader streams a log file's entry payloads as a single byte stream,
 // inserting sep (which may be empty) between entries. It implements
-// io.Reader over a Cursor.
+// io.Reader over a Cursor; the construction context bounds every
+// underlying call.
 type Reader struct {
+	ctx context.Context
 	cur *Cursor
 	sep []byte
 	buf []byte
@@ -20,8 +23,8 @@ type Reader struct {
 }
 
 // NewReader returns a Reader over cur with the given entry separator.
-func NewReader(cur *Cursor, sep []byte) *Reader {
-	return &Reader{cur: cur, sep: sep}
+func NewReader(ctx context.Context, cur *Cursor, sep []byte) *Reader {
+	return &Reader{ctx: ctx, cur: cur, sep: sep}
 }
 
 // Read implements io.Reader.
@@ -30,7 +33,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 		if r.eof {
 			return 0, io.EOF
 		}
-		e, err := r.cur.Next()
+		e, err := r.cur.Next(r.ctx)
 		if err == io.EOF {
 			r.eof = true
 			continue
@@ -47,21 +50,25 @@ func (r *Reader) Read(p []byte) (int, error) {
 }
 
 // Writer appends each Write call as one log entry. It implements io.Writer
-// over a Client and log-file id.
+// over a Client and log-file id; the construction context bounds every
+// underlying call.
 type Writer struct {
+	ctx  context.Context
 	c    *Client
 	id   uint16
 	opts AppendOptions
 }
 
 // NewWriter returns a Writer appending to the given log file.
-func NewWriter(c *Client, id uint16, opts AppendOptions) *Writer {
-	return &Writer{c: c, id: id, opts: opts}
+func NewWriter(ctx context.Context, c *Client, id uint16, opts AppendOptions) *Writer {
+	return &Writer{ctx: ctx, c: c, id: id, opts: opts}
 }
 
-// Write implements io.Writer: one call, one log entry.
+// Write implements io.Writer: one call, one log entry. Degraded completion
+// (the entry is durable but the service relocated past damaged blocks) is
+// not an error here.
 func (w *Writer) Write(p []byte) (int, error) {
-	if _, err := w.c.Append(w.id, p, w.opts); err != nil {
+	if _, err := w.c.Append(w.ctx, w.id, p, w.opts); err != nil && !IsDegraded(err) {
 		return 0, err
 	}
 	return len(p), nil
@@ -70,13 +77,14 @@ func (w *Writer) Write(p []byte) (int, error) {
 // LocateUnique finds an entry by the client-generated unique identifier of
 // §2.1, mirroring the service-side cursor helper: seek to the client's own
 // timestamp minus the clock-skew bound, then scan forward until the match
-// function accepts an entry or the skew window passes.
-func (cu *Cursor) LocateUnique(clientTS, maxSkew int64, match func(*Entry) bool) (*Entry, error) {
-	if err := cu.SeekTime(clientTS - maxSkew); err != nil {
+// function accepts an entry or the skew window passes. It is the
+// reconciliation read for an append that ended in *AmbiguousError.
+func (cu *Cursor) LocateUnique(ctx context.Context, clientTS, maxSkew int64, match func(*Entry) bool) (*Entry, error) {
+	if err := cu.SeekTime(ctx, clientTS-maxSkew); err != nil {
 		return nil, err
 	}
 	for {
-		e, err := cu.Next()
+		e, err := cu.Next(ctx)
 		if err != nil {
 			return nil, err // io.EOF when the window is exhausted
 		}

@@ -92,6 +92,7 @@ func (s *Service) appendClient(ids []uint16, data []byte, opts AppendOptions) (i
 	clk.ChargeIPC(s.opt.RemoteIPC) // the synchronous client write IPC (§3.2)
 	clk.ChargeWriteFixed()
 	clk.ChargeCopy(len(data))
+	s.opDegradedReset()
 	if err := s.appendEntryLocked(ids[0], extras, data, form, attr, ts); err != nil {
 		return 0, err
 	}
@@ -110,7 +111,9 @@ func (s *Service) appendClient(ids []uint16, data []byte, opts AppendOptions) (i
 			return 0, err
 		}
 	}
-	return ts, nil
+	// A non-nil *DegradedError still means the entry is durable at ts; the
+	// service relocated past damaged blocks to complete it (§2.3.2).
+	return ts, s.opDegradedErr(ts)
 }
 
 // SealTail forces the staged tail block onto the write-once medium itself,
@@ -140,7 +143,11 @@ func (s *Service) Force() error {
 		return nil
 	}
 	s.stats.ForcedWrites++
-	return s.forceLocked()
+	s.opDegradedReset()
+	if err := s.forceLocked(); err != nil {
+		return err
+	}
+	return s.opDegradedErr(s.lastTS)
 }
 
 // appendEntryLocked writes one entry, fragmenting it over blocks as needed
@@ -375,7 +382,7 @@ func (s *Service) stageTailLocked(persist bool) error {
 	img := s.builder.Seal()
 	s.cache.Put(cache.Key{Block: s.tailGlobal}, img)
 	if persist && s.opt.NVRAM != nil {
-		if err := s.opt.NVRAM.Store(s.tailGlobal, img); err != nil {
+		if err := s.storeNVRAMLocked(s.tailGlobal, img); err != nil {
 			return fmt.Errorf("clio: nvram store: %w", err)
 		}
 	}
@@ -408,7 +415,7 @@ func (s *Service) sealTailLocked(forced bool) error {
 			img = s.builder.Seal()
 		}
 		devIdx := v.DeviceBlock(local)
-		werr := v.Dev.WriteAt(devIdx, img)
+		werr := s.writeTailBlockLocked(v, devIdx, img)
 		switch {
 		case werr == nil:
 			// Sealed. Publish, account, advance.
@@ -438,14 +445,18 @@ func (s *Service) sealTailLocked(forced bool) error {
 				}
 			}
 			return nil
-		case errors.Is(werr, wodev.ErrCorrupt):
-			// The target block was damaged while unwritten: invalidate it
-			// and slide the staged contents to the next block.
+		case errors.Is(werr, wodev.ErrCorrupt) || transientExhausted(werr):
+			// The target block was damaged while unwritten — or kept failing
+			// transiently past the retry budget, which the service treats
+			// identically: invalidate it and slide the staged contents to
+			// the next block, completing the write degraded (§2.3.2).
 			if ierr := v.Dev.Invalidate(devIdx); ierr != nil {
 				return fmt.Errorf("clio: invalidate damaged block: %w", ierr)
 			}
 			s.cache.Invalidate(cache.Key{Block: s.tailGlobal})
 			slidBad = append(slidBad, s.tailGlobal)
+			s.opDegraded = append(s.opDegraded, s.tailGlobal)
+			s.opDegradedCause = werr
 			s.stats.DeadBlocks++
 			s.tailGlobal++
 			s.builder.SetBlockIndex(uint32(s.tailGlobal))

@@ -40,6 +40,7 @@ import (
 	"clio/internal/cache"
 	"clio/internal/catalog"
 	"clio/internal/entrymap"
+	"clio/internal/faults"
 	"clio/internal/vclock"
 	"clio/internal/volume"
 	"clio/internal/wodev"
@@ -96,6 +97,15 @@ type Options struct {
 	DisplacementLimit int
 	// RemoteIPC selects the cross-machine IPC charge for the cost model.
 	RemoteIPC bool
+	// Retry bounds the retry-with-backoff schedule applied to device reads,
+	// tail-block writes and NVRAM stores when they fail with a transient
+	// fault (wodev.ErrTransient and friends); nil uses
+	// faults.DefaultDevicePolicy(). Retries run while the service lock is
+	// held, so the schedule should stay short.
+	Retry *faults.RetryPolicy
+	// Faults is the named fault/crash injection registry (FaultReadBlock,
+	// FaultSealWrite, FaultNVRAMStore); nil injects nothing.
+	Faults *faults.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +173,13 @@ type Service struct {
 	stats           Stats
 	recovery        RecoveryReport
 
+	// Fault tolerance: the effective retry schedule, and the blocks the
+	// current client operation had to relocate past (reported back as a
+	// DegradedError on completion).
+	retry           faults.RetryPolicy
+	opDegraded      []int
+	opDegradedCause error
+
 	nextTag int // next cache volume tag
 }
 
@@ -209,6 +226,10 @@ func Open(devs []wodev.Device, opt Options) (*Service, error) {
 		cache:      cache.New(opt.CacheBlocks, opt.Clock),
 		cat:        catalog.NewTable(),
 		tailGlobal: -1,
+		retry:      faults.DefaultDevicePolicy(),
+	}
+	if opt.Retry != nil {
+		s.retry = *opt.Retry
 	}
 	// Mount all volumes; adopt the sequence id from the first header.
 	var vols []*volume.Volume

@@ -154,13 +154,10 @@ func (s *Service) readBlockLocked(global int) ([]byte, error) {
 	buf := make([]byte, s.opt.BlockSize)
 	s.opt.Clock.ChargeDeviceRead(s.opt.BlockSize)
 	devIdx := v.DeviceBlock(local)
-	// Mirrored devices (§5 footnote 11) can route around a silently
-	// corrupted primary copy when a replica's copy still validates.
-	if mv, ok := v.Dev.(validatedReader); ok {
-		if err := mv.ReadValidated(devIdx, buf, blockfmt.Validate); err != nil {
-			return nil, err
-		}
-	} else if err := v.Dev.ReadBlock(devIdx, buf); err != nil {
+	// Transient faults are retried with backoff; mirrored devices (§5
+	// footnote 11) additionally route around a silently corrupted primary
+	// copy when a replica's copy still validates.
+	if err := s.readDeviceBlockLocked(v, devIdx, buf, blockfmt.Validate); err != nil {
 		return nil, err
 	}
 	s.cache.Put(key, buf)
@@ -200,10 +197,13 @@ func (s *Service) assembleLocked(global, idx int, parsed *blockfmt.Parsed) ([]by
 		}
 		p, err := s.parseBlockLocked(b)
 		if err != nil {
-			if errors.Is(err, wodev.ErrUnwritten) {
-				return nil, ErrLost
+			if errors.Is(err, wodev.ErrInvalidated) {
+				// The writer hit a damaged block here and slid the staged
+				// contents to the next block (§2.3.2): the chain continues
+				// past the invalidated block, it is not torn.
+				continue
 			}
-			return nil, ErrLost // damaged or invalidated continuation block
+			return nil, ErrLost // damaged or unwritten continuation block
 		}
 		found := false
 		done := false

@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestClassifyExplicit(t *testing.T) {
+	tr := New(Transient, "flaky")
+	if got := Classify(tr); got != Transient {
+		t.Fatalf("Classify(New(Transient)) = %v", got)
+	}
+	if got := Classify(fmt.Errorf("wrapped: %w", tr)); got != Transient {
+		t.Fatalf("Classify(wrapped transient) = %v", got)
+	}
+	pe := WithClass(errors.New("media"), Permanent)
+	if got := Classify(pe); got != Permanent {
+		t.Fatalf("Classify(WithClass Permanent) = %v", got)
+	}
+	torn := New(Torn, "tail lost")
+	if got := Classify(torn); got != Torn {
+		t.Fatalf("Classify(Torn) = %v", got)
+	}
+	if WithClass(nil, Transient) != nil {
+		t.Fatal("WithClass(nil) != nil")
+	}
+}
+
+func TestClassifyInferred(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, Unknown},
+		{io.EOF, Transient},
+		{io.ErrUnexpectedEOF, Transient},
+		{net.ErrClosed, Transient},
+		{syscall.ECONNRESET, Transient},
+		{syscall.ECONNREFUSED, Transient},
+		{syscall.EPIPE, Transient},
+		{&net.OpError{Op: "read", Err: syscall.ECONNRESET}, Transient},
+		{errors.New("some other failure"), Permanent},
+		{context.Canceled, Permanent},
+		{context.DeadlineExceeded, Permanent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		Unknown: "unknown", Transient: "transient", Permanent: "permanent", Torn: "torn",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond,
+		Multiplier: 2, Jitter: 0}
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: time.Second,
+		Multiplier: 2, Jitter: 0.5, Seed: 42}
+	for attempt := 1; attempt <= 6; attempt++ {
+		a, b := p.Backoff(attempt), p.Backoff(attempt)
+		if a != b {
+			t.Fatalf("Backoff(%d) not deterministic: %v vs %v", attempt, a, b)
+		}
+		base := time.Millisecond * (1 << (attempt - 1))
+		lo := time.Duration(float64(base) * 0.5)
+		hi := time.Duration(float64(base) * 1.5)
+		if a < lo || a > hi {
+			t.Errorf("Backoff(%d) = %v outside [%v, %v]", attempt, a, lo, hi)
+		}
+	}
+	q := p
+	q.Seed = 43
+	diff := false
+	for attempt := 1; attempt <= 6; attempt++ {
+		if p.Backoff(attempt) != q.Backoff(attempt) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestDoRetriesTransientOnly(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Multiplier: 2,
+		MaxDelay: time.Second, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+
+	// Succeeds on third attempt.
+	n := 0
+	err := p.Do(func() error {
+		n++
+		if n < 3 {
+			return New(Transient, "flap")
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("Do: err=%v attempts=%d, want nil/3", err, n)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+
+	// Permanent error returns immediately, no sleep.
+	slept = nil
+	n = 0
+	perm := errors.New("permanent")
+	err = p.Do(func() error { n++; return perm })
+	if !errors.Is(err, perm) || n != 1 || len(slept) != 0 {
+		t.Fatalf("permanent: err=%v attempts=%d sleeps=%d", err, n, len(slept))
+	}
+
+	// Exhaustion wraps the last transient error.
+	n = 0
+	tr := New(Transient, "always")
+	err = p.Do(func() error { n++; return tr })
+	if !errors.Is(err, tr) || n != 4 {
+		t.Fatalf("exhaustion: err=%v attempts=%d, want wrapped/4", err, n)
+	}
+	if Classify(err) != Transient {
+		t.Fatalf("exhausted error lost its class: %v", Classify(err))
+	}
+}
+
+func TestDoCtxCancelBetweenAttempts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond,
+		Sleep: func(time.Duration) {}}
+	n := 0
+	err := p.DoCtx(ctx, func() error {
+		n++
+		if n == 2 {
+			cancel()
+		}
+		return New(Transient, "flap")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 2 {
+		t.Fatalf("attempts = %d, want 2", n)
+	}
+}
+
+func TestRegistryFireBudget(t *testing.T) {
+	r := NewRegistry()
+	boom := New(Transient, "boom")
+	r.Enable("p", boom, 2)
+	for i := 0; i < 2; i++ {
+		if err := r.Fire("p"); !errors.Is(err, boom) {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+	}
+	if err := r.Fire("p"); err != nil {
+		t.Fatalf("budget exhausted but still firing: %v", err)
+	}
+	if r.Hits("p") != 3 || r.Fired("p") != 2 {
+		t.Fatalf("hits=%d fired=%d, want 3/2", r.Hits("p"), r.Fired("p"))
+	}
+
+	r.Enable("p", boom, -1)
+	for i := 0; i < 5; i++ {
+		if err := r.Fire("p"); !errors.Is(err, boom) {
+			t.Fatalf("unlimited fire %d: %v", i, err)
+		}
+	}
+	r.Disable("p")
+	if err := r.Fire("p"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	if err := r.Fire("anything"); err != nil {
+		t.Fatalf("nil registry fired: %v", err)
+	}
+	if r.Hits("anything") != 0 || r.Fired("anything") != 0 {
+		t.Fatal("nil registry reported counts")
+	}
+}
+
+func TestRegistryCrashPoint(t *testing.T) {
+	r := NewRegistry()
+	r.EnableCrash("die", 1)
+	func() {
+		defer func() {
+			v := recover()
+			c, ok := v.(Crash)
+			if !ok || c.Point != "die" {
+				t.Fatalf("recovered %v, want Crash{die}", v)
+			}
+		}()
+		r.Fire("die")
+		t.Fatal("crash point did not panic")
+	}()
+	if err := r.Fire("die"); err != nil {
+		t.Fatalf("crash budget exhausted but errored: %v", err)
+	}
+	if c := (Crash{Point: "x"}); c.Error() == "" {
+		t.Fatal("Crash.Error empty")
+	}
+}

@@ -12,6 +12,8 @@
 package logapi
 
 import (
+	"context"
+
 	"clio/internal/client"
 	"clio/internal/core"
 )
@@ -152,7 +154,9 @@ func convCore(e *core.Entry, err error) (*Entry, error) {
 	}, nil
 }
 
-// FromClient adapts a network client.Client.
+// FromClient adapts a network client.Client. The Store interface carries
+// no contexts, so the adapter uses context.Background(); callers needing
+// deadlines set client.Options.CallTimeout or use the Client directly.
 func FromClient(cl *client.Client) Store { return clientStore{cl} }
 
 // Compile-time checks: both adapters support multi-membership.
@@ -164,27 +168,31 @@ var (
 type clientStore struct{ cl *client.Client }
 
 func (s clientStore) CreateLog(path string, perms uint16, owner string) (uint16, error) {
-	return s.cl.CreateLog(path, perms, owner)
+	return s.cl.CreateLog(context.Background(), path, perms, owner)
 }
 
-func (s clientStore) Resolve(path string) (uint16, error) { return s.cl.Resolve(path) }
+func (s clientStore) Resolve(path string) (uint16, error) {
+	return s.cl.Resolve(context.Background(), path)
+}
 
-func (s clientStore) List(path string) ([]string, error) { return s.cl.List(path) }
+func (s clientStore) List(path string) ([]string, error) {
+	return s.cl.List(context.Background(), path)
+}
 
 func (s clientStore) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
-	return s.cl.Append(id, data, client.AppendOptions{
+	return s.cl.Append(context.Background(), id, data, client.AppendOptions{
 		Timestamped: opts.Timestamped, Forced: opts.Forced,
 	})
 }
 
 func (s clientStore) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
-	return s.cl.AppendMulti(ids, data, client.AppendOptions{
+	return s.cl.AppendMulti(context.Background(), ids, data, client.AppendOptions{
 		Timestamped: opts.Timestamped, Forced: opts.Forced,
 	})
 }
 
 func (s clientStore) OpenCursor(path string) (Cursor, error) {
-	cur, err := s.cl.OpenCursor(path)
+	cur, err := s.cl.OpenCursor(context.Background(), path)
 	if err != nil {
 		return nil, err
 	}
@@ -193,12 +201,14 @@ func (s clientStore) OpenCursor(path string) (Cursor, error) {
 
 type clientCursor struct{ cur *client.Cursor }
 
-func (c clientCursor) Next() (*Entry, error)   { return convClient(c.cur.Next()) }
-func (c clientCursor) Prev() (*Entry, error)   { return convClient(c.cur.Prev()) }
-func (c clientCursor) SeekStart() error        { return c.cur.SeekStart() }
-func (c clientCursor) SeekEnd() error          { return c.cur.SeekEnd() }
-func (c clientCursor) SeekTime(ts int64) error { return c.cur.SeekTime(ts) }
-func (c clientCursor) Close() error            { return c.cur.Close() }
+func (c clientCursor) Next() (*Entry, error) { return convClient(c.cur.Next(context.Background())) }
+func (c clientCursor) Prev() (*Entry, error) { return convClient(c.cur.Prev(context.Background())) }
+func (c clientCursor) SeekStart() error      { return c.cur.SeekStart(context.Background()) }
+func (c clientCursor) SeekEnd() error        { return c.cur.SeekEnd(context.Background()) }
+func (c clientCursor) SeekTime(ts int64) error {
+	return c.cur.SeekTime(context.Background(), ts)
+}
+func (c clientCursor) Close() error { return c.cur.Close() }
 
 func convClient(e *client.Entry, err error) (*Entry, error) {
 	if err != nil {

@@ -1,0 +1,95 @@
+package scrub
+
+import (
+	"fmt"
+	"testing"
+
+	"clio/internal/core"
+	"clio/internal/wodev"
+)
+
+func buildMirrored(t *testing.T, entries int) (*wodev.Mirror, *wodev.MemDevice, *wodev.MemDevice) {
+	t.Helper()
+	a := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 1 << 13})
+	b := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 1 << 13})
+	m, err := wodev.NewMirror(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	svc, err := core.New(m, core.Options{BlockSize: 256, Degree: 4,
+		Now: func() int64 { now += 1000; return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.CreateLog("/m", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		if _, err := svc.Append(id, []byte(fmt.Sprintf("entry-%04d", i)), core.AppendOptions{Forced: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return m, a, b
+}
+
+func TestScrubRepairPrefersIntactReplica(t *testing.T) {
+	m, a, _ := buildMirrored(t, 120)
+	// Silently corrupt a sealed block on the PRIMARY only. The replica's
+	// copy is intact, so a validated read masks the damage: scrub must
+	// report a clean store and repair must NOT invalidate the block (which
+	// would destroy the good copy too).
+	bad := a.Written() - 2
+	if err := a.Damage(bad, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Volumes([]wodev.Device{m}, Options{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		for _, p := range rep.Problems {
+			t.Errorf("mirrored scrub problem: %s", p)
+		}
+	}
+	if rep.Repaired != 0 {
+		t.Fatalf("Repaired = %d: repair invalidated a block the replica still serves", rep.Repaired)
+	}
+	if rep.Damaged != 0 || rep.Readable != rep.Blocks {
+		t.Fatalf("damaged=%d readable=%d blocks=%d, want all readable via replica",
+			rep.Damaged, rep.Readable, rep.Blocks)
+	}
+	if m.Failovers() == 0 {
+		t.Fatal("scrub never failed over to the replica; test is vacuous")
+	}
+}
+
+func TestScrubRepairsWhenAllReplicasDamaged(t *testing.T) {
+	m, a, b := buildMirrored(t, 120)
+	bad := a.Written() - 2
+	if err := a.Damage(bad, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Damage(bad, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Volumes([]wodev.Device{m}, Options{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged != 1 || rep.Repaired != 1 {
+		t.Fatalf("damaged=%d repaired=%d, want 1/1", rep.Damaged, rep.Repaired)
+	}
+	// A second scrub sees the block invalidated on the medium, not damaged.
+	rep2, err := Volumes([]wodev.Device{m}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Invalidated != 1 || rep2.Damaged != 0 {
+		t.Fatalf("after repair: invalidated=%d damaged=%d, want 1/0", rep2.Invalidated, rep2.Damaged)
+	}
+}

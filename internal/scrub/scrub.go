@@ -21,6 +21,7 @@
 package scrub
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -147,6 +148,19 @@ type scrubber struct {
 	parsed map[int]*blockfmt.Parsed
 }
 
+// readBlock reads one device block, preferring a validated (mirror-aware)
+// read when the device offers one: on a mirrored pair an intact replica
+// then masks a damaged primary, and repair must NOT invalidate the block —
+// doing so would destroy the good copy too.
+func readBlock(v *volume.Volume, local int, buf []byte) error {
+	if m, ok := v.Dev.(interface {
+		ReadValidated(int, []byte, func([]byte) bool) error
+	}); ok {
+		return m.ReadValidated(v.DeviceBlock(local), buf, blockfmt.Validate)
+	}
+	return v.Dev.ReadBlock(v.DeviceBlock(local), buf)
+}
+
 func (s *scrubber) block(g int) *blockfmt.Parsed {
 	if p, ok := s.parsed[g]; ok {
 		return p
@@ -157,7 +171,7 @@ func (s *scrubber) block(g int) *blockfmt.Parsed {
 		return nil
 	}
 	buf := make([]byte, v.Dev.BlockSize())
-	if err := v.Dev.ReadBlock(v.DeviceBlock(local), buf); err != nil {
+	if err := readBlock(v, local, buf); err != nil {
 		s.parsed[g] = nil
 		return nil
 	}
@@ -188,8 +202,8 @@ func (s *scrubber) run(end int) error {
 			continue
 		}
 		buf := make([]byte, v.Dev.BlockSize())
-		rerr := v.Dev.ReadBlock(v.DeviceBlock(local), buf)
-		if rerr == wodev.ErrInvalidated {
+		rerr := readBlock(v, local, buf)
+		if errors.Is(rerr, wodev.ErrInvalidated) {
 			r.Invalidated++
 			continue
 		}

@@ -10,10 +10,18 @@
 //
 // Wire format: every message is a length-prefixed frame
 //
-//	u32 frameLen | u8 op | payload...
+//	u32 frameLen | u8 op | u64 seq | payload...
 //
 // with integers little-endian and strings/bytes length-prefixed by uvarint.
-// Responses reuse the frame with op = status code (ok / error / EOF).
+// Responses reuse the frame with op = status code (ok / error / EOF /
+// degraded) and echo the request's seq.
+//
+// seq is the client-assigned session sequence number (the request ID): it
+// pairs responses with requests and drives the server's per-session
+// duplicate-suppression window, which makes retried requests idempotent — a
+// client that lost a connection mid-call can reconnect, replay the request
+// under the same seq, and receive the original result instead of a second
+// execution. seq 0 opts out of duplicate suppression.
 package server
 
 import (
@@ -46,6 +54,11 @@ const (
 	OpStats       = 17
 	OpAppendMulti = 18
 	OpSeekPos     = 19
+	// OpHello attaches the connection to a client session (payload: u64
+	// session id). The response payload is u64 server epoch + u64 maxSeq
+	// already processed for that session, letting a reconnecting client
+	// detect a server restart (epoch change = session state lost).
+	OpHello = 20
 )
 
 // Response status codes.
@@ -53,6 +66,10 @@ const (
 	StatusOK  = 0
 	StatusErr = 1
 	StatusEOF = 2
+	// StatusDegraded reports an append that COMPLETED (the payload carries
+	// the entry's timestamp, exactly like StatusOK) but had to relocate
+	// past damaged blocks to do so (§2.3.2, core.DegradedError).
+	StatusDegraded = 3
 )
 
 // Append flag bits.
@@ -73,14 +90,15 @@ const MaxFrame = 8 << 20
 // ErrFrameTooLarge is returned for frames above MaxFrame.
 var ErrFrameTooLarge = errors.New("server: frame too large")
 
-// WriteFrame writes one length-prefixed frame (op byte + payload).
-func WriteFrame(w io.Writer, op byte, payload []byte) error {
-	if len(payload)+1 > MaxFrame {
+// WriteFrame writes one length-prefixed frame (op byte + seq + payload).
+func WriteFrame(w io.Writer, op byte, seq uint64, payload []byte) error {
+	if len(payload)+9 > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	var hdr [13]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+9))
 	hdr[4] = op
+	binary.LittleEndian.PutUint64(hdr[5:], seq)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -92,21 +110,22 @@ func WriteFrame(w io.Writer, op byte, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame, returning its op byte and payload.
-func ReadFrame(r io.Reader) (byte, []byte, error) {
+// ReadFrame reads one frame, returning its op byte, sequence number and
+// payload.
+func ReadFrame(r io.Reader) (byte, uint64, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 || n > MaxFrame {
-		return 0, nil, ErrFrameTooLarge
+	if n < 9 || n > MaxFrame {
+		return 0, 0, nil, ErrFrameTooLarge
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return buf[0], buf[1:], nil
+	return buf[0], binary.LittleEndian.Uint64(buf[1:9]), buf[9:], nil
 }
 
 // Payload encoding helpers.

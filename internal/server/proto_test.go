@@ -9,59 +9,59 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, OpAppend, []byte("payload")); err != nil {
+	if err := WriteFrame(&buf, OpAppend, 7, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteFrame(&buf, StatusOK, nil); err != nil {
+	if err := WriteFrame(&buf, StatusOK, 7, nil); err != nil {
 		t.Fatal(err)
 	}
-	op, p, err := ReadFrame(&buf)
-	if err != nil || op != OpAppend || string(p) != "payload" {
-		t.Fatalf("frame 1: %d %q %v", op, p, err)
+	op, seq, p, err := ReadFrame(&buf)
+	if err != nil || op != OpAppend || seq != 7 || string(p) != "payload" {
+		t.Fatalf("frame 1: %d %d %q %v", op, seq, p, err)
 	}
-	op, p, err = ReadFrame(&buf)
-	if err != nil || op != StatusOK || len(p) != 0 {
-		t.Fatalf("frame 2: %d %q %v", op, p, err)
+	op, seq, p, err = ReadFrame(&buf)
+	if err != nil || op != StatusOK || seq != 7 || len(p) != 0 {
+		t.Fatalf("frame 2: %d %d %q %v", op, seq, p, err)
 	}
-	if _, _, err := ReadFrame(&buf); err != io.EOF {
+	if _, _, _, err := ReadFrame(&buf); err != io.EOF {
 		t.Fatalf("empty stream: %v", err)
 	}
 }
 
 func TestFrameTooLarge(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, 1, make([]byte, MaxFrame)); err != ErrFrameTooLarge {
+	if err := WriteFrame(&buf, 1, 0, make([]byte, MaxFrame)); err != ErrFrameTooLarge {
 		t.Errorf("oversize write: %v", err)
 	}
 	// A poisoned length prefix must be rejected before allocation.
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+	if _, _, _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
 		t.Errorf("oversize read: %v", err)
 	}
 }
 
 func TestFrameTruncated(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, 7, []byte("abcdef")); err != nil {
+	if err := WriteFrame(&buf, 7, 1, []byte("abcdef")); err != nil {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()-3]
-	if _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+	if _, _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated frame accepted")
 	}
 }
 
 func TestFrameProperty(t *testing.T) {
-	f := func(op byte, payload []byte) bool {
-		if len(payload)+1 > MaxFrame {
+	f := func(op byte, seq uint64, payload []byte) bool {
+		if len(payload)+9 > MaxFrame {
 			return true
 		}
 		var buf bytes.Buffer
-		if err := WriteFrame(&buf, op, payload); err != nil {
+		if err := WriteFrame(&buf, op, seq, payload); err != nil {
 			return false
 		}
-		gotOp, gotP, err := ReadFrame(&buf)
-		return err == nil && gotOp == op && bytes.Equal(gotP, payload)
+		gotOp, gotSeq, gotP, err := ReadFrame(&buf)
+		return err == nil && gotOp == op && gotSeq == seq && bytes.Equal(gotP, payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

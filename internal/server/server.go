@@ -1,15 +1,29 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"clio/internal/core"
 	"clio/internal/wire"
 )
+
+// DefaultIdleTimeout is how long a connection may sit between requests
+// before the server drops it — a half-open client must not pin a handler
+// goroutine forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
+// dedupWindow bounds the per-session duplicate-suppression cache. The
+// client has one request in flight per connection, so the window only needs
+// to cover replay after reconnect plus slack.
+const dedupWindow = 128
 
 // Server serves the Clio protocol over stream connections, fronting one log
 // service (the paper's combined file server + log server, §2 and §6: "the
@@ -19,25 +33,60 @@ type Server struct {
 	svc *core.Service
 	// Logf, when set, receives connection-level error logs.
 	Logf func(format string, args ...any)
+	// IdleTimeout bounds how long a connection may sit idle between
+	// requests; expiry closes the connection (the session, and with it any
+	// open cursors and the dedup window, survives for reconnect). 0 uses
+	// DefaultIdleTimeout; negative disables the deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write; 0 disables.
+	WriteTimeout time.Duration
 
-	mu     sync.Mutex
-	closed bool
-	lns    []net.Listener
-	conns  map[net.Conn]bool
-	wg     sync.WaitGroup
+	// epoch identifies this Server instance: it changes on restart, which
+	// is how a reconnecting client learns its session state is gone.
+	epoch uint64
+
+	mu       sync.Mutex
+	closed   bool
+	lns      []net.Listener
+	conns    map[net.Conn]bool
+	sessions map[uint64]*session
+	wg       sync.WaitGroup
 }
 
 // New returns a server fronting svc.
 func New(svc *core.Service) *Server {
-	return &Server{svc: svc, conns: make(map[net.Conn]bool)}
+	var e [8]byte
+	if _, err := rand.Read(e[:]); err != nil {
+		binary.LittleEndian.PutUint64(e[:], uint64(time.Now().UnixNano())^uint64(os.Getpid()))
+	}
+	return &Server{
+		svc:      svc,
+		epoch:    binary.LittleEndian.Uint64(e[:]) | 1, // never 0
+		conns:    make(map[net.Conn]bool),
+		sessions: make(map[uint64]*session),
+	}
 }
 
 // Service returns the underlying log service.
 func (s *Server) Service() *core.Service { return s.svc }
 
+// Epoch returns the server instance identifier carried in Hello responses.
+func (s *Server) Epoch() uint64 { return s.epoch }
+
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) idleTimeout() time.Duration {
+	switch {
+	case s.IdleTimeout == 0:
+		return DefaultIdleTimeout
+	case s.IdleTimeout < 0:
+		return 0
+	default:
+		return s.IdleTimeout
 	}
 }
 
@@ -93,43 +142,216 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// ServeConn handles one connection until EOF or error. Exported so callers
-// can serve over a net.Pipe (the paper's same-machine IPC).
+// KillConns forcibly closes every live client connection — listeners and
+// session state are untouched, so clients reconnect into their sessions.
+// This is the connection-loss chaos hook; it returns how many connections
+// were killed.
+func (s *Server) KillConns() int {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return len(conns)
+}
+
+// ServeConn handles one connection until EOF, error, or idle timeout.
+// Exported so callers can serve over a net.Pipe (the paper's same-machine
+// IPC).
 func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if !s.conns[conn] {
+		// Direct ServeConn callers bypass Serve's registration.
+		s.conns[conn] = true
+	}
+	s.mu.Unlock()
 	defer conn.Close()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	h := &connHandler{srv: s, cursors: make(map[uint32]*core.Cursor)}
+	// Until an OpHello attaches a shared session, the connection gets a
+	// private one (seq-based dedup still works within the connection).
+	h := &connHandler{srv: s, sess: newSession(0)}
 	for {
-		op, payload, err := ReadFrame(conn)
+		if d := s.idleTimeout(); d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
+		op, seq, payload, err := ReadFrame(conn)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			var ne net.Error
+			switch {
+			case err == io.EOF, errors.Is(err, net.ErrClosed):
+			case errors.As(err, &ne) && ne.Timeout():
+				s.logf("clio server: dropping idle connection: %v", err)
+			default:
 				s.logf("clio server: read: %v", err)
 			}
 			return
 		}
-		status, resp := h.handle(op, payload)
-		if err := WriteFrame(conn, status, resp); err != nil {
+		status, resp := h.handle(op, seq, payload)
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		if err := WriteFrame(conn, status, seq, resp); err != nil {
 			s.logf("clio server: write: %v", err)
 			return
 		}
 	}
 }
 
-type connHandler struct {
-	srv        *Server
+// session carries the per-client state that must survive a connection loss
+// for reconnect to be transparent: open cursors, the highest sequence
+// number processed, and a window of cached responses that makes retried
+// requests idempotent.
+type session struct {
+	// exec serializes sequenced requests for the session, so a request
+	// replayed on a new connection cannot race its original execution past
+	// the duplicate-suppression lookup and run twice.
+	exec sync.Mutex
+
+	mu         sync.Mutex
+	id         uint64
 	cursors    map[uint32]*core.Cursor
 	nextCursor uint32
+	maxSeq     uint64
+	window     map[uint64]cachedResp
+	order      []uint64 // FIFO of cached seqs for eviction
+}
+
+type cachedResp struct {
+	status  byte
+	payload []byte
+}
+
+func newSession(id uint64) *session {
+	return &session{
+		id:      id,
+		cursors: make(map[uint32]*core.Cursor),
+		window:  make(map[uint64]cachedResp),
+	}
+}
+
+// lookup consults the dedup window. seen=true means the request was already
+// processed and resp carries the original result; stale=true means it was
+// processed but its response has been evicted.
+func (ss *session) lookup(seq uint64) (resp cachedResp, seen, stale bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if seq > ss.maxSeq {
+		return cachedResp{}, false, false
+	}
+	if r, ok := ss.window[seq]; ok {
+		return r, true, false
+	}
+	return cachedResp{}, false, true
+}
+
+// record caches the response for seq and advances maxSeq.
+func (ss *session) record(seq uint64, status byte, payload []byte) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if seq > ss.maxSeq {
+		ss.maxSeq = seq
+	}
+	if _, ok := ss.window[seq]; !ok {
+		ss.order = append(ss.order, seq)
+	}
+	ss.window[seq] = cachedResp{status: status, payload: payload}
+	for len(ss.order) > dedupWindow {
+		evict := ss.order[0]
+		ss.order = ss.order[1:]
+		delete(ss.window, evict)
+	}
+}
+
+func (ss *session) addCursor(cur *core.Cursor) uint32 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.nextCursor++
+	ss.cursors[ss.nextCursor] = cur
+	return ss.nextCursor
+}
+
+func (ss *session) cursor(handle uint32) (*core.Cursor, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	cur, ok := ss.cursors[handle]
+	return cur, ok
+}
+
+func (ss *session) delCursor(handle uint32) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	delete(ss.cursors, handle)
+}
+
+type connHandler struct {
+	srv  *Server
+	sess *session
 }
 
 func errResp(err error) (byte, []byte) {
 	return StatusErr, PutString(nil, err.Error())
 }
 
-func (h *connHandler) handle(op byte, payload []byte) (byte, []byte) {
+// handle processes one request frame. Requests with seq > 0 pass through
+// the session's duplicate-suppression window: a seq already processed
+// returns its original cached response without re-executing, which is what
+// makes client retry/replay idempotent for every operation (a replayed
+// OpAppend does not write twice; a replayed OpNext does not advance twice).
+func (h *connHandler) handle(op byte, seq uint64, payload []byte) (byte, []byte) {
+	if op == OpHello {
+		return h.hello(payload)
+	}
+	if seq == 0 {
+		return h.dispatch(op, payload)
+	}
+	h.sess.exec.Lock()
+	defer h.sess.exec.Unlock()
+	if resp, seen, stale := h.sess.lookup(seq); seen {
+		return resp.status, resp.payload
+	} else if stale {
+		return errResp(fmt.Errorf("server: request %d outside duplicate-suppression window", seq))
+	}
+	status, resp := h.dispatch(op, payload)
+	h.sess.record(seq, status, resp)
+	return status, resp
+}
+
+// hello attaches the connection to the shared session named in the payload
+// (creating it on first contact) and reports the server epoch plus the
+// session's high-water sequence number.
+func (h *connHandler) hello(payload []byte) (byte, []byte) {
+	d := NewDecoder(payload)
+	id, err := d.Int64()
+	if err != nil {
+		return errResp(err)
+	}
+	if id != 0 {
+		s := h.srv
+		s.mu.Lock()
+		sess, ok := s.sessions[uint64(id)]
+		if !ok {
+			sess = newSession(uint64(id))
+			s.sessions[uint64(id)] = sess
+		}
+		s.mu.Unlock()
+		h.sess = sess
+	}
+	out := wire.PutUint64(nil, h.srv.epoch)
+	h.sess.mu.Lock()
+	out = wire.PutUint64(out, h.sess.maxSeq)
+	h.sess.mu.Unlock()
+	return StatusOK, out
+}
+
+func (h *connHandler) dispatch(op byte, payload []byte) (byte, []byte) {
 	svc := h.srv.svc
 	d := NewDecoder(payload)
 	switch op {
@@ -246,10 +468,7 @@ func (h *connHandler) handle(op byte, payload []byte) (byte, []byte) {
 			Timestamped: flags&AppendTimestamped != 0,
 			Forced:      flags&AppendForced != 0,
 		})
-		if err != nil {
-			return errResp(err)
-		}
-		return StatusOK, wire.PutUint64(nil, uint64(ts))
+		return appendResp(ts, err)
 
 	case OpAppendMulti:
 		nIDs, err := d.Uvarint()
@@ -277,10 +496,7 @@ func (h *connHandler) handle(op byte, payload []byte) (byte, []byte) {
 			Timestamped: flags&AppendTimestamped != 0,
 			Forced:      flags&AppendForced != 0,
 		})
-		if err != nil {
-			return errResp(err)
-		}
-		return StatusOK, wire.PutUint64(nil, uint64(ts))
+		return appendResp(ts, err)
 
 	case OpCursorOpen:
 		path, err := d.String()
@@ -291,9 +507,7 @@ func (h *connHandler) handle(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return errResp(err)
 		}
-		h.nextCursor++
-		h.cursors[h.nextCursor] = cur
-		return StatusOK, wire.PutUint32(nil, h.nextCursor)
+		return StatusOK, wire.PutUint32(nil, h.sess.addCursor(cur))
 
 	case OpNext, OpPrev:
 		cur, err := h.cursor(d)
@@ -363,7 +577,7 @@ func (h *connHandler) handle(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return errResp(err)
 		}
-		delete(h.cursors, uint32(handle))
+		h.sess.delCursor(uint32(handle))
 		return StatusOK, nil
 
 	case OpReadAt:
@@ -394,12 +608,25 @@ func (h *connHandler) handle(op byte, payload []byte) (byte, []byte) {
 	}
 }
 
+// appendResp maps an append result to a response, surfacing degraded
+// completion (the write went through around damaged blocks) as its own
+// status so clients can distinguish it from failure.
+func appendResp(ts int64, err error) (byte, []byte) {
+	if core.IsDegraded(err) {
+		return StatusDegraded, wire.PutUint64(nil, uint64(ts))
+	}
+	if err != nil {
+		return errResp(err)
+	}
+	return StatusOK, wire.PutUint64(nil, uint64(ts))
+}
+
 func (h *connHandler) cursor(d *Decoder) (*core.Cursor, error) {
 	handle, err := d.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	cur, ok := h.cursors[uint32(handle)]
+	cur, ok := h.sess.cursor(uint32(handle))
 	if !ok {
 		return nil, fmt.Errorf("server: unknown cursor handle %d", handle)
 	}

@@ -29,16 +29,26 @@ func testServer(t *testing.T) (*Server, net.Conn) {
 	return srv, cConn
 }
 
-// roundTrip sends one raw frame and returns the response.
+// roundTrip sends one raw frame (seq 0 = no duplicate suppression) and
+// returns the response.
 func roundTrip(t *testing.T, conn net.Conn, op byte, payload []byte) (byte, []byte) {
 	t.Helper()
+	return roundTripSeq(t, conn, op, 0, payload)
+}
+
+// roundTripSeq sends one raw frame under an explicit sequence number.
+func roundTripSeq(t *testing.T, conn net.Conn, op byte, seq uint64, payload []byte) (byte, []byte) {
+	t.Helper()
 	conn.SetDeadline(time.Now().Add(5 * time.Second))
-	if err := WriteFrame(conn, op, payload); err != nil {
+	if err := WriteFrame(conn, op, seq, payload); err != nil {
 		t.Fatal(err)
 	}
-	status, resp, err := ReadFrame(conn)
+	status, gotSeq, resp, err := ReadFrame(conn)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if gotSeq != seq {
+		t.Fatalf("response seq %d, want %d", gotSeq, seq)
 	}
 	return status, resp
 }
@@ -143,5 +153,240 @@ func TestServerCloseUnblocksServe(t *testing.T) {
 	}
 	if err := srv.Serve(ln); err == nil {
 		t.Error("Serve after Close accepted")
+	}
+}
+
+func TestIdleConnectionDropped(t *testing.T) {
+	// A half-open client that never sends a request must not pin a handler
+	// goroutine forever: the idle read deadline drops it.
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 12})
+	now := int64(0)
+	svc, err := core.New(dev, core.Options{BlockSize: 512, Degree: 8,
+		Now: func() int64 { now += 1000; return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := New(svc)
+	srv.IdleTimeout = 50 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing. The server must close the connection: the next read
+	// observes EOF instead of blocking forever.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection still open")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never dropped the idle connection")
+	}
+}
+
+func TestDuplicateSuppressionMakesAppendsIdempotent(t *testing.T) {
+	_, conn := testServer(t)
+	p := PutString(nil, "/dup")
+	p = wire.PutUint16(p, 0)
+	p = PutString(p, "")
+	status, resp := roundTripSeq(t, conn, OpCreate, 1, p)
+	if status != StatusOK {
+		t.Fatal("create failed")
+	}
+	id, _ := NewDecoder(resp).Uint16()
+
+	ap := wire.PutUint16(nil, id)
+	ap = append(ap, AppendForced)
+	ap = PutBytes(ap, []byte("once"))
+	status, resp = roundTripSeq(t, conn, OpAppend, 2, ap)
+	if status != StatusOK {
+		t.Fatalf("append: status %d", status)
+	}
+	ts1, _ := NewDecoder(resp).Int64()
+
+	// Replaying the exact same request under the same seq must return the
+	// cached response, not execute a second append.
+	status, resp = roundTripSeq(t, conn, OpAppend, 2, ap)
+	if status != StatusOK {
+		t.Fatalf("replay: status %d", status)
+	}
+	ts2, _ := NewDecoder(resp).Int64()
+	if ts1 != ts2 {
+		t.Fatalf("replay returned ts %d, original %d", ts2, ts1)
+	}
+	status, resp = roundTrip(t, conn, OpStats, nil)
+	if status != StatusOK {
+		t.Fatal("stats failed")
+	}
+	entries, _ := NewDecoder(resp).Int64()
+	if entries != 1 {
+		t.Fatalf("server holds %d entries after replay, want 1", entries)
+	}
+}
+
+func TestDuplicateSuppressionCoversCursorAdvance(t *testing.T) {
+	_, conn := testServer(t)
+	p := PutString(nil, "/cur")
+	p = wire.PutUint16(p, 0)
+	p = PutString(p, "")
+	if status, _ := roundTripSeq(t, conn, OpCreate, 1, p); status != StatusOK {
+		t.Fatal("create failed")
+	}
+	status, resp := roundTrip(t, conn, OpResolve, PutString(nil, "/cur"))
+	if status != StatusOK {
+		t.Fatal("resolve failed")
+	}
+	id, _ := NewDecoder(resp).Uint16()
+	for i, payload := range []string{"a", "b"} {
+		ap := wire.PutUint16(nil, id)
+		ap = append(ap, AppendForced)
+		ap = PutBytes(ap, []byte(payload))
+		if status, _ := roundTripSeq(t, conn, OpAppend, uint64(10+i), ap); status != StatusOK {
+			t.Fatal("append failed")
+		}
+	}
+	status, resp = roundTripSeq(t, conn, OpCursorOpen, 20, PutString(nil, "/cur"))
+	if status != StatusOK {
+		t.Fatal("cursor open failed")
+	}
+	handle, _ := NewDecoder(resp).Uint32()
+	hb := wire.PutUvarint(nil, uint64(handle))
+
+	// A replayed OpNext must NOT advance the cursor twice.
+	status, resp = roundTripSeq(t, conn, OpNext, 21, hb)
+	if status != StatusOK {
+		t.Fatalf("next: %d", status)
+	}
+	first := decodeEntryData(t, resp)
+	status, resp = roundTripSeq(t, conn, OpNext, 21, hb) // replay
+	if status != StatusOK || decodeEntryData(t, resp) != first {
+		t.Fatal("replayed Next returned a different entry")
+	}
+	status, resp = roundTripSeq(t, conn, OpNext, 22, hb)
+	if status != StatusOK {
+		t.Fatalf("second next: %d", status)
+	}
+	if got := decodeEntryData(t, resp); got != "b" {
+		t.Fatalf("cursor advanced wrongly under replay: got %q, want \"b\"", got)
+	}
+}
+
+func decodeEntryData(t *testing.T, resp []byte) string {
+	t.Helper()
+	d := NewDecoder(resp)
+	d.Uint16() // log id
+	d.Int64()  // ts
+	d.Byte()   // flags
+	d.Uvarint()
+	d.Uvarint()
+	n, _ := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		d.Uint16()
+	}
+	data, err := d.Bytes()
+	if err != nil {
+		t.Fatalf("decode entry: %v", err)
+	}
+	return string(data)
+}
+
+func TestHelloReportsEpochAndSessionSurvivesReconnect(t *testing.T) {
+	srv, conn := testServer(t)
+	hello := wire.PutUint64(nil, 42)
+	status, resp := roundTrip(t, conn, OpHello, hello)
+	if status != StatusOK {
+		t.Fatal("hello failed")
+	}
+	d := NewDecoder(resp)
+	epoch, _ := d.Int64()
+	if uint64(epoch) != srv.Epoch() {
+		t.Fatalf("hello epoch %d, server epoch %d", epoch, srv.Epoch())
+	}
+	maxSeq, _ := d.Int64()
+	if maxSeq != 0 {
+		t.Fatalf("fresh session maxSeq = %d", maxSeq)
+	}
+	// Run one sequenced request, then "reconnect" on a new conn: the
+	// session must remember maxSeq.
+	p := PutString(nil, "/s")
+	p = wire.PutUint16(p, 0)
+	p = PutString(p, "")
+	if status, _ := roundTripSeq(t, conn, OpCreate, 7, p); status != StatusOK {
+		t.Fatal("create failed")
+	}
+	c2, s2 := net.Pipe()
+	go srv.ServeConn(s2)
+	defer c2.Close()
+	status, resp = roundTrip(t, c2, OpHello, hello)
+	if status != StatusOK {
+		t.Fatal("hello on second conn failed")
+	}
+	d = NewDecoder(resp)
+	d.Int64()
+	maxSeq, _ = d.Int64()
+	if maxSeq != 7 {
+		t.Fatalf("session maxSeq after reconnect = %d, want 7", maxSeq)
+	}
+}
+
+func TestDegradedAppendStatus(t *testing.T) {
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 12})
+	now := int64(0)
+	svc, err := core.New(dev, core.Options{BlockSize: 512, Degree: 8,
+		Now: func() int64 { now += 1000; return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(svc)
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	t.Cleanup(func() { cConn.Close(); srv.Close(); svc.Close() })
+
+	p := PutString(nil, "/deg")
+	p = wire.PutUint16(p, 0)
+	p = PutString(p, "")
+	status, resp := roundTrip(t, cConn, OpCreate, p)
+	if status != StatusOK {
+		t.Fatal("create failed")
+	}
+	id, _ := NewDecoder(resp).Uint16()
+	// Damage the next unwritten block: the append completes degraded.
+	if err := dev.Damage(dev.Written(), nil); err != nil {
+		t.Fatal(err)
+	}
+	ap := wire.PutUint16(nil, id)
+	ap = append(ap, AppendForced)
+	ap = PutBytes(ap, []byte("x"))
+	status, resp = roundTrip(t, cConn, OpAppend, ap)
+	if status != StatusDegraded {
+		t.Fatalf("append over damaged block: status %d, want StatusDegraded", status)
+	}
+	if ts, _ := NewDecoder(resp).Int64(); ts == 0 {
+		t.Fatal("degraded append carried no timestamp")
+	}
+}
+
+func TestKillConns(t *testing.T) {
+	srv, conn := testServer(t)
+	if status, _ := roundTrip(t, conn, OpPing, nil); status != StatusOK {
+		t.Fatal("ping failed")
+	}
+	if n := srv.KillConns(); n != 1 {
+		t.Fatalf("KillConns = %d, want 1", n)
+	}
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	err := WriteFrame(conn, OpPing, 0, nil)
+	if err == nil {
+		_, _, _, err = ReadFrame(conn)
+	}
+	if err == nil {
+		t.Fatal("connection alive after KillConns")
 	}
 }

@@ -1,0 +1,190 @@
+package wodev
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"clio/internal/faults"
+)
+
+func flakyPair(t *testing.T) (*Flaky, *MemDevice) {
+	t.Helper()
+	mem := NewMem(MemOptions{BlockSize: 64, Capacity: 128})
+	return NewFlaky(mem, 1), mem
+}
+
+func TestFlakyInjectsTransientErrors(t *testing.T) {
+	f, mem := flakyPair(t)
+	f.FailAppends(1)
+	data := make([]byte, 64)
+	if _, err := f.AppendBlock(data); !errors.Is(err, ErrTransient) {
+		t.Fatalf("AppendBlock = %v, want ErrTransient", err)
+	}
+	if mem.Written() != 0 {
+		t.Fatalf("failed append reached the device: written=%d", mem.Written())
+	}
+	if faults.Classify(ErrTransient) != faults.Transient {
+		t.Fatalf("ErrTransient classifies as %v", faults.Classify(ErrTransient))
+	}
+
+	f.FailAppends(0)
+	idx, err := f.AppendBlock(data)
+	if err != nil || idx != 0 {
+		t.Fatalf("clean append: idx=%d err=%v", idx, err)
+	}
+
+	f.FailReads(1)
+	dst := make([]byte, 64)
+	if err := f.ReadBlock(0, dst); !errors.Is(err, ErrTransient) {
+		t.Fatalf("ReadBlock = %v, want ErrTransient", err)
+	}
+	f.FailReads(0)
+	if err := f.ReadBlock(0, dst); err != nil {
+		t.Fatalf("clean read: %v", err)
+	}
+
+	st := f.FaultStats()
+	if st.ReadFaults != 1 || st.AppendFaults != 1 {
+		t.Fatalf("stats = %+v, want 1 read / 1 append fault", st)
+	}
+}
+
+func TestFlakyMaxConsecutive(t *testing.T) {
+	f, _ := flakyPair(t)
+	f.FailAppends(1)
+	f.MaxConsecutive(3)
+	data := make([]byte, 64)
+	// With prob 1 but a run bound of 3, the 4th attempt must succeed.
+	var failures int
+	for i := 0; i < 4; i++ {
+		if _, err := f.AppendBlock(data); err != nil {
+			failures++
+		} else {
+			break
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("saw %d consecutive failures before success, want 3", failures)
+	}
+}
+
+func TestFlakyPauseResume(t *testing.T) {
+	f, _ := flakyPair(t)
+	f.FailAppends(1)
+	f.Pause()
+	data := make([]byte, 64)
+	if _, err := f.AppendBlock(data); err != nil {
+		t.Fatalf("paused flaky still injected: %v", err)
+	}
+	f.Resume()
+	if _, err := f.AppendBlock(data); !errors.Is(err, ErrTransient) {
+		t.Fatalf("resumed flaky did not inject: %v", err)
+	}
+}
+
+func TestFlakyLatencySpike(t *testing.T) {
+	f, _ := flakyPair(t)
+	var slept []time.Duration
+	f.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	f.Spike(1, 5*time.Millisecond)
+	data := make([]byte, 64)
+	if _, err := f.AppendBlock(data); err != nil {
+		t.Fatalf("spiking append failed: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("slept = %v, want one 5ms spike", slept)
+	}
+	if f.FaultStats().Spikes != 1 {
+		t.Fatalf("spike not counted: %+v", f.FaultStats())
+	}
+}
+
+func TestFlakySeededDeterminism(t *testing.T) {
+	run := func() []bool {
+		mem := NewMem(MemOptions{BlockSize: 64, Capacity: 128})
+		f := NewFlaky(mem, 99)
+		f.FailAppends(0.5)
+		var outcomes []bool
+		data := make([]byte, 64)
+		for i := 0; i < 32; i++ {
+			_, err := f.AppendBlock(data)
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+}
+
+func TestFlakyRetryThrough(t *testing.T) {
+	// End-to-end with the faults retry policy: a 50% flaky device with a
+	// consecutive-run bound is always masked by a 4-attempt policy.
+	f, mem := flakyPair(t)
+	f.FailAppends(0.5)
+	f.MaxConsecutive(3)
+	p := faults.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond,
+		Sleep: func(time.Duration) {}}
+	data := make([]byte, 64)
+	for i := 0; i < 50; i++ {
+		var idx int
+		err := p.Do(func() error {
+			var e error
+			idx, e = f.AppendBlock(data)
+			return e
+		})
+		if err != nil {
+			t.Fatalf("append %d not masked: %v", i, err)
+		}
+		if idx != i {
+			t.Fatalf("append %d landed at %d", i, idx)
+		}
+	}
+	if mem.Written() != 50 {
+		t.Fatalf("written = %d, want 50", mem.Written())
+	}
+}
+
+func TestMirrorReplicaErrorAccounting(t *testing.T) {
+	a := NewMem(MemOptions{BlockSize: 64, Capacity: 16})
+	b := NewMem(MemOptions{BlockSize: 64, Capacity: 16})
+	m, err := NewMirror(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = 0xAB
+	}
+	if _, err := m.AppendBlock(data); err != nil {
+		t.Fatal(err)
+	}
+	// Damage the primary's copy: reads must fail over and account the error.
+	if err := a.Damage(0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 64)
+	if err := m.ReadValidated(0, dst, func(p []byte) bool { return p[0] == 0xAB }); err != nil {
+		t.Fatalf("mirror read with damaged primary: %v", err)
+	}
+	if dst[0] != 0xAB {
+		t.Fatal("read returned primary's garbage, not the replica copy")
+	}
+	errs := m.ReplicaErrors()
+	if errs[0] != 1 || errs[1] != 0 {
+		t.Fatalf("ReplicaErrors = %v, want [1 0]", errs)
+	}
+	if m.Failovers() != 1 {
+		t.Fatalf("Failovers = %d, want 1", m.Failovers())
+	}
+	if m.LastReplicaError(0) == nil {
+		t.Fatal("LastReplicaError(0) = nil")
+	}
+	if m.LastReplicaError(1) != nil {
+		t.Fatalf("LastReplicaError(1) = %v, want nil", m.LastReplicaError(1))
+	}
+}

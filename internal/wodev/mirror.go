@@ -3,6 +3,8 @@ package wodev
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Mirror is device-level replication — the paper notes its design "does not
@@ -17,6 +19,14 @@ import (
 // parser above, so ReadValidated lets callers supply that check.
 type Mirror struct {
 	replicas []Device
+	// errs[i] counts read failures (device errors and validation rejections)
+	// observed on replica i — per-replica error accounting so operators can
+	// see which replica is failing over even when the mirror masks it.
+	errs []atomic.Int64
+	// failovers counts reads the primary could not serve but a replica could.
+	failovers atomic.Int64
+	errMu     sync.Mutex
+	lastErr   []error
 }
 
 // NewMirror mirrors the given devices; all must share geometry.
@@ -29,8 +39,42 @@ func NewMirror(replicas ...Device) (*Mirror, error) {
 			return nil, errors.New("wodev: mirror replicas must share geometry")
 		}
 	}
-	return &Mirror{replicas: replicas}, nil
+	return &Mirror{
+		replicas: replicas,
+		errs:     make([]atomic.Int64, len(replicas)),
+		lastErr:  make([]error, len(replicas)),
+	}, nil
 }
+
+// noteErr records a read failure on replica i.
+func (m *Mirror) noteErr(i int, err error) {
+	m.errs[i].Add(1)
+	m.errMu.Lock()
+	m.lastErr[i] = err
+	m.errMu.Unlock()
+}
+
+// ReplicaErrors returns, per replica, how many read failures it has served
+// since creation. A healthy mirror shows zeros; a rising count on one
+// replica means reads are failing over around it.
+func (m *Mirror) ReplicaErrors() []int64 {
+	out := make([]int64, len(m.errs))
+	for i := range m.errs {
+		out[i] = m.errs[i].Load()
+	}
+	return out
+}
+
+// LastReplicaError returns the most recent read error observed on replica i
+// (nil if it has never failed).
+func (m *Mirror) LastReplicaError(i int) error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.lastErr[i]
+}
+
+// Failovers counts reads that the primary failed but a replica served.
+func (m *Mirror) Failovers() int64 { return m.failovers.Load() }
 
 // BlockSize implements Device.
 func (m *Mirror) BlockSize() int { return m.replicas[0].BlockSize() }
@@ -57,11 +101,15 @@ func (m *Mirror) Written() int {
 // ReadBlock implements Device: primary first, replicas on failure.
 func (m *Mirror) ReadBlock(idx int, dst []byte) error {
 	var firstErr error
-	for _, d := range m.replicas {
+	for i, d := range m.replicas {
 		err := d.ReadBlock(idx, dst)
 		if err == nil {
+			if i > 0 {
+				m.failovers.Add(1)
+			}
 			return nil
 		}
+		m.noteErr(i, err)
 		if firstErr == nil {
 			firstErr = err
 		}
@@ -79,14 +127,18 @@ func (m *Mirror) ReadBlock(idx int, dst []byte) error {
 // that only the block checksum can detect.
 func (m *Mirror) ReadValidated(idx int, dst []byte, valid func([]byte) bool) error {
 	var firstErr error
-	for _, d := range m.replicas {
+	for i, d := range m.replicas {
 		err := d.ReadBlock(idx, dst)
 		if err == nil && valid(dst) {
+			if i > 0 {
+				m.failovers.Add(1)
+			}
 			return nil
 		}
 		if err == nil {
 			err = fmt.Errorf("wodev: replica copy of block %d failed validation", idx)
 		}
+		m.noteErr(i, err)
 		if firstErr == nil {
 			firstErr = err
 		}

@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"clio/internal/faults"
 )
 
 // Device errors.
@@ -47,6 +49,11 @@ var (
 	ErrCorrupt = errors.New("wodev: block damaged, cannot be written")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("wodev: device closed")
+	// ErrTransient is returned by fault-injecting wrappers (Flaky) for
+	// per-operation soft failures — the operation did not happen, and a
+	// retry may succeed. It classifies as faults.Transient, unlike the
+	// permanent media errors above.
+	ErrTransient = faults.New(faults.Transient, "wodev: transient device error")
 )
 
 // EndUnknown is returned by Device.Written when the device cannot report the
