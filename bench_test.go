@@ -12,6 +12,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"clio"
 	"clio/internal/archive"
@@ -45,6 +46,27 @@ func benchService(b *testing.B, blockSize, degree int, nv core.NVRAM) *core.Serv
 	return svc
 }
 
+// benchLatentService builds a service whose device really blocks for
+// writeDelay per block write (wodev.Latent), approximating the optical
+// disk's millisecond-scale access time (§3.2). The forced-append path then
+// spends real time inside each seal, which is the window that lets
+// concurrent forces pile up into a group commit — without it, an in-memory
+// seal is so fast that contention never forms (especially on one CPU).
+func benchLatentService(b *testing.B, blockSize, degree int, writeDelay time.Duration) *core.Service {
+	b.Helper()
+	dev := wodev.NewLatent(
+		wodev.NewMem(wodev.MemOptions{BlockSize: blockSize, Capacity: 1 << 22}),
+		writeDelay, 0)
+	svc, err := core.New(dev, core.Options{
+		BlockSize: blockSize, Degree: degree, CacheBlocks: -1, Now: benchNow(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	return svc
+}
+
 // BenchmarkWriteNull is §3.2's null-entry synchronous write (paper: 2.0 ms
 // on a Sun-3; the wall-clock number here is the modern in-memory cost).
 func BenchmarkWriteNull(b *testing.B) {
@@ -53,6 +75,7 @@ func BenchmarkWriteNull(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := svc.Append(id, nil, core.AppendOptions{Timestamped: true, Forced: true}); err != nil {
@@ -70,6 +93,7 @@ func BenchmarkWrite50B(b *testing.B) {
 	}
 	payload := make([]byte, 50)
 	b.SetBytes(50)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := svc.Append(id, payload, core.AppendOptions{Timestamped: true, Forced: true}); err != nil {
@@ -87,6 +111,7 @@ func BenchmarkWriteUnforced(b *testing.B) {
 	}
 	payload := make([]byte, 50)
 	b.SetBytes(50)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := svc.Append(id, payload, core.AppendOptions{}); err != nil {
@@ -124,6 +149,7 @@ func BenchmarkReadWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("distance=16^%d", t.K), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := v.MeasureLocate(t, false); err != nil {
 					b.Fatal(err)
@@ -138,6 +164,7 @@ func BenchmarkLocateCold(b *testing.B) {
 	v := sharedDV(b)
 	for _, t := range v.Targets {
 		b.Run(fmt.Sprintf("distance=16^%d", t.K), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := v.MeasureLocate(t, true); err != nil {
 					b.Fatal(err)
@@ -173,6 +200,7 @@ func BenchmarkRecovery(b *testing.B) {
 			}
 			svc.Crash()
 			dev.SetReportEnd(false)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s2, err := core.Open([]wodev.Device{dev}, opt)
@@ -197,6 +225,7 @@ func BenchmarkSpaceOverhead(b *testing.B) {
 		}
 		ids[path], _ = svc.Resolve(path)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		op := tr.Next()
@@ -230,6 +259,7 @@ func BenchmarkForcedWrites(b *testing.B) {
 				b.Fatal(err)
 			}
 			payload := make([]byte, 50)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := svc.Append(id, payload, core.AppendOptions{Forced: true}); err != nil {
@@ -269,6 +299,7 @@ func BenchmarkTailGrowth(b *testing.B) {
 		name := newFile()
 		limit := fs.MaxFileSize() - 64*1024
 		b.SetBytes(1024)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if sz, _ := fs.Size(name); sz >= limit {
@@ -294,6 +325,7 @@ func BenchmarkTailGrowth(b *testing.B) {
 			}
 		}
 		b.SetBytes(1024)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := svc.Append(id, chunk, core.AppendOptions{}); err != nil {
@@ -318,6 +350,7 @@ func BenchmarkCursorScan(b *testing.B) {
 		}
 	}
 	b.SetBytes(100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	cur, err := svc.OpenCursor("/scan")
 	if err != nil {
@@ -352,6 +385,7 @@ func BenchmarkServerRoundTrip(b *testing.B) {
 	}
 	payload := make([]byte, 50)
 	b.SetBytes(50)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cl.Append(context.Background(), id, payload, client.AppendOptions{}); err != nil {
@@ -374,6 +408,7 @@ func BenchmarkFileStore(b *testing.B) {
 	}
 	payload := make([]byte, 100)
 	b.SetBytes(100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := svc.Append(id, payload, clio.AppendOptions{}); err != nil {
@@ -402,6 +437,7 @@ func BenchmarkSeekTime(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := cur.SeekTime(stamps[(i*7919)%len(stamps)]); err != nil {
@@ -434,6 +470,7 @@ func BenchmarkScrub(b *testing.B) {
 	}
 	svc.Crash()
 	b.SetBytes(int64(2000 * 1024))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := scrub.Volumes([]wodev.Device{dev}, scrub.Options{})
@@ -471,6 +508,7 @@ func BenchmarkBackup(b *testing.B) {
 	if _, err := archive.Backup([]wodev.Device{dev}, dir); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := archive.Backup([]wodev.Device{dev}, dir)
@@ -481,4 +519,109 @@ func BenchmarkBackup(b *testing.B) {
 			b.Fatal("incremental backup copied blocks")
 		}
 	}
+}
+
+// BenchmarkForcedAppendParallel measures group commit (§2.3.1 amortized
+// across concurrent clients): g goroutines each issue forced 50-byte
+// appends with no NVRAM tail, so every commit must seal a padded block —
+// unless it shares the seal with queued neighbors. seals/force is the
+// metric: ~1 at one goroutine, dropping toward 1/batch as concurrency
+// grows. batched-frac is the fraction of forced appends that shared their
+// commit.
+func BenchmarkForcedAppendParallel(b *testing.B) {
+	for _, g := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			svc := benchLatentService(b, 1024, 16, 200*time.Microsecond)
+			id, err := svc.CreateLog("/gc", 0, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 50)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per, extra := b.N/g, b.N%g
+			for w := 0; w < g; w++ {
+				n := per
+				if w < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := svc.Append(id, payload, core.AppendOptions{Forced: true}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			st := svc.Stats()
+			if st.ForcedWrites > 0 {
+				b.ReportMetric(float64(st.BlocksSealed)/float64(st.ForcedWrites), "seals/force")
+				b.ReportMetric(float64(st.BatchedForces)/float64(st.ForcedWrites), "batched-frac")
+			}
+		})
+	}
+}
+
+// BenchmarkReadWhileAppend measures the lock-decomposed read path: cursors
+// scan a log concurrently with a background appender. Before the writer
+// lock was decomposed, every Next serialized against every append; now
+// sealed-block reads run lock-free off the published tail snapshot.
+func BenchmarkReadWhileAppend(b *testing.B) {
+	svc := benchService(b, 1024, 16, core.NewMemNVRAM())
+	id, err := svc.CreateLog("/rw", 0, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	for i := 0; i < 5000; i++ {
+		if _, err := svc.Append(id, payload, core.AppendOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := svc.Append(id, payload, core.AppendOptions{}); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cur, err := svc.OpenCursor("/rw")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			e, err := cur.Next()
+			if err == io.EOF {
+				cur.SeekStart()
+				continue
+			}
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_ = e
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
 }

@@ -136,6 +136,15 @@ func TestChaos(t *testing.T) {
 		}
 		ids[i] = id
 	}
+	const workers = 3
+	concIDs := make([]uint16, workers)
+	for i := range concIDs {
+		id, err := cl.CreateLog(bg, fmt.Sprintf("/conc%d", i), 0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		concIDs[i] = id
+	}
 
 	// Per-log model, as in TestSoak: written records every payload by its
 	// never-reused sequence number; durable records those covered by a
@@ -210,9 +219,29 @@ func TestChaos(t *testing.T) {
 	}
 
 	// Phase B: a killer goroutine severs the client's connection at random
-	// while traffic continues. The client reconnects and replays in-flight
-	// requests under their original sequence numbers; the server's
-	// duplicate-suppression window makes the replays idempotent.
+	// while traffic continues, and concurrent worker clients drive forced
+	// appends to their own logs over their own connections — exercising the
+	// server's pipelined dispatch, the duplicate-suppression window under
+	// replay, and group commit in the core. The main client reconnects and
+	// replays in-flight requests under their original sequence numbers.
+	type workerAck struct {
+		seq     int
+		payload string
+	}
+	ackedConc := make([][]workerAck, workers)
+	workerClients := make([]*client.Client, workers)
+	for wk := range workerClients {
+		wcl, err := client.DialContext(bg, "", client.Options{
+			Dialer: dialer,
+			Retry: &faults.RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Microsecond,
+				MaxDelay: 10 * time.Microsecond, Sleep: func(time.Duration) {}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wcl.Close()
+		workerClients[wk] = wcl
+	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -228,9 +257,34 @@ func TestChaos(t *testing.T) {
 			}
 		}
 	}()
+	var workerWg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		workerWg.Add(1)
+		go func(wk int) {
+			defer workerWg.Done()
+			for seq := 0; seq < 120; seq++ {
+				payload := fmt.Sprintf("conc%d-%06d", wk, seq)
+				_, err := workerClients[wk].Append(bg, concIDs[wk], []byte(payload),
+					client.AppendOptions{Forced: true})
+				if err == nil || client.IsDegraded(err) {
+					// Forced acknowledgement: durable immediately, so the
+					// model survives the crash rounds of phase C.
+					ackedConc[wk] = append(ackedConc[wk], workerAck{seq, payload})
+					continue
+				}
+				var amb *client.AmbiguousError
+				if errors.As(err, &amb) || faults.Classify(err) == faults.Transient {
+					continue // maybe-executed: must appear at most once
+				}
+				t.Errorf("worker %d seq %d: non-transient failure: %v", wk, seq, err)
+				return
+			}
+		}(wk)
+	}
 	for i := 800; i < 1600; i++ {
 		op(i)
 	}
+	workerWg.Wait()
 	close(stop)
 	wg.Wait()
 	if cl.Reconnects() < 2 {
@@ -354,6 +408,45 @@ func TestChaos(t *testing.T) {
 		for seq := range durable[w] {
 			if !seen[seq] {
 				t.Fatalf("log%d: durable seq %d missing (%s)", w, seq, note[[2]int{w, seq}])
+			}
+		}
+		cur.Close()
+	}
+
+	// The concurrent workers' logs: every acknowledged forced append is
+	// present exactly once (the strictly-increasing check covers "exactly"),
+	// in order, across the phase-C crashes.
+	for wk := 0; wk < workers; wk++ {
+		cur, err := cl.OpenCursor(bg, fmt.Sprintf("/conc%d", wk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]bool)
+		lastSeq := -1
+		for {
+			e, err := cur.Next(bg)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gotW, seq int
+			if _, serr := fmt.Sscanf(string(e.Data), "conc%d-%06d", &gotW, &seq); serr != nil {
+				t.Fatalf("conc%d: unparseable entry %.30q", wk, e.Data)
+			}
+			if gotW != wk {
+				t.Fatalf("conc%d: foreign entry from worker %d", wk, gotW)
+			}
+			if seq <= lastSeq {
+				t.Fatalf("conc%d: seq %d after %d (duplicate or reordering)", wk, seq, lastSeq)
+			}
+			lastSeq = seq
+			seen[seq] = true
+		}
+		for _, a := range ackedConc[wk] {
+			if !seen[a.seq] {
+				t.Fatalf("conc%d: acknowledged forced seq %d missing", wk, a.seq)
 			}
 		}
 		cur.Close()

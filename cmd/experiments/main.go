@@ -5,16 +5,21 @@
 // Usage:
 //
 //	experiments [-run all|write|table1|fig3|fig4|space|baseline|nvram|tailgrowth] [-deep]
+//	            [-cpuprofile out.pprof] [-mutexprofile out.pprof]
 //
 // -deep extends the locate experiments to distance N^5 (the paper's full
 // Table 1 range); it builds a ~10^6-block volume and needs ~0.5 GiB of
-// memory and a few minutes.
+// memory and a few minutes. -cpuprofile and -mutexprofile write pprof
+// profiles of the run, for chasing hot paths and lock contention in the
+// concurrent service.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,7 +29,38 @@ import (
 func main() {
 	run := flag.String("run", "all", "experiments to run (comma separated): all, write, table1, fig3, fig4, space, baseline, nvram, cache, degree, tailgrowth")
 	deep := flag.Bool("deep", false, "extend locate experiments to the paper's full N^5 distance (slow, ~0.5 GiB)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (samples every contended lock)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {

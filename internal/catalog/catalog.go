@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"clio/internal/wire"
 )
@@ -184,8 +185,12 @@ type Descriptor struct {
 }
 
 // Table is the server's catalog: id → descriptor plus the name tree. It is
-// not safe for concurrent use; the owning service serializes access.
+// safe for concurrent use: lookups (Resolve, Get, List, ...) run from the
+// server's lock-free read path, so the table synchronizes internally with a
+// reader/writer lock. Mutations are additionally serialized by the owning
+// service, which must durably log the returned records in order.
 type Table struct {
+	mu       sync.RWMutex
 	byID     map[uint16]*Descriptor
 	children map[uint16]map[string]uint16
 	nextID   uint16
@@ -228,17 +233,31 @@ func (t *Table) child(parent uint16) map[string]uint16 {
 	return m
 }
 
-// Get returns the descriptor for id.
+// kids is the read-only counterpart of child: it never materializes a map,
+// so it is safe under the read lock (a nil map reads as empty).
+func (t *Table) kids(parent uint16) map[string]uint16 {
+	return t.children[parent]
+}
+
+// Get returns a copy of the descriptor for id (a copy so readers never see
+// a concurrent permission/retire change mid-struct).
 func (t *Table) Get(id uint16) (*Descriptor, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	d, ok := t.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
-	return d, nil
+	cp := *d
+	return &cp, nil
 }
 
 // Len returns the number of log files known, including the system ones.
-func (t *Table) Len() int { return len(t.byID) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byID)
+}
 
 // ValidName reports whether name is a legal path component.
 func ValidName(name string) bool {
@@ -254,6 +273,8 @@ func ValidName(name string) bool {
 // (§2.1). Creating under the volume sequence log (parent 0) makes a
 // top-level log file.
 func (t *Table) Create(parent uint16, name string, perms uint16, owner string, created int64) (*Descriptor, *Record, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	pd, ok := t.byID[parent]
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: parent id %d", ErrNotFound, parent)
@@ -267,7 +288,7 @@ func (t *Table) Create(parent uint16, name string, perms uint16, owner string, c
 	if !ValidName(name) {
 		return nil, nil, fmt.Errorf("%w: %q", ErrBadName, name)
 	}
-	if _, exists := t.child(parent)[name]; exists {
+	if _, exists := t.kids(parent)[name]; exists {
 		return nil, nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	id, err := t.allocID()
@@ -283,10 +304,11 @@ func (t *Table) Create(parent uint16, name string, perms uint16, owner string, c
 		Name:    name,
 		Owner:   owner,
 	}
-	if err := t.Apply(rec); err != nil {
+	if err := t.applyLocked(rec); err != nil {
 		return nil, nil, err
 	}
-	return t.byID[id], rec, nil
+	cp := *t.byID[id]
+	return &cp, rec, nil
 }
 
 func (t *Table) allocID() (uint16, error) {
@@ -308,11 +330,13 @@ func (t *Table) allocID() (uint16, error) {
 
 // SetPerms returns the record for a permission change and applies it.
 func (t *Table) SetPerms(id uint16, perms uint16) (*Record, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, err := t.mutable(id); err != nil {
 		return nil, err
 	}
 	rec := &Record{Kind: kindSetPerm, ID: id, Perms: perms}
-	if err := t.Apply(rec); err != nil {
+	if err := t.applyLocked(rec); err != nil {
 		return nil, err
 	}
 	return rec, nil
@@ -320,11 +344,13 @@ func (t *Table) SetPerms(id uint16, perms uint16) (*Record, error) {
 
 // SetOwner returns the record for an ownership change and applies it.
 func (t *Table) SetOwner(id uint16, owner string) (*Record, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, err := t.mutable(id); err != nil {
 		return nil, err
 	}
 	rec := &Record{Kind: kindSetOwn, ID: id, Owner: owner}
-	if err := t.Apply(rec); err != nil {
+	if err := t.applyLocked(rec); err != nil {
 		return nil, err
 	}
 	return rec, nil
@@ -335,11 +361,13 @@ func (t *Table) SetOwner(id uint16, owner string) (*Record, error) {
 // is never reused within the volume sequence ("distinct from that of all
 // other log files ever created on the same volume sequence", §2.1).
 func (t *Table) Retire(id uint16) (*Record, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, err := t.mutable(id); err != nil {
 		return nil, err
 	}
 	rec := &Record{Kind: kindRetire, ID: id}
-	if err := t.Apply(rec); err != nil {
+	if err := t.applyLocked(rec); err != nil {
 		return nil, err
 	}
 	return rec, nil
@@ -362,6 +390,12 @@ func (t *Table) mutable(id uint16) (*Descriptor, error) {
 // Apply replays one catalog record into the table (used both on the live
 // path and when rebuilding from the catalog log at recovery, §2.3.1).
 func (t *Table) Apply(rec *Record) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.applyLocked(rec)
+}
+
+func (t *Table) applyLocked(rec *Record) error {
 	switch rec.Kind {
 	case kindCreate:
 		if rec.ID < FirstClientID || rec.ID > MaxLogID {
@@ -429,12 +463,14 @@ func (t *Table) Resolve(path string) (uint16, error) {
 	if path == "" || path[0] != '/' {
 		return 0, fmt.Errorf("%w: path %q must be absolute", ErrBadName, path)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	cur := uint16(VolumeSeqID)
 	for _, comp := range strings.Split(path, "/") {
 		if comp == "" {
 			continue
 		}
-		next, ok := t.child(cur)[comp]
+		next, ok := t.kids(cur)[comp]
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrNotFound, path)
 		}
@@ -448,6 +484,8 @@ func (t *Table) PathOf(id uint16) (string, error) {
 	if id == VolumeSeqID {
 		return "/", nil
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var parts []string
 	for cur := id; cur != VolumeSeqID; {
 		d, ok := t.byID[cur]
@@ -468,10 +506,12 @@ func (t *Table) PathOf(id uint16) (string, error) {
 // List returns the child names of id, sorted. Every log file is also a
 // directory of (zero or more) sublogs (§2.1).
 func (t *Table) List(id uint16) ([]string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if _, ok := t.byID[id]; !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
-	m := t.child(id)
+	m := t.kids(id)
 	out := make([]string, 0, len(m))
 	for name := range m {
 		out = append(out, name)
@@ -484,6 +524,8 @@ func (t *Table) List(id uint16) ([]string, error) {
 // Reading a log file yields the entries of the whole set: an entry logged in
 // a sublog also belongs to its ancestors.
 func (t *Table) Descendants(id uint16) ([]uint16, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if _, ok := t.byID[id]; !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
@@ -491,8 +533,8 @@ func (t *Table) Descendants(id uint16) ([]uint16, error) {
 	var walk func(uint16)
 	walk = func(cur uint16) {
 		out = append(out, cur)
-		kids := make([]uint16, 0, len(t.child(cur)))
-		for _, kid := range t.child(cur) {
+		kids := make([]uint16, 0, len(t.kids(cur)))
+		for _, kid := range t.kids(cur) {
 			kids = append(kids, kid)
 		}
 		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
@@ -511,6 +553,8 @@ func (t *Table) Descendants(id uint16) ([]uint16, error) {
 // the catalog when earlier volumes are offline (§2.1: only the newest
 // volume of a sequence is assumed on-line).
 func (t *Table) SnapshotRecords() []*Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var out []*Record
 	// Parents must precede children; emit in id order after a topological
 	// pass (parents always have smaller create times but not necessarily
@@ -540,7 +584,7 @@ func (t *Table) SnapshotRecords() []*Record {
 			out = append(out, &Record{Kind: kindRetire, ID: d.ID})
 		}
 	}
-	for _, id := range t.IDs() {
+	for _, id := range t.idsLocked() {
 		emit(id)
 	}
 	return out
@@ -548,6 +592,12 @@ func (t *Table) SnapshotRecords() []*Record {
 
 // IDs returns every known id, sorted (for iteration in tests and tools).
 func (t *Table) IDs() []uint16 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.idsLocked()
+}
+
+func (t *Table) idsLocked() []uint16 {
 	out := make([]uint16, 0, len(t.byID))
 	for id := range t.byID {
 		out = append(out, id)

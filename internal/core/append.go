@@ -49,9 +49,30 @@ func (s *Service) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (in
 }
 
 func (s *Service) appendClient(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	if opts.Forced {
+		return s.appendForcedBatched(ids, data, opts)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	s.opDegradedReset()
+	ts, err := s.appendOneLocked(ids, data, opts)
+	if err != nil {
+		return 0, err
+	}
+	// Keep the staged tail readable by cursors.
+	if err := s.stageTailLocked(false); err != nil {
+		return 0, err
+	}
+	// A non-nil *DegradedError still means the entry is durable at ts; the
+	// service relocated past damaged blocks to complete it (§2.3.2).
+	return ts, s.opDegradedErr(ts)
+}
+
+// appendOneLocked validates and appends one client entry under s.mu,
+// performing every per-entry cost-model charge and stat update. How the
+// entry becomes durable (staged vs forced) is the caller's business.
+func (s *Service) appendOneLocked(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	if s.closedFlag.Load() {
 		return 0, ErrClosed
 	}
 	if len(data) > s.opt.MaxEntrySize {
@@ -92,7 +113,6 @@ func (s *Service) appendClient(ids []uint16, data []byte, opts AppendOptions) (i
 	clk.ChargeIPC(s.opt.RemoteIPC) // the synchronous client write IPC (§3.2)
 	clk.ChargeWriteFixed()
 	clk.ChargeCopy(len(data))
-	s.opDegradedReset()
 	if err := s.appendEntryLocked(ids[0], extras, data, form, attr, ts); err != nil {
 		return 0, err
 	}
@@ -100,20 +120,117 @@ func (s *Service) appendClient(ids []uint16, data []byte, opts AppendOptions) (i
 	s.stats.EntriesAppended++
 	s.stats.ClientBytes += int64(len(data))
 	s.stats.HeaderBytes += int64(blockfmt.HeaderLen(form) + 2*len(extras) + 2)
-	if opts.Forced {
-		s.stats.ForcedWrites++
-		if err := s.forceLocked(); err != nil {
-			return 0, err
+	return ts, nil
+}
+
+// forceReq is one forced append parked on a (possibly shared) group commit.
+type forceReq struct {
+	ids  []uint16
+	data []byte
+	opts AppendOptions
+	ts   int64
+	err  error
+	done chan struct{}
+}
+
+// appendForcedBatched is the group-commit front door for forced appends
+// (§2.3.1's per-force seal/NVRAM cost amortized across concurrent clients):
+// the request enqueues, then contends for leaderMu. Whoever wins drains the
+// whole queue, appends every queued entry and performs ONE forceLocked for
+// the batch; requests that arrive while a leader is inside its commit ride
+// with the next leader. A request that finds its done channel already closed
+// was committed as a rider and returns immediately. With a single client the
+// batch always has one request and the behavior (timestamps, stats, device
+// traffic) is exactly that of an individual forced append.
+func (s *Service) appendForcedBatched(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	req := &forceReq{ids: ids, data: data, opts: opts, done: make(chan struct{})}
+	s.forceQMu.Lock()
+	s.forceQ = append(s.forceQ, req)
+	s.forceQMu.Unlock()
+	s.leaderMu.Lock()
+	func() {
+		defer s.leaderMu.Unlock()
+		select {
+		case <-req.done:
+			// Already served as a rider in the previous leader's batch.
+		default:
+			s.runForceBatch()
 		}
-	} else {
-		// Keep the staged tail readable by cursors.
-		if err := s.stageTailLocked(false); err != nil {
-			return 0, err
-		}
+	}()
+	<-req.done
+	return req.ts, req.err
+}
+
+// runForceBatch drains the force queue and commits it as one batch; the
+// caller holds leaderMu. Every append and the single force run under s.mu,
+// so batched work serializes with unforced appends exactly like individual
+// writes would. Degraded-relocation notices (§2.3.2) accumulate across the
+// batch and are delivered to each request with its own timestamp.
+func (s *Service) runForceBatch() {
+	s.forceQMu.Lock()
+	batch := s.forceQ
+	s.forceQ = nil
+	s.forceQMu.Unlock()
+	if len(batch) == 0 {
+		return
 	}
-	// A non-nil *DegradedError still means the entry is durable at ts; the
-	// service relocated past damaged blocks to complete it (§2.3.2).
-	return ts, s.opDegradedErr(ts)
+	if len(batch) > 1 {
+		s.groupCommits.Add(1)
+		s.batchedForces.Add(int64(len(batch)))
+	}
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// A crash-injection panic unwound the commit partway: the in-memory
+		// state is no longer trustworthy. Mark the service closed, release
+		// every parked request, and re-raise for the leader's caller.
+		r := recover()
+		s.closedFlag.Store(true)
+		for _, req := range batch {
+			select {
+			case <-req.done:
+			default:
+				req.ts, req.err = 0, ErrClosed
+				close(req.done)
+			}
+		}
+		if r != nil {
+			panic(r)
+		}
+	}()
+	s.mu.Lock()
+	func() {
+		defer s.mu.Unlock()
+		s.opDegradedReset()
+		committed := false
+		for _, req := range batch {
+			req.ts, req.err = s.appendOneLocked(req.ids, req.data, req.opts)
+			if req.err == nil {
+				s.stats.ForcedWrites++
+				committed = true
+			}
+		}
+		var ferr error
+		if committed {
+			ferr = s.forceLocked()
+		}
+		for _, req := range batch {
+			if req.err != nil {
+				continue
+			}
+			if ferr != nil {
+				req.ts, req.err = 0, ferr
+			} else {
+				req.err = s.opDegradedErr(req.ts)
+			}
+		}
+	}()
+	for _, req := range batch {
+		close(req.done)
+	}
+	completed = true
 }
 
 // SealTail forces the staged tail block onto the write-once medium itself,
@@ -123,7 +240,7 @@ func (s *Service) appendClient(ids []uint16, data []byte, opts AppendOptions) (i
 func (s *Service) SealTail() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closedFlag.Load() {
 		return ErrClosed
 	}
 	if s.tailGlobal < 0 {
@@ -132,14 +249,16 @@ func (s *Service) SealTail() error {
 	return s.sealTailLocked(true)
 }
 
-// Force makes everything appended so far durable (a group commit).
+// Force makes everything appended so far durable (a group commit). A force
+// that finds the staged tail already durable — or nothing staged at all —
+// performs no device or NVRAM work and is not counted as a forced write.
 func (s *Service) Force() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closedFlag.Load() {
 		return ErrClosed
 	}
-	if s.tailGlobal < 0 {
+	if s.tailGlobal < 0 || !s.tailDirty {
 		return nil
 	}
 	s.stats.ForcedWrites++
@@ -209,6 +328,7 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 			s.midChain = false
 			return fmt.Errorf("clio: append record: %w", err)
 		}
+		s.tailDirty = true
 		s.tailIDs[id] = true
 		for _, ex := range recExtras {
 			s.tailIDs[ex] = true
@@ -234,7 +354,8 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 }
 
 // ensureTailLocked makes sure a tail block is staged, emitting the entrymap
-// entries due at any boundary crossed.
+// entries due at any boundary crossed and publishing the new (empty) tail to
+// the reader snapshot.
 func (s *Service) ensureTailLocked() error {
 	if s.tailGlobal >= 0 {
 		return nil
@@ -252,15 +373,20 @@ func (s *Service) ensureTailLocked() error {
 	s.tailGlobal = g
 	s.tailIDs = make(map[uint16]bool)
 	s.emitDueLocked(g)
+	s.publishTail(nil)
 	return nil
 }
 
 // emitDueLocked runs the accumulator for every boundary in (lastBound, g]
-// and queues the resulting entrymap entries for writing.
+// and queues the resulting entrymap entries for writing. The accumulator is
+// shared with the lock-free locator, hence idxMu.
 func (s *Service) emitDueLocked(g int) {
 	n := s.opt.Degree
 	for b := (s.lastBound/n + 1) * n; b <= g; b += n {
-		s.pendingDue = append(s.pendingDue, s.acc.EntriesDue(b)...)
+		s.idxMu.Lock()
+		due := s.acc.EntriesDue(b)
+		s.idxMu.Unlock()
+		s.pendingDue = append(s.pendingDue, due...)
 		s.lastBound = b
 	}
 }
@@ -336,6 +462,7 @@ func (s *Service) appendSystemLocked(id uint16, data []byte, form, attr uint8, t
 		if boundary {
 			s.builder.SetFlags(blockfmt.FlagEntrymapBoundary)
 		}
+		s.tailDirty = true
 		s.tailIDs[id] = true
 		remaining = remaining[take:]
 		first = false
@@ -376,16 +503,21 @@ func (s *Service) forceLocked() error {
 	return s.sealTailLocked(true)
 }
 
-// stageTailLocked publishes the tail image to the cache (for readers) and,
-// when persist is set, to the NVRAM tail (for durability).
+// stageTailLocked publishes the tail image to the reader snapshot and cache
+// and, when persist is set, to the NVRAM tail (for durability). The snapshot
+// is published before the cache insert so a concurrent reader re-caching an
+// older snapshot's image always either loses to this insert or detects the
+// republication and invalidates its own.
 func (s *Service) stageTailLocked(persist bool) error {
 	img := s.builder.Seal()
-	s.cache.Put(cache.Key{Block: s.tailGlobal}, img)
 	if persist && s.opt.NVRAM != nil {
 		if err := s.storeNVRAMLocked(s.tailGlobal, img); err != nil {
 			return fmt.Errorf("clio: nvram store: %w", err)
 		}
+		s.tailDirty = false
 	}
+	s.publishTail(img)
+	s.blockCache().Put(cache.Key{Block: s.tailGlobal}, img)
 	return nil
 }
 
@@ -418,18 +550,24 @@ func (s *Service) sealTailLocked(forced bool) error {
 		werr := s.writeTailBlockLocked(v, devIdx, img)
 		switch {
 		case werr == nil:
-			// Sealed. Publish, account, advance.
-			s.cache.Put(cache.Key{Block: s.tailGlobal}, img)
+			// Sealed. Account, advance, publish the new frontier, then put
+			// the final image where readers will find it.
+			sealed := s.tailGlobal
 			ids := make([]uint16, 0, len(s.tailIDs))
 			for id := range s.tailIDs {
 				ids = append(ids, id)
 			}
-			s.acc.NoteBlock(s.tailGlobal, ids)
+			s.idxMu.Lock()
+			s.acc.NoteBlock(sealed, ids)
+			s.idxMu.Unlock()
 			s.stats.BlocksSealed++
 			s.stats.FooterBytes += blockfmt.FooterSize
-			s.sealedEnd = s.tailGlobal + 1
+			s.sealedEnd = sealed + 1
 			s.tailGlobal = -1
 			s.tailIDs = nil
+			s.tailDirty = false
+			s.publishTail(nil)
+			s.blockCache().Put(cache.Key{Block: sealed}, img)
 			if s.opt.NVRAM != nil {
 				if err := s.opt.NVRAM.Clear(); err != nil {
 					return fmt.Errorf("clio: nvram clear: %w", err)
@@ -453,9 +591,9 @@ func (s *Service) sealTailLocked(forced bool) error {
 			if ierr := v.Dev.Invalidate(devIdx); ierr != nil {
 				return fmt.Errorf("clio: invalidate damaged block: %w", ierr)
 			}
-			s.cache.Invalidate(cache.Key{Block: s.tailGlobal})
-			slidBad = append(slidBad, s.tailGlobal)
-			s.opDegraded = append(s.opDegraded, s.tailGlobal)
+			dead := s.tailGlobal
+			slidBad = append(slidBad, dead)
+			s.opDegraded = append(s.opDegraded, dead)
 			s.opDegradedCause = werr
 			s.stats.DeadBlocks++
 			s.tailGlobal++
@@ -464,6 +602,8 @@ func (s *Service) sealTailLocked(forced bool) error {
 			// for it now so the sealed block's NoteBlock lands in the new
 			// span (the emitted entries queue as displaced, §2.3.2).
 			s.emitDueLocked(s.tailGlobal)
+			s.publishTail(nil)
+			s.blockCache().Invalidate(cache.Key{Block: dead})
 		case errors.Is(werr, wodev.ErrFull):
 			if err := s.extendLocked(); err != nil {
 				return err

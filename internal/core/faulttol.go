@@ -74,10 +74,12 @@ func (s *Service) opDegradedErr(ts int64) error {
 	}
 }
 
-// readDeviceBlockLocked reads devIdx from the volume's device with the
-// service retry policy masking transient faults; mirrored devices route
-// around silently corrupted replicas via validated reads.
-func (s *Service) readDeviceBlockLocked(v *volume.Volume, devIdx int, buf []byte, valid func([]byte) bool) error {
+// readDeviceBlock reads devIdx from the volume's device with the service
+// retry policy masking transient faults; mirrored devices route around
+// silently corrupted replicas via validated reads. It touches only
+// immutable/internally synchronized state, so the lock-free read path may
+// call it.
+func (s *Service) readDeviceBlock(v *volume.Volume, devIdx int, buf []byte, valid func([]byte) bool) error {
 	return s.retry.Do(func() error {
 		if ferr := s.opt.Faults.Fire(FaultReadBlock); ferr != nil {
 			return ferr

@@ -43,9 +43,10 @@ type Entry struct {
 // after the gap and advances; Prev returns the entry before the gap and
 // retreats. A cursor remains valid as the log grows.
 //
-// A Cursor may be used alongside concurrent appends and other cursors (the
-// service serializes internally), but a single Cursor must not be shared by
-// concurrent goroutines.
+// Cursors never take the service's writer lock: sealed blocks are immutable,
+// and the staged tail is read from the published snapshot, so any number of
+// cursors may run concurrently with appends and with each other. A single
+// Cursor must still not be shared by concurrent goroutines.
 type Cursor struct {
 	s   *Service
 	ids map[uint16]bool // nil means every entry (the volume sequence log)
@@ -71,29 +72,25 @@ type Cursor struct {
 // Opening "/" reads the volume sequence log — every entry on the sequence,
 // including the service's own entrymap and catalog entries.
 func (s *Service) OpenCursor(path string) (*Cursor, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closedFlag.Load() {
 		return nil, ErrClosed
 	}
 	id, err := s.cat.Resolve(path)
 	if err != nil {
 		return nil, err
 	}
-	return s.cursorForLocked(id)
+	return s.cursorFor(id)
 }
 
 // OpenCursorID is OpenCursor by log-file id.
 func (s *Service) OpenCursorID(id uint16) (*Cursor, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closedFlag.Load() {
 		return nil, ErrClosed
 	}
-	return s.cursorForLocked(id)
+	return s.cursorFor(id)
 }
 
-func (s *Service) cursorForLocked(id uint16) (*Cursor, error) {
+func (s *Service) cursorFor(id uint16) (*Cursor, error) {
 	c := &Cursor{s: s, memoBlock: -1}
 	if id != entrymap.VolumeSeqID {
 		ids, err := s.cat.Descendants(id)
@@ -142,11 +139,12 @@ func (c *Cursor) idList() []uint16 {
 // parseCached decodes a block, reusing the cursor's memo when the same
 // block is examined repeatedly. The staged tail block bypasses the memo.
 func (c *Cursor) parseCached(block int) (*blockfmt.Parsed, error) {
-	if block == c.memoBlock && c.memoParsed != nil && block != c.s.tailGlobal {
+	tail := c.s.snap().tailGlobal
+	if block == c.memoBlock && c.memoParsed != nil && block != tail {
 		return c.memoParsed, nil
 	}
-	p, err := c.s.parseBlockLocked(block)
-	if err == nil && block != c.s.tailGlobal {
+	p, err := c.s.parseBlock(block)
+	if err == nil && block != tail {
 		c.memoBlock, c.memoParsed = block, p
 	} else {
 		c.memoBlock, c.memoParsed = -1, nil
@@ -161,29 +159,29 @@ func (c *Cursor) SeekStart() {
 
 // SeekEnd positions the cursor after the last entry.
 func (c *Cursor) SeekEnd() {
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
-	c.block, c.rec = c.s.endLocked(), 0
+	c.block, c.rec = c.s.endShared(), 0
 }
 
 // Next returns the first matching entry after the cursor position and
 // advances past it. It returns io.EOF at the end of the log. The service is
 // charged one IPC round trip per call under the cost model.
 func (c *Cursor) Next() (*Entry, error) {
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
 	c.s.opt.Clock.ChargeIPC(c.s.opt.RemoteIPC)
 	c.s.opt.Clock.ChargeServerFixed()
-	return c.nextLocked()
+	return c.next()
 }
 
-func (c *Cursor) nextLocked() (*Entry, error) {
+func (c *Cursor) next() (*Entry, error) {
 	s := c.s
-	if s.closed {
+	if s.closedFlag.Load() {
 		return nil, ErrClosed
 	}
 	for {
-		end := s.endLocked()
+		sn := s.snap()
+		end := sn.sealedEnd
+		if sn.tailGlobal >= 0 {
+			end = sn.tailGlobal + 1
+		}
 		if c.block >= end {
 			return nil, io.EOF
 		}
@@ -191,7 +189,7 @@ func (c *Cursor) nextLocked() (*Entry, error) {
 		if err != nil {
 			// Damaged or invalidated block: its entries are lost (§2.3.2);
 			// skip to the next candidate block.
-			if err := c.advanceBlockLocked(end); err != nil {
+			if err := c.advanceBlock(end, sn.tailGlobal); err != nil {
 				return nil, err
 			}
 			continue
@@ -204,7 +202,7 @@ func (c *Cursor) nextLocked() (*Entry, error) {
 			if r.Continued || !c.matchRecord(&r) {
 				continue
 			}
-			data, aerr := s.assembleLocked(c.block, i, parsed)
+			data, aerr := s.assemble(c.block, i, parsed)
 			if aerr != nil {
 				continue // torn chain: skip the lost entry
 			}
@@ -219,23 +217,23 @@ func (c *Cursor) nextLocked() (*Entry, error) {
 				ExtraIDs:    r.ExtraIDs,
 			}, nil
 		}
-		if c.block == s.tailGlobal {
+		if c.block == sn.tailGlobal {
 			// The staged tail block can still grow: stay parked on it with
 			// c.rec at the scanned count, so entries appended later to this
 			// same block are seen by the next call.
 			return nil, io.EOF
 		}
-		if err := c.advanceBlockLocked(end); err != nil {
+		if err := c.advanceBlock(end, sn.tailGlobal); err != nil {
 			return nil, err
 		}
 	}
 }
 
-// advanceBlockLocked moves the cursor to the next block that may contain a
+// advanceBlock moves the cursor to the next block that may contain a
 // matching entry, using the entrymap tree when the cursor is selective.
 // When nothing lies ahead, the cursor parks on the staged tail block (it
 // can still grow) rather than past it.
-func (c *Cursor) advanceBlockLocked(end int) error {
+func (c *Cursor) advanceBlock(end, tail int) error {
 	if c.ids == nil || c.linear {
 		c.block++
 		c.rec = 0
@@ -243,7 +241,7 @@ func (c *Cursor) advanceBlockLocked(end int) error {
 	}
 	next := -1
 	for _, id := range c.idList() {
-		b, err := c.s.loc.FindNext(id, c.block+1)
+		b, err := c.s.locFindNext(id, c.block+1)
 		if err != nil {
 			return err
 		}
@@ -252,7 +250,7 @@ func (c *Cursor) advanceBlockLocked(end int) error {
 		}
 	}
 	if next == -1 {
-		if tail := c.s.tailGlobal; tail > c.block {
+		if tail > c.block {
 			c.block, c.rec = tail, 0
 		} else {
 			c.block, c.rec = end, 0
@@ -266,19 +264,17 @@ func (c *Cursor) advanceBlockLocked(end int) error {
 // Prev returns the first matching entry before the cursor position and
 // retreats before it. It returns io.EOF at the beginning of the log.
 func (c *Cursor) Prev() (*Entry, error) {
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
 	c.s.opt.Clock.ChargeIPC(c.s.opt.RemoteIPC)
 	c.s.opt.Clock.ChargeServerFixed()
-	return c.prevLocked()
+	return c.prev()
 }
 
-func (c *Cursor) prevLocked() (*Entry, error) {
+func (c *Cursor) prev() (*Entry, error) {
 	s := c.s
-	if s.closed {
+	if s.closedFlag.Load() {
 		return nil, ErrClosed
 	}
-	end := s.endLocked()
+	end := s.endShared()
 	if c.block > end {
 		c.block, c.rec = end, 0
 	}
@@ -293,7 +289,7 @@ func (c *Cursor) prevLocked() (*Entry, error) {
 		}
 		if c.block == end || err != nil {
 			// Past-the-end gap position or unreadable block: step back.
-			if err := c.retreatBlockLocked(); err != nil {
+			if err := c.retreatBlock(); err != nil {
 				return nil, err
 			}
 			continue
@@ -306,7 +302,7 @@ func (c *Cursor) prevLocked() (*Entry, error) {
 			if r.Continued || !c.matchRecord(&r) {
 				continue
 			}
-			data, aerr := s.assembleLocked(c.block, i, parsed)
+			data, aerr := s.assemble(c.block, i, parsed)
 			if aerr != nil {
 				continue
 			}
@@ -321,22 +317,22 @@ func (c *Cursor) prevLocked() (*Entry, error) {
 				ExtraIDs:    r.ExtraIDs,
 			}, nil
 		}
-		if err := c.retreatBlockLocked(); err != nil {
+		if err := c.retreatBlock(); err != nil {
 			return nil, err
 		}
 	}
 }
 
-// retreatBlockLocked moves the cursor to the previous candidate block and
+// retreatBlock moves the cursor to the previous candidate block and
 // positions after its last record.
-func (c *Cursor) retreatBlockLocked() error {
+func (c *Cursor) retreatBlock() error {
 	var prev int
 	if c.ids == nil || c.linear {
 		prev = c.block - 1
 	} else {
 		prev = -1
 		for _, id := range c.idList() {
-			b, err := c.s.loc.FindPrev(id, c.block)
+			b, err := c.s.locFindPrev(id, c.block)
 			if err != nil {
 				return err
 			}
@@ -363,11 +359,9 @@ func (c *Cursor) retreatBlockLocked() error {
 // the last matching entry before that point). The block is located with the
 // entrymap-landmark timestamp search of §2.1.
 func (c *Cursor) SeekTime(ts int64) error {
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
 	c.s.opt.Clock.ChargeIPC(c.s.opt.RemoteIPC)
 	c.s.opt.Clock.ChargeServerFixed()
-	b, err := c.s.loc.FindByTime(ts - 1)
+	b, err := c.s.locFindByTime(ts - 1)
 	if err != nil {
 		return err
 	}
@@ -380,7 +374,7 @@ func (c *Cursor) SeekTime(ts int64) error {
 	c.block, c.rec = b, 0
 	for {
 		prevBlock, prevRec := c.block, c.rec
-		e, err := c.nextLocked()
+		e, err := c.next()
 		if err == io.EOF {
 			return nil // gap at end: everything is before ts
 		}
@@ -405,9 +399,7 @@ func (c *Cursor) Position() (block, rec int) { return c.block, c.rec }
 // the Block/Index of an Entry positions the gap *before* that entry;
 // resume after it by passing Index+1.
 func (c *Cursor) SeekPos(block, rec int) error {
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
-	if c.s.closed {
+	if c.s.closedFlag.Load() {
 		return ErrClosed
 	}
 	if block < 0 || rec < 0 {
@@ -465,14 +457,13 @@ func (c *Cursor) LocateUnique(clientTS, maxSkew int64, match func(*Entry) bool) 
 
 // ReadAt returns the single entry at the given (block, index) position, as
 // previously reported in an Entry. It allows a client to retain a compact
-// reference to an entry and fetch it later.
+// reference to an entry and fetch it later. Like cursors, it runs without
+// the writer lock.
 func (s *Service) ReadAt(block, index int) (*Entry, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closedFlag.Load() {
 		return nil, ErrClosed
 	}
-	parsed, err := s.parseBlockLocked(block)
+	parsed, err := s.parseBlock(block)
 	if err != nil {
 		return nil, fmt.Errorf("%w: block %d unreadable: %v", ErrLost, block, err)
 	}
@@ -483,7 +474,7 @@ func (s *Service) ReadAt(block, index int) (*Entry, error) {
 	if r.Continued {
 		return nil, fmt.Errorf("clio: record %d of block %d is a continuation fragment", index, block)
 	}
-	data, err := s.assembleLocked(block, index, parsed)
+	data, err := s.assemble(block, index, parsed)
 	if err != nil {
 		return nil, err
 	}

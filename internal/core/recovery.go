@@ -55,6 +55,7 @@ func (s *Service) recover() error {
 		return fmt.Errorf("clio: locate end of written portion: %w", err)
 	}
 	s.sealedEnd = end
+	s.publishTail(nil) // entrymap reconstruction reads through the snapshot
 	s.recovery.SealedBlocks = end
 	s.recovery.EndProbes = s.DeviceStats().Probes - probesBefore
 
@@ -152,7 +153,8 @@ func (s *Service) restoreTail() error {
 	}
 	s.builder = b
 	s.tailGlobal = g
-	s.cache.Put(cache.Key{Block: g}, img)
+	s.publishTail(img)
+	s.blockCache().Put(cache.Key{Block: g}, img)
 	s.recovery.TailRestored = true
 
 	// Re-run the accumulator for boundaries the dead server had already
@@ -198,13 +200,13 @@ func (s *Service) replayCatalog() error {
 		return err
 	}
 	for b >= 0 {
-		parsed, perr := s.parseBlockLocked(b)
+		parsed, perr := s.parseBlock(b)
 		if perr == nil {
 			for i, r := range parsed.Records {
 				if r.LogID != entrymap.CatalogID || r.Continued {
 					continue
 				}
-				data, aerr := s.assembleLocked(b, i, parsed)
+				data, aerr := s.assemble(b, i, parsed)
 				if aerr != nil {
 					continue // lost catalog record: the files it described
 					// are recoverable only via their entries
@@ -234,13 +236,13 @@ func (s *Service) replayBadBlocks() error {
 		return err
 	}
 	for b >= 0 {
-		parsed, perr := s.parseBlockLocked(b)
+		parsed, perr := s.parseBlock(b)
 		if perr == nil {
 			for i, r := range parsed.Records {
 				if r.LogID != entrymap.BadBlockID || r.Continued {
 					continue
 				}
-				data, aerr := s.assembleLocked(b, i, parsed)
+				data, aerr := s.assemble(b, i, parsed)
 				if aerr != nil {
 					continue
 				}
@@ -263,7 +265,7 @@ func (s *Service) restoreLastTS() {
 	end := s.endLocked()
 	const scanLimit = 64
 	for b := end - 1; b >= 0 && b >= end-scanLimit; b-- {
-		parsed, err := s.parseBlockLocked(b)
+		parsed, err := s.parseBlock(b)
 		if err != nil {
 			continue
 		}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clio/internal/blockfmt"
@@ -145,31 +146,63 @@ type Stats struct {
 	CatalogBytes    int64 // catalog entry bytes incl. their headers
 	PaddingBytes    int64 // block bytes wasted by force-sealing
 	FooterBytes     int64 // per-block footer bytes
+	GroupCommits    int64 // batch commits that served two or more forced appends
+	BatchedForces   int64 // forced appends that shared their commit with others
 }
 
 // Service is the Clio log service for one volume sequence.
+//
+// Locking discipline: s.mu is the WRITER lock — it serializes every mutation
+// of tail state, the accumulator, the catalog write path and the stats.
+// Readers never take it. Sealed blocks are immutable (write-once storage),
+// so the read path works lock-free from the published tail snapshot
+// (s.tailState): cache and device reads synchronize only inside their own
+// components. idxMu guards the entrymap accumulator, which readers consult
+// through the locator for the in-progress span; locMu serializes the
+// (stat-counting, hence stateful) locator itself. Lock order: s.mu > idxMu;
+// locMu > idxMu; neither idxMu nor locMu is ever held when acquiring s.mu.
 type Service struct {
 	mu  sync.Mutex
 	opt Options
 
-	set   *volume.Set
-	cache *cache.Cache
-	cat   *catalog.Table
-	acc   *entrymap.Accumulator
-	loc   *entrymap.Locator
+	set    *volume.Set
+	cacheP atomic.Pointer[cache.Cache]
+	cat    *catalog.Table
+	acc    *entrymap.Accumulator
+	loc    *entrymap.Locator
 
-	// Tail state.
+	// Tail state (s.mu).
 	builder    *blockfmt.Builder
 	tailGlobal int             // global data index of the staged tail; -1 when none
 	tailIDs    map[uint16]bool // ids with records in the staged tail
 	sealedEnd  int             // global data blocks durably on device (incl. dead)
 	midChain   bool            // a fragmented entry is incomplete
+	tailDirty  bool            // the staged tail holds records not yet forced
 	pendingDue []*entrymap.Entry
+
+	// tailState is the reader-visible snapshot of {sealedEnd, tail block,
+	// tail image}; the writer republishes it at every tail transition.
+	tailState atomic.Pointer[tailSnap]
+
+	// idxMu guards s.acc against concurrent locator reads; locMu serializes
+	// locator use by the lock-free read path.
+	idxMu sync.Mutex
+	locMu sync.Mutex
+
+	// Group commit (§2.3.1 amortization): concurrently arriving forced
+	// appends queue in forceQ; whoever holds leaderMu drains the queue,
+	// appends every queued entry and performs ONE seal/NVRAM store for the
+	// whole batch.
+	forceQMu      sync.Mutex
+	forceQ        []*forceReq
+	leaderMu      sync.Mutex
+	groupCommits  atomic.Int64
+	batchedForces atomic.Int64
 
 	lastTS          int64
 	lastBound       int // last boundary EntriesDue has been called for
 	pendingSnapshot []*catalog.Record
-	closed          bool
+	closedFlag      atomic.Bool
 	stats           Stats
 	recovery        RecoveryReport
 
@@ -181,6 +214,52 @@ type Service struct {
 	opDegradedCause error
 
 	nextTag int // next cache volume tag
+}
+
+// tailSnap is the immutable reader view of the service's write frontier.
+// Write-once blocks below sealedEnd never change, so a reader holding a
+// snapshot can resolve any block: sealed blocks via cache/device, the staged
+// tail from the embedded image.
+type tailSnap struct {
+	sealedEnd  int
+	tailGlobal int             // -1 when no tail is staged
+	tailImage  []byte          // sealed image of the staged tail (nil when none)
+	tailIDs    map[uint16]bool // ids present in the staged tail (never mutated)
+}
+
+// publishTail publishes the current tail state for lock-free readers; s.mu
+// held. img must be the current sealed tail image when a tail is staged
+// (callers that just produced one pass it to avoid re-sealing), or nil to
+// have publishTail derive it from the builder.
+func (s *Service) publishTail(img []byte) {
+	sn := &tailSnap{sealedEnd: s.sealedEnd, tailGlobal: s.tailGlobal}
+	if s.tailGlobal >= 0 {
+		if img == nil {
+			img = s.builder.Seal()
+		}
+		sn.tailImage = img
+		ids := make(map[uint16]bool, len(s.tailIDs))
+		for id := range s.tailIDs {
+			ids[id] = true
+		}
+		sn.tailIDs = ids
+	}
+	s.tailState.Store(sn)
+}
+
+// snap returns the published tail snapshot (never nil after Open).
+func (s *Service) snap() *tailSnap { return s.tailState.Load() }
+
+// blockCache returns the current block cache (replaceable by experiments).
+func (s *Service) blockCache() *cache.Cache { return s.cacheP.Load() }
+
+// endShared is the reader-side endLocked: readable blocks per the snapshot.
+func (s *Service) endShared() int {
+	sn := s.snap()
+	if sn.tailGlobal >= 0 {
+		return sn.tailGlobal + 1
+	}
+	return sn.sealedEnd
 }
 
 // New creates a brand-new volume sequence on the given fresh device and
@@ -223,11 +302,12 @@ func Open(devs []wodev.Device, opt Options) (*Service, error) {
 	}
 	s := &Service{
 		opt:        opt,
-		cache:      cache.New(opt.CacheBlocks, opt.Clock),
 		cat:        catalog.NewTable(),
 		tailGlobal: -1,
 		retry:      faults.DefaultDevicePolicy(),
 	}
+	s.cacheP.Store(cache.New(opt.CacheBlocks, opt.Clock))
+	s.publishTail(nil)
 	if opt.Retry != nil {
 		s.retry = *opt.Retry
 	}
@@ -284,18 +364,23 @@ func (s *Service) BlockSize() int { return s.opt.BlockSize }
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	out := s.stats
+	out.GroupCommits = s.groupCommits.Load()
+	out.BatchedForces = s.batchedForces.Load()
+	return out
 }
 
 // CacheStats returns the block cache counters.
-func (s *Service) CacheStats() cache.Stats { return s.cache.Stats() }
+func (s *Service) CacheStats() cache.Stats { return s.blockCache().Stats() }
 
 // ResetCounters zeroes service, cache and device counters (experiments).
 func (s *Service) ResetCounters() {
 	s.mu.Lock()
 	s.stats = Stats{}
 	s.mu.Unlock()
-	s.cache.ResetStats()
+	s.groupCommits.Store(0)
+	s.batchedForces.Store(0)
+	s.blockCache().ResetStats()
 	for _, v := range s.set.Volumes() {
 		v.Dev.ResetStats()
 	}
@@ -313,7 +398,7 @@ func (s *Service) SetCacheCapacity(blocks int) {
 	} else if blocks < 0 {
 		blocks = 0
 	}
-	s.cache = cache.New(blocks, s.opt.Clock)
+	s.cacheP.Store(cache.New(blocks, s.opt.Clock))
 	if s.tailGlobal >= 0 {
 		s.stageTailLocked(false)
 	}
@@ -325,7 +410,7 @@ func (s *Service) SetCacheCapacity(blocks int) {
 func (s *Service) FlushCache() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cache.Flush()
+	s.blockCache().Flush()
 	if s.tailGlobal >= 0 {
 		s.stageTailLocked(false)
 	}
@@ -333,9 +418,7 @@ func (s *Service) FlushCache() {
 
 // End returns the number of readable data blocks (sealed plus staged tail).
 func (s *Service) End() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.endLocked()
+	return s.endShared()
 }
 
 func (s *Service) endLocked() int {
@@ -361,16 +444,37 @@ func (s *Service) DeviceStats() wodev.Stats {
 
 // LocateStats returns the cumulative entrymap locator counters.
 func (s *Service) LocateStats() entrymap.LocateStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.locMu.Lock()
+	defer s.locMu.Unlock()
 	return s.loc.Stats
 }
 
 // ResetLocateStats zeroes the locator counters.
 func (s *Service) ResetLocateStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.locMu.Lock()
+	defer s.locMu.Unlock()
 	s.loc.Stats = entrymap.LocateStats{}
+}
+
+// locFindNext, locFindPrev and locFindByTime run the shared locator under
+// locMu: the locator keeps LocateStats and the accumulator view must not be
+// interleaved between concurrent searches.
+func (s *Service) locFindNext(id uint16, from int) (int, error) {
+	s.locMu.Lock()
+	defer s.locMu.Unlock()
+	return s.loc.FindNext(id, from)
+}
+
+func (s *Service) locFindPrev(id uint16, before int) (int, error) {
+	s.locMu.Lock()
+	defer s.locMu.Unlock()
+	return s.loc.FindPrev(id, before)
+}
+
+func (s *Service) locFindByTime(ts int64) (int, error) {
+	s.locMu.Lock()
+	defer s.locMu.Unlock()
+	return s.loc.FindByTime(ts)
 }
 
 // Close flushes the tail and stops the service. With an NVRAM tail the
@@ -380,7 +484,7 @@ func (s *Service) ResetLocateStats() {
 func (s *Service) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closedFlag.Load() {
 		return nil
 	}
 	if s.tailGlobal >= 0 {
@@ -394,7 +498,7 @@ func (s *Service) Close() error {
 			}
 		}
 	}
-	s.closed = true
+	s.closedFlag.Store(true)
 	return nil
 }
 
@@ -404,7 +508,7 @@ func (s *Service) Close() error {
 func (s *Service) Crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.closed = true
+	s.closedFlag.Store(true)
 }
 
 // Volumes returns the mounted volumes.
@@ -416,7 +520,7 @@ func (s *Service) Volumes() []*volume.Volume { return s.set.Volumes() }
 func (s *Service) MountVolume(dev wodev.Device) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closedFlag.Load() {
 		return ErrClosed
 	}
 	v, err := volume.Mount(dev, s.nextTag)
@@ -448,7 +552,7 @@ func (s *Service) UnmountVolume(index uint32) error {
 func (s *Service) CreateLog(path string, perms uint16, owner string) (uint16, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closedFlag.Load() {
 		return 0, ErrClosed
 	}
 	if len(path) == 0 || path[0] != '/' {
@@ -470,24 +574,19 @@ func (s *Service) CreateLog(path string, perms uint16, owner string) (uint16, er
 	return d.ID, nil
 }
 
-// Resolve maps an absolute path to a log-file id.
+// Resolve maps an absolute path to a log-file id. Catalog lookups are served
+// lock-free: the table synchronizes internally.
 func (s *Service) Resolve(path string) (uint16, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.cat.Resolve(path)
 }
 
 // PathOf maps an id back to its absolute path.
 func (s *Service) PathOf(id uint16) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.cat.PathOf(id)
 }
 
 // List returns the sublog names beneath the given path, sorted.
 func (s *Service) List(path string) ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	id, err := s.cat.Resolve(path)
 	if err != nil {
 		return nil, err
@@ -497,8 +596,6 @@ func (s *Service) List(path string) ([]string, error) {
 
 // Stat returns the catalog descriptor for a path.
 func (s *Service) Stat(path string) (catalog.Descriptor, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	id, err := s.cat.Resolve(path)
 	if err != nil {
 		return catalog.Descriptor{}, err

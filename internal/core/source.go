@@ -11,14 +11,16 @@ import (
 )
 
 // locatorSource adapts the service's block storage to the entrymap locator's
-// Source and RecoverSource interfaces. All methods assume s.mu is held by
-// the caller (the locator only runs inside service operations).
+// Source and RecoverSource interfaces. All methods read through the shared
+// (lock-free) block path, so the locator can run without the writer lock;
+// the accumulator is consulted under idxMu. Callers serialize the locator
+// itself with locMu (or run single-threaded, as recovery does).
 type locatorSource Service
 
 func (ls *locatorSource) svc() *Service { return (*Service)(ls) }
 
 // End implements entrymap.Source.
-func (ls *locatorSource) End() int { return ls.svc().endLocked() }
+func (ls *locatorSource) End() int { return ls.svc().endShared() }
 
 // EntryAt implements entrymap.Source and entrymap.RecoverSource: it reads
 // the entrymap entry nominally due at the given boundary, scanning forward
@@ -26,12 +28,15 @@ func (ls *locatorSource) End() int { return ls.svc().endLocked() }
 // entry was displaced by a fragment chain or a damaged block (§2.3.2).
 // Entrymap entries are self-identifying (level, boundary), so the scan
 // cannot mistake a neighbouring boundary's entry for the requested one.
+// A nil result ("no information") makes the locator search conservatively,
+// which keeps a race with the writer's boundary roll-up merely slower, never
+// wrong.
 func (ls *locatorSource) EntryAt(level, boundary int) (*entrymap.Entry, error) {
 	s := ls.svc()
-	end := s.endLocked()
+	end := s.endShared()
 	limit := boundary + s.opt.DisplacementLimit
 	for b := boundary; b <= limit && b < end; b++ {
-		parsed, err := s.parseBlockLocked(b)
+		parsed, err := s.parseBlock(b)
 		if err != nil {
 			continue // unreadable: keep scanning forward
 		}
@@ -45,7 +50,7 @@ func (ls *locatorSource) EntryAt(level, boundary int) (*entrymap.Entry, error) {
 			if rec.LogID != entrymap.EntrymapID || rec.Continued {
 				continue
 			}
-			data, aerr := s.assembleLocked(b, i, parsed)
+			data, aerr := s.assemble(b, i, parsed)
 			if aerr != nil {
 				continue
 			}
@@ -66,13 +71,26 @@ func (ls *locatorSource) EntryAt(level, boundary int) (*entrymap.Entry, error) {
 // not yet noted in the accumulator — that happens at seal).
 func (ls *locatorSource) Pending(level int, id uint16) wire.Bitmap {
 	s := ls.svc()
-	bm, _ := s.acc.Pending(level, id)
-	if level == 1 && s.tailGlobal >= 0 && s.tailIDs[id] {
+	s.idxMu.Lock()
+	live, _ := s.acc.Pending(level, id)
+	// The accumulator mutates its bitmaps in place (NoteBlock, under idxMu)
+	// and the locator reads the result after this call returns: hand out a
+	// copy, never the live map.
+	var bm wire.Bitmap
+	if len(live) > 0 {
+		bm = make(wire.Bitmap, len(live))
+		copy(bm, live)
+	}
+	s.idxMu.Unlock()
+	sn := s.snap()
+	if level == 1 && sn.tailGlobal >= 0 && sn.tailIDs[id] {
 		n := s.opt.Degree
-		eff := make(wire.Bitmap, (n+7)/8)
-		copy(eff, bm)
-		eff.Set(s.tailGlobal % n)
-		return eff
+		if len(bm) < (n+7)/8 {
+			eff := make(wire.Bitmap, (n+7)/8)
+			copy(eff, bm)
+			bm = eff
+		}
+		bm.Set(sn.tailGlobal % n)
 	}
 	return bm
 }
@@ -80,7 +98,7 @@ func (ls *locatorSource) Pending(level int, id uint16) wire.Bitmap {
 // BlockContains implements entrymap.Source. Fragments count: the entrymap
 // marks every block holding any part of an entry.
 func (ls *locatorSource) BlockContains(block int, id uint16) (bool, error) {
-	parsed, err := ls.svc().parseBlockLocked(block)
+	parsed, err := ls.svc().parseBlock(block)
 	if err != nil {
 		return false, nil // unreadable blocks contribute nothing
 	}
@@ -99,7 +117,7 @@ func (ls *locatorSource) BlockContains(block int, id uint16) (bool, error) {
 
 // BlockFirstTS implements entrymap.Source.
 func (ls *locatorSource) BlockFirstTS(block int) (int64, bool, error) {
-	parsed, err := ls.svc().parseBlockLocked(block)
+	parsed, err := ls.svc().parseBlock(block)
 	if err != nil {
 		return 0, false, nil
 	}
@@ -108,7 +126,7 @@ func (ls *locatorSource) BlockFirstTS(block int) (int64, bool, error) {
 
 // BlockIDs implements entrymap.RecoverSource.
 func (ls *locatorSource) BlockIDs(block int) ([]uint16, error) {
-	parsed, err := ls.svc().parseBlockLocked(block)
+	parsed, err := ls.svc().parseBlock(block)
 	if err != nil {
 		return nil, nil // lost block: its entrymap info is simply absent
 	}
@@ -130,22 +148,32 @@ func (ls *locatorSource) BlockIDs(block int) ([]uint16, error) {
 	return out, nil
 }
 
-// readBlockLocked returns the raw image of a global data block, via the
-// cache. Unreadable conditions (unwritten, invalidated, offline) surface as
-// errors; damaged blocks surface later as parse errors.
-func (s *Service) readBlockLocked(global int) ([]byte, error) {
+// readBlock returns the raw image of a global data block, via the cache.
+// It is safe without the writer lock: sealed blocks are immutable, the
+// staged tail is served from the published snapshot, and cache, volume set
+// and devices synchronize internally. Unreadable conditions (unwritten,
+// invalidated, offline) surface as errors; damaged blocks surface later as
+// parse errors.
+func (s *Service) readBlock(global int) ([]byte, error) {
 	key := cache.Key{Block: global}
-	if img := s.cache.Lookup(key); img != nil {
+	bc := s.blockCache()
+	if img := bc.Lookup(key); img != nil {
 		s.opt.Clock.ChargeCachedBlock()
 		return img, nil
 	}
-	if global == s.tailGlobal {
+	sn := s.snap()
+	if global == sn.tailGlobal {
 		// The staged tail exists only in memory (and NVRAM); if the cache
-		// evicted its image, re-seal it from the builder.
-		img := s.builder.Seal()
-		s.cache.Put(key, img)
+		// evicted its image, re-publish the snapshot's copy.
+		bc.Put(key, sn.tailImage)
+		if s.snap() != sn {
+			// The tail advanced while we were publishing: our image may
+			// predate the seal, so drop it and let the next reader fetch
+			// the durable block from the device.
+			bc.Invalidate(key)
+		}
 		s.opt.Clock.ChargeCachedBlock()
-		return img, nil
+		return sn.tailImage, nil
 	}
 	v, local, err := s.set.Locate(global)
 	if err != nil {
@@ -157,10 +185,10 @@ func (s *Service) readBlockLocked(global int) ([]byte, error) {
 	// Transient faults are retried with backoff; mirrored devices (§5
 	// footnote 11) additionally route around a silently corrupted primary
 	// copy when a replica's copy still validates.
-	if err := s.readDeviceBlockLocked(v, devIdx, buf, blockfmt.Validate); err != nil {
+	if err := s.readDeviceBlock(v, devIdx, buf, blockfmt.Validate); err != nil {
 		return nil, err
 	}
-	s.cache.Put(key, buf)
+	bc.Put(key, buf)
 	s.opt.Clock.ChargeCachedBlock()
 	return buf, nil
 }
@@ -170,32 +198,33 @@ type validatedReader interface {
 	ReadValidated(idx int, dst []byte, valid func([]byte) bool) error
 }
 
-// parseBlockLocked reads and decodes a global data block.
-func (s *Service) parseBlockLocked(global int) (*blockfmt.Parsed, error) {
-	img, err := s.readBlockLocked(global)
+// parseBlock reads and decodes a global data block (lock-free, see
+// readBlock).
+func (s *Service) parseBlock(global int) (*blockfmt.Parsed, error) {
+	img, err := s.readBlock(global)
 	if err != nil {
 		return nil, err
 	}
 	return blockfmt.Parse(img)
 }
 
-// assembleLocked reassembles the full data of the entry whose first fragment
-// is record idx of block `global` (already parsed as `parsed`). Fragmented
+// assemble reassembles the full data of the entry whose first fragment is
+// record idx of block `global` (already parsed as `parsed`). Fragmented
 // entries continue as the first same-id continued record of each following
 // block. A chain that runs off the readable end is torn (lost): ErrLost.
-func (s *Service) assembleLocked(global, idx int, parsed *blockfmt.Parsed) ([]byte, error) {
+func (s *Service) assemble(global, idx int, parsed *blockfmt.Parsed) ([]byte, error) {
 	rec := parsed.Records[idx]
 	if !rec.Continues {
 		return rec.Data, nil
 	}
 	out := append([]byte(nil), rec.Data...)
 	id := rec.LogID
-	end := s.endLocked()
+	end := s.endShared()
 	for b := global + 1; ; b++ {
 		if b >= end {
 			return nil, ErrLost // torn chain: writer died mid-entry
 		}
-		p, err := s.parseBlockLocked(b)
+		p, err := s.parseBlock(b)
 		if err != nil {
 			if errors.Is(err, wodev.ErrInvalidated) {
 				// The writer hit a damaged block here and slid the staged

@@ -25,6 +25,10 @@ const DefaultIdleTimeout = 2 * time.Minute
 // to cover replay after reconnect plus slack.
 const dedupWindow = 128
 
+// DefaultReadWorkers bounds how many read-class requests the server executes
+// concurrently when ReadWorkers is left zero.
+const DefaultReadWorkers = 8
+
 // Server serves the Clio protocol over stream connections, fronting one log
 // service (the paper's combined file server + log server, §2 and §6: "the
 // combined implementation allows for the sharing not only of hardware
@@ -40,6 +44,16 @@ type Server struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds one response write; 0 disables.
 	WriteTimeout time.Duration
+	// ReadWorkers bounds how many read-class requests (OpPing, OpResolve,
+	// OpList, OpStat, OpReadAt, OpStats) the server executes concurrently,
+	// across all connections. Read-class requests have no session side
+	// effects, so they are handed to this bounded pool and answered out of
+	// band while mutations and cursor operations stay ordered by session
+	// sequence; responses are paired with requests by the echoed seq. 0 uses
+	// DefaultReadWorkers; negative disables pipelining (every request runs
+	// inline, the pre-pipelining behavior). Set before the first connection
+	// is served.
+	ReadWorkers int
 
 	// epoch identifies this Server instance: it changes on restart, which
 	// is how a reconnecting client learns its session state is gone.
@@ -51,6 +65,9 @@ type Server struct {
 	conns    map[net.Conn]bool
 	sessions map[uint64]*session
 	wg       sync.WaitGroup
+
+	semOnce sync.Once
+	sem     chan struct{} // read-class worker pool; nil disables pipelining
 }
 
 // New returns a server fronting svc.
@@ -159,9 +176,42 @@ func (s *Server) KillConns() int {
 	return len(conns)
 }
 
+// readPool lazily builds the read-class worker semaphore from ReadWorkers.
+func (s *Server) readPool() chan struct{} {
+	s.semOnce.Do(func() {
+		n := s.ReadWorkers
+		if n == 0 {
+			n = DefaultReadWorkers
+		}
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	})
+	return s.sem
+}
+
+// isReadClass reports whether op has no session side effects and may be
+// executed out of order, concurrently with anything else. Cursor operations
+// are NOT read-class: they mutate cursor position, so replaying one must hit
+// the duplicate-suppression window.
+func isReadClass(op byte) bool {
+	switch op {
+	case OpPing, OpResolve, OpList, OpStat, OpReadAt, OpStats:
+		return true
+	}
+	return false
+}
+
 // ServeConn handles one connection until EOF, error, or idle timeout.
 // Exported so callers can serve over a net.Pipe (the paper's same-machine
 // IPC).
+//
+// The connection is pipelined: read-class requests are dispatched to the
+// server's bounded worker pool and answered as they complete (possibly out
+// of order — responses carry the request seq), while mutations and cursor
+// operations execute inline, in arrival order, under the session's sequence
+// discipline. A client that keeps one request in flight per connection
+// observes exactly the pre-pipelining behavior.
 func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Lock()
 	if !s.conns[conn] {
@@ -178,6 +228,24 @@ func (s *Server) ServeConn(conn net.Conn) {
 	// Until an OpHello attaches a shared session, the connection gets a
 	// private one (seq-based dedup still works within the connection).
 	h := &connHandler{srv: s, sess: newSession(0)}
+	// Async workers interleave responses with the inline path; wmu keeps
+	// frames whole, inflight keeps workers from outliving the connection.
+	var wmu sync.Mutex
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	write := func(status byte, seq uint64, resp []byte) bool {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		if err := WriteFrame(conn, status, seq, resp); err != nil {
+			s.logf("clio server: write: %v", err)
+			return false
+		}
+		return true
+	}
+	pool := s.readPool()
 	for {
 		if d := s.idleTimeout(); d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
@@ -194,12 +262,35 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 			return
 		}
-		status, resp := h.handle(op, seq, payload)
-		if s.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		if isReadClass(op) {
+			// Read-class requests bypass the dedup window entirely (they are
+			// idempotent by nature, so a replay may simply re-execute) and,
+			// pool capacity permitting, run out of band.
+			if pool != nil {
+				select {
+				case pool <- struct{}{}:
+					inflight.Add(1)
+					go func(op byte, seq uint64, payload []byte) {
+						defer inflight.Done()
+						defer func() { <-pool }()
+						status, resp := h.dispatch(op, payload)
+						if !write(status, seq, resp) {
+							conn.Close() // wake the read loop
+						}
+					}(op, seq, payload)
+					continue
+				default:
+					// Pool saturated: degrade to inline execution.
+				}
+			}
+			status, resp := h.dispatch(op, payload)
+			if !write(status, seq, resp) {
+				return
+			}
+			continue
 		}
-		if err := WriteFrame(conn, status, seq, resp); err != nil {
-			s.logf("clio server: write: %v", err)
+		status, resp := h.handle(op, seq, payload)
+		if !write(status, seq, resp) {
 			return
 		}
 	}

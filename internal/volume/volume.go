@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"clio/internal/blockfmt"
 	"clio/internal/wire"
@@ -195,9 +196,12 @@ func Mount(dev wodev.Device, tag int) (*Volume, error) {
 
 // Set is the mounted portion of a volume sequence, ordered by volume index.
 // The newest volume is assumed online for reading and writing; earlier
-// volumes may be missing (offline).
+// volumes may be missing (offline). A Set is safe for concurrent use: the
+// sealed-block read path calls Locate without the service's writer lock, so
+// mounts and extensions synchronize internally.
 type Set struct {
 	seq  SeqID
+	mu   sync.RWMutex
 	vols []*Volume // sorted by Hdr.Index; gaps allowed (offline volumes)
 }
 
@@ -212,6 +216,8 @@ func (s *Set) Add(v *Volume) error {
 	if v.Hdr.Seq != s.seq {
 		return ErrSequenceMismatch
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, have := range s.vols {
 		if have.Hdr.Index == v.Hdr.Index {
 			return fmt.Errorf("%w: volume %d already mounted", ErrNotContiguous, v.Hdr.Index)
@@ -225,6 +231,8 @@ func (s *Set) Add(v *Volume) error {
 // Remove unmounts the volume with the given index; the active (newest)
 // volume cannot be removed.
 func (s *Set) Remove(index uint32) (*Volume, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, v := range s.vols {
 		if v.Hdr.Index == index {
 			if i == len(s.vols)-1 {
@@ -239,6 +247,8 @@ func (s *Set) Remove(index uint32) (*Volume, error) {
 
 // Volumes returns the mounted volumes in index order.
 func (s *Set) Volumes() []*Volume {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*Volume, len(s.vols))
 	copy(out, s.vols)
 	return out
@@ -246,6 +256,8 @@ func (s *Set) Volumes() []*Volume {
 
 // Active returns the newest mounted volume, or nil for an empty set.
 func (s *Set) Active() *Volume {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if len(s.vols) == 0 {
 		return nil
 	}
@@ -260,6 +272,8 @@ func (s *Set) Locate(global int) (*Volume, int, error) {
 	if global < 0 {
 		return nil, 0, ErrOutOfRange
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	g := uint64(global)
 	for _, v := range s.vols {
 		start := v.Hdr.StartOffset

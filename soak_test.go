@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"clio/internal/core"
@@ -69,6 +70,70 @@ func TestSoak(t *testing.T) {
 		}
 		unflushed = nil
 	}
+	// Background readers scan random logs on the current service while the
+	// writer runs, exercising the lock-decomposed read path (snapshot tail,
+	// lock-free sealed blocks) concurrently with appends, seals and crashes.
+	// A reader sees some prefix of a log; within one scan the sequence
+	// numbers must still be strictly increasing and correctly owned.
+	var svcMu sync.Mutex
+	currentSvc := func() *core.Service {
+		svcMu.Lock()
+		defer svcMu.Unlock()
+		return svc
+	}
+	stopReaders := make(chan struct{})
+	var readerWg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readerWg.Add(1)
+		go func(r int) {
+			defer readerWg.Done()
+			rrng := rand.New(rand.NewSource(int64(555 + r)))
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				s := currentSvc()
+				w := rrng.Intn(logs)
+				cur, err := s.OpenCursor(fmt.Sprintf("/log%d", w))
+				if err != nil {
+					continue // crashed instance: pick up the replacement
+				}
+				last := -1
+				for n := 0; n < 500; n++ {
+					e, err := cur.Next()
+					if err != nil {
+						break // EOF, or the instance crashed mid-scan
+					}
+					var gotLog, seq int
+					if _, serr := fmt.Sscanf(string(e.Data), "log%d-%06d-", &gotLog, &seq); serr != nil {
+						t.Errorf("reader %d: unparseable entry %.30q", r, e.Data)
+						return
+					}
+					if gotLog != w {
+						t.Errorf("reader %d: log%d holds foreign entry from log%d", r, w, gotLog)
+						return
+					}
+					if seq <= last {
+						t.Errorf("reader %d: log%d seq %d after %d", r, w, seq, last)
+						return
+					}
+					last = seq
+				}
+			}
+		}(r)
+	}
+	readersStopped := false
+	stopReadersNow := func() {
+		if !readersStopped {
+			readersStopped = true
+			close(stopReaders)
+			readerWg.Wait()
+		}
+	}
+	defer stopReadersNow()
+
 	crashes := 0
 	for i := 0; i < ops; i++ {
 		w := rng.Intn(logs)
@@ -90,11 +155,16 @@ func TestSoak(t *testing.T) {
 			svc.Crash()
 			crashes++
 			unflushed = nil // those writes may or may not have survived
-			if svc, err = core.Open(devs, opt); err != nil {
+			s2, err := core.Open(devs, opt)
+			if err != nil {
 				t.Fatalf("recovery %d: %v", crashes, err)
 			}
+			svcMu.Lock()
+			svc = s2
+			svcMu.Unlock()
 		}
 	}
+	stopReadersNow()
 	if err := svc.Force(); err != nil {
 		t.Fatal(err)
 	}
