@@ -5,20 +5,30 @@
 // Usage:
 //
 //	cliod -store /var/lib/clio [-listen :7846] [-create] [-volume-blocks N]
+//	      [-admin :7847] [-slow-trace 100ms]
 //
 // The store directory holds one file per log volume plus the NVRAM sidecar
 // that stages the current partial block across restarts (§2.3.1).
+//
+// -admin starts an HTTP endpoint serving /metrics (Prometheus text format),
+// /statusz (JSON: volumes, tail state, session table), /tracez (recent and
+// slow request traces) and /debug/pprof. Requests slower than -slow-trace
+// are captured with their per-layer spans (server dispatch, group commit,
+// device write).
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"clio"
+	"clio/internal/obs"
 	"clio/internal/server"
 )
 
@@ -29,6 +39,8 @@ func main() {
 	volBlocks := flag.Int("volume-blocks", 1<<20, "capacity of each volume file in blocks")
 	blockSize := flag.Int("block-size", 1024, "block size in bytes")
 	syncEvery := flag.Bool("sync", false, "fsync every sealed block")
+	admin := flag.String("admin", "", "HTTP admin listen address (/metrics, /statusz, /tracez, /debug/pprof); empty disables")
+	slowTrace := flag.Duration("slow-trace", 100*time.Millisecond, "requests at least this slow are kept in /tracez's slow ring (0 keeps everything)")
 	flag.Parse()
 	if *store == "" {
 		log.Fatal("cliod: -store is required")
@@ -54,6 +66,29 @@ func main() {
 
 	srv := server.New(svc)
 	srv.Logf = log.Printf
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		svc.RegisterMetrics(reg)
+		srv.RegisterMetrics(reg)
+		obs.RegisterProcessMetrics(reg)
+		srv.Tracer = obs.NewTracer(256, *slowTrace)
+		mux := obs.NewAdminMux(reg, srv.Tracer, func() any {
+			return map[string]any{
+				"core":   svc.Status(),
+				"server": srv.Status(),
+			}
+		})
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("cliod: admin listen: %v", err)
+		}
+		log.Printf("cliod: admin on http://%s", aln.Addr())
+		go func() {
+			if err := http.Serve(aln, mux); err != nil {
+				log.Printf("cliod: admin: %v", err)
+			}
+		}()
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("cliod: listen: %v", err)

@@ -5,13 +5,16 @@
 // Usage:
 //
 //	experiments [-run all|write|table1|fig3|fig4|space|baseline|nvram|tailgrowth] [-deep]
-//	            [-cpuprofile out.pprof] [-mutexprofile out.pprof]
+//	            [-cpuprofile out.pprof] [-mutexprofile out.pprof] [-metrics-out out.json]
 //
 // -deep extends the locate experiments to distance N^5 (the paper's full
 // Table 1 range); it builds a ~10^6-block volume and needs ~0.5 GiB of
 // memory and a few minutes. -cpuprofile and -mutexprofile write pprof
 // profiles of the run, for chasing hot paths and lock contention in the
-// concurrent service.
+// concurrent service. -metrics-out dumps an obs registry snapshot (per-
+// experiment wall time plus process gauges) as JSON at exit, for tracking
+// benchmark trajectories across commits; it never alters the experiment
+// tables themselves.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"clio/internal/experiments"
+	"clio/internal/obs"
 )
 
 func main() {
@@ -31,7 +35,14 @@ func main() {
 	deep := flag.Bool("deep", false, "extend locate experiments to the paper's full N^5 distance (slow, ~0.5 GiB)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (samples every contended lock)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (per-experiment wall time, process gauges) to this file at exit")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -86,7 +97,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(out, "  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if reg != nil {
+			reg.Gauge("clio_experiment_wall_nanoseconds",
+				"Wall-clock time one experiment took, end to end.",
+				obs.L("experiment", name)).Set(int64(elapsed))
+		}
+		fmt.Fprintf(out, "  [%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
 	}
 
 	step("write", func() error {
@@ -188,4 +205,20 @@ func main() {
 		experiments.PrintTailGrowth(out, rows)
 		return nil
 	})
+
+	if reg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		werr := reg.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "metrics-out: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 }

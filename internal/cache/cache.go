@@ -115,6 +115,15 @@ func (c *Cache) shardOf(key Key) *shard {
 	return &c.shards[h&(numShards-1)]
 }
 
+// Capacity returns the block capacity the cache was built with (<= 0 means
+// unbounded).
+func (c *Cache) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	return c.capacity
+}
+
 // Len returns the number of cached blocks.
 func (c *Cache) Len() int {
 	return int(c.size.Load())

@@ -264,7 +264,7 @@ func (c *Client) reconnectLocked(ctx context.Context, ambiguous bool, opName str
 		return err
 	}
 	hello := wire.PutUint64(nil, c.session)
-	status, d, err := c.roundTrip(ctx, conn, server.OpHello, 0, hello)
+	status, d, err := c.roundTrip(ctx, conn, server.OpHello, 0, traceID(c.session, 0), hello)
 	if err != nil {
 		conn.Close()
 		return err
@@ -298,9 +298,24 @@ func (c *Client) reconnectLocked(ctx context.Context, ambiguous bool, opName str
 	return nil
 }
 
+// traceID derives the request's wire trace ID from (session, seq) via a
+// splitmix64-style mix. Deriving rather than generating means a replayed
+// request carries the same ID as its original send, so server-side traces of
+// the two executions correlate; the mix keeps IDs from adjacent sequence
+// numbers far apart. The low bit is set so an ID is never 0 (= untraced).
+func traceID(session, seq uint64) uint64 {
+	x := session ^ (seq * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x | 1
+}
+
 // roundTrip performs one framed request/response on conn, bounded by the
 // context deadline and Options.CallTimeout and honoring cancellation.
-func (c *Client) roundTrip(ctx context.Context, conn net.Conn, op byte, seq uint64, payload []byte) (byte, *server.Decoder, error) {
+func (c *Client) roundTrip(ctx context.Context, conn net.Conn, op byte, seq, trace uint64, payload []byte) (byte, *server.Decoder, error) {
 	deadline, have := ctx.Deadline()
 	if c.opt.CallTimeout > 0 {
 		if d := time.Now().Add(c.opt.CallTimeout); !have || d.Before(deadline) {
@@ -323,10 +338,10 @@ func (c *Client) roundTrip(ctx context.Context, conn net.Conn, op byte, seq uint
 			}
 		}()
 	}
-	if err := server.WriteFrame(conn, op, seq, payload); err != nil {
+	if err := server.WriteFrame(conn, op, seq, trace, payload); err != nil {
 		return 0, nil, fmt.Errorf("client: send: %w", err)
 	}
-	status, rseq, resp, err := server.ReadFrame(conn)
+	status, rseq, _, resp, err := server.ReadFrame(conn)
 	if err != nil {
 		return 0, nil, fmt.Errorf("client: recv: %w", err)
 	}
@@ -384,7 +399,7 @@ func (c *Client) call(ctx context.Context, op byte, opName string, mutating bool
 				continue
 			}
 		}
-		status, d, err := c.roundTrip(ctx, c.conn, op, seq, payload)
+		status, d, err := c.roundTrip(ctx, c.conn, op, seq, traceID(c.session, seq), payload)
 		if err == nil {
 			if status == server.StatusErr {
 				msg, derr := d.String()

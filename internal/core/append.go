@@ -3,11 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"clio/internal/blockfmt"
 	"clio/internal/cache"
 	"clio/internal/catalog"
 	"clio/internal/entrymap"
+	"clio/internal/obs"
 	"clio/internal/volume"
 	"clio/internal/wire"
 	"clio/internal/wodev"
@@ -24,6 +26,11 @@ type AppendOptions struct {
 	// device in a padded block (§2.3.1). Forced entries always carry a
 	// timestamp, which the client obtains as a consequence of the write.
 	Forced bool
+	// Trace, when set, receives spans for the append's interesting steps:
+	// group-commit wait and commit, device write, NVRAM store. A forced
+	// append committed as a rider gets the leader's commit spans grafted on,
+	// since that shared work is where its latency went. Nil records nothing.
+	Trace *obs.Trace
 }
 
 // Append writes one entry to the given log file and returns the entry's
@@ -49,11 +56,34 @@ func (s *Service) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (in
 }
 
 func (s *Service) appendClient(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	m := s.met()
+	var start time.Time
+	var v0 time.Duration
+	if m != nil {
+		start = time.Now()
+		v0 = s.vElapsed(m)
+	}
+	ts, err := s.appendClientInner(ids, data, opts)
+	if m != nil {
+		m.appendLat.ObserveSince(start)
+		// The vclock histogram records the virtual time the cost model
+		// charged this operation — reads only, never a charge, so the
+		// modeled workload is untouched. Under concurrency another
+		// operation's charges can land inside the window; the experiments
+		// that depend on exact virtual times run single-client.
+		m.appendV.Observe(s.vElapsed(m) - v0)
+	}
+	return ts, err
+}
+
+func (s *Service) appendClientInner(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
 	if opts.Forced {
 		return s.appendForcedBatched(ids, data, opts)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.tr = opts.Trace
+	defer func() { s.tr = nil }()
 	s.opDegradedReset()
 	ts, err := s.appendOneLocked(ids, data, opts)
 	if err != nil {
@@ -157,7 +187,9 @@ func (s *Service) appendForcedBatched(ids []uint16, data []byte, opts AppendOpti
 			s.runForceBatch()
 		}
 	}()
+	waitDone := opts.Trace.Span("core.group_commit_wait")
 	<-req.done
+	waitDone()
 	return req.ts, req.err
 }
 
@@ -177,6 +209,18 @@ func (s *Service) runForceBatch() {
 	if len(batch) > 1 {
 		s.groupCommits.Add(1)
 		s.batchedForces.Add(int64(len(batch)))
+	}
+	// When any request in the batch is traced, the leader records the shared
+	// commit once on a batch trace and grafts its spans onto every traced
+	// rider afterwards — the commit IS where a rider's latency went.
+	var batchTr *obs.Trace
+	var commitStart time.Time
+	for _, req := range batch {
+		if req.opts.Trace != nil {
+			commitStart = time.Now()
+			batchTr = &obs.Trace{Op: "core.commit_batch", Start: commitStart}
+			break
+		}
 	}
 	completed := false
 	defer func() {
@@ -203,6 +247,8 @@ func (s *Service) runForceBatch() {
 	s.mu.Lock()
 	func() {
 		defer s.mu.Unlock()
+		s.tr = batchTr
+		defer func() { s.tr = nil }()
 		s.opDegradedReset()
 		committed := false
 		for _, req := range batch {
@@ -214,7 +260,15 @@ func (s *Service) runForceBatch() {
 		}
 		var ferr error
 		if committed {
+			m := s.met()
+			var fstart time.Time
+			if m != nil {
+				fstart = time.Now()
+			}
 			ferr = s.forceLocked()
+			if m != nil {
+				m.forceLat.ObserveSince(fstart)
+			}
 		}
 		for _, req := range batch {
 			if req.err != nil {
@@ -227,6 +281,25 @@ func (s *Service) runForceBatch() {
 			}
 		}
 	}()
+	if batchTr != nil {
+		commitDur := time.Since(commitStart)
+		spans := batchTr.Spans()
+		for _, req := range batch {
+			rt := req.opts.Trace
+			if rt == nil {
+				continue
+			}
+			// Span offsets are relative to each trace's own start; shift the
+			// batch-relative offsets into the rider's frame. The graft happens
+			// before close(req.done), so the channel's happens-before makes it
+			// visible to the woken rider without extra synchronization.
+			shift := commitStart.Sub(rt.Start)
+			rt.Add(obs.Span{Name: "core.group_commit", Start: shift, Duration: commitDur})
+			for _, sp := range spans {
+				rt.Add(obs.Span{Name: sp.Name, Start: sp.Start + shift, Duration: sp.Duration})
+			}
+		}
+	}
 	for _, req := range batch {
 		close(req.done)
 	}
@@ -263,7 +336,16 @@ func (s *Service) Force() error {
 	}
 	s.stats.ForcedWrites++
 	s.opDegradedReset()
-	if err := s.forceLocked(); err != nil {
+	m := s.met()
+	var fstart time.Time
+	if m != nil {
+		fstart = time.Now()
+	}
+	err := s.forceLocked()
+	if m != nil {
+		m.forceLat.ObserveSince(fstart)
+	}
+	if err != nil {
 		return err
 	}
 	return s.opDegradedErr(s.lastTS)
@@ -511,7 +593,18 @@ func (s *Service) forceLocked() error {
 func (s *Service) stageTailLocked(persist bool) error {
 	img := s.builder.Seal()
 	if persist && s.opt.NVRAM != nil {
-		if err := s.storeNVRAMLocked(s.tailGlobal, img); err != nil {
+		m := s.met()
+		var nstart time.Time
+		if m != nil {
+			nstart = time.Now()
+		}
+		ndone := s.tr.Span("core.nvram_store")
+		err := s.storeNVRAMLocked(s.tailGlobal, img)
+		ndone()
+		if m != nil {
+			m.nvramLat.ObserveSince(nstart)
+		}
+		if err != nil {
 			return fmt.Errorf("clio: nvram store: %w", err)
 		}
 		s.tailDirty = false
@@ -528,6 +621,9 @@ func (s *Service) stageTailLocked(persist bool) error {
 func (s *Service) sealTailLocked(forced bool) error {
 	if s.tailGlobal < 0 {
 		return nil
+	}
+	if m := s.met(); m != nil {
+		defer m.sealLat.ObserveSince(time.Now())
 	}
 	if forced {
 		s.builder.SetFlags(blockfmt.FlagSealedByForce)
@@ -547,7 +643,9 @@ func (s *Service) sealTailLocked(forced bool) error {
 			img = s.builder.Seal()
 		}
 		devIdx := v.DeviceBlock(local)
+		wdone := s.tr.Span("wodev.write")
 		werr := s.writeTailBlockLocked(v, devIdx, img)
+		wdone()
 		switch {
 		case werr == nil:
 			// Sealed. Account, advance, publish the new frontier, then put

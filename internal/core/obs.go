@@ -1,0 +1,227 @@
+package core
+
+import (
+	"time"
+
+	"clio/internal/cache"
+	"clio/internal/entrymap"
+	"clio/internal/obs"
+	"clio/internal/wodev"
+)
+
+// coreMetrics holds the service's registered latency instruments. The
+// counter families are CounterFuncs reading the existing Stats structs at
+// scrape time, so only histograms (and the trace spans) touch the hot path —
+// and those sites are guarded by one atomic pointer load.
+type coreMetrics struct {
+	appendLat *obs.Histogram // whole client append, wall clock
+	forceLat  *obs.Histogram // the durability step of a force, wall clock
+	readLat   *obs.Histogram // cursor step / ReadAt, wall clock
+	locateLat *obs.Histogram // one locator search, wall clock
+	sealLat   *obs.Histogram // sealTailLocked incl. damaged-block slides
+	nvramLat  *obs.Histogram // one NVRAM tail store
+	appendV   *obs.Histogram // whole client append, vclock-simulated time
+}
+
+// met returns the registered metrics, or nil when RegisterMetrics was never
+// called. Hot-path sites branch on the nil once and then record through
+// nil-safe obs receivers, so an un-instrumented service pays one atomic load
+// per operation.
+func (s *Service) met() *coreMetrics { return s.obsM.Load() }
+
+// vElapsed reads the virtual clock only when metrics are registered —
+// Elapsed takes the clock's mutex, and the un-instrumented path must not.
+func (s *Service) vElapsed(m *coreMetrics) time.Duration {
+	if m == nil {
+		return 0
+	}
+	return s.opt.Clock.Elapsed()
+}
+
+// RegisterMetrics registers every service counter — core, cache, device,
+// entrymap locator, fault points and vclock charge categories — plus the
+// append/force/read/locate latency histograms in reg, and enables histogram
+// recording. Call once per registry, after Open.
+//
+// The counter callbacks take the same snapshots the public Stats accessors
+// take, so a scrape observes each subsystem atomically (never a torn
+// struct); distinct subsystems are sampled at slightly different instants,
+// which is inherent to any scrape of a live system. Registration itself
+// must not perturb the modeled workload: callbacks only read, and nothing
+// here ever charges the vclock.
+func (s *Service) RegisterMetrics(reg *obs.Registry) {
+	m := &coreMetrics{
+		appendLat: reg.Histogram("clio_core_append_seconds",
+			"Wall-clock latency of client appends, queue wait included.", nil),
+		forceLat: reg.Histogram("clio_core_force_seconds",
+			"Wall-clock latency of the durability step (NVRAM store or padded seal) of forced writes.", nil),
+		readLat: reg.Histogram("clio_core_read_seconds",
+			"Wall-clock latency of cursor steps and positioned reads.", nil),
+		locateLat: reg.Histogram("clio_core_locate_seconds",
+			"Wall-clock latency of entrymap locator searches.", nil),
+		sealLat: reg.Histogram("clio_core_seal_seconds",
+			"Wall-clock latency of sealing a tail block to the device, damaged-block slides included.", nil),
+		nvramLat: reg.Histogram("clio_core_nvram_store_seconds",
+			"Wall-clock latency of staging the tail block to NVRAM.", nil),
+		appendV: reg.Histogram("clio_core_append_vtime_seconds",
+			"Vclock-simulated (paper cost model) time of client appends.", nil),
+	}
+
+	counters := []struct {
+		name, help string
+		get        func(Stats) int64
+	}{
+		{"clio_core_entries_appended_total", "Client entries appended.", func(st Stats) int64 { return st.EntriesAppended }},
+		{"clio_core_forced_writes_total", "Appends that demanded synchronous durability.", func(st Stats) int64 { return st.ForcedWrites }},
+		{"clio_core_blocks_sealed_total", "Tail blocks sealed to the write-once device.", func(st Stats) int64 { return st.BlocksSealed }},
+		{"clio_core_dead_blocks_total", "Blocks invalidated due to damage (§2.3.2).", func(st Stats) int64 { return st.DeadBlocks }},
+		{"clio_core_client_bytes_total", "Client data bytes appended.", func(st Stats) int64 { return st.ClientBytes }},
+		{"clio_core_header_bytes_total", "Entry header and size-slot bytes.", func(st Stats) int64 { return st.HeaderBytes }},
+		{"clio_core_entrymap_bytes_total", "Entrymap entry bytes including headers.", func(st Stats) int64 { return st.EntrymapBytes }},
+		{"clio_core_catalog_bytes_total", "Catalog entry bytes including headers.", func(st Stats) int64 { return st.CatalogBytes }},
+		{"clio_core_padding_bytes_total", "Block bytes wasted by force-sealing.", func(st Stats) int64 { return st.PaddingBytes }},
+		{"clio_core_footer_bytes_total", "Per-block footer bytes.", func(st Stats) int64 { return st.FooterBytes }},
+		{"clio_core_group_commits_total", "Batch commits serving two or more forced appends.", func(st Stats) int64 { return st.GroupCommits }},
+		{"clio_core_batched_forces_total", "Forced appends that shared their commit.", func(st Stats) int64 { return st.BatchedForces }},
+	}
+	for _, c := range counters {
+		get := c.get
+		reg.CounterFunc(c.name, c.help, func() int64 { return get(s.Stats()) })
+	}
+
+	reg.CounterFunc("clio_cache_hits_total", "Block cache hits.",
+		func() int64 { return s.CacheStats().Hits })
+	reg.CounterFunc("clio_cache_misses_total", "Block cache misses.",
+		func() int64 { return s.CacheStats().Misses })
+	reg.CounterFunc("clio_cache_evictions_total", "Block cache evictions.",
+		func() int64 { return s.CacheStats().Evictions })
+	reg.CounterFunc("clio_cache_inserts_total", "Block cache inserts.",
+		func() int64 { return s.CacheStats().Inserts })
+	reg.GaugeFunc("clio_cache_blocks", "Blocks currently cached.",
+		func() int64 { return int64(s.blockCache().Len()) })
+	reg.GaugeFunc("clio_cache_capacity_blocks", "Block cache capacity (0 = unbounded).",
+		func() int64 { return int64(s.blockCache().Capacity()) })
+
+	reg.CounterFunc("clio_wodev_reads_total", "Device blocks read, summed over mounted volumes.",
+		func() int64 { return s.DeviceStats().Reads })
+	reg.CounterFunc("clio_wodev_appends_total", "Device blocks appended, summed over mounted volumes.",
+		func() int64 { return s.DeviceStats().Appends })
+	reg.CounterFunc("clio_wodev_invalidations_total", "Device blocks invalidated, summed over mounted volumes.",
+		func() int64 { return s.DeviceStats().Invalidations })
+	reg.CounterFunc("clio_wodev_seeks_total", "Non-sequential device reads (seeks), summed over mounted volumes.",
+		func() int64 { return s.DeviceStats().Seeks })
+	reg.CounterFunc("clio_wodev_probes_total", "Reads of unwritten blocks (end-finding probes), summed over mounted volumes.",
+		func() int64 { return s.DeviceStats().Probes })
+
+	reg.CounterFunc("clio_entrymap_entries_examined_total", "Entrymap log entries decoded and inspected by locator searches.",
+		func() int64 { return int64(s.LocateStats().EntriesExamined) })
+	reg.CounterFunc("clio_entrymap_pending_examined_total", "In-memory accumulator bitmap inspections by locator searches.",
+		func() int64 { return int64(s.LocateStats().PendingExamined) })
+	reg.CounterFunc("clio_entrymap_raw_scans_total", "Data blocks scanned directly because entrymap information was missing.",
+		func() int64 { return int64(s.LocateStats().RawScans) })
+	reg.CounterFunc("clio_entrymap_timestamp_reads_total", "Block footers read during time searches.",
+		func() int64 { return int64(s.LocateStats().TimestampReads) })
+
+	// Points() is nil-safe, so the fault families are always present in a
+	// scrape (empty without an injection registry).
+	fr := s.opt.Faults
+	reg.CollectorFunc("clio_fault_point_hits_total",
+		"Times each named fault-injection point was reached.",
+		func(add func(labels []obs.Label, value int64)) {
+			for _, p := range fr.Points() {
+				add([]obs.Label{obs.L("point", p.Name)}, p.Hits)
+			}
+		})
+	reg.CollectorFunc("clio_fault_point_fired_total",
+		"Times each named fault-injection point actually injected a fault.",
+		func(add func(labels []obs.Label, value int64)) {
+			for _, p := range fr.Points() {
+				add([]obs.Label{obs.L("point", p.Name)}, p.Fired)
+			}
+		})
+
+	if clk := s.opt.Clock; clk != nil {
+		reg.GaugeFunc("clio_vclock_elapsed_nanoseconds", "Total virtual time accumulated by the cost model.",
+			func() int64 { return int64(clk.Elapsed()) })
+		reg.CollectorFunc("clio_vclock_charge_nanoseconds_total",
+			"Virtual time charged per cost-model category.",
+			func(add func(labels []obs.Label, value int64)) {
+				for _, cat := range clk.Categories() {
+					d, _ := clk.CategoryTotal(cat)
+					add([]obs.Label{obs.L("category", cat)}, int64(d))
+				}
+			})
+		reg.CollectorFunc("clio_vclock_charges_total",
+			"Cost-model charge events per category.",
+			func(add func(labels []obs.Label, value int64)) {
+				for _, cat := range clk.Categories() {
+					_, n := clk.CategoryTotal(cat)
+					add([]obs.Label{obs.L("category", cat)}, n)
+				}
+			})
+	}
+
+	s.obsM.Store(m)
+}
+
+// VolumeStatus is one mounted volume's row in the status report.
+type VolumeStatus struct {
+	Index        uint32 `json:"index"`
+	StartOffset  uint64 `json:"start_offset"`
+	DataCapacity int    `json:"data_capacity"`
+	Active       bool   `json:"active"`
+}
+
+// ServiceStatus is the core section of /statusz: configuration, tail state,
+// volumes and the subsystem counter snapshots.
+type ServiceStatus struct {
+	BlockSize     int                  `json:"block_size"`
+	Degree        int                  `json:"degree"`
+	NVRAM         bool                 `json:"nvram"`
+	End           int                  `json:"end"`
+	SealedEnd     int                  `json:"sealed_end"`
+	TailGlobal    int                  `json:"tail_global"`
+	TailDirty     bool                 `json:"tail_dirty"`
+	PendingForces int                  `json:"pending_forces"`
+	Volumes       []VolumeStatus       `json:"volumes"`
+	Stats         Stats                `json:"stats"`
+	Cache         cache.Stats          `json:"cache"`
+	CacheBlocks   int                  `json:"cache_blocks"`
+	Device        wodev.Stats          `json:"device"`
+	Locate        entrymap.LocateStats `json:"locate"`
+}
+
+// Status snapshots the service for /statusz. Sub-snapshots are gathered
+// through the same accessors a scrape uses, one lock at a time — never
+// nested — to respect the service's lock ordering.
+func (s *Service) Status() ServiceStatus {
+	st := ServiceStatus{
+		BlockSize: s.opt.BlockSize,
+		Degree:    s.opt.Degree,
+		NVRAM:     s.opt.NVRAM != nil,
+		Stats:     s.Stats(),
+		Cache:     s.CacheStats(),
+		Device:    s.DeviceStats(),
+		Locate:    s.LocateStats(),
+	}
+	st.CacheBlocks = s.blockCache().Len()
+	s.forceQMu.Lock()
+	st.PendingForces = len(s.forceQ)
+	s.forceQMu.Unlock()
+	s.mu.Lock()
+	st.SealedEnd = s.sealedEnd
+	st.TailGlobal = s.tailGlobal
+	st.TailDirty = s.tailDirty
+	s.mu.Unlock()
+	st.End = s.End()
+	active := s.set.Active()
+	for _, v := range s.set.Volumes() {
+		st.Volumes = append(st.Volumes, VolumeStatus{
+			Index:        v.Hdr.Index,
+			StartOffset:  v.Hdr.StartOffset,
+			DataCapacity: v.DataCapacity(),
+			Active:       v == active,
+		})
+	}
+	return st
+}

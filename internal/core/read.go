@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"clio/internal/blockfmt"
 	"clio/internal/entrymap"
@@ -166,6 +167,9 @@ func (c *Cursor) SeekEnd() {
 // advances past it. It returns io.EOF at the end of the log. The service is
 // charged one IPC round trip per call under the cost model.
 func (c *Cursor) Next() (*Entry, error) {
+	if m := c.s.met(); m != nil {
+		defer m.readLat.ObserveSince(time.Now())
+	}
 	c.s.opt.Clock.ChargeIPC(c.s.opt.RemoteIPC)
 	c.s.opt.Clock.ChargeServerFixed()
 	return c.next()
@@ -264,6 +268,9 @@ func (c *Cursor) advanceBlock(end, tail int) error {
 // Prev returns the first matching entry before the cursor position and
 // retreats before it. It returns io.EOF at the beginning of the log.
 func (c *Cursor) Prev() (*Entry, error) {
+	if m := c.s.met(); m != nil {
+		defer m.readLat.ObserveSince(time.Now())
+	}
 	c.s.opt.Clock.ChargeIPC(c.s.opt.RemoteIPC)
 	c.s.opt.Clock.ChargeServerFixed()
 	return c.prev()
@@ -460,6 +467,9 @@ func (c *Cursor) LocateUnique(clientTS, maxSkew int64, match func(*Entry) bool) 
 // reference to an entry and fetch it later. Like cursors, it runs without
 // the writer lock.
 func (s *Service) ReadAt(block, index int) (*Entry, error) {
+	if m := s.met(); m != nil {
+		defer m.readLat.ObserveSince(time.Now())
+	}
 	if s.closedFlag.Load() {
 		return nil, ErrClosed
 	}

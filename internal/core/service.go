@@ -42,6 +42,7 @@ import (
 	"clio/internal/catalog"
 	"clio/internal/entrymap"
 	"clio/internal/faults"
+	"clio/internal/obs"
 	"clio/internal/vclock"
 	"clio/internal/volume"
 	"clio/internal/wodev"
@@ -212,6 +213,14 @@ type Service struct {
 	retry           faults.RetryPolicy
 	opDegraded      []int
 	opDegradedCause error
+
+	// Observability: obsM holds the registered latency instruments (nil
+	// until RegisterMetrics — the same swap-able pattern as cacheP); tr is
+	// the trace of the operation currently holding s.mu, set so deep
+	// writer-path sites (seal, NVRAM store) can attach spans without
+	// threading a parameter through every call.
+	obsM atomic.Pointer[coreMetrics]
+	tr   *obs.Trace
 
 	nextTag int // next cache volume tag
 }
@@ -458,20 +467,30 @@ func (s *Service) ResetLocateStats() {
 
 // locFindNext, locFindPrev and locFindByTime run the shared locator under
 // locMu: the locator keeps LocateStats and the accumulator view must not be
-// interleaved between concurrent searches.
+// interleaved between concurrent searches. Each search (lock wait included)
+// lands in the locate latency histogram when metrics are registered.
 func (s *Service) locFindNext(id uint16, from int) (int, error) {
+	if m := s.met(); m != nil {
+		defer m.locateLat.ObserveSince(time.Now())
+	}
 	s.locMu.Lock()
 	defer s.locMu.Unlock()
 	return s.loc.FindNext(id, from)
 }
 
 func (s *Service) locFindPrev(id uint16, before int) (int, error) {
+	if m := s.met(); m != nil {
+		defer m.locateLat.ObserveSince(time.Now())
+	}
 	s.locMu.Lock()
 	defer s.locMu.Unlock()
 	return s.loc.FindPrev(id, before)
 }
 
 func (s *Service) locFindByTime(ts int64) (int, error) {
+	if m := s.met(); m != nil {
+		defer m.locateLat.ObserveSince(time.Now())
+	}
 	s.locMu.Lock()
 	defer s.locMu.Unlock()
 	return s.loc.FindByTime(ts)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
@@ -338,6 +339,30 @@ func (r *Registry) Fired(name string) int64 {
 		return p.fired
 	}
 	return 0
+}
+
+// PointStat is one fault point's counters, as reported by Points.
+type PointStat struct {
+	Name  string `json:"name"`
+	Hits  int64  `json:"hits"`
+	Fired int64  `json:"fired"`
+}
+
+// Points returns every known fault point's counters sorted by name. A nil
+// registry returns nil, so observability exports need no fault
+// configuration to be safe.
+func (r *Registry) Points() []PointStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]PointStat, 0, len(r.points))
+	for name, p := range r.points {
+		out = append(out, PointStat{Name: name, Hits: p.hits, Fired: p.fired})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Fire is called at an instrumented site. It returns the armed error (or

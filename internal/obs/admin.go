@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	httppprof "net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// NewAdminMux builds the cliod admin HTTP surface:
+//
+//	/metrics         Prometheus text exposition of reg
+//	/statusz         JSON from statusFn (volumes, tail, sessions, batching)
+//	/tracez          JSON recent + slow traces from tracer
+//	/debug/pprof/*   the standard runtime profiles
+//
+// tracer and statusFn may be nil; their endpoints then report as disabled.
+func NewAdminMux(reg *Registry, tracer *Tracer, statusFn func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if statusFn == nil {
+			_ = enc.Encode(map[string]string{"status": "no status source registered"})
+			return
+		}
+		_ = enc.Encode(statusFn())
+	})
+
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if tracer == nil {
+			_ = enc.Encode(map[string]string{"status": "tracing disabled"})
+			return
+		}
+		_ = enc.Encode(struct {
+			SlowThreshold time.Duration `json:"slow_threshold_ns"`
+			Recent        []TraceRecord `json:"recent"`
+			Slow          []TraceRecord `json:"slow"`
+		}{tracer.SlowThreshold, tracer.Recent(), tracer.Slow()})
+	})
+
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+
+	return mux
+}
+
+// RegisterProcessMetrics adds Go runtime gauges to reg — the minimum needed
+// to correlate service counters with process health from one scrape.
+func RegisterProcessMetrics(reg *Registry) {
+	reg.GaugeFunc("clio_go_goroutines", "Number of live goroutines.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("clio_go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.HeapAlloc)
+		})
+	reg.CounterFunc("clio_go_gc_cycles_total", "Completed GC cycles.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.NumGC)
+		})
+}

@@ -1,0 +1,382 @@
+// Package obs is the unified observability substrate of the Clio
+// reproduction: a lock-cheap metrics registry (atomic counters, gauges and
+// fixed-bucket latency histograms), context-light span tracing with ring
+// buffers of recent and slow operations, and an HTTP admin surface exposing
+// both (plus pprof) from a running cliod.
+//
+// The paper's entire evaluation (§3) is built from operation counters —
+// device reads, entrymap entries examined, blocks scanned at recovery — that
+// previously lived in five disconnected Stats structs readable only
+// in-process. The registry gives them one address space: every layer
+// registers its counters once and a single scrape sees the whole system.
+//
+// # Time domains
+//
+// Histograms are unit-agnostic int64-nanosecond recorders, so the same type
+// serves both time domains the repository runs in: wall-clock time (the
+// concurrent hot path, PR 2) and vclock-simulated time (the paper's §3 cost
+// model). Core registers separate families per domain (`*_seconds` for wall
+// clock, `*_vtime_seconds` for the virtual clock) rather than mixing units
+// within one series.
+//
+// # Cost discipline
+//
+// Recording is a few atomic adds; a nil *Histogram, *Counter or *Trace is a
+// no-op receiver, so un-instrumented deployments (a Service whose
+// RegisterMetrics was never called) pay only a pointer load per site.
+// Instrumentation never performs device, cache or entrymap operations and
+// never charges the vclock: the modeled workloads of cmd/experiments are
+// byte-identical with or without a registry attached.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key="value" pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// MetricType enumerates the exposition types.
+type MetricType uint8
+
+const (
+	// TypeCounter is a monotonically increasing value.
+	TypeCounter MetricType = iota
+	// TypeGauge is a value that can go up and down.
+	TypeGauge
+	// TypeHistogram is a fixed-bucket distribution.
+	TypeHistogram
+)
+
+// String returns the Prometheus exposition name of the type.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// DefaultLatencyBuckets spans 1 µs to ~4.2 s in powers of four — wide enough
+// for both wall-clock syscall latencies and vclock device seeks (~150 ms).
+var DefaultLatencyBuckets = func() []time.Duration {
+	out := make([]time.Duration, 12)
+	d := time.Microsecond
+	for i := range out {
+		out[i] = d
+		d *= 4
+	}
+	return out
+}()
+
+// Histogram is a fixed-bucket latency distribution with atomic buckets. It
+// records int64 nanoseconds, so it can carry wall-clock durations or
+// vclock-simulated durations alike; the exposition renders seconds. A nil
+// *Histogram ignores observations.
+type Histogram struct {
+	uppers []time.Duration // sorted inclusive upper bounds
+	counts []atomic.Int64  // len(uppers)+1; last is +Inf
+	sum    atomic.Int64    // nanoseconds
+	n      atomic.Int64
+}
+
+// NewHistogram returns a detached histogram (not in any registry) with the
+// given inclusive upper bounds; they are copied, sorted and deduplicated.
+func NewHistogram(buckets []time.Duration) *Histogram {
+	ups := append([]time.Duration(nil), buckets...)
+	sort.Slice(ups, func(i, j int) bool { return ups[i] < ups[j] })
+	dedup := ups[:0]
+	for i, u := range ups {
+		if i == 0 || u != ups[i-1] {
+			dedup = append(dedup, u)
+		}
+	}
+	h := &Histogram{uppers: dedup}
+	h.counts = make([]atomic.Int64, len(dedup)+1)
+	return h
+}
+
+// Observe records one duration. An observation equal to a bucket's upper
+// bound counts into that bucket (Prometheus `le` semantics).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.uppers) && d > h.uppers[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// ObserveSince records the wall-clock time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// snapshot returns per-bucket (non-cumulative) counts, the sum in ns and the
+// total count, read without locking (individually atomic; a scrape racing an
+// Observe may be off by one observation, never torn within a word).
+func (h *Histogram) snapshot() (counts []int64, sum int64, n int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.sum.Load(), h.n.Load()
+}
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// ignores increments.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative for the exposition to stay honest).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable value. A nil *Gauge ignores updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels  []Label // sorted by key
+	key     string  // canonical rendered labels
+	counter *Counter
+	gauge   *Gauge
+	fn      func() int64 // value callback (counterFunc / gaugeFunc)
+	hist    *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	buckets []time.Duration // histogram families
+
+	mu      sync.Mutex
+	series  map[string]*series
+	order   []string // insertion order of series keys
+	collect func(add func(labels []Label, value int64))
+}
+
+// Registry holds named metric families. All methods are safe for concurrent
+// use; registration is idempotent (re-registering a name+labels returns the
+// existing metric) but re-registering a name under a different type panics —
+// that is a programming error, not an operational condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) familyFor(name, help string, typ MetricType, buckets []time.Duration) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets,
+			series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q redefined as %v (was %v)", name, typ, f.typ))
+	}
+	return f
+}
+
+// labelKey renders sorted labels canonically; also used by the exposition.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (f *family) seriesFor(labels []Label) *series {
+	labels = sortLabels(labels)
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: labels, key: key}
+		switch f.typ {
+		case TypeCounter:
+			s.counter = &Counter{}
+		case TypeGauge:
+			s.gauge = &Gauge{}
+		case TypeHistogram:
+			s.hist = NewHistogram(f.buckets)
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter registers (or fetches) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.familyFor(name, help, TypeCounter, nil).seriesFor(labels).counter
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.familyFor(name, help, TypeGauge, nil).seriesFor(labels).gauge
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for pre-existing Stats structs whose counters are
+// maintained under their own locks.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.familyFor(name, help, TypeCounter, nil).seriesFor(labels).fn = fn
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.familyFor(name, help, TypeGauge, nil).seriesFor(labels).fn = fn
+}
+
+// Histogram registers (or fetches) a histogram series with the given
+// inclusive upper bounds (DefaultLatencyBuckets when nil).
+func (r *Registry) Histogram(name, help string, buckets []time.Duration, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	return r.familyFor(name, help, TypeHistogram, buckets).seriesFor(labels).hist
+}
+
+// CollectorFunc registers a gauge-typed family whose series are produced
+// dynamically at scrape time: fn is invoked with an `add` callback and emits
+// zero or more labeled values. Used for families whose label space is not
+// known up front (fault-injection points, vclock charge categories).
+func (r *Registry) CollectorFunc(name, help string, fn func(add func(labels []Label, value int64))) {
+	f := r.familyFor(name, help, TypeGauge, nil)
+	f.mu.Lock()
+	f.collect = fn
+	f.mu.Unlock()
+}
+
+// sortedFamilies snapshots the family list sorted by name.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// value resolves a counter/gauge series' current value.
+func (s *series) value() int64 {
+	if s.fn != nil {
+		return s.fn()
+	}
+	if s.counter != nil {
+		return s.counter.Value()
+	}
+	if s.gauge != nil {
+		return s.gauge.Value()
+	}
+	return 0
+}

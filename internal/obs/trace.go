@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed step within a trace: a server dispatch, a group commit,
+// a device write. Start is an offset from the trace's start, keeping spans
+// meaningful after JSON round-trips regardless of host clock.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start"`
+	Duration time.Duration `json:"duration"`
+}
+
+// Trace is one request's recording: an ID (propagated over the wire), the
+// operation name, and the spans captured while it ran. A nil *Trace is a
+// valid no-op receiver, so instrumented code paths never branch on whether
+// tracing is enabled.
+type Trace struct {
+	ID    uint64
+	Op    string
+	Start time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	duration time.Duration // set by Tracer.Finish
+}
+
+// Span starts a named span and returns a func that ends it. Usage:
+//
+//	done := tr.Span("wodev.write")
+//	... the work ...
+//	done()
+func (t *Trace) Span(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{
+			Name:     name,
+			Start:    begin.Sub(t.Start),
+			Duration: end.Sub(begin),
+		})
+		t.mu.Unlock()
+	}
+}
+
+// Add appends already-built spans — used by group commit, where the leader
+// performs the work once and grafts its spans onto every rider's trace.
+func (t *Trace) Add(spans ...Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the spans recorded so far.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// TraceRecord is the immutable, JSON-friendly form of a finished trace.
+type TraceRecord struct {
+	ID       uint64        `json:"id"`
+	Op       string        `json:"op"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Spans    []Span        `json:"spans,omitempty"`
+}
+
+// ring is a fixed-capacity overwrite buffer of finished traces.
+type ring struct {
+	buf  []TraceRecord
+	next int
+	full bool
+}
+
+func (rb *ring) add(rec TraceRecord) {
+	if len(rb.buf) == 0 {
+		return
+	}
+	rb.buf[rb.next] = rec
+	rb.next++
+	if rb.next == len(rb.buf) {
+		rb.next = 0
+		rb.full = true
+	}
+}
+
+// list returns records oldest-first.
+func (rb *ring) list() []TraceRecord {
+	if !rb.full {
+		return append([]TraceRecord(nil), rb.buf[:rb.next]...)
+	}
+	out := make([]TraceRecord, 0, len(rb.buf))
+	out = append(out, rb.buf[rb.next:]...)
+	out = append(out, rb.buf[:rb.next]...)
+	return out
+}
+
+// Tracer owns two ring buffers of finished traces: every recent request, and
+// the subset slower than SlowThreshold (the ops worth keeping when the
+// recent ring has churned past them). A nil *Tracer disables tracing: Start
+// returns a nil *Trace and every downstream span call no-ops.
+type Tracer struct {
+	// SlowThreshold is the duration above which a finished trace is also
+	// kept in the slow ring. Zero captures everything as slow.
+	SlowThreshold time.Duration
+
+	mu     sync.Mutex
+	recent ring
+	slow   ring
+}
+
+// NewTracer returns a tracer keeping the last cap traces (and up to cap slow
+// traces) with the given slow threshold.
+func NewTracer(cap int, slowThreshold time.Duration) *Tracer {
+	if cap <= 0 {
+		cap = 64
+	}
+	return &Tracer{
+		SlowThreshold: slowThreshold,
+		recent:        ring{buf: make([]TraceRecord, cap)},
+		slow:          ring{buf: make([]TraceRecord, cap)},
+	}
+}
+
+// Start begins a trace for one request. Returns nil (a valid no-op trace)
+// when the tracer itself is nil.
+func (tc *Tracer) Start(id uint64, op string) *Trace {
+	if tc == nil {
+		return nil
+	}
+	return &Trace{ID: id, Op: op, Start: time.Now()}
+}
+
+// Finish stamps the trace's duration and files it into the ring buffers.
+func (tc *Tracer) Finish(t *Trace) {
+	if tc == nil || t == nil {
+		return
+	}
+	end := time.Now()
+	t.mu.Lock()
+	t.duration = end.Sub(t.Start)
+	rec := TraceRecord{
+		ID:       t.ID,
+		Op:       t.Op,
+		Start:    t.Start,
+		Duration: t.duration,
+		Spans:    append([]Span(nil), t.spans...),
+	}
+	t.mu.Unlock()
+
+	tc.mu.Lock()
+	tc.recent.add(rec)
+	if rec.Duration >= tc.SlowThreshold {
+		tc.slow.add(rec)
+	}
+	tc.mu.Unlock()
+}
+
+// Recent returns the recent-trace ring, oldest first.
+func (tc *Tracer) Recent() []TraceRecord {
+	if tc == nil {
+		return nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.recent.list()
+}
+
+// Slow returns the slow-trace ring, oldest first.
+func (tc *Tracer) Slow() []TraceRecord {
+	if tc == nil {
+		return nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.slow.list()
+}

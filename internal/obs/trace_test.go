@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndGrafting(t *testing.T) {
+	tc := NewTracer(4, time.Hour)
+	tr := tc.Start(9, "append")
+	if tr == nil || tr.ID != 9 || tr.Op != "append" {
+		t.Fatalf("Start = %+v", tr)
+	}
+	done := tr.Span("wodev.write")
+	done()
+	// Grafting pre-built spans (the group-commit leader → rider path).
+	tr.Add(Span{Name: "core.group_commit", Start: time.Millisecond, Duration: 2 * time.Millisecond})
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Name != "wodev.write" || spans[0].Start < 0 || spans[0].Duration < 0 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1] != (Span{Name: "core.group_commit", Start: time.Millisecond, Duration: 2 * time.Millisecond}) {
+		t.Errorf("span 1 = %+v", spans[1])
+	}
+	tc.Finish(tr)
+	recent := tc.Recent()
+	if len(recent) != 1 || recent[0].ID != 9 || len(recent[0].Spans) != 2 {
+		t.Errorf("recent = %+v", recent)
+	}
+	if len(tc.Slow()) != 0 {
+		t.Error("fast trace landed in the slow ring")
+	}
+}
+
+func TestTracerSlowCapture(t *testing.T) {
+	tc := NewTracer(4, 100*time.Millisecond)
+	slow := tc.Start(1, "force")
+	slow.Start = time.Now().Add(-time.Second) // backdate: guaranteed over threshold
+	tc.Finish(slow)
+	fast := tc.Start(2, "read")
+	tc.Finish(fast)
+	got := tc.Slow()
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("slow ring = %+v", got)
+	}
+	if len(tc.Recent()) != 2 {
+		t.Errorf("recent ring = %+v", tc.Recent())
+	}
+	// Zero threshold keeps everything.
+	all := NewTracer(4, 0)
+	all.Finish(all.Start(3, "ping"))
+	if len(all.Slow()) != 1 {
+		t.Error("zero threshold did not capture")
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tc := NewTracer(2, time.Hour)
+	for id := uint64(1); id <= 3; id++ {
+		tc.Finish(tc.Start(id, "op"))
+	}
+	got := tc.Recent()
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Errorf("recent after overflow = %+v", got)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"clio/internal/blockfmt"
 	"clio/internal/catalog"
 	"clio/internal/entrymap"
+	"clio/internal/obs"
 	"clio/internal/volume"
 	"clio/internal/wire"
 	"clio/internal/wodev"
@@ -38,6 +39,11 @@ type Options struct {
 	// Repair invalidates damaged blocks on the medium (§2.3.2). Without
 	// it, scrub is read-only.
 	Repair bool
+	// Registry, when non-nil, receives live scrub progress counters
+	// (clio_scrub_blocks_scanned_total, clio_scrub_problems_total,
+	// clio_scrub_repairs_total) so a long scrub can be watched from the
+	// admin endpoint while it runs.
+	Registry *obs.Registry
 }
 
 // Problem is one detected inconsistency.
@@ -88,6 +94,10 @@ type Report struct {
 	OpenTailChains []uint16
 	// Problems lists everything found.
 	Problems []Problem
+
+	// onProblem, when set, observes each problem as it is recorded — the
+	// live-progress feed for Options.Registry.
+	onProblem func()
 }
 
 // LogUsage is one log file's space accounting.
@@ -107,6 +117,9 @@ func (r *Report) add(block int, kind, format string, args ...any) {
 		Kind:   kind,
 		Detail: fmt.Sprintf(format, args...),
 	})
+	if r.onProblem != nil {
+		r.onProblem()
+	}
 }
 
 // Volumes scrubs a volume sequence given its mounted devices (any order).
@@ -133,6 +146,14 @@ func Volumes(devs []wodev.Device, opt Options) (*Report, error) {
 		return nil, err
 	}
 	s := &scrubber{set: set, opt: opt, report: &Report{Blocks: end}}
+	if reg := opt.Registry; reg != nil {
+		s.scanned = reg.Counter("clio_scrub_blocks_scanned_total",
+			"Blocks examined by the scrub's readability pass.")
+		s.repaired = reg.Counter("clio_scrub_repairs_total",
+			"Damaged blocks invalidated by the scrub.")
+		s.report.onProblem = reg.Counter("clio_scrub_problems_total",
+			"Inconsistencies recorded by the scrub.").Inc
+	}
 	if err := s.run(end); err != nil {
 		return nil, err
 	}
@@ -143,6 +164,10 @@ type scrubber struct {
 	set    *volume.Set
 	opt    Options
 	report *Report
+
+	// scanned and repaired feed Options.Registry; nil-safe no-ops otherwise.
+	scanned  *obs.Counter
+	repaired *obs.Counter
 
 	// parsed caches decoded blocks; nil entries are unreadable.
 	parsed map[int]*blockfmt.Parsed
@@ -196,6 +221,7 @@ func (s *scrubber) run(end int) error {
 		e     *entrymap.Entry
 	}
 	for g := 0; g < end; g++ {
+		s.scanned.Inc()
 		v, local, err := s.set.Locate(g)
 		if err != nil {
 			r.add(g, "offline", "volume not mounted: %v", err)
@@ -502,5 +528,6 @@ func (s *scrubber) maybeRepair(g int) {
 	}
 	if err := v.Dev.Invalidate(v.DeviceBlock(local)); err == nil {
 		s.report.Repaired++
+		s.repaired.Inc()
 	}
 }

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"sort"
+
+	"clio/internal/obs"
+)
+
+// opNames maps opcodes to the stable names used in metric labels and trace
+// operation fields.
+var opNames = map[byte]string{
+	OpCreate:      "create",
+	OpResolve:     "resolve",
+	OpList:        "list",
+	OpStat:        "stat",
+	OpSetPerms:    "setperms",
+	OpRetire:      "retire",
+	OpAppend:      "append",
+	OpCursorOpen:  "cursor_open",
+	OpNext:        "next",
+	OpPrev:        "prev",
+	OpSeekTime:    "seek_time",
+	OpSeekStart:   "seek_start",
+	OpSeekEnd:     "seek_end",
+	OpCursorEnd:   "cursor_end",
+	OpReadAt:      "read_at",
+	OpPing:        "ping",
+	OpStats:       "stats",
+	OpAppendMulti: "append_multi",
+	OpSeekPos:     "seek_pos",
+	OpHello:       "hello",
+}
+
+func opName(op byte) string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// serverMetrics holds the server's registered instruments. Requests index
+// the per-op counter table directly by opcode, so the hot path performs no
+// map lookup or allocation.
+type serverMetrics struct {
+	requests  [256]*obs.Counter // per-op; nil slots fall through to unknown
+	unknown   *obs.Counter
+	reqLat    *obs.Histogram
+	dedupHits *obs.Counter
+}
+
+// zeroServerMetrics is what met returns before RegisterMetrics: its
+// instruments are all nil, and obs methods no-op on nil receivers, so
+// un-instrumented servers record nothing without branching at every site.
+var zeroServerMetrics serverMetrics
+
+func (s *Server) met() *serverMetrics {
+	if m := s.obsM.Load(); m != nil {
+		return m
+	}
+	return &zeroServerMetrics
+}
+
+func (m *serverMetrics) countReq(op byte) {
+	if m == nil {
+		return
+	}
+	if c := m.requests[op]; c != nil {
+		c.Inc()
+		return
+	}
+	m.unknown.Inc()
+}
+
+// RegisterMetrics registers the server's request counters and latency
+// histogram in reg and enables recording. Call once, before serving.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	m := &serverMetrics{
+		unknown: reg.Counter("clio_server_requests_total",
+			"Requests handled by the server, by operation.", obs.L("op", "unknown")),
+		reqLat: reg.Histogram("clio_server_request_seconds",
+			"Wall-clock latency of request handling, read to response written.", nil),
+		dedupHits: reg.Counter("clio_server_dedup_hits_total",
+			"Requests answered from the duplicate-suppression window without re-executing."),
+	}
+	for op, name := range opNames {
+		m.requests[op] = reg.Counter("clio_server_requests_total",
+			"Requests handled by the server, by operation.", obs.L("op", name))
+	}
+	reg.GaugeFunc("clio_server_connections",
+		"Currently open client connections.", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.conns))
+		})
+	reg.GaugeFunc("clio_server_sessions",
+		"Client sessions the server is holding state for.", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.sessions))
+		})
+	s.obsM.Store(m)
+}
+
+// SessionStatus is one session's row in the server status report.
+type SessionStatus struct {
+	ID      uint64 `json:"id"`
+	MaxSeq  uint64 `json:"max_seq"`
+	Cursors int    `json:"cursors"`
+	Window  int    `json:"dedup_window"`
+}
+
+// ServerStatus is the server section of /statusz.
+type ServerStatus struct {
+	Epoch    uint64          `json:"epoch"`
+	Conns    int             `json:"connections"`
+	Sessions []SessionStatus `json:"sessions"`
+}
+
+// Status reports the server's connection and session state for /statusz.
+func (s *Server) Status() ServerStatus {
+	s.mu.Lock()
+	st := ServerStatus{Epoch: s.epoch, Conns: len(s.conns)}
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	for _, ss := range sessions {
+		ss.mu.Lock()
+		st.Sessions = append(st.Sessions, SessionStatus{
+			ID:      ss.id,
+			MaxSeq:  ss.maxSeq,
+			Cursors: len(ss.cursors),
+			Window:  len(ss.window),
+		})
+		ss.mu.Unlock()
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	return st
+}

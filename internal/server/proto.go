@@ -10,11 +10,11 @@
 //
 // Wire format: every message is a length-prefixed frame
 //
-//	u32 frameLen | u8 op | u64 seq | payload...
+//	u32 frameLen | u8 op | u64 seq | u64 traceID | payload...
 //
 // with integers little-endian and strings/bytes length-prefixed by uvarint.
 // Responses reuse the frame with op = status code (ok / error / EOF /
-// degraded) and echo the request's seq.
+// degraded) and echo the request's seq and traceID.
 //
 // seq is the client-assigned session sequence number (the request ID): it
 // pairs responses with requests and drives the server's per-session
@@ -22,6 +22,12 @@
 // client that lost a connection mid-call can reconnect, replay the request
 // under the same seq, and receive the original result instead of a second
 // execution. seq 0 opts out of duplicate suppression.
+//
+// traceID names the request in the observability layer: the server opens an
+// obs trace under it, so a client-side ID can be correlated with the
+// server's /tracez ring buffers. A replayed request carries its original
+// traceID (it is derived from session and seq, not regenerated per send).
+// traceID 0 means untraced.
 package server
 
 import (
@@ -90,15 +96,17 @@ const MaxFrame = 8 << 20
 // ErrFrameTooLarge is returned for frames above MaxFrame.
 var ErrFrameTooLarge = errors.New("server: frame too large")
 
-// WriteFrame writes one length-prefixed frame (op byte + seq + payload).
-func WriteFrame(w io.Writer, op byte, seq uint64, payload []byte) error {
-	if len(payload)+9 > MaxFrame {
+// WriteFrame writes one length-prefixed frame (op byte + seq + traceID +
+// payload).
+func WriteFrame(w io.Writer, op byte, seq, trace uint64, payload []byte) error {
+	if len(payload)+17 > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [13]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+9))
+	var hdr [21]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+17))
 	hdr[4] = op
-	binary.LittleEndian.PutUint64(hdr[5:], seq)
+	binary.LittleEndian.PutUint64(hdr[5:13], seq)
+	binary.LittleEndian.PutUint64(hdr[13:], trace)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -110,22 +118,23 @@ func WriteFrame(w io.Writer, op byte, seq uint64, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame, returning its op byte, sequence number and
-// payload.
-func ReadFrame(r io.Reader) (byte, uint64, []byte, error) {
+// ReadFrame reads one frame, returning its op byte, sequence number, trace
+// ID and payload.
+func ReadFrame(r io.Reader) (byte, uint64, uint64, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n < 9 || n > MaxFrame {
-		return 0, 0, nil, ErrFrameTooLarge
+	if n < 17 || n > MaxFrame {
+		return 0, 0, 0, nil, ErrFrameTooLarge
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
-	return buf[0], binary.LittleEndian.Uint64(buf[1:9]), buf[9:], nil
+	return buf[0], binary.LittleEndian.Uint64(buf[1:9]),
+		binary.LittleEndian.Uint64(buf[9:17]), buf[17:], nil
 }
 
 // Payload encoding helpers.

@@ -9,59 +9,59 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, OpAppend, 7, []byte("payload")); err != nil {
+	if err := WriteFrame(&buf, OpAppend, 7, 42, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteFrame(&buf, StatusOK, 7, nil); err != nil {
+	if err := WriteFrame(&buf, StatusOK, 7, 0, nil); err != nil {
 		t.Fatal(err)
 	}
-	op, seq, p, err := ReadFrame(&buf)
-	if err != nil || op != OpAppend || seq != 7 || string(p) != "payload" {
-		t.Fatalf("frame 1: %d %d %q %v", op, seq, p, err)
+	op, seq, tr, p, err := ReadFrame(&buf)
+	if err != nil || op != OpAppend || seq != 7 || tr != 42 || string(p) != "payload" {
+		t.Fatalf("frame 1: %d %d %d %q %v", op, seq, tr, p, err)
 	}
-	op, seq, p, err = ReadFrame(&buf)
-	if err != nil || op != StatusOK || seq != 7 || len(p) != 0 {
-		t.Fatalf("frame 2: %d %d %q %v", op, seq, p, err)
+	op, seq, tr, p, err = ReadFrame(&buf)
+	if err != nil || op != StatusOK || seq != 7 || tr != 0 || len(p) != 0 {
+		t.Fatalf("frame 2: %d %d %d %q %v", op, seq, tr, p, err)
 	}
-	if _, _, _, err := ReadFrame(&buf); err != io.EOF {
+	if _, _, _, _, err := ReadFrame(&buf); err != io.EOF {
 		t.Fatalf("empty stream: %v", err)
 	}
 }
 
 func TestFrameTooLarge(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, 1, 0, make([]byte, MaxFrame)); err != ErrFrameTooLarge {
+	if err := WriteFrame(&buf, 1, 0, 0, make([]byte, MaxFrame)); err != ErrFrameTooLarge {
 		t.Errorf("oversize write: %v", err)
 	}
 	// A poisoned length prefix must be rejected before allocation.
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, _, _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+	if _, _, _, _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
 		t.Errorf("oversize read: %v", err)
 	}
 }
 
 func TestFrameTruncated(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, 7, 1, []byte("abcdef")); err != nil {
+	if err := WriteFrame(&buf, 7, 1, 0, []byte("abcdef")); err != nil {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()-3]
-	if _, _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+	if _, _, _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated frame accepted")
 	}
 }
 
 func TestFrameProperty(t *testing.T) {
-	f := func(op byte, seq uint64, payload []byte) bool {
-		if len(payload)+9 > MaxFrame {
+	f := func(op byte, seq, trace uint64, payload []byte) bool {
+		if len(payload)+17 > MaxFrame {
 			return true
 		}
 		var buf bytes.Buffer
-		if err := WriteFrame(&buf, op, seq, payload); err != nil {
+		if err := WriteFrame(&buf, op, seq, trace, payload); err != nil {
 			return false
 		}
-		gotOp, gotSeq, gotP, err := ReadFrame(&buf)
-		return err == nil && gotOp == op && gotSeq == seq && bytes.Equal(gotP, payload)
+		gotOp, gotSeq, gotTr, gotP, err := ReadFrame(&buf)
+		return err == nil && gotOp == op && gotSeq == seq && gotTr == trace && bytes.Equal(gotP, payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

@@ -9,9 +9,11 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clio/internal/core"
+	"clio/internal/obs"
 	"clio/internal/wire"
 )
 
@@ -54,6 +56,17 @@ type Server struct {
 	// inline, the pre-pipelining behavior). Set before the first connection
 	// is served.
 	ReadWorkers int
+	// Tracer, when set, records a trace for every request: a span for the
+	// dispatch itself plus whatever spans core adds underneath (group
+	// commit, device write, NVRAM store). The trace ID comes from the
+	// request frame, so client and server views correlate. Nil disables
+	// tracing at zero cost. Set before the first connection is served.
+	Tracer *obs.Tracer
+
+	// obsM holds the registered metrics; nil until RegisterMetrics. An
+	// atomic pointer mirrors core's cacheP pattern: the hot path loads it
+	// once per request without taking s.mu.
+	obsM atomic.Pointer[serverMetrics]
 
 	// epoch identifies this Server instance: it changes on restart, which
 	// is how a reconnecting client learns its session state is gone.
@@ -233,13 +246,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 	var wmu sync.Mutex
 	var inflight sync.WaitGroup
 	defer inflight.Wait()
-	write := func(status byte, seq uint64, resp []byte) bool {
+	write := func(status byte, seq, trace uint64, resp []byte) bool {
 		wmu.Lock()
 		defer wmu.Unlock()
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		if err := WriteFrame(conn, status, seq, resp); err != nil {
+		if err := WriteFrame(conn, status, seq, trace, resp); err != nil {
 			s.logf("clio server: write: %v", err)
 			return false
 		}
@@ -250,7 +263,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if d := s.idleTimeout(); d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
 		}
-		op, seq, payload, err := ReadFrame(conn)
+		op, seq, traceID, payload, err := ReadFrame(conn)
 		if err != nil {
 			var ne net.Error
 			switch {
@@ -262,6 +275,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 			return
 		}
+		m := s.met()
+		m.countReq(op)
+		start := time.Now()
 		if isReadClass(op) {
 			// Read-class requests bypass the dedup window entirely (they are
 			// idempotent by nature, so a replay may simply re-execute) and,
@@ -270,27 +286,39 @@ func (s *Server) ServeConn(conn net.Conn) {
 				select {
 				case pool <- struct{}{}:
 					inflight.Add(1)
-					go func(op byte, seq uint64, payload []byte) {
+					go func(op byte, seq, traceID uint64, payload []byte) {
 						defer inflight.Done()
 						defer func() { <-pool }()
-						status, resp := h.dispatch(op, payload)
-						if !write(status, seq, resp) {
+						tr := s.Tracer.Start(traceID, opName(op))
+						status, resp := h.dispatch(tr, op, payload)
+						ok := write(status, seq, traceID, resp)
+						s.Tracer.Finish(tr)
+						m.reqLat.ObserveSince(start)
+						if !ok {
 							conn.Close() // wake the read loop
 						}
-					}(op, seq, payload)
+					}(op, seq, traceID, payload)
 					continue
 				default:
 					// Pool saturated: degrade to inline execution.
 				}
 			}
-			status, resp := h.dispatch(op, payload)
-			if !write(status, seq, resp) {
+			tr := s.Tracer.Start(traceID, opName(op))
+			status, resp := h.dispatch(tr, op, payload)
+			ok := write(status, seq, traceID, resp)
+			s.Tracer.Finish(tr)
+			m.reqLat.ObserveSince(start)
+			if !ok {
 				return
 			}
 			continue
 		}
-		status, resp := h.handle(op, seq, payload)
-		if !write(status, seq, resp) {
+		tr := s.Tracer.Start(traceID, opName(op))
+		status, resp := h.handle(tr, op, seq, payload)
+		ok := write(status, seq, traceID, resp)
+		s.Tracer.Finish(tr)
+		m.reqLat.ObserveSince(start)
+		if !ok {
 			return
 		}
 	}
@@ -396,21 +424,22 @@ func errResp(err error) (byte, []byte) {
 // returns its original cached response without re-executing, which is what
 // makes client retry/replay idempotent for every operation (a replayed
 // OpAppend does not write twice; a replayed OpNext does not advance twice).
-func (h *connHandler) handle(op byte, seq uint64, payload []byte) (byte, []byte) {
+func (h *connHandler) handle(tr *obs.Trace, op byte, seq uint64, payload []byte) (byte, []byte) {
 	if op == OpHello {
 		return h.hello(payload)
 	}
 	if seq == 0 {
-		return h.dispatch(op, payload)
+		return h.dispatch(tr, op, payload)
 	}
 	h.sess.exec.Lock()
 	defer h.sess.exec.Unlock()
 	if resp, seen, stale := h.sess.lookup(seq); seen {
+		h.srv.met().dedupHits.Inc()
 		return resp.status, resp.payload
 	} else if stale {
 		return errResp(fmt.Errorf("server: request %d outside duplicate-suppression window", seq))
 	}
-	status, resp := h.dispatch(op, payload)
+	status, resp := h.dispatch(tr, op, payload)
 	h.sess.record(seq, status, resp)
 	return status, resp
 }
@@ -442,7 +471,8 @@ func (h *connHandler) hello(payload []byte) (byte, []byte) {
 	return StatusOK, out
 }
 
-func (h *connHandler) dispatch(op byte, payload []byte) (byte, []byte) {
+func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []byte) {
+	defer tr.Span("server.dispatch")()
 	svc := h.srv.svc
 	d := NewDecoder(payload)
 	switch op {
@@ -558,6 +588,7 @@ func (h *connHandler) dispatch(op byte, payload []byte) (byte, []byte) {
 		ts, err := svc.Append(id, data, core.AppendOptions{
 			Timestamped: flags&AppendTimestamped != 0,
 			Forced:      flags&AppendForced != 0,
+			Trace:       tr,
 		})
 		return appendResp(ts, err)
 
@@ -586,6 +617,7 @@ func (h *connHandler) dispatch(op byte, payload []byte) (byte, []byte) {
 		ts, err := svc.AppendMulti(ids, data, core.AppendOptions{
 			Timestamped: flags&AppendTimestamped != 0,
 			Forced:      flags&AppendForced != 0,
+			Trace:       tr,
 		})
 		return appendResp(ts, err)
 
@@ -606,11 +638,13 @@ func (h *connHandler) dispatch(op byte, payload []byte) (byte, []byte) {
 			return errResp(err)
 		}
 		var e *core.Entry
+		readDone := tr.Span("core.read")
 		if op == OpNext {
 			e, err = cur.Next()
 		} else {
 			e, err = cur.Prev()
 		}
+		readDone()
 		if err == io.EOF {
 			return StatusEOF, nil
 		}
@@ -680,7 +714,9 @@ func (h *connHandler) dispatch(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return errResp(err)
 		}
+		readDone := tr.Span("core.read")
 		e, err := svc.ReadAt(int(block), int(index))
+		readDone()
 		if err != nil {
 			return errResp(err)
 		}

@@ -40,10 +40,10 @@ func roundTrip(t *testing.T, conn net.Conn, op byte, payload []byte) (byte, []by
 func roundTripSeq(t *testing.T, conn net.Conn, op byte, seq uint64, payload []byte) (byte, []byte) {
 	t.Helper()
 	conn.SetDeadline(time.Now().Add(5 * time.Second))
-	if err := WriteFrame(conn, op, seq, payload); err != nil {
+	if err := WriteFrame(conn, op, seq, 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	status, gotSeq, resp, err := ReadFrame(conn)
+	status, gotSeq, _, resp, err := ReadFrame(conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,9 +382,9 @@ func TestKillConns(t *testing.T) {
 		t.Fatalf("KillConns = %d, want 1", n)
 	}
 	conn.SetDeadline(time.Now().Add(2 * time.Second))
-	err := WriteFrame(conn, OpPing, 0, nil)
+	err := WriteFrame(conn, OpPing, 0, 0, nil)
 	if err == nil {
-		_, _, _, err = ReadFrame(conn)
+		_, _, _, _, err = ReadFrame(conn)
 	}
 	if err == nil {
 		t.Fatal("connection alive after KillConns")

@@ -18,6 +18,7 @@ package vclock
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -153,6 +154,22 @@ func (c *Clock) CategoryTotal(category string) (time.Duration, int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.charges[category], c.counts[category]
+}
+
+// Categories returns the names of every category charged so far, sorted. A
+// nil clock returns nil.
+func (c *Clock) Categories() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]string, 0, len(c.charges))
+	for name := range c.charges {
+		out = append(out, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Charge category names used across the repository.

@@ -1,0 +1,63 @@
+package wodev
+
+import (
+	"testing"
+
+	"clio/internal/obs"
+)
+
+func TestInstrumentedRecordsPerOpLatency(t *testing.T) {
+	dev := NewMem(MemOptions{BlockSize: 64, Capacity: 16})
+	reg := obs.NewRegistry()
+	ins := NewInstrumented(dev, reg)
+
+	data := make([]byte, 64)
+	idx, err := ins.AppendBlock(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := ins.ReadBlock(idx, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.ReadValidated(idx, buf, func([]byte) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.ReadValidated(idx, buf, func([]byte) bool { return false }); err != ErrCorrupt {
+		t.Errorf("invalid read = %v, want ErrCorrupt", err)
+	}
+	if err := ins.Invalidate(idx); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := ins.AppendLatency.Count(); n != 1 {
+		t.Errorf("append observations = %d, want 1", n)
+	}
+	if n := ins.ReadLatency.Count(); n != 3 {
+		t.Errorf("read observations = %d, want 3", n)
+	}
+	if n := ins.InvalidateLatency.Count(); n != 1 {
+		t.Errorf("invalidate observations = %d, want 1", n)
+	}
+	// The wrapped device's own counters still advance (Stats pass-through).
+	if st := ins.Stats(); st.Appends != 1 {
+		t.Errorf("wrapped stats = %+v", st)
+	}
+}
+
+// TestInstrumentedZeroValue checks the documented no-registry mode: nil
+// histograms record nothing and every operation still works.
+func TestInstrumentedZeroValue(t *testing.T) {
+	dev := NewMem(MemOptions{BlockSize: 64, Capacity: 16})
+	ins := &Instrumented{Device: dev}
+	idx, err := ins.AppendBlock(make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.ReadBlock(idx, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if ins.ReadLatency.Count() != 0 || ins.AppendLatency.Count() != 0 {
+		t.Error("nil histograms recorded")
+	}
+}
