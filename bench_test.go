@@ -19,9 +19,11 @@ import (
 	"clio/internal/client"
 	"clio/internal/core"
 	"clio/internal/experiments"
+	"clio/internal/logapi"
 	"clio/internal/rewritefs"
 	"clio/internal/scrub"
 	"clio/internal/server"
+	"clio/internal/shard"
 	"clio/internal/vclock"
 	"clio/internal/wodev"
 	"clio/internal/workload"
@@ -563,6 +565,67 @@ func BenchmarkForcedAppendParallel(b *testing.B) {
 			if st.ForcedWrites > 0 {
 				b.ReportMetric(float64(st.BlocksSealed)/float64(st.ForcedWrites), "seals/force")
 				b.ReportMetric(float64(st.BatchedForces)/float64(st.ForcedWrites), "batched-frac")
+			}
+		})
+	}
+}
+
+// BenchmarkForcedAppendParallelSharded is the scale-out counterpart of
+// BenchmarkForcedAppendParallel: the same 64-goroutine forced 50-byte
+// append workload against a 1-shard vs an 8-shard store over latent
+// devices. Each shard is an independent volume sequence with its own
+// group-commit queue and device, so the forced-append throughput ceiling
+// (one seal at a time per sequence) multiplies with the shard count —
+// the acceptance target is ≥3× ops/s at 8 shards.
+func BenchmarkForcedAppendParallelSharded(b *testing.B) {
+	const g = 64
+	for _, n := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			svcs := make([]*core.Service, n)
+			for i := range svcs {
+				svcs[i] = benchLatentService(b, 1024, 16, 200*time.Microsecond)
+			}
+			st, err := shard.New(svcs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			// One log per goroutine; the root segments spread across the
+			// shards by the store's own partitioning hash.
+			ids := make([]logapi.ID, g)
+			for w := range ids {
+				id, err := st.CreateLog(ctx, fmt.Sprintf("/w%02d", w), 0, "")
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[w] = id
+			}
+			payload := make([]byte, 50)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per, extra := b.N/g, b.N%g
+			for w := 0; w < g; w++ {
+				ops := per
+				if w < extra {
+					ops++
+				}
+				wg.Add(1)
+				go func(w, ops int) {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						if _, err := st.Append(ctx, ids[w], payload, core.AppendOptions{Forced: true}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w, ops)
+			}
+			wg.Wait()
+			b.StopTimer()
+			stats := st.Stats()
+			if stats.ForcedWrites > 0 {
+				b.ReportMetric(float64(stats.BlocksSealed)/float64(stats.ForcedWrites), "seals/force")
 			}
 		})
 	}

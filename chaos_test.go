@@ -128,7 +128,7 @@ func TestChaos(t *testing.T) {
 	defer cl.Close()
 
 	bg := context.Background()
-	ids := make([]uint16, logs)
+	ids := make([]client.ID, logs)
 	for i := range ids {
 		id, err := cl.CreateLog(bg, fmt.Sprintf("/log%d", i), 0, "")
 		if err != nil {
@@ -137,7 +137,7 @@ func TestChaos(t *testing.T) {
 		ids[i] = id
 	}
 	const workers = 3
-	concIDs := make([]uint16, workers)
+	concIDs := make([]client.ID, workers)
 	for i := range concIDs {
 		id, err := cl.CreateLog(bg, fmt.Sprintf("/conc%d", i), 0, "")
 		if err != nil {

@@ -11,33 +11,80 @@
 //
 // # Quick start
 //
-//	svc, err := clio.CreateDir("/var/log/clio", clio.Options{})
+// The Log interface is the uniform, context-first surface; every
+// deployment shape — an in-process store, a store sharded across volume
+// sequences, a network client — implements it:
+//
+//	store, err := clio.CreateStore("/var/log/clio", clio.DirOptions{Shards: 4})
 //	if err != nil { ... }
-//	defer svc.Close()
+//	defer store.Close()
+//	var log clio.Log = store
 //
-//	id, _ := svc.CreateLog("/audit", 0o644, "root")
-//	svc.Append(id, []byte("user smith logged in"), clio.AppendOptions{Forced: true})
+//	ctx := context.Background()
+//	id, _ := log.CreateLog(ctx, "/audit", 0o644, "root")
+//	log.Append(ctx, id, []byte("user smith logged in"), clio.AppendOptions{Forced: true})
 //
-//	cur, _ := svc.OpenCursor("/audit")
+//	cur, _ := log.OpenCursor(ctx, "/audit")
 //	for {
-//		e, err := cur.Next()
+//		e, err := cur.Next(ctx)
 //		if err == io.EOF { break }
 //		fmt.Printf("%s\n", e.Data)
 //	}
 //
 // The heavy lifting lives in internal packages; this package re-exports the
-// service API and provides file-backed deployment helpers.
+// interface surface and provides file-backed deployment helpers.
 package clio
 
 import (
+	"fmt"
+
 	"clio/internal/core"
+	"clio/internal/logapi"
+	"clio/internal/shard"
 	"clio/internal/vclock"
 	"clio/internal/volume"
 	"clio/internal/wodev"
 )
 
+// Log is the uniform context-first log-service interface, implemented by
+// *Store (local, possibly sharded), internal/client.Client (network), and
+// NewLog's wrapper over a bare Service.
+type Log = logapi.Service
+
+// LogCursor iterates a log file through the Log interface.
+type LogCursor = logapi.Cursor
+
+// ID identifies a log file within a Store: shard ordinal in the high 16
+// bits, shard-local catalog id in the low 16.
+type ID = logapi.ID
+
+// MakeID combines a shard ordinal and a shard-local catalog id.
+func MakeID(shardOrdinal int, local uint16) ID { return logapi.MakeID(shardOrdinal, local) }
+
+// Info describes one log file (the catalog descriptor).
+type Info = logapi.Info
+
+// Store is a (possibly sharded) log store behind one namespace: N volume
+// sequences, log files hash-partitioned by root path segment. It
+// implements Log.
+type Store = shard.Store
+
+// NewStore assembles a Store over already-open services; the slice order
+// is the shard numbering. A single service makes a 1-shard store.
+func NewStore(svcs []*Service) (*Store, error) { return shard.New(svcs) }
+
+// NewLog wraps a bare Service in the Log interface (one shard, shard 0).
+func NewLog(svc *Service) Log { return logapi.NewLocal(svc) }
+
+// ErrShardRange reports an ID or shard ordinal outside a store's shards.
+var ErrShardRange = logapi.ErrShardRange
+
 // Service is the Clio log service for one volume sequence. See the internal
 // core package for method documentation.
+//
+// Deprecated: new code should hold a *Store (or the Log interface), which
+// scales past one volume sequence; Service remains the building block and
+// the surface of CreateDir/OpenDir.
 type Service = core.Service
 
 // Options configures a Service.
@@ -50,6 +97,9 @@ type AppendOptions = core.AppendOptions
 type Entry = core.Entry
 
 // Cursor iterates a log file in either direction and seeks by time.
+//
+// Deprecated: new code should use LogCursor, the context-first cursor the
+// Log interface returns; Cursor is the context-free core cursor.
 type Cursor = core.Cursor
 
 // Stats aggregates service activity counters.
@@ -88,6 +138,32 @@ func New(dev wodev.Device, opt Options) (*Service, error) { return core.New(dev,
 
 // Open mounts the devices of an existing volume sequence and recovers.
 func Open(devs []wodev.Device, opt Options) (*Service, error) { return core.Open(devs, opt) }
+
+// NewMemStore creates an n-shard Store over fresh in-memory write-once
+// devices — the quickest way to a sharded store for tests and examples.
+// capacityBlocks <= 0 selects a large default. An NVRAM in opt would be
+// shared — and stomped — by every shard, so a non-nil opt.NVRAM is only
+// accepted for n = 1; sharded stores wanting NVRAM tails assemble their
+// services with NewStore.
+func NewMemStore(n, blockSize, capacityBlocks int, opt Options) (*Store, error) {
+	if opt.NVRAM != nil && n > 1 {
+		return nil, fmt.Errorf("clio: one NVRAM cannot back %d shards", n)
+	}
+	svcs := make([]*Service, n)
+	for i := range svcs {
+		svc, err := core.New(NewMemDevice(blockSize, capacityBlocks), opt)
+		if err != nil {
+			for _, s := range svcs {
+				if s != nil {
+					s.Close()
+				}
+			}
+			return nil, err
+		}
+		svcs[i] = svc
+	}
+	return shard.New(svcs)
+}
 
 // NewMemDevice returns an in-memory write-once device for testing and
 // experimentation. capacityBlocks <= 0 selects a large default.

@@ -1,6 +1,7 @@
 package clio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"testing"
@@ -134,5 +135,49 @@ func TestMemAllocatorFacade(t *testing.T) {
 	}
 	if len(s.Volumes()) < 2 {
 		t.Errorf("allocator not used: %d volumes", len(s.Volumes()))
+	}
+}
+
+// TestStoreSentinelErrors pins the error-wrapping contract of the store
+// open/create paths: every refusal wraps ErrStoreExists or ErrNoStore with
+// %w, so errors.Is works through both the Store helpers and the deprecated
+// single-sequence dir helpers.
+func TestStoreSentinelErrors(t *testing.T) {
+	dir := t.TempDir()
+	st, err := CreateStore(dir, DirOptions{VolumeBlocks: 64, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CreateStore(dir, DirOptions{VolumeBlocks: 64}); !errors.Is(err, ErrStoreExists) {
+		t.Errorf("CreateStore over sharded store: %v, want ErrStoreExists", err)
+	}
+	if _, err := CreateDir(dir, DirOptions{VolumeBlocks: 64}); !errors.Is(err, ErrStoreExists) {
+		t.Errorf("CreateDir over sharded store: %v, want ErrStoreExists", err)
+	}
+
+	flat := t.TempDir()
+	svc, err := CreateDir(flat, DirOptions{VolumeBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CreateStore(flat, DirOptions{VolumeBlocks: 64}); !errors.Is(err, ErrStoreExists) {
+		t.Errorf("CreateStore over flat store: %v, want ErrStoreExists", err)
+	}
+
+	empty := t.TempDir()
+	if _, err := OpenStore(empty, DirOptions{}); !errors.Is(err, ErrNoStore) {
+		t.Errorf("OpenStore on empty dir: %v, want ErrNoStore", err)
+	}
+	if _, err := OpenDir(empty, DirOptions{}); !errors.Is(err, ErrNoStore) {
+		t.Errorf("OpenDir on empty dir: %v, want ErrNoStore", err)
+	}
+	if _, err := OpenStore(empty, DirOptions{Shards: 3}); !errors.Is(err, ErrNoStore) {
+		t.Errorf("OpenStore asserting shards on empty dir: %v, want ErrNoStore", err)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -251,25 +252,25 @@ func connect(addr, store string) (*client.Client, func(), error) {
 		}
 		return cl, func() { cl.Close() }, nil
 	case store != "":
-		svc, err := clio.OpenDir(store, clio.DirOptions{})
+		st, err := clio.OpenStore(store, clio.DirOptions{})
 		if err != nil {
 			return nil, nil, err
 		}
-		srv := server.New(svc)
+		srv := server.NewStore(st)
 		cConn, sConn := net.Pipe()
 		go srv.ServeConn(sConn)
 		cl := client.New(cConn)
 		return cl, func() {
 			cl.Close()
 			srv.Close()
-			svc.Close()
+			st.Close()
 		}, nil
 	default:
 		return nil, nil, fmt.Errorf("clio: one of -addr or -store is required")
 	}
 }
 
-func dump(ctx context.Context, cur *client.Cursor, limit int) {
+func dump(ctx context.Context, cur clio.LogCursor, limit int) {
 	for i := 0; limit < 0 || i < limit; i++ {
 		e, err := cur.Next(ctx)
 		if err == io.EOF {
@@ -287,7 +288,8 @@ func printEntry(e *client.Entry) {
 	fmt.Printf("[%s #%s.%d] %s\n", ts, strconv.Itoa(e.Block), e.Index, e.Data)
 }
 
-// runFsck scrubs a local store's volume files directly.
+// runFsck scrubs a local store's volume files directly, one shard (one
+// volume sequence) at a time.
 func runFsck(store string, args []string) {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	repair := fs.Bool("repair", false, "invalidate damaged blocks on the medium")
@@ -295,47 +297,78 @@ func runFsck(store string, args []string) {
 	if store == "" {
 		fatal(fmt.Errorf("fsck requires -store"))
 	}
-	devs, closeAll, err := openStoreDevices(store)
+	dirs, err := storeShardDirs(store)
 	if err != nil {
 		fatal(err)
 	}
-	defer closeAll()
-	rep, err := scrub.Volumes(devs, scrub.Options{Repair: *repair})
-	if err != nil {
-		fatal(err)
+	var total scrub.Report
+	for i, d := range dirs {
+		rep := scrubShard(d, scrub.Options{Repair: *repair})
+		if len(dirs) > 1 {
+			fmt.Printf("shard %d: %d data blocks, %d records, %d problems\n",
+				i, rep.Blocks, rep.Entries, len(rep.Problems))
+			for _, p := range rep.Problems {
+				fmt.Printf("shard %d problem: %s\n", i, p)
+			}
+		} else {
+			for _, p := range rep.Problems {
+				fmt.Printf("problem: %s\n", p)
+			}
+		}
+		total.Blocks += rep.Blocks
+		total.Readable += rep.Readable
+		total.Invalidated += rep.Invalidated
+		total.Damaged += rep.Damaged
+		total.Repaired += rep.Repaired
+		total.Entries += rep.Entries
+		total.EntrymapEntries += rep.EntrymapEntries
+		total.CatalogRecords += rep.CatalogRecords
+		total.Problems = append(total.Problems, rep.Problems...)
 	}
 	fmt.Printf("scrubbed %d data blocks: %d readable, %d invalidated, %d damaged",
-		rep.Blocks, rep.Readable, rep.Invalidated, rep.Damaged)
+		total.Blocks, total.Readable, total.Invalidated, total.Damaged)
 	if *repair {
-		fmt.Printf(", %d repaired", rep.Repaired)
+		fmt.Printf(", %d repaired", total.Repaired)
 	}
 	fmt.Printf("\n%d records, %d entrymap entries verified, %d catalog records\n",
-		rep.Entries, rep.EntrymapEntries, rep.CatalogRecords)
-	for _, p := range rep.Problems {
-		fmt.Printf("problem: %s\n", p)
-	}
-	if !rep.Clean() {
+		total.Entries, total.EntrymapEntries, total.CatalogRecords)
+	if !total.Clean() {
 		os.Exit(1)
 	}
 	fmt.Println("clean")
 }
 
-// runDu prints per-log-file space usage for a local store.
-func runDu(store string) {
-	if store == "" {
-		fatal(fmt.Errorf("du requires -store"))
-	}
-	devs, closeAll, err := openStoreDevices(store)
+// scrubShard scrubs one shard directory's volume sequence.
+func scrubShard(dir string, opt scrub.Options) *scrub.Report {
+	devs, closeAll, err := openStoreDevices(dir)
 	if err != nil {
 		fatal(err)
 	}
 	defer closeAll()
-	rep, err := scrub.Volumes(devs, scrub.Options{})
+	rep, err := scrub.Volumes(devs, opt)
 	if err != nil {
 		fatal(err)
 	}
+	return rep
+}
+
+// runDu prints per-log-file space usage for a local store. Each log file
+// lives wholly on one shard, so the per-shard reports concatenate.
+func runDu(store string) {
+	if store == "" {
+		fatal(fmt.Errorf("du requires -store"))
+	}
+	dirs, err := storeShardDirs(store)
+	if err != nil {
+		fatal(err)
+	}
+	var usage []scrub.LogUsage
+	for _, d := range dirs {
+		usage = append(usage, scrubShard(d, scrub.Options{}).Usage...)
+	}
+	sort.Slice(usage, func(i, j int) bool { return usage[i].Path < usage[j].Path })
 	fmt.Printf("%10s %10s  %s\n", "entries", "bytes", "log file")
-	for _, u := range rep.Usage {
+	for _, u := range usage {
 		fmt.Printf("%10d %10d  %s\n", u.Entries, u.Bytes, u.Path)
 	}
 }
@@ -346,47 +379,114 @@ func runBackup(store, archiveDir string) {
 	if store == "" {
 		fatal(fmt.Errorf("backup requires -store"))
 	}
-	devs, closeAll, err := openStoreDevices(store)
+	dirs, err := storeShardDirs(store)
 	if err != nil {
 		fatal(err)
 	}
-	defer closeAll()
-	res, err := archive.Backup(devs, archiveDir)
-	if err != nil {
-		fatal(err)
-	}
-	// The NVRAM sidecar holds the staged (not yet sealed) tail block; a
-	// complete backup carries it along.
-	nvSrc := filepath.Join(store, "nvram.clio")
-	if data, err := os.ReadFile(nvSrc); err == nil {
-		if err := os.WriteFile(filepath.Join(archiveDir, "nvram.clio"), data, 0o644); err != nil {
+	var total archive.Result
+	for _, d := range dirs {
+		// The archive mirrors the store layout: shard-K subdirectories
+		// for a sharded store, a flat archive otherwise.
+		dst := archiveDir
+		if len(dirs) > 1 {
+			dst = filepath.Join(archiveDir, filepath.Base(d))
+		}
+		devs, closeAll, err := openStoreDevices(d)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Println("captured the staged NVRAM tail")
+		res, err := archive.Backup(devs, dst)
+		closeAll()
+		if err != nil {
+			fatal(err)
+		}
+		// The NVRAM sidecar holds the staged (not yet sealed) tail block;
+		// a complete backup carries it along.
+		nvSrc := filepath.Join(d, "nvram.clio")
+		if data, err := os.ReadFile(nvSrc); err == nil {
+			if err := os.WriteFile(filepath.Join(dst, "nvram.clio"), data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("captured the staged NVRAM tail")
+		}
+		total.VolumesSeen += res.VolumesSeen
+		total.BlocksCopied += res.BlocksCopied
+		total.BlocksSkipped += res.BlocksSkipped
 	}
 	fmt.Printf("backed up %d volumes: %d blocks copied, %d already archived\n",
-		res.VolumesSeen, res.BlocksCopied, res.BlocksSkipped)
+		total.VolumesSeen, total.BlocksCopied, total.BlocksSkipped)
 }
 
-// runVerifyBackup restores an archive in memory and scrubs it.
+// runVerifyBackup restores an archive in memory and scrubs it, one
+// shard's volume sequence at a time.
 func runVerifyBackup(archiveDir string) {
-	devs, err := archive.Restore(archiveDir)
+	dirs, err := storeShardDirs(archiveDir)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := scrub.Volumes(devs, scrub.Options{})
-	if err != nil {
-		fatal(err)
+	clean := true
+	var blocks, entries, catalog int
+	for i, d := range dirs {
+		devs, err := archive.Restore(d)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := scrub.Volumes(devs, scrub.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range rep.Problems {
+			if len(dirs) > 1 {
+				fmt.Printf("shard %d problem: %s\n", i, p)
+			} else {
+				fmt.Printf("problem: %s\n", p)
+			}
+		}
+		clean = clean && rep.Clean()
+		blocks += rep.Blocks
+		entries += rep.Entries
+		catalog += rep.CatalogRecords
 	}
 	fmt.Printf("archive holds %d data blocks, %d records, %d catalog records\n",
-		rep.Blocks, rep.Entries, rep.CatalogRecords)
-	for _, p := range rep.Problems {
-		fmt.Printf("problem: %s\n", p)
-	}
-	if !rep.Clean() {
+		blocks, entries, catalog)
+	if !clean {
 		os.Exit(1)
 	}
 	fmt.Println("clean")
+}
+
+// storeShardDirs returns the directories holding a store's volume files:
+// the shard-K subdirectories of a sharded layout in shard order, or dir
+// itself for the flat (1-shard) layout.
+func storeShardDirs(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[int]string)
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		k, err := strconv.Atoi(strings.TrimPrefix(e.Name(), "shard-"))
+		if err != nil || k < 0 {
+			continue
+		}
+		idx[k] = filepath.Join(dir, e.Name())
+	}
+	if len(idx) == 0 {
+		return []string{dir}, nil
+	}
+	out := make([]string, 0, len(idx))
+	for i := 0; i < len(idx); i++ {
+		d, ok := idx[i]
+		if !ok {
+			return nil, fmt.Errorf("%s shard directories are not contiguous (missing shard-%d of %d)",
+				dir, i, len(idx))
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // openStoreDevices opens every volume file in a store directory.

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	cliod -store /var/lib/clio [-listen :7846] [-create] [-volume-blocks N]
-//	      [-admin :7847] [-slow-trace 100ms]
+//	cliod -store /var/lib/clio [-listen :7846] [-create] [-shards N]
+//	      [-volume-blocks N] [-admin :7847] [-slow-trace 100ms]
 //
-// The store directory holds one file per log volume plus the NVRAM sidecar
-// that stages the current partial block across restarts (§2.3.1).
+// A 1-shard store holds one file per log volume plus the NVRAM sidecar that
+// stages the current partial block across restarts (§2.3.1). -create
+// -shards N lays the store out as N hash-partitioned volume sequences
+// (shard-K subdirectories, each with its own NVRAM sidecar) behind one
+// namespace; reopening detects the shard count from the directory.
 //
 // -admin starts an HTTP endpoint serving /metrics (Prometheus text format),
 // /statusz (JSON: volumes, tail state, session table), /tracez (recent and
@@ -36,6 +39,7 @@ func main() {
 	store := flag.String("store", "", "store directory (required)")
 	listen := flag.String("listen", ":7846", "TCP listen address")
 	create := flag.Bool("create", false, "create a new store instead of opening one")
+	shards := flag.Int("shards", 0, "hash partitions for -create (reopen detects; >0 asserts the count)")
 	volBlocks := flag.Int("volume-blocks", 1<<20, "capacity of each volume file in blocks")
 	blockSize := flag.Int("block-size", 1024, "block size in bytes")
 	syncEvery := flag.Bool("sync", false, "fsync every sealed block")
@@ -46,35 +50,35 @@ func main() {
 		log.Fatal("cliod: -store is required")
 	}
 
-	opts := clio.DirOptions{VolumeBlocks: *volBlocks, SyncEvery: *syncEvery}
+	opts := clio.DirOptions{VolumeBlocks: *volBlocks, SyncEvery: *syncEvery, Shards: *shards}
 	opts.BlockSize = *blockSize
 	var (
-		svc *clio.Service
+		st  *clio.Store
 		err error
 	)
 	if *create {
-		svc, err = clio.CreateDir(*store, opts)
+		st, err = clio.CreateStore(*store, opts)
 	} else {
-		svc, err = clio.OpenDir(*store, opts)
+		st, err = clio.OpenStore(*store, opts)
 	}
 	if err != nil {
 		log.Fatalf("cliod: %v", err)
 	}
-	rep := svc.LastRecovery()
-	log.Printf("cliod: store %s open: %d data blocks, %d catalog records, tail restored=%v",
-		*store, rep.SealedBlocks, rep.CatalogEntries, rep.TailRestored)
+	rep := st.LastRecovery()
+	log.Printf("cliod: store %s open: %d shards, %d data blocks, %d catalog records, tail restored=%v",
+		*store, st.Shards(), rep.SealedBlocks, rep.CatalogEntries, rep.TailRestored)
 
-	srv := server.New(svc)
+	srv := server.NewStore(st)
 	srv.Logf = log.Printf
 	if *admin != "" {
 		reg := obs.NewRegistry()
-		svc.RegisterMetrics(reg)
+		st.RegisterMetrics(reg)
 		srv.RegisterMetrics(reg)
 		obs.RegisterProcessMetrics(reg)
 		srv.Tracer = obs.NewTracer(256, *slowTrace)
 		mux := obs.NewAdminMux(reg, srv.Tracer, func() any {
 			return map[string]any{
-				"core":   svc.Status(),
+				"shards": st.Status(),
 				"server": srv.Status(),
 			}
 		})
@@ -105,7 +109,7 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		log.Printf("cliod: serve: %v", err)
 	}
-	if err := svc.Close(); err != nil {
+	if err := st.Close(); err != nil {
 		log.Printf("cliod: close: %v", err)
 	}
 }

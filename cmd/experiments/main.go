@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	experiments [-run all|write|table1|fig3|fig4|space|baseline|nvram|tailgrowth] [-deep]
-//	            [-cpuprofile out.pprof] [-mutexprofile out.pprof] [-metrics-out out.json]
+//	experiments [-run all|write|table1|fig3|fig4|space|baseline|nvram|tailgrowth|shards]
+//	            [-deep] [-shards N] [-cpuprofile out.pprof] [-mutexprofile out.pprof]
+//	            [-metrics-out out.json]
 //
 // -deep extends the locate experiments to distance N^5 (the paper's full
 // Table 1 range); it builds a ~10^6-block volume and needs ~0.5 GiB of
@@ -31,7 +32,8 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiments to run (comma separated): all, write, table1, fig3, fig4, space, baseline, nvram, cache, degree, tailgrowth")
+	run := flag.String("run", "all", "experiments to run (comma separated): all, write, table1, fig3, fig4, space, baseline, nvram, cache, degree, tailgrowth, shards")
+	shards := flag.Int("shards", 1, "shard count for the scaling section; 1 (the default) omits it entirely")
 	deep := flag.Bool("deep", false, "extend locate experiments to the paper's full N^5 distance (slow, ~0.5 GiB)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (samples every contended lock)")
@@ -205,6 +207,19 @@ func main() {
 		experiments.PrintTailGrowth(out, rows)
 		return nil
 	})
+
+	// The sharded section only exists at -shards > 1, so the default
+	// output stays byte-identical to the unsharded harness.
+	if *shards > 1 {
+		step("shards", func() error {
+			rows, err := experiments.RunShardScaling([]int{1, *shards}, 2000)
+			if err != nil {
+				return err
+			}
+			experiments.PrintShardScaling(out, rows)
+			return nil
+		})
+	}
 
 	if reg != nil {
 		f, err := os.Create(*metricsOut)

@@ -1,37 +1,42 @@
 package clio_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"clio"
 )
 
-// Example demonstrates the basic lifecycle: create a store on an in-memory
-// write-once device, write entries, and read them back.
+// Example demonstrates the basic lifecycle through the context-first Log
+// interface: create a store over an in-memory write-once device, write
+// entries, and read them back.
 func Example() {
-	svc, err := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{})
+	store, err := clio.NewMemStore(1, 1024, 4096, clio.Options{})
 	if err != nil {
 		panic(err)
 	}
-	defer svc.Close()
+	defer store.Close()
+	var log clio.Log = store
 
-	id, err := svc.CreateLog("/events", 0o644, "example")
+	ctx := context.Background()
+	id, err := log.CreateLog(ctx, "/events", 0o644, "example")
 	if err != nil {
 		panic(err)
 	}
 	for _, line := range []string{"first", "second", "third"} {
-		if _, err := svc.Append(id, []byte(line), clio.AppendOptions{}); err != nil {
+		if _, err := log.Append(ctx, id, []byte(line), clio.AppendOptions{}); err != nil {
 			panic(err)
 		}
 	}
 
-	cur, err := svc.OpenCursor("/events")
+	cur, err := log.OpenCursor(ctx, "/events")
 	if err != nil {
 		panic(err)
 	}
+	defer cur.Close()
 	for {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -46,20 +51,22 @@ func Example() {
 	// third
 }
 
-// ExampleCursor_Prev reads a log backwards from the end — "access can be
+// ExampleLogCursor reads a log backwards from the end — "access can be
 // provided to the sequence of entries in the file either subsequent to, or
 // prior to, any previous point in time".
-func ExampleCursor_Prev() {
-	svc, _ := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{})
-	defer svc.Close()
-	id, _ := svc.CreateLog("/l", 0, "")
+func ExampleLogCursor() {
+	store, _ := clio.NewMemStore(1, 1024, 4096, clio.Options{})
+	defer store.Close()
+	ctx := context.Background()
+	id, _ := store.CreateLog(ctx, "/l", 0, "")
 	for i := 1; i <= 3; i++ {
-		svc.Append(id, []byte(fmt.Sprintf("entry %d", i)), clio.AppendOptions{})
+		store.Append(ctx, id, []byte(fmt.Sprintf("entry %d", i)), clio.AppendOptions{})
 	}
-	cur, _ := svc.OpenCursor("/l")
-	cur.SeekEnd()
+	cur, _ := store.OpenCursor(ctx, "/l")
+	defer cur.Close()
+	cur.SeekEnd(ctx)
 	for {
-		e, err := cur.Prev()
+		e, err := cur.Prev(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -71,24 +78,26 @@ func ExampleCursor_Prev() {
 	// entry 1
 }
 
-// ExampleService_CreateLog shows the sublog hierarchy: a log file is also a
+// ExampleStore_CreateLog shows the sublog hierarchy: a log file is also a
 // directory of sublogs, and reading a parent includes its sublogs' entries.
-func ExampleService_CreateLog() {
-	svc, _ := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{})
-	defer svc.Close()
-	svc.CreateLog("/mail", 0o755, "postmaster")
-	smith, _ := svc.CreateLog("/mail/smith", 0o600, "smith")
-	jones, _ := svc.CreateLog("/mail/jones", 0o600, "jones")
-	svc.Append(smith, []byte("to smith"), clio.AppendOptions{})
-	svc.Append(jones, []byte("to jones"), clio.AppendOptions{})
+func ExampleStore_CreateLog() {
+	store, _ := clio.NewMemStore(1, 1024, 4096, clio.Options{})
+	defer store.Close()
+	ctx := context.Background()
+	store.CreateLog(ctx, "/mail", 0o755, "postmaster")
+	smith, _ := store.CreateLog(ctx, "/mail/smith", 0o600, "smith")
+	jones, _ := store.CreateLog(ctx, "/mail/jones", 0o600, "jones")
+	store.Append(ctx, smith, []byte("to smith"), clio.AppendOptions{})
+	store.Append(ctx, jones, []byte("to jones"), clio.AppendOptions{})
 
-	names, _ := svc.List("/mail")
+	names, _ := store.List(ctx, "/mail")
 	fmt.Println(names)
 
-	cur, _ := svc.OpenCursor("/mail") // parent: both sublogs' entries
+	cur, _ := store.OpenCursor(ctx, "/mail") // parent: both sublogs' entries
+	defer cur.Close()
 	n := 0
 	for {
-		if _, err := cur.Next(); err == io.EOF {
+		if _, err := cur.Next(ctx); err == io.EOF {
 			break
 		}
 		n++
@@ -99,22 +108,24 @@ func ExampleService_CreateLog() {
 	// 2 entries
 }
 
-// ExampleCursor_SeekTime retrieves entries written at or after a moment.
-func ExampleCursor_SeekTime() {
+// ExampleLogCursor_seekTime retrieves entries written at or after a moment.
+func ExampleLogCursor_seekTime() {
 	var now int64
-	svc, _ := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{
+	store, _ := clio.NewMemStore(1, 1024, 4096, clio.Options{
 		Now: func() int64 { now += 1000; return now },
 	})
-	defer svc.Close()
-	id, _ := svc.CreateLog("/t", 0, "")
-	svc.Append(id, []byte("early"), clio.AppendOptions{Timestamped: true})
-	cut, _ := svc.Append(id, []byte("middle"), clio.AppendOptions{Timestamped: true})
-	svc.Append(id, []byte("late"), clio.AppendOptions{Timestamped: true})
+	defer store.Close()
+	ctx := context.Background()
+	id, _ := store.CreateLog(ctx, "/t", 0, "")
+	store.Append(ctx, id, []byte("early"), clio.AppendOptions{Timestamped: true})
+	cut, _ := store.Append(ctx, id, []byte("middle"), clio.AppendOptions{Timestamped: true})
+	store.Append(ctx, id, []byte("late"), clio.AppendOptions{Timestamped: true})
 
-	cur, _ := svc.OpenCursor("/t")
-	cur.SeekTime(cut)
+	cur, _ := store.OpenCursor(ctx, "/t")
+	defer cur.Close()
+	cur.SeekTime(ctx, cut)
 	for {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -125,20 +136,22 @@ func ExampleCursor_SeekTime() {
 	// late
 }
 
-// ExampleService_AppendMulti writes one entry into several log files at
+// ExampleStore_AppendMulti writes one entry into several log files at
 // once — §2.1's multi-membership ("the logging service allows a log entry
 // to be a member of more than one log file").
-func ExampleService_AppendMulti() {
-	svc, _ := clio.New(clio.NewMemDevice(1024, 4096), clio.Options{})
-	defer svc.Close()
-	alerts, _ := svc.CreateLog("/alerts", 0, "")
-	audit, _ := svc.CreateLog("/audit", 0, "")
-	svc.AppendMulti([]uint16{alerts, audit}, []byte("disk failure on vol 3"), clio.AppendOptions{})
+func ExampleStore_AppendMulti() {
+	store, _ := clio.NewMemStore(1, 1024, 4096, clio.Options{})
+	defer store.Close()
+	ctx := context.Background()
+	alerts, _ := store.CreateLog(ctx, "/alerts", 0, "")
+	audit, _ := store.CreateLog(ctx, "/audit", 0, "")
+	store.AppendMulti(ctx, []clio.ID{alerts, audit}, []byte("disk failure on vol 3"), clio.AppendOptions{})
 
 	for _, path := range []string{"/alerts", "/audit"} {
-		cur, _ := svc.OpenCursor(path)
-		e, _ := cur.Next()
+		cur, _ := store.OpenCursor(ctx, path)
+		e, _ := cur.Next(ctx)
 		fmt.Printf("%s: %s\n", path, e.Data)
+		cur.Close()
 	}
 	// Output:
 	// /alerts: disk failure on vol 3

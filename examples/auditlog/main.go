@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -28,19 +29,20 @@ type event struct {
 
 func main() {
 	// In-memory store: audit trails fit naturally on simulated WORM.
-	svc, err := clio.New(clio.NewMemDevice(1024, 1<<16), clio.Options{})
+	store, err := clio.NewMemStore(1, 1024, 1<<16, clio.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer svc.Close()
+	defer store.Close()
+	ctx := context.Background()
 
-	if _, err := svc.CreateLog("/audit", 0o600, "security"); err != nil {
+	if _, err := store.CreateLog(ctx, "/audit", 0o600, "security"); err != nil {
 		log.Fatal(err)
 	}
 	users := []string{"smith", "jones", "root"}
-	ids := map[string]uint16{}
+	ids := map[string]clio.ID{}
 	for _, u := range users {
-		id, err := svc.CreateLog("/audit/"+u, 0o600, "security")
+		id, err := store.CreateLog(ctx, "/audit/"+u, 0o600, "security")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,7 +51,7 @@ func main() {
 
 	// Escalations additionally go to a dedicated cross-user log file via
 	// multi-membership (§2.1: an entry may belong to several log files).
-	escID, err := svc.CreateLog("/audit/escalations", 0o600, "security")
+	escID, err := store.CreateLog(ctx, "/audit/escalations", 0o600, "security")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,12 +70,11 @@ func main() {
 	for i, ev := range trail {
 		var ts int64
 		var err error
+		opts := clio.AppendOptions{Timestamped: true, Forced: true}
 		if strings.HasPrefix(ev.action, "privilege-escalation") {
-			ts, err = svc.AppendMulti([]uint16{ids[ev.user], escID}, []byte(ev.action),
-				clio.AppendOptions{Timestamped: true, Forced: true})
+			ts, err = store.AppendMulti(ctx, []clio.ID{ids[ev.user], escID}, []byte(ev.action), opts)
 		} else {
-			ts, err = svc.Append(ids[ev.user], []byte(ev.action),
-				clio.AppendOptions{Timestamped: true, Forced: true})
+			ts, err = store.Append(ctx, ids[ev.user], []byte(ev.action), opts)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -84,36 +85,37 @@ func main() {
 	}
 
 	fmt.Println("== everything smith did ==")
-	cur, err := svc.OpenCursor("/audit/smith")
+	cur, err := store.OpenCursor(ctx, "/audit/smith")
 	if err != nil {
 		log.Fatal(err)
 	}
-	dump(cur, func(e *clio.Entry) bool { return true })
+	dump(ctx, cur, func(e *clio.Entry) bool { return true })
 
 	fmt.Println("== the escalation log (multi-membership entries) ==")
-	esc, err := svc.OpenCursor("/audit/escalations")
+	esc, err := store.OpenCursor(ctx, "/audit/escalations")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := esc.SeekTime(escalationStart); err != nil {
+	if err := esc.SeekTime(ctx, escalationStart); err != nil {
 		log.Fatal(err)
 	}
-	dump(esc, func(e *clio.Entry) bool { return true })
+	dump(ctx, esc, func(e *clio.Entry) bool { return true })
 
 	fmt.Println("== the trail is append-only: entries cannot be rewritten ==")
-	d, _ := svc.Stat("/audit/smith")
-	fmt.Printf("log id %d holds %s; retiring it freezes it forever\n", d.ID, "smith's history")
-	if err := svc.Retire("/audit/smith"); err != nil {
+	d, _ := store.Stat(ctx, "/audit/smith")
+	fmt.Printf("log id %v holds %s; retiring it freezes it forever\n", d.ID, "smith's history")
+	if err := store.Retire(ctx, "/audit/smith"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := svc.Append(ids["smith"], []byte("forged"), clio.AppendOptions{}); err != nil {
+	if _, err := store.Append(ctx, ids["smith"], []byte("forged"), clio.AppendOptions{}); err != nil {
 		fmt.Printf("append after retire correctly refused: %v\n", err)
 	}
 }
 
-func dump(cur *clio.Cursor, keep func(*clio.Entry) bool) {
+func dump(ctx context.Context, cur clio.LogCursor, keep func(*clio.Entry) bool) {
+	defer cur.Close()
 	for {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err == io.EOF {
 			return
 		}

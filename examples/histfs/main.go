@@ -17,13 +17,13 @@ import (
 )
 
 func main() {
-	svc, err := clio.New(clio.NewMemDevice(1024, 1<<15), clio.Options{})
+	store, err := clio.NewMemStore(1, 1024, 1<<15, clio.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer svc.Close()
+	defer store.Close()
 
-	fs, err := histfs.New(logapi.FromService(svc), "/histfs")
+	fs, err := histfs.New(logapi.AsStore(store), "/histfs")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,13 +16,13 @@ import (
 )
 
 func main() {
-	svc, err := clio.New(clio.NewMemDevice(1024, 1<<15), clio.Options{})
+	logs, err := clio.NewMemStore(1, 1024, 1<<15, clio.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer svc.Close()
+	defer logs.Close()
 
-	store, err := mailstore.New(logapi.FromService(svc), "/mail")
+	store, err := mailstore.New(logapi.AsStore(logs), "/mail")
 	if err != nil {
 		log.Fatal(err)
 	}

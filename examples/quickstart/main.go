@@ -1,10 +1,12 @@
-// Quickstart: create a log store, write some entries, read them back
-// forwards, backwards, and from a point in time.
+// Quickstart: create a sharded log store, write some entries, read them
+// back forwards, backwards, and from a point in time — all through the
+// uniform context-first Log interface.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -21,24 +23,28 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	// A store directory holds one file per write-once volume plus the
-	// NVRAM sidecar staging the current partial block.
-	svc, err := clio.CreateDir(dir, clio.DirOptions{})
+	// A store directory holds the write-once volume files plus the NVRAM
+	// sidecar staging each shard's current partial block. Shards: 2 lays
+	// it out as two hash-partitioned volume sequences behind one
+	// namespace; reopening with clio.OpenStore detects the count.
+	store, err := clio.CreateStore(dir, clio.DirOptions{Shards: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer svc.Close()
+	defer store.Close()
+	var lg clio.Log = store
+	ctx := context.Background()
 
 	// Log files live in a directory hierarchy; each is also a directory of
-	// sublogs.
-	id, err := svc.CreateLog("/notes", 0o644, "me")
+	// sublogs, and each routes to one shard by its root path segment.
+	id, err := lg.CreateLog(ctx, "/notes", 0o644, "me")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	var midway int64
 	for i := 1; i <= 6; i++ {
-		ts, err := svc.Append(id, []byte(fmt.Sprintf("note #%d", i)),
+		ts, err := lg.Append(ctx, id, []byte(fmt.Sprintf("note #%d", i)),
 			clio.AppendOptions{Timestamped: true, Forced: i%2 == 0})
 		if err != nil {
 			log.Fatal(err)
@@ -49,12 +55,13 @@ func main() {
 	}
 
 	fmt.Println("forwards:")
-	cur, err := svc.OpenCursor("/notes")
+	cur, err := lg.OpenCursor(ctx, "/notes")
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cur.Close()
 	for {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -65,9 +72,9 @@ func main() {
 	}
 
 	fmt.Println("backwards from the end:")
-	cur.SeekEnd()
+	cur.SeekEnd(ctx)
 	for i := 0; i < 2; i++ {
-		e, err := cur.Prev()
+		e, err := cur.Prev(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,11 +82,11 @@ func main() {
 	}
 
 	fmt.Println("from a point in time (note #4 onwards):")
-	if err := cur.SeekTime(midway); err != nil {
+	if err := cur.SeekTime(ctx, midway); err != nil {
 		log.Fatal(err)
 	}
 	for {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err == io.EOF {
 			break
 		}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"clio/internal/faults"
+	"clio/internal/logapi"
 	"clio/internal/server"
 	"clio/internal/wire"
 )
@@ -105,31 +106,16 @@ func IsDegraded(err error) bool {
 	return errors.As(err, &d)
 }
 
-// Entry mirrors the service-side entry.
-type Entry struct {
-	LogID       uint16
-	Timestamp   int64
-	Timestamped bool
-	Forced      bool
-	Data        []byte
-	Block       int
-	Index       int
-	// ExtraIDs lists additional member log files for multi-membership
-	// entries (§2.1).
-	ExtraIDs []uint16
-}
+// Entry is the service-side entry, decoded off the wire.
+type Entry = logapi.Entry
+
+// ID is the store-wide log-file id (shard ordinal in the high 16 bits).
+type ID = logapi.ID
 
 // Stat is the client-side view of a log file descriptor.
-type Stat struct {
-	ID      uint16
-	Parent  uint16
-	Name    string
-	Perms   uint16
-	Created int64
-	Owner   string
-	Retired bool
-	System  bool
-}
+//
+// Deprecated: it is the logapi.Info descriptor; use that name.
+type Stat = logapi.Info
 
 // Stats is the subset of server counters exposed over the protocol.
 type Stats struct {
@@ -139,7 +125,9 @@ type Stats struct {
 	EndBlocks       int64
 }
 
-// Client is a connection to a Clio log server.
+// Client is a connection to a Clio log server. It implements the uniform
+// logapi.Service surface, so applications written against the interface run
+// unchanged against an in-process store, a sharded store, or the network.
 type Client struct {
 	opt   Options
 	retry faults.RetryPolicy
@@ -152,6 +140,8 @@ type Client struct {
 	closed     bool
 	reconnects int64
 }
+
+var _ logapi.Service = (*Client)(nil)
 
 // New wraps an established connection. A Client made this way has no dialer
 // and therefore cannot reconnect: the first connection error fails the call.
@@ -447,8 +437,20 @@ func (c *Client) Ping(ctx context.Context) error {
 	return err
 }
 
+// decodeID consumes a uvarint store-wide log-file id.
+func decodeID(d *server.Decoder) (ID, error) {
+	v, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(^uint32(0)) {
+		return 0, fmt.Errorf("client: id %d out of range", v)
+	}
+	return ID(v), nil
+}
+
 // CreateLog creates a log file (a sublog of its parent path).
-func (c *Client) CreateLog(ctx context.Context, path string, perms uint16, owner string) (uint16, error) {
+func (c *Client) CreateLog(ctx context.Context, path string, perms uint16, owner string) (ID, error) {
 	p := server.PutString(nil, path)
 	p = wire.PutUint16(p, perms)
 	p = server.PutString(p, owner)
@@ -456,16 +458,16 @@ func (c *Client) CreateLog(ctx context.Context, path string, perms uint16, owner
 	if err != nil {
 		return 0, err
 	}
-	return d.Uint16()
+	return decodeID(d)
 }
 
 // Resolve maps a path to a log-file id.
-func (c *Client) Resolve(ctx context.Context, path string) (uint16, error) {
+func (c *Client) Resolve(ctx context.Context, path string) (ID, error) {
 	_, d, err := c.call(ctx, server.OpResolve, "resolve", false, server.PutString(nil, path))
 	if err != nil {
 		return 0, err
 	}
-	return d.Uint16()
+	return decodeID(d)
 }
 
 // List returns the sublog names under a path.
@@ -490,16 +492,16 @@ func (c *Client) List(ctx context.Context, path string) ([]string, error) {
 }
 
 // Stat returns a log file's descriptor.
-func (c *Client) Stat(ctx context.Context, path string) (Stat, error) {
-	var st Stat
+func (c *Client) Stat(ctx context.Context, path string) (logapi.Info, error) {
+	var st logapi.Info
 	_, d, err := c.call(ctx, server.OpStat, "stat", false, server.PutString(nil, path))
 	if err != nil {
 		return st, err
 	}
-	if st.ID, err = d.Uint16(); err != nil {
+	if st.ID, err = decodeID(d); err != nil {
 		return st, err
 	}
-	if st.Parent, err = d.Uint16(); err != nil {
+	if st.Parent, err = decodeID(d); err != nil {
 		return st, err
 	}
 	if st.Perms, err = d.Uint16(); err != nil {
@@ -537,11 +539,10 @@ func (c *Client) Retire(ctx context.Context, path string) error {
 	return err
 }
 
-// AppendOptions mirrors the service-side append options.
-type AppendOptions struct {
-	Timestamped bool
-	Forced      bool
-}
+// AppendOptions is the service-side append option struct. The Trace field
+// is a server-side concern and is not carried over the wire (the frame's
+// traceID correlates client and server traces instead).
+type AppendOptions = logapi.AppendOptions
 
 func appendFlags(opts AppendOptions) byte {
 	var flags byte
@@ -557,8 +558,8 @@ func appendFlags(opts AppendOptions) byte {
 // Append writes one entry and returns its server timestamp. A non-nil
 // *DegradedError alongside a valid timestamp means the entry IS durable but
 // the service had to relocate past damaged storage (§2.3.2).
-func (c *Client) Append(ctx context.Context, id uint16, data []byte, opts AppendOptions) (int64, error) {
-	p := wire.PutUint16(nil, id)
+func (c *Client) Append(ctx context.Context, id ID, data []byte, opts AppendOptions) (int64, error) {
+	p := wire.PutUvarint(nil, uint64(id))
 	p = append(p, appendFlags(opts))
 	p = server.PutBytes(p, data)
 	status, d, err := c.call(ctx, server.OpAppend, "append", true, p)
@@ -578,10 +579,10 @@ func (c *Client) Append(ctx context.Context, id uint16, data []byte, opts Append
 // AppendMulti writes one entry belonging to several log files at once
 // (§2.1); ids[0] is the primary. The entry appears in every listed log.
 // Degraded completion is reported as in Append.
-func (c *Client) AppendMulti(ctx context.Context, ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+func (c *Client) AppendMulti(ctx context.Context, ids []ID, data []byte, opts AppendOptions) (int64, error) {
 	p := wire.PutUvarint(nil, uint64(len(ids)))
 	for _, id := range ids {
-		p = wire.PutUint16(p, id)
+		p = wire.PutUvarint(p, uint64(id))
 	}
 	p = append(p, appendFlags(opts))
 	p = server.PutBytes(p, data)
@@ -599,15 +600,23 @@ func (c *Client) AppendMulti(ctx context.Context, ids []uint16, data []byte, opt
 	return ts, nil
 }
 
-// ReadAt fetches the entry previously reported at (block, index).
-func (c *Client) ReadAt(ctx context.Context, block, index int) (*Entry, error) {
-	p := wire.PutUvarint(nil, uint64(block))
+// ReadAt fetches the entry previously reported at a shard-local
+// (block, index) position, as observed on an Entry from that shard.
+func (c *Client) ReadAt(ctx context.Context, shard, block, index int) (*Entry, error) {
+	p := wire.PutUvarint(nil, uint64(shard))
+	p = wire.PutUvarint(p, uint64(block))
 	p = wire.PutUvarint(p, uint64(index))
 	_, d, err := c.call(ctx, server.OpReadAt, "readat", false, p)
 	if err != nil {
 		return nil, err
 	}
 	return decodeEntry(d)
+}
+
+// Force makes everything appended so far durable on every shard.
+func (c *Client) Force(ctx context.Context) error {
+	_, _, err := c.call(ctx, server.OpForce, "force", true, nil)
+	return err
 }
 
 // Stats fetches server counters.
@@ -645,8 +654,12 @@ type Cursor struct {
 	handle uint32
 }
 
-// OpenCursor opens a cursor positioned at the start of the log file.
-func (c *Client) OpenCursor(ctx context.Context, path string) (*Cursor, error) {
+var _ logapi.Cursor = (*Cursor)(nil)
+
+// OpenCursor opens a cursor positioned at the start of the log file. The
+// concrete type is *Cursor (reach it with a type assertion for
+// LocateUnique).
+func (c *Client) OpenCursor(ctx context.Context, path string) (logapi.Cursor, error) {
 	_, d, err := c.call(ctx, server.OpCursorOpen, "cursoropen", false, server.PutString(nil, path))
 	if err != nil {
 		return nil, err
@@ -673,6 +686,11 @@ func decodeEntry(d *server.Decoder) (*Entry, error) {
 	}
 	e.Timestamped = flags&server.EntryTimestamped != 0
 	e.Forced = flags&server.EntryForced != 0
+	sh, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	e.Shard = int(sh)
 	b, err := d.Uvarint()
 	if err != nil {
 		return nil, err

@@ -80,7 +80,7 @@ func TestClientBasicFlow(t *testing.T) {
 		t.Fatalf("Prev: %v", err)
 	}
 	// ReadAt round-trips the position.
-	e2, err := cl.ReadAt(bg, e.Block, e.Index)
+	e2, err := cl.ReadAt(bg, e.Shard, e.Block, e.Index)
 	if err != nil || string(e2.Data) != "world" {
 		t.Fatalf("ReadAt: %v", err)
 	}
@@ -326,7 +326,7 @@ func TestClientAppendMulti(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.AppendMulti(bg, []uint16{a, b}, []byte("both"), AppendOptions{}); err != nil {
+	if _, err := cl.AppendMulti(bg, []ID{a, b}, []byte("both"), AppendOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, path := range []string{"/a", "/b"} {

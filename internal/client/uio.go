@@ -3,6 +3,8 @@ package client
 import (
 	"context"
 	"io"
+
+	"clio/internal/logapi"
 )
 
 // The UIO adapters make a log file usable through the standard Go I/O
@@ -12,18 +14,18 @@ import (
 
 // Reader streams a log file's entry payloads as a single byte stream,
 // inserting sep (which may be empty) between entries. It implements
-// io.Reader over a Cursor; the construction context bounds every
-// underlying call.
+// io.Reader over any logapi.Cursor — remote or in-process; the construction
+// context bounds every underlying call.
 type Reader struct {
 	ctx context.Context
-	cur *Cursor
+	cur logapi.Cursor
 	sep []byte
 	buf []byte
 	eof bool
 }
 
 // NewReader returns a Reader over cur with the given entry separator.
-func NewReader(ctx context.Context, cur *Cursor, sep []byte) *Reader {
+func NewReader(ctx context.Context, cur logapi.Cursor, sep []byte) *Reader {
 	return &Reader{ctx: ctx, cur: cur, sep: sep}
 }
 
@@ -55,12 +57,12 @@ func (r *Reader) Read(p []byte) (int, error) {
 type Writer struct {
 	ctx  context.Context
 	c    *Client
-	id   uint16
+	id   ID
 	opts AppendOptions
 }
 
 // NewWriter returns a Writer appending to the given log file.
-func NewWriter(ctx context.Context, c *Client, id uint16, opts AppendOptions) *Writer {
+func NewWriter(ctx context.Context, c *Client, id ID, opts AppendOptions) *Writer {
 	return &Writer{ctx: ctx, c: c, id: id, opts: opts}
 }
 

@@ -42,6 +42,13 @@ func (s *Service) vElapsed(m *coreMetrics) time.Duration {
 // entrymap locator, fault points and vclock charge categories — plus the
 // append/force/read/locate latency histograms in reg, and enables histogram
 // recording. Call once per registry, after Open.
+func (s *Service) RegisterMetrics(reg *obs.Registry) {
+	s.RegisterMetricsLabeled(reg)
+}
+
+// RegisterMetricsLabeled is RegisterMetrics with a fixed label set stamped
+// onto every registered series — how a sharded store gives each of its
+// constituent services a distinct `shard` label within one registry.
 //
 // The counter callbacks take the same snapshots the public Stats accessors
 // take, so a scrape observes each subsystem atomically (never a torn
@@ -49,22 +56,22 @@ func (s *Service) vElapsed(m *coreMetrics) time.Duration {
 // which is inherent to any scrape of a live system. Registration itself
 // must not perturb the modeled workload: callbacks only read, and nothing
 // here ever charges the vclock.
-func (s *Service) RegisterMetrics(reg *obs.Registry) {
+func (s *Service) RegisterMetricsLabeled(reg *obs.Registry, labels ...obs.Label) {
 	m := &coreMetrics{
 		appendLat: reg.Histogram("clio_core_append_seconds",
-			"Wall-clock latency of client appends, queue wait included.", nil),
+			"Wall-clock latency of client appends, queue wait included.", nil, labels...),
 		forceLat: reg.Histogram("clio_core_force_seconds",
-			"Wall-clock latency of the durability step (NVRAM store or padded seal) of forced writes.", nil),
+			"Wall-clock latency of the durability step (NVRAM store or padded seal) of forced writes.", nil, labels...),
 		readLat: reg.Histogram("clio_core_read_seconds",
-			"Wall-clock latency of cursor steps and positioned reads.", nil),
+			"Wall-clock latency of cursor steps and positioned reads.", nil, labels...),
 		locateLat: reg.Histogram("clio_core_locate_seconds",
-			"Wall-clock latency of entrymap locator searches.", nil),
+			"Wall-clock latency of entrymap locator searches.", nil, labels...),
 		sealLat: reg.Histogram("clio_core_seal_seconds",
-			"Wall-clock latency of sealing a tail block to the device, damaged-block slides included.", nil),
+			"Wall-clock latency of sealing a tail block to the device, damaged-block slides included.", nil, labels...),
 		nvramLat: reg.Histogram("clio_core_nvram_store_seconds",
-			"Wall-clock latency of staging the tail block to NVRAM.", nil),
+			"Wall-clock latency of staging the tail block to NVRAM.", nil, labels...),
 		appendV: reg.Histogram("clio_core_append_vtime_seconds",
-			"Vclock-simulated (paper cost model) time of client appends.", nil),
+			"Vclock-simulated (paper cost model) time of client appends.", nil, labels...),
 	}
 
 	counters := []struct {
@@ -86,77 +93,77 @@ func (s *Service) RegisterMetrics(reg *obs.Registry) {
 	}
 	for _, c := range counters {
 		get := c.get
-		reg.CounterFunc(c.name, c.help, func() int64 { return get(s.Stats()) })
+		reg.CounterFunc(c.name, c.help, func() int64 { return get(s.Stats()) }, labels...)
 	}
 
 	reg.CounterFunc("clio_cache_hits_total", "Block cache hits.",
-		func() int64 { return s.CacheStats().Hits })
+		func() int64 { return s.CacheStats().Hits }, labels...)
 	reg.CounterFunc("clio_cache_misses_total", "Block cache misses.",
-		func() int64 { return s.CacheStats().Misses })
+		func() int64 { return s.CacheStats().Misses }, labels...)
 	reg.CounterFunc("clio_cache_evictions_total", "Block cache evictions.",
-		func() int64 { return s.CacheStats().Evictions })
+		func() int64 { return s.CacheStats().Evictions }, labels...)
 	reg.CounterFunc("clio_cache_inserts_total", "Block cache inserts.",
-		func() int64 { return s.CacheStats().Inserts })
+		func() int64 { return s.CacheStats().Inserts }, labels...)
 	reg.GaugeFunc("clio_cache_blocks", "Blocks currently cached.",
-		func() int64 { return int64(s.blockCache().Len()) })
+		func() int64 { return int64(s.blockCache().Len()) }, labels...)
 	reg.GaugeFunc("clio_cache_capacity_blocks", "Block cache capacity (0 = unbounded).",
-		func() int64 { return int64(s.blockCache().Capacity()) })
+		func() int64 { return int64(s.blockCache().Capacity()) }, labels...)
 
 	reg.CounterFunc("clio_wodev_reads_total", "Device blocks read, summed over mounted volumes.",
-		func() int64 { return s.DeviceStats().Reads })
+		func() int64 { return s.DeviceStats().Reads }, labels...)
 	reg.CounterFunc("clio_wodev_appends_total", "Device blocks appended, summed over mounted volumes.",
-		func() int64 { return s.DeviceStats().Appends })
+		func() int64 { return s.DeviceStats().Appends }, labels...)
 	reg.CounterFunc("clio_wodev_invalidations_total", "Device blocks invalidated, summed over mounted volumes.",
-		func() int64 { return s.DeviceStats().Invalidations })
+		func() int64 { return s.DeviceStats().Invalidations }, labels...)
 	reg.CounterFunc("clio_wodev_seeks_total", "Non-sequential device reads (seeks), summed over mounted volumes.",
-		func() int64 { return s.DeviceStats().Seeks })
+		func() int64 { return s.DeviceStats().Seeks }, labels...)
 	reg.CounterFunc("clio_wodev_probes_total", "Reads of unwritten blocks (end-finding probes), summed over mounted volumes.",
-		func() int64 { return s.DeviceStats().Probes })
+		func() int64 { return s.DeviceStats().Probes }, labels...)
 
 	reg.CounterFunc("clio_entrymap_entries_examined_total", "Entrymap log entries decoded and inspected by locator searches.",
-		func() int64 { return int64(s.LocateStats().EntriesExamined) })
+		func() int64 { return int64(s.LocateStats().EntriesExamined) }, labels...)
 	reg.CounterFunc("clio_entrymap_pending_examined_total", "In-memory accumulator bitmap inspections by locator searches.",
-		func() int64 { return int64(s.LocateStats().PendingExamined) })
+		func() int64 { return int64(s.LocateStats().PendingExamined) }, labels...)
 	reg.CounterFunc("clio_entrymap_raw_scans_total", "Data blocks scanned directly because entrymap information was missing.",
-		func() int64 { return int64(s.LocateStats().RawScans) })
+		func() int64 { return int64(s.LocateStats().RawScans) }, labels...)
 	reg.CounterFunc("clio_entrymap_timestamp_reads_total", "Block footers read during time searches.",
-		func() int64 { return int64(s.LocateStats().TimestampReads) })
+		func() int64 { return int64(s.LocateStats().TimestampReads) }, labels...)
 
 	// Points() is nil-safe, so the fault families are always present in a
 	// scrape (empty without an injection registry).
 	fr := s.opt.Faults
 	reg.CollectorFunc("clio_fault_point_hits_total",
 		"Times each named fault-injection point was reached.",
-		func(add func(labels []obs.Label, value int64)) {
+		func(add func(ls []obs.Label, value int64)) {
 			for _, p := range fr.Points() {
-				add([]obs.Label{obs.L("point", p.Name)}, p.Hits)
+				add(append([]obs.Label{obs.L("point", p.Name)}, labels...), p.Hits)
 			}
 		})
 	reg.CollectorFunc("clio_fault_point_fired_total",
 		"Times each named fault-injection point actually injected a fault.",
-		func(add func(labels []obs.Label, value int64)) {
+		func(add func(ls []obs.Label, value int64)) {
 			for _, p := range fr.Points() {
-				add([]obs.Label{obs.L("point", p.Name)}, p.Fired)
+				add(append([]obs.Label{obs.L("point", p.Name)}, labels...), p.Fired)
 			}
 		})
 
 	if clk := s.opt.Clock; clk != nil {
 		reg.GaugeFunc("clio_vclock_elapsed_nanoseconds", "Total virtual time accumulated by the cost model.",
-			func() int64 { return int64(clk.Elapsed()) })
+			func() int64 { return int64(clk.Elapsed()) }, labels...)
 		reg.CollectorFunc("clio_vclock_charge_nanoseconds_total",
 			"Virtual time charged per cost-model category.",
-			func(add func(labels []obs.Label, value int64)) {
+			func(add func(ls []obs.Label, value int64)) {
 				for _, cat := range clk.Categories() {
 					d, _ := clk.CategoryTotal(cat)
-					add([]obs.Label{obs.L("category", cat)}, int64(d))
+					add(append([]obs.Label{obs.L("category", cat)}, labels...), int64(d))
 				}
 			})
 		reg.CollectorFunc("clio_vclock_charges_total",
 			"Cost-model charge events per category.",
-			func(add func(labels []obs.Label, value int64)) {
+			func(add func(ls []obs.Label, value int64)) {
 				for _, cat := range clk.Categories() {
 					_, n := clk.CategoryTotal(cat)
-					add([]obs.Label{obs.L("category", cat)}, n)
+					add(append([]obs.Label{obs.L("category", cat)}, labels...), n)
 				}
 			})
 	}

@@ -33,6 +33,23 @@ type Entry struct {
 	// ExtraIDs lists additional member log files for multi-membership
 	// entries (§2.1); nil for ordinary entries.
 	ExtraIDs []uint16
+	// Shard is the shard the entry was read from when the service is one
+	// partition of a sharded store; always 0 for a standalone service.
+	Shard int
+}
+
+// MemberOf reports whether the entry belongs to the given (shard-local)
+// log file, considering multi-membership (§2.1).
+func (e *Entry) MemberOf(id uint16) bool {
+	if e.LogID == id {
+		return true
+	}
+	for _, ex := range e.ExtraIDs {
+		if ex == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Cursor iterates over the entries of a log file — in either direction, and

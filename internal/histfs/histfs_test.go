@@ -325,7 +325,7 @@ func TestHistfsOverTheNetwork(t *testing.T) {
 	cl := client.New(cConn)
 	defer func() { cl.Close(); srv.Close() }()
 
-	rfs, err := New(logapi.FromClient(cl), "/histfs")
+	rfs, err := New(logapi.AsStore(cl), "/histfs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestHistfsOverTheNetwork(t *testing.T) {
 	go srv.ServeConn(sConn2)
 	cl2 := client.New(cConn2)
 	defer cl2.Close()
-	rfs2, err := New(logapi.FromClient(cl2), "/histfs")
+	rfs2, err := New(logapi.AsStore(cl2), "/histfs")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,60 +1,319 @@
 // Package logapi defines the uniform client interface to a log service —
 // the paper's point that log files are "accessed and managed using the same
 // I/O and utility routines that are used to access and manage conventional
-// files" (§2), regardless of whether the service is in-process or across
-// the network.
+// files" (§2), regardless of whether the service is in-process, sharded
+// across several volume sequences, or across the network.
 //
-// The history-based applications (internal/histfs, internal/mailstore,
-// internal/atomicfs) are written against Store, so the same application
-// code runs over a local core.Service or a network client.Client — the
-// paper's deployment, where "application programs and subsystems use log
-// services" through IPC.
+// Service is the interface: context-first, implemented alike by
+// logapi.Local (an in-process core.Service), shard.Store (a hash-partitioned
+// set of services behind one namespace) and client.Client (the wire
+// protocol). Applications written against Service swap deployments without
+// code changes.
+//
+// IDs are store-wide: the high 16 bits carry a shard ordinal, the low 16
+// bits the shard-local catalog id, so a single-shard store's IDs are
+// numerically identical to its catalog ids.
+//
+// The pre-redesign, context-free Store surface is retained at the bottom of
+// this file for the history-based applications (internal/histfs,
+// internal/mailstore); new code should use Service.
 package logapi
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
-	"clio/internal/client"
 	"clio/internal/core"
 )
 
-// AppendOptions mirrors the service-side append options.
-type AppendOptions struct {
-	// Timestamped selects the full header form.
-	Timestamped bool
-	// Forced makes the write synchronous (durable on return).
-	Forced bool
+// AppendOptions selects the append form and durability; it is the
+// service-side option struct, shared by every implementation.
+type AppendOptions = core.AppendOptions
+
+// Entry is one log entry, shared by every implementation. Entry.Shard
+// records which shard the entry was read from (0 on single-shard stores).
+type Entry = core.Entry
+
+// ID identifies a log file within a (possibly sharded) store: the high 16
+// bits are the shard ordinal, the low 16 bits the shard-local catalog id.
+// On a single-shard store an ID equals its catalog id.
+type ID uint32
+
+// MakeID combines a shard ordinal and a shard-local catalog id.
+func MakeID(shard int, local uint16) ID {
+	return ID(uint32(shard)<<16 | uint32(local))
 }
 
-// Entry is one log entry.
-type Entry struct {
-	LogID       uint16
-	Timestamp   int64
-	Timestamped bool
-	Forced      bool
-	Data        []byte
-	Block       int
-	Index       int
-	// ExtraIDs lists additional member log files (§2.1).
-	ExtraIDs []uint16
+// Shard returns the shard ordinal the id routes to.
+func (id ID) Shard() int { return int(id >> 16) }
+
+// Local returns the shard-local catalog id.
+func (id ID) Local() uint16 { return uint16(id) }
+
+// String renders the id as shard:local.
+func (id ID) String() string { return fmt.Sprintf("%d:%d", id.Shard(), id.Local()) }
+
+// ErrShardRange reports an ID addressed to a shard the store does not have
+// (including any non-zero shard on a single-shard surface).
+var ErrShardRange = errors.New("logapi: id addresses a shard this store does not have")
+
+// Info describes one log file: the catalog descriptor, addressed with
+// store-wide IDs.
+type Info struct {
+	ID      ID
+	Parent  ID
+	Name    string
+	Perms   uint16
+	Created int64
+	Owner   string
+	Retired bool
+	System  bool
 }
 
-// MemberOf reports whether the entry belongs to the given log file,
-// considering multi-membership.
-func (e *Entry) MemberOf(id uint16) bool {
-	if e.LogID == id {
-		return true
-	}
-	for _, ex := range e.ExtraIDs {
-		if ex == id {
-			return true
-		}
-	}
-	return false
-}
-
-// Cursor iterates a log file.
+// Cursor iterates a log file — in either direction, seekable by time and
+// by previously observed position. Every navigation takes a context; Close
+// releases server-side state (a no-op for in-process cursors).
+//
+// Positions (Entry.Block, Entry.Index) are shard-local; SeekPos is only
+// meaningful on cursors bound to a single shard (any log file but a
+// sharded store's root).
 type Cursor interface {
+	// Next returns the next entry, or io.EOF at the end.
+	Next(ctx context.Context) (*Entry, error)
+	// Prev returns the previous entry, or io.EOF at the beginning.
+	Prev(ctx context.Context) (*Entry, error)
+	// SeekStart positions before the first entry.
+	SeekStart(ctx context.Context) error
+	// SeekEnd positions after the last entry.
+	SeekEnd(ctx context.Context) error
+	// SeekTime positions so Next returns the first entry at/after ts.
+	SeekTime(ctx context.Context, ts int64) error
+	// SeekPos restores a previously observed (block, rec) gap position.
+	SeekPos(ctx context.Context, block, rec int) error
+	// Close releases the cursor.
+	Close() error
+}
+
+// Service is the log-service surface: catalog management, appends, reads
+// and durability, uniformly context-first.
+type Service interface {
+	// CreateLog creates a log file at an absolute path (a sublog of its
+	// parent) and returns its store-wide id.
+	CreateLog(ctx context.Context, path string, perms uint16, owner string) (ID, error)
+	// Resolve maps a path to a log-file id.
+	Resolve(ctx context.Context, path string) (ID, error)
+	// List returns the sublog names beneath a path, sorted.
+	List(ctx context.Context, path string) ([]string, error)
+	// Stat returns the log file's catalog descriptor.
+	Stat(ctx context.Context, path string) (Info, error)
+	// SetPerms replaces the permission word.
+	SetPerms(ctx context.Context, path string, perms uint16) error
+	// Retire marks the log file retired (§2.5); its entries remain
+	// readable.
+	Retire(ctx context.Context, path string) error
+	// Append writes one entry and returns its server timestamp.
+	Append(ctx context.Context, id ID, data []byte, opts AppendOptions) (int64, error)
+	// AppendMulti writes one entry into every listed log file (§2.1
+	// multi-membership); ids[0] is the primary member and all ids must
+	// route to one shard.
+	AppendMulti(ctx context.Context, ids []ID, data []byte, opts AppendOptions) (int64, error)
+	// ReadAt returns the entry at a shard-local (block, index) position,
+	// as previously observed on an Entry from that shard.
+	ReadAt(ctx context.Context, shard, block, index int) (*Entry, error)
+	// OpenCursor opens a cursor at the start of the log file at path.
+	OpenCursor(ctx context.Context, path string) (Cursor, error)
+	// Force makes everything appended so far durable.
+	Force(ctx context.Context) error
+}
+
+// Local adapts an in-process *core.Service (one volume sequence, shard 0)
+// to Service. Core operations are synchronous and uninterruptible, so the
+// context is only consulted on entry.
+type Local struct{ Svc *core.Service }
+
+// NewLocal returns svc wrapped as a Service.
+func NewLocal(svc *core.Service) Local { return Local{Svc: svc} }
+
+var _ Service = Local{}
+
+// localIDs checks every id routes to shard 0 and strips the shard bits.
+func localIDs(ids []ID) ([]uint16, error) {
+	out := make([]uint16, len(ids))
+	for i, id := range ids {
+		if id.Shard() != 0 {
+			return nil, fmt.Errorf("logapi: id %v on a single-shard store: %w", id, ErrShardRange)
+		}
+		out[i] = id.Local()
+	}
+	return out, nil
+}
+
+func (l Local) CreateLog(ctx context.Context, path string, perms uint16, owner string) (ID, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	id, err := l.Svc.CreateLog(path, perms, owner)
+	return MakeID(0, id), err
+}
+
+func (l Local) Resolve(ctx context.Context, path string) (ID, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	id, err := l.Svc.Resolve(path)
+	return MakeID(0, id), err
+}
+
+func (l Local) List(ctx context.Context, path string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.Svc.List(path)
+}
+
+func (l Local) Stat(ctx context.Context, path string) (Info, error) {
+	if err := ctx.Err(); err != nil {
+		return Info{}, err
+	}
+	d, err := l.Svc.Stat(path)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{
+		ID:      MakeID(0, d.ID),
+		Parent:  MakeID(0, d.Parent),
+		Name:    d.Name,
+		Perms:   d.Perms,
+		Created: d.Created,
+		Owner:   d.Owner,
+		Retired: d.Retired,
+		System:  d.System,
+	}, nil
+}
+
+func (l Local) SetPerms(ctx context.Context, path string, perms uint16) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.Svc.SetPerms(path, perms)
+}
+
+func (l Local) Retire(ctx context.Context, path string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.Svc.Retire(path)
+}
+
+func (l Local) Append(ctx context.Context, id ID, data []byte, opts AppendOptions) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if id.Shard() != 0 {
+		return 0, fmt.Errorf("logapi: id %v on a single-shard store: %w", id, ErrShardRange)
+	}
+	return l.Svc.Append(id.Local(), data, opts)
+}
+
+func (l Local) AppendMulti(ctx context.Context, ids []ID, data []byte, opts AppendOptions) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	local, err := localIDs(ids)
+	if err != nil {
+		return 0, err
+	}
+	return l.Svc.AppendMulti(local, data, opts)
+}
+
+func (l Local) ReadAt(ctx context.Context, shard, block, index int) (*Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if shard != 0 {
+		return nil, fmt.Errorf("logapi: shard %d on a single-shard store: %w", shard, ErrShardRange)
+	}
+	return l.Svc.ReadAt(block, index)
+}
+
+func (l Local) OpenCursor(ctx context.Context, path string) (Cursor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cur, err := l.Svc.OpenCursor(path)
+	if err != nil {
+		return nil, err
+	}
+	return LocalCursor{Cur: cur}, nil
+}
+
+func (l Local) Force(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.Svc.Force()
+}
+
+// LocalCursor adapts a *core.Cursor to Cursor. Exported so sharded stores
+// can wrap their per-shard core cursors the same way.
+type LocalCursor struct{ Cur *core.Cursor }
+
+var _ Cursor = LocalCursor{}
+
+func (c LocalCursor) Next(ctx context.Context) (*Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Cur.Next()
+}
+
+func (c LocalCursor) Prev(ctx context.Context) (*Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Cur.Prev()
+}
+
+func (c LocalCursor) SeekStart(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Cur.SeekStart()
+	return nil
+}
+
+func (c LocalCursor) SeekEnd(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Cur.SeekEnd()
+	return nil
+}
+
+func (c LocalCursor) SeekTime(ctx context.Context, ts int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.Cur.SeekTime(ts)
+}
+
+func (c LocalCursor) SeekPos(ctx context.Context, block, rec int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.Cur.SeekPos(block, rec)
+}
+
+func (c LocalCursor) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Legacy context-free surface.
+
+// StoreCursor iterates a log file without contexts.
+//
+// Deprecated: new code should use Cursor via Service.
+type StoreCursor interface {
 	// Next returns the next entry, or io.EOF at the end.
 	Next() (*Entry, error)
 	// Prev returns the previous entry, or io.EOF at the beginning.
@@ -69,7 +328,11 @@ type Cursor interface {
 	Close() error
 }
 
-// Store is the log-service surface the applications need.
+// Store is the context-free, single-shard log-service surface the
+// history-based applications were written against. Its uint16 ids are
+// shard-local, so it can only address shard 0 of a sharded store.
+//
+// Deprecated: new code should use Service.
 type Store interface {
 	// CreateLog creates a log file at an absolute path (a sublog of its
 	// parent).
@@ -81,12 +344,13 @@ type Store interface {
 	// Append writes one entry and returns its server timestamp.
 	Append(id uint16, data []byte, opts AppendOptions) (int64, error)
 	// OpenCursor opens a cursor at the start of the log file at path.
-	OpenCursor(path string) (Cursor, error)
+	OpenCursor(path string) (StoreCursor, error)
 }
 
 // MultiStore is implemented by stores that support multi-membership
-// appends (§2.1): one entry belonging to several log files. Both adapters
-// in this package implement it.
+// appends (§2.1): one entry belonging to several log files.
+//
+// Deprecated: new code should use Service, which carries AppendMulti.
 type MultiStore interface {
 	Store
 	// AppendMulti writes one entry into every listed log file; ids[0] is
@@ -94,134 +358,71 @@ type MultiStore interface {
 	AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error)
 }
 
-// FromService adapts an in-process core.Service.
-func FromService(svc *core.Service) Store { return serviceStore{svc} }
+// AsStore adapts any Service to the legacy Store surface using background
+// contexts. IDs outside shard 0 surface as ErrShardRange, so the adapter
+// suits single-shard deployments; callers needing deadlines or shards use
+// the Service directly.
+func AsStore(svc Service) Store { return legacyStore{svc} }
 
-type serviceStore struct{ svc *core.Service }
+// FromService adapts an in-process core.Service to the legacy Store
+// surface.
+//
+// Deprecated: new code should use NewLocal, which returns the full
+// Service.
+func FromService(svc *core.Service) Store { return AsStore(NewLocal(svc)) }
 
-func (s serviceStore) CreateLog(path string, perms uint16, owner string) (uint16, error) {
-	return s.svc.CreateLog(path, perms, owner)
+type legacyStore struct{ svc Service }
+
+// Compile-time check: the legacy adapter supports multi-membership.
+var _ MultiStore = legacyStore{}
+
+func localID(id ID, err error) (uint16, error) {
+	if err != nil {
+		return 0, err
+	}
+	if id.Shard() != 0 {
+		return 0, fmt.Errorf("logapi: id %v beyond the legacy single-shard surface: %w", id, ErrShardRange)
+	}
+	return id.Local(), nil
 }
 
-func (s serviceStore) Resolve(path string) (uint16, error) { return s.svc.Resolve(path) }
-
-func (s serviceStore) List(path string) ([]string, error) { return s.svc.List(path) }
-
-func (s serviceStore) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
-	return s.svc.Append(id, data, core.AppendOptions{
-		Timestamped: opts.Timestamped, Forced: opts.Forced,
-	})
+func (s legacyStore) CreateLog(path string, perms uint16, owner string) (uint16, error) {
+	return localID(s.svc.CreateLog(context.Background(), path, perms, owner))
 }
 
-func (s serviceStore) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
-	return s.svc.AppendMulti(ids, data, core.AppendOptions{
-		Timestamped: opts.Timestamped, Forced: opts.Forced,
-	})
+func (s legacyStore) Resolve(path string) (uint16, error) {
+	return localID(s.svc.Resolve(context.Background(), path))
 }
 
-func (s serviceStore) OpenCursor(path string) (Cursor, error) {
-	cur, err := s.svc.OpenCursor(path)
+func (s legacyStore) List(path string) ([]string, error) {
+	return s.svc.List(context.Background(), path)
+}
+
+func (s legacyStore) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
+	return s.svc.Append(context.Background(), MakeID(0, id), data, opts)
+}
+
+func (s legacyStore) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	wide := make([]ID, len(ids))
+	for i, id := range ids {
+		wide[i] = MakeID(0, id)
+	}
+	return s.svc.AppendMulti(context.Background(), wide, data, opts)
+}
+
+func (s legacyStore) OpenCursor(path string) (StoreCursor, error) {
+	cur, err := s.svc.OpenCursor(context.Background(), path)
 	if err != nil {
 		return nil, err
 	}
-	return serviceCursor{cur}, nil
+	return legacyCursor{cur}, nil
 }
 
-type serviceCursor struct{ cur *core.Cursor }
+type legacyCursor struct{ cur Cursor }
 
-func (c serviceCursor) Next() (*Entry, error) { return convCore(c.cur.Next()) }
-func (c serviceCursor) Prev() (*Entry, error) { return convCore(c.cur.Prev()) }
-func (c serviceCursor) SeekStart() error      { c.cur.SeekStart(); return nil }
-func (c serviceCursor) SeekEnd() error        { c.cur.SeekEnd(); return nil }
-func (c serviceCursor) SeekTime(ts int64) error {
-	return c.cur.SeekTime(ts)
-}
-func (c serviceCursor) Close() error { return nil }
-
-func convCore(e *core.Entry, err error) (*Entry, error) {
-	if err != nil {
-		return nil, err
-	}
-	return &Entry{
-		LogID:       e.LogID,
-		Timestamp:   e.Timestamp,
-		Timestamped: e.Timestamped,
-		Forced:      e.Forced,
-		Data:        e.Data,
-		Block:       e.Block,
-		Index:       e.Index,
-		ExtraIDs:    e.ExtraIDs,
-	}, nil
-}
-
-// FromClient adapts a network client.Client. The Store interface carries
-// no contexts, so the adapter uses context.Background(); callers needing
-// deadlines set client.Options.CallTimeout or use the Client directly.
-func FromClient(cl *client.Client) Store { return clientStore{cl} }
-
-// Compile-time checks: both adapters support multi-membership.
-var (
-	_ MultiStore = serviceStore{}
-	_ MultiStore = clientStore{}
-)
-
-type clientStore struct{ cl *client.Client }
-
-func (s clientStore) CreateLog(path string, perms uint16, owner string) (uint16, error) {
-	return s.cl.CreateLog(context.Background(), path, perms, owner)
-}
-
-func (s clientStore) Resolve(path string) (uint16, error) {
-	return s.cl.Resolve(context.Background(), path)
-}
-
-func (s clientStore) List(path string) ([]string, error) {
-	return s.cl.List(context.Background(), path)
-}
-
-func (s clientStore) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
-	return s.cl.Append(context.Background(), id, data, client.AppendOptions{
-		Timestamped: opts.Timestamped, Forced: opts.Forced,
-	})
-}
-
-func (s clientStore) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
-	return s.cl.AppendMulti(context.Background(), ids, data, client.AppendOptions{
-		Timestamped: opts.Timestamped, Forced: opts.Forced,
-	})
-}
-
-func (s clientStore) OpenCursor(path string) (Cursor, error) {
-	cur, err := s.cl.OpenCursor(context.Background(), path)
-	if err != nil {
-		return nil, err
-	}
-	return clientCursor{cur}, nil
-}
-
-type clientCursor struct{ cur *client.Cursor }
-
-func (c clientCursor) Next() (*Entry, error) { return convClient(c.cur.Next(context.Background())) }
-func (c clientCursor) Prev() (*Entry, error) { return convClient(c.cur.Prev(context.Background())) }
-func (c clientCursor) SeekStart() error      { return c.cur.SeekStart(context.Background()) }
-func (c clientCursor) SeekEnd() error        { return c.cur.SeekEnd(context.Background()) }
-func (c clientCursor) SeekTime(ts int64) error {
-	return c.cur.SeekTime(context.Background(), ts)
-}
-func (c clientCursor) Close() error { return c.cur.Close() }
-
-func convClient(e *client.Entry, err error) (*Entry, error) {
-	if err != nil {
-		return nil, err
-	}
-	return &Entry{
-		LogID:       e.LogID,
-		Timestamp:   e.Timestamp,
-		Timestamped: e.Timestamped,
-		Forced:      e.Forced,
-		Data:        e.Data,
-		Block:       e.Block,
-		Index:       e.Index,
-		ExtraIDs:    e.ExtraIDs,
-	}, nil
-}
+func (c legacyCursor) Next() (*Entry, error)   { return c.cur.Next(context.Background()) }
+func (c legacyCursor) Prev() (*Entry, error)   { return c.cur.Prev(context.Background()) }
+func (c legacyCursor) SeekStart() error        { return c.cur.SeekStart(context.Background()) }
+func (c legacyCursor) SeekEnd() error          { return c.cur.SeekEnd(context.Background()) }
+func (c legacyCursor) SeekTime(ts int64) error { return c.cur.SeekTime(context.Background(), ts) }
+func (c legacyCursor) Close() error            { return c.cur.Close() }

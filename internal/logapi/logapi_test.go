@@ -1,4 +1,4 @@
-package logapi
+package logapi_test
 
 import (
 	"fmt"
@@ -8,12 +8,13 @@ import (
 
 	"clio/internal/client"
 	"clio/internal/core"
+	"clio/internal/logapi"
 	"clio/internal/server"
 	"clio/internal/wodev"
 )
 
 // stores yields the same service through both adapters.
-func stores(t *testing.T) (local Store, remote Store) {
+func stores(t *testing.T) (local logapi.Store, remote logapi.Store) {
 	t.Helper()
 	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
 	now := int64(0)
@@ -29,11 +30,11 @@ func stores(t *testing.T) (local Store, remote Store) {
 	go srv.ServeConn(sConn)
 	cl := client.New(cConn)
 	t.Cleanup(func() { cl.Close(); srv.Close(); svc.Close() })
-	return FromService(svc), FromClient(cl)
+	return logapi.FromService(svc), logapi.AsStore(cl)
 }
 
 // exercise runs the same scenario through a Store.
-func exercise(t *testing.T, st Store, prefix string) {
+func exercise(t *testing.T, st logapi.Store, prefix string) {
 	t.Helper()
 	path := "/" + prefix
 	id, err := st.CreateLog(path, 0o644, "t")
@@ -46,7 +47,7 @@ func exercise(t *testing.T, st Store, prefix string) {
 	var stamps []int64
 	for i := 0; i < 20; i++ {
 		ts, err := st.Append(id, []byte(fmt.Sprintf("%s-%02d", prefix, i)),
-			AppendOptions{Timestamped: true, Forced: i%5 == 0})
+			logapi.AppendOptions{Timestamped: true, Forced: i%5 == 0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func TestAdaptersBehaveIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := local.Append(id, []byte("cross"), AppendOptions{}); err != nil {
+	if _, err := local.Append(id, []byte("cross"), logapi.AppendOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	cur, err := remote.OpenCursor("/remote")

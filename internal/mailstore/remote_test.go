@@ -40,7 +40,7 @@ func TestMailOverTheNetwork(t *testing.T) {
 	}
 	defer cl.Close()
 
-	st, err := New(logapi.FromClient(cl), "/mail")
+	st, err := New(logapi.AsStore(cl), "/mail")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestMailOverTheNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl2.Close()
-	st2, err := New(logapi.FromClient(cl2), "/mail")
+	st2, err := New(logapi.AsStore(cl2), "/mail")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -223,6 +223,9 @@ type series struct {
 	hist    *Histogram
 }
 
+// collectorFn emits dynamically-labeled series into a scrape.
+type collectorFn = func(add func(labels []Label, value int64))
+
 // family is all series sharing one metric name.
 type family struct {
 	name    string
@@ -230,10 +233,14 @@ type family struct {
 	typ     MetricType
 	buckets []time.Duration // histogram families
 
-	mu      sync.Mutex
-	series  map[string]*series
-	order   []string // insertion order of series keys
-	collect func(add func(labels []Label, value int64))
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string // insertion order of series keys
+	// collectors emit dynamically-labeled series at scrape time, in
+	// registration order. A slice (not a single func) so several components
+	// may feed one family — e.g. every shard of a sharded store registering
+	// the same fault-point family under its own shard label.
+	collectors []collectorFn
 }
 
 // Registry holds named metric families. All methods are safe for concurrent
@@ -348,10 +355,13 @@ func (r *Registry) Histogram(name, help string, buckets []time.Duration, labels 
 // dynamically at scrape time: fn is invoked with an `add` callback and emits
 // zero or more labeled values. Used for families whose label space is not
 // known up front (fault-injection points, vclock charge categories).
+// Registering the same family again appends another collector; a scrape
+// runs them all in registration order, so independent components (e.g. the
+// shards of a sharded store) can each contribute their own labeled series.
 func (r *Registry) CollectorFunc(name, help string, fn func(add func(labels []Label, value int64))) {
 	f := r.familyFor(name, help, TypeGauge, nil)
 	f.mu.Lock()
-	f.collect = fn
+	f.collectors = append(f.collectors, fn)
 	f.mu.Unlock()
 }
 

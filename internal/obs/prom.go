@@ -76,7 +76,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		for _, k := range keys {
 			ser = append(ser, f.series[k])
 		}
-		collect := f.collect
+		collectors := append([]collectorFn(nil), f.collectors...)
 		f.mu.Unlock()
 
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
@@ -112,7 +112,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				return err
 			}
 		}
-		if collect != nil {
+		for _, collect := range collectors {
 			var cerr error
 			collect(func(labels []Label, value int64) {
 				if cerr != nil {
@@ -169,7 +169,7 @@ func (r *Registry) Snapshot() []SnapshotMetric {
 		for _, k := range keys {
 			ser = append(ser, f.series[k])
 		}
-		collect := f.collect
+		collectors := append([]collectorFn(nil), f.collectors...)
 		f.mu.Unlock()
 
 		for _, s := range ser {
@@ -194,7 +194,7 @@ func (r *Registry) Snapshot() []SnapshotMetric {
 			}
 			out = append(out, m)
 		}
-		if collect != nil {
+		for _, collect := range collectors {
 			collect(func(labels []Label, value int64) {
 				out = append(out, SnapshotMetric{
 					Name: f.name, Type: f.typ.String(),

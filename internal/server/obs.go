@@ -29,6 +29,7 @@ var opNames = map[byte]string{
 	OpAppendMulti: "append_multi",
 	OpSeekPos:     "seek_pos",
 	OpHello:       "hello",
+	OpForce:       "force",
 }
 
 func opName(op byte) string {

@@ -75,11 +75,11 @@ func TestAdminEndToEnd(t *testing.T) {
 	if status != StatusOK {
 		t.Fatalf("create: status %d", status)
 	}
-	id, err := NewDecoder(resp).Uint16()
+	id, err := NewDecoder(resp).Uvarint()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ap := wire.PutUint16(nil, id)
+	ap := wire.PutUvarint(nil, id)
 	ap = append(ap, AppendForced)
 	ap = PutBytes(ap, []byte("observable entry"))
 	if status, _ := tracedRoundTrip(t, cConn, OpAppend, 1, 99, ap); status != StatusOK {

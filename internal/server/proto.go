@@ -65,6 +65,10 @@ const (
 	// already processed for that session, letting a reconnecting client
 	// detect a server restart (epoch change = session state lost).
 	OpHello = 20
+	// OpForce asks the store to make everything appended so far durable
+	// (empty payload, empty response). It mutates device state, so it runs
+	// sequenced like appends, not in the read-class pool.
+	OpForce = 21
 )
 
 // Response status codes.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -13,7 +14,9 @@ import (
 	"time"
 
 	"clio/internal/core"
+	"clio/internal/logapi"
 	"clio/internal/obs"
+	"clio/internal/shard"
 	"clio/internal/wire"
 )
 
@@ -28,15 +31,16 @@ const DefaultIdleTimeout = 2 * time.Minute
 const dedupWindow = 128
 
 // DefaultReadWorkers bounds how many read-class requests the server executes
-// concurrently when ReadWorkers is left zero.
+// concurrently per shard when ReadWorkers is left zero.
 const DefaultReadWorkers = 8
 
 // Server serves the Clio protocol over stream connections, fronting one log
-// service (the paper's combined file server + log server, §2 and §6: "the
-// combined implementation allows for the sharing not only of hardware
-// resources, but also of code").
+// store — a single service or a sharded set behind one namespace (the
+// paper's combined file server + log server, §2 and §6: "the combined
+// implementation allows for the sharing not only of hardware resources, but
+// also of code").
 type Server struct {
-	svc *core.Service
+	store *shard.Store
 	// Logf, when set, receives connection-level error logs.
 	Logf func(format string, args ...any)
 	// IdleTimeout bounds how long a connection may sit idle between
@@ -47,14 +51,15 @@ type Server struct {
 	// WriteTimeout bounds one response write; 0 disables.
 	WriteTimeout time.Duration
 	// ReadWorkers bounds how many read-class requests (OpPing, OpResolve,
-	// OpList, OpStat, OpReadAt, OpStats) the server executes concurrently,
-	// across all connections. Read-class requests have no session side
-	// effects, so they are handed to this bounded pool and answered out of
-	// band while mutations and cursor operations stay ordered by session
-	// sequence; responses are paired with requests by the echoed seq. 0 uses
-	// DefaultReadWorkers; negative disables pipelining (every request runs
-	// inline, the pre-pipelining behavior). Set before the first connection
-	// is served.
+	// OpList, OpStat, OpReadAt, OpStats) the server executes concurrently
+	// PER SHARD, across all connections. Read-class requests have no session
+	// side effects, so they are handed to the target shard's bounded pool
+	// and answered out of band while mutations and cursor operations stay
+	// ordered by session sequence; responses are paired with requests by the
+	// echoed seq. Per-shard pools keep a slow shard's reads from starving
+	// the rest. 0 uses DefaultReadWorkers; negative disables pipelining
+	// (every request runs inline, the pre-pipelining behavior). Set before
+	// the first connection is served.
 	ReadWorkers int
 	// Tracer, when set, records a trace for every request: a span for the
 	// dispatch itself plus whatever spans core adds underneath (group
@@ -80,25 +85,33 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	semOnce sync.Once
-	sem     chan struct{} // read-class worker pool; nil disables pipelining
+	sems    []chan struct{} // per-shard read-class worker pools; nil disables pipelining
 }
 
-// New returns a server fronting svc.
-func New(svc *core.Service) *Server {
+// New returns a server fronting one service as a 1-shard store.
+func New(svc *core.Service) *Server { return NewStore(shard.Single(svc)) }
+
+// NewStore returns a server fronting a (possibly sharded) store.
+func NewStore(st *shard.Store) *Server {
 	var e [8]byte
 	if _, err := rand.Read(e[:]); err != nil {
 		binary.LittleEndian.PutUint64(e[:], uint64(time.Now().UnixNano())^uint64(os.Getpid()))
 	}
 	return &Server{
-		svc:      svc,
+		store:    st,
 		epoch:    binary.LittleEndian.Uint64(e[:]) | 1, // never 0
 		conns:    make(map[net.Conn]bool),
 		sessions: make(map[uint64]*session),
 	}
 }
 
-// Service returns the underlying log service.
-func (s *Server) Service() *core.Service { return s.svc }
+// Store returns the underlying log store.
+func (s *Server) Store() *shard.Store { return s.store }
+
+// Service returns shard 0's core service.
+//
+// Deprecated: use Store, which sees every shard.
+func (s *Server) Service() *core.Service { return s.store.Service(0) }
 
 // Epoch returns the server instance identifier carried in Hello responses.
 func (s *Server) Epoch() uint64 { return s.epoch }
@@ -189,18 +202,43 @@ func (s *Server) KillConns() int {
 	return len(conns)
 }
 
-// readPool lazily builds the read-class worker semaphore from ReadWorkers.
-func (s *Server) readPool() chan struct{} {
+// readPools lazily builds the per-shard read-class worker semaphores from
+// ReadWorkers: one pool per shard, so reads stalled on one shard's devices
+// cannot consume the slots another shard's reads need.
+func (s *Server) readPools() []chan struct{} {
 	s.semOnce.Do(func() {
 		n := s.ReadWorkers
 		if n == 0 {
 			n = DefaultReadWorkers
 		}
 		if n > 0 {
-			s.sem = make(chan struct{}, n)
+			s.sems = make([]chan struct{}, s.store.Shards())
+			for i := range s.sems {
+				s.sems[i] = make(chan struct{}, n)
+			}
 		}
 	})
-	return s.sem
+	return s.sems
+}
+
+// readShard peeks at a read-class payload to choose which shard's pool runs
+// it: path-addressed ops route by the path's root segment, OpReadAt carries
+// its shard explicitly; the rest (OpPing, OpStats) and anything malformed
+// (dispatch will report the decode error) fall to shard 0's pool.
+func (s *Server) readShard(op byte, payload []byte) int {
+	switch op {
+	case OpResolve, OpList, OpStat:
+		if path, err := NewDecoder(payload).String(); err == nil {
+			if sh, err := s.store.ShardFor(path); err == nil {
+				return sh
+			}
+		}
+	case OpReadAt:
+		if sh, err := NewDecoder(payload).Uvarint(); err == nil && sh < uint64(s.store.Shards()) {
+			return int(sh)
+		}
+	}
+	return 0
 }
 
 // isReadClass reports whether op has no session side effects and may be
@@ -258,7 +296,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		return true
 	}
-	pool := s.readPool()
+	pools := s.readPools()
 	for {
 		if d := s.idleTimeout(); d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
@@ -281,7 +319,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if isReadClass(op) {
 			// Read-class requests bypass the dedup window entirely (they are
 			// idempotent by nature, so a replay may simply re-execute) and,
-			// pool capacity permitting, run out of band.
+			// pool capacity permitting, run out of band on the pool of the
+			// shard they address.
+			var pool chan struct{}
+			if pools != nil {
+				pool = pools[s.readShard(op, payload)]
+			}
 			if pool != nil {
 				select {
 				case pool <- struct{}{}:
@@ -336,7 +379,7 @@ type session struct {
 
 	mu         sync.Mutex
 	id         uint64
-	cursors    map[uint32]*core.Cursor
+	cursors    map[uint32]logapi.Cursor
 	nextCursor uint32
 	maxSeq     uint64
 	window     map[uint64]cachedResp
@@ -351,7 +394,7 @@ type cachedResp struct {
 func newSession(id uint64) *session {
 	return &session{
 		id:      id,
-		cursors: make(map[uint32]*core.Cursor),
+		cursors: make(map[uint32]logapi.Cursor),
 		window:  make(map[uint64]cachedResp),
 	}
 }
@@ -389,7 +432,7 @@ func (ss *session) record(seq uint64, status byte, payload []byte) {
 	}
 }
 
-func (ss *session) addCursor(cur *core.Cursor) uint32 {
+func (ss *session) addCursor(cur logapi.Cursor) uint32 {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	ss.nextCursor++
@@ -397,7 +440,7 @@ func (ss *session) addCursor(cur *core.Cursor) uint32 {
 	return ss.nextCursor
 }
 
-func (ss *session) cursor(handle uint32) (*core.Cursor, bool) {
+func (ss *session) cursor(handle uint32) (logapi.Cursor, bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	cur, ok := ss.cursors[handle]
@@ -406,8 +449,12 @@ func (ss *session) cursor(handle uint32) (*core.Cursor, bool) {
 
 func (ss *session) delCursor(handle uint32) {
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
+	cur := ss.cursors[handle]
 	delete(ss.cursors, handle)
+	ss.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
 }
 
 type connHandler struct {
@@ -471,9 +518,25 @@ func (h *connHandler) hello(payload []byte) (byte, []byte) {
 	return StatusOK, out
 }
 
+// decodeID consumes a uvarint store-wide log-file id.
+func decodeID(d *Decoder) (logapi.ID, error) {
+	v, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(^uint32(0)) {
+		return 0, fmt.Errorf("server: id %d out of range", v)
+	}
+	return logapi.ID(v), nil
+}
+
 func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []byte) {
 	defer tr.Span("server.dispatch")()
-	svc := h.srv.svc
+	store := h.srv.store
+	// Requests are uninterruptible once read off the wire — a dropped
+	// connection must not cancel a mutation the dedup window will answer
+	// for on replay — so dispatch runs under a background context.
+	ctx := context.Background()
 	d := NewDecoder(payload)
 	switch op {
 	case OpPing:
@@ -492,29 +555,29 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if err != nil {
 			return errResp(err)
 		}
-		id, err := svc.CreateLog(path, perms, owner)
+		id, err := store.CreateLog(ctx, path, perms, owner)
 		if err != nil {
 			return errResp(err)
 		}
-		return StatusOK, wire.PutUint16(nil, id)
+		return StatusOK, wire.PutUvarint(nil, uint64(id))
 
 	case OpResolve:
 		path, err := d.String()
 		if err != nil {
 			return errResp(err)
 		}
-		id, err := svc.Resolve(path)
+		id, err := store.Resolve(ctx, path)
 		if err != nil {
 			return errResp(err)
 		}
-		return StatusOK, wire.PutUint16(nil, id)
+		return StatusOK, wire.PutUvarint(nil, uint64(id))
 
 	case OpList:
 		path, err := d.String()
 		if err != nil {
 			return errResp(err)
 		}
-		names, err := svc.List(path)
+		names, err := store.List(ctx, path)
 		if err != nil {
 			return errResp(err)
 		}
@@ -529,12 +592,12 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if err != nil {
 			return errResp(err)
 		}
-		desc, err := svc.Stat(path)
+		desc, err := store.Stat(ctx, path)
 		if err != nil {
 			return errResp(err)
 		}
-		out := wire.PutUint16(nil, desc.ID)
-		out = wire.PutUint16(out, desc.Parent)
+		out := wire.PutUvarint(nil, uint64(desc.ID))
+		out = wire.PutUvarint(out, uint64(desc.Parent))
 		out = wire.PutUint16(out, desc.Perms)
 		out = wire.PutUint64(out, uint64(desc.Created))
 		out = PutString(out, desc.Name)
@@ -557,7 +620,7 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if err != nil {
 			return errResp(err)
 		}
-		if err := svc.SetPerms(path, perms); err != nil {
+		if err := store.SetPerms(ctx, path, perms); err != nil {
 			return errResp(err)
 		}
 		return StatusOK, nil
@@ -567,13 +630,13 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if err != nil {
 			return errResp(err)
 		}
-		if err := svc.Retire(path); err != nil {
+		if err := store.Retire(ctx, path); err != nil {
 			return errResp(err)
 		}
 		return StatusOK, nil
 
 	case OpAppend:
-		id, err := d.Uint16()
+		id, err := decodeID(d)
 		if err != nil {
 			return errResp(err)
 		}
@@ -585,7 +648,7 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if err != nil {
 			return errResp(err)
 		}
-		ts, err := svc.Append(id, data, core.AppendOptions{
+		ts, err := store.Append(ctx, id, data, core.AppendOptions{
 			Timestamped: flags&AppendTimestamped != 0,
 			Forced:      flags&AppendForced != 0,
 			Trace:       tr,
@@ -600,9 +663,9 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if nIDs == 0 || nIDs > 64 {
 			return errResp(fmt.Errorf("server: bad member count %d", nIDs))
 		}
-		ids := make([]uint16, nIDs)
+		ids := make([]logapi.ID, nIDs)
 		for i := range ids {
-			if ids[i], err = d.Uint16(); err != nil {
+			if ids[i], err = decodeID(d); err != nil {
 				return errResp(err)
 			}
 		}
@@ -614,19 +677,25 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if err != nil {
 			return errResp(err)
 		}
-		ts, err := svc.AppendMulti(ids, data, core.AppendOptions{
+		ts, err := store.AppendMulti(ctx, ids, data, core.AppendOptions{
 			Timestamped: flags&AppendTimestamped != 0,
 			Forced:      flags&AppendForced != 0,
 			Trace:       tr,
 		})
 		return appendResp(ts, err)
 
+	case OpForce:
+		if err := store.Force(ctx); err != nil {
+			return errResp(err)
+		}
+		return StatusOK, nil
+
 	case OpCursorOpen:
 		path, err := d.String()
 		if err != nil {
 			return errResp(err)
 		}
-		cur, err := svc.OpenCursor(path)
+		cur, err := store.OpenCursor(ctx, path)
 		if err != nil {
 			return errResp(err)
 		}
@@ -640,9 +709,9 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		var e *core.Entry
 		readDone := tr.Span("core.read")
 		if op == OpNext {
-			e, err = cur.Next()
+			e, err = cur.Next(ctx)
 		} else {
-			e, err = cur.Prev()
+			e, err = cur.Prev(ctx)
 		}
 		readDone()
 		if err == io.EOF {
@@ -662,7 +731,7 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if err != nil {
 			return errResp(err)
 		}
-		if err := cur.SeekTime(ts); err != nil {
+		if err := cur.SeekTime(ctx, ts); err != nil {
 			return errResp(err)
 		}
 		return StatusOK, nil
@@ -673,9 +742,12 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 			return errResp(err)
 		}
 		if op == OpSeekStart {
-			cur.SeekStart()
+			err = cur.SeekStart(ctx)
 		} else {
-			cur.SeekEnd()
+			err = cur.SeekEnd(ctx)
+		}
+		if err != nil {
+			return errResp(err)
 		}
 		return StatusOK, nil
 
@@ -692,7 +764,7 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if err != nil {
 			return errResp(err)
 		}
-		if err := cur.SeekPos(int(block), int(rec)); err != nil {
+		if err := cur.SeekPos(ctx, int(block), int(rec)); err != nil {
 			return errResp(err)
 		}
 		return StatusOK, nil
@@ -706,6 +778,10 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		return StatusOK, nil
 
 	case OpReadAt:
+		shardN, err := d.Uvarint()
+		if err != nil {
+			return errResp(err)
+		}
 		block, err := d.Uvarint()
 		if err != nil {
 			return errResp(err)
@@ -715,7 +791,7 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 			return errResp(err)
 		}
 		readDone := tr.Span("core.read")
-		e, err := svc.ReadAt(int(block), int(index))
+		e, err := store.ReadAt(ctx, int(shardN), int(block), int(index))
 		readDone()
 		if err != nil {
 			return errResp(err)
@@ -723,11 +799,11 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		return StatusOK, encodeEntry(e)
 
 	case OpStats:
-		st := svc.Stats()
+		st := store.Stats()
 		out := wire.PutUint64(nil, uint64(st.EntriesAppended))
 		out = wire.PutUint64(out, uint64(st.BlocksSealed))
 		out = wire.PutUint64(out, uint64(st.ClientBytes))
-		out = wire.PutUint64(out, uint64(svc.End()))
+		out = wire.PutUint64(out, uint64(store.End()))
 		return StatusOK, out
 
 	default:
@@ -748,7 +824,7 @@ func appendResp(ts int64, err error) (byte, []byte) {
 	return StatusOK, wire.PutUint64(nil, uint64(ts))
 }
 
-func (h *connHandler) cursor(d *Decoder) (*core.Cursor, error) {
+func (h *connHandler) cursor(d *Decoder) (logapi.Cursor, error) {
 	handle, err := d.Uvarint()
 	if err != nil {
 		return nil, err
@@ -760,6 +836,9 @@ func (h *connHandler) cursor(d *Decoder) (*core.Cursor, error) {
 	return cur, nil
 }
 
+// encodeEntry lays out one entry: shard-local LogID (u16), timestamp, flag
+// byte, then the shard ordinal and the shard-local (block, index) position
+// as uvarints, the extra member ids, and the data.
 func encodeEntry(e *core.Entry) []byte {
 	out := wire.PutUint16(nil, e.LogID)
 	out = wire.PutUint64(out, uint64(e.Timestamp))
@@ -771,6 +850,7 @@ func encodeEntry(e *core.Entry) []byte {
 		flags |= EntryForced
 	}
 	out = append(out, flags)
+	out = wire.PutUvarint(out, uint64(e.Shard))
 	out = wire.PutUvarint(out, uint64(e.Block))
 	out = wire.PutUvarint(out, uint64(e.Index))
 	out = wire.PutUvarint(out, uint64(len(e.ExtraIDs)))

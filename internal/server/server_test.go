@@ -64,7 +64,7 @@ func TestMalformedPayloadsReturnErrors(t *testing.T) {
 		{"create empty", OpCreate, nil},
 		{"create truncated", OpCreate, PutString(nil, "/x")},
 		{"append no body", OpAppend, []byte{1}},
-		{"append truncated data", OpAppend, append(wire.PutUint16(nil, 4), 0, 255)},
+		{"append truncated data", OpAppend, append(wire.PutUvarint(nil, 4), 0, 255)},
 		{"next bad handle varint", OpNext, []byte{0xFF}},
 		{"next unknown handle", OpNext, wire.PutUvarint(nil, 999)},
 		{"seek missing ts", OpSeekTime, wire.PutUvarint(nil, 1)},
@@ -200,9 +200,9 @@ func TestDuplicateSuppressionMakesAppendsIdempotent(t *testing.T) {
 	if status != StatusOK {
 		t.Fatal("create failed")
 	}
-	id, _ := NewDecoder(resp).Uint16()
+	id, _ := NewDecoder(resp).Uvarint()
 
-	ap := wire.PutUint16(nil, id)
+	ap := wire.PutUvarint(nil, id)
 	ap = append(ap, AppendForced)
 	ap = PutBytes(ap, []byte("once"))
 	status, resp = roundTripSeq(t, conn, OpAppend, 2, ap)
@@ -243,9 +243,9 @@ func TestDuplicateSuppressionCoversCursorAdvance(t *testing.T) {
 	if status != StatusOK {
 		t.Fatal("resolve failed")
 	}
-	id, _ := NewDecoder(resp).Uint16()
+	id, _ := NewDecoder(resp).Uvarint()
 	for i, payload := range []string{"a", "b"} {
-		ap := wire.PutUint16(nil, id)
+		ap := wire.PutUvarint(nil, id)
 		ap = append(ap, AppendForced)
 		ap = PutBytes(ap, []byte(payload))
 		if status, _ := roundTripSeq(t, conn, OpAppend, uint64(10+i), ap); status != StatusOK {
@@ -284,8 +284,9 @@ func decodeEntryData(t *testing.T, resp []byte) string {
 	d.Uint16() // log id
 	d.Int64()  // ts
 	d.Byte()   // flags
-	d.Uvarint()
-	d.Uvarint()
+	d.Uvarint() // shard
+	d.Uvarint() // block
+	d.Uvarint() // index
 	n, _ := d.Uvarint()
 	for i := uint64(0); i < n; i++ {
 		d.Uint16()
@@ -356,12 +357,12 @@ func TestDegradedAppendStatus(t *testing.T) {
 	if status != StatusOK {
 		t.Fatal("create failed")
 	}
-	id, _ := NewDecoder(resp).Uint16()
+	id, _ := NewDecoder(resp).Uvarint()
 	// Damage the next unwritten block: the append completes degraded.
 	if err := dev.Damage(dev.Written(), nil); err != nil {
 		t.Fatal(err)
 	}
-	ap := wire.PutUint16(nil, id)
+	ap := wire.PutUvarint(nil, id)
 	ap = append(ap, AppendForced)
 	ap = PutBytes(ap, []byte("x"))
 	status, resp = roundTrip(t, cConn, OpAppend, ap)

@@ -1,0 +1,266 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"clio/internal/core"
+	"clio/internal/logapi"
+)
+
+// ErrRootSeekPos reports a SeekPos on the merged root cursor, whose
+// position spans every shard and has no single (block, rec) coordinate.
+var ErrRootSeekPos = errors.New("shard: SeekPos is not defined on the merged root cursor")
+
+// cursor is a routed cursor: every log file but the root lives on exactly
+// one shard, so its cursor is the shard's core cursor with the shard
+// ordinal stamped onto returned entries.
+type cursor struct {
+	cur   *core.Cursor
+	shard int
+}
+
+var _ logapi.Cursor = (*cursor)(nil)
+
+func (c *cursor) Next(ctx context.Context) (*logapi.Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e, err := c.cur.Next()
+	if err != nil {
+		return nil, err
+	}
+	e.Shard = c.shard
+	return e, nil
+}
+
+func (c *cursor) Prev(ctx context.Context) (*logapi.Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e, err := c.cur.Prev()
+	if err != nil {
+		return nil, err
+	}
+	e.Shard = c.shard
+	return e, nil
+}
+
+func (c *cursor) SeekStart(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.cur.SeekStart()
+	return nil
+}
+
+func (c *cursor) SeekEnd(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.cur.SeekEnd()
+	return nil
+}
+
+func (c *cursor) SeekTime(ctx context.Context, ts int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.cur.SeekTime(ts)
+}
+
+func (c *cursor) SeekPos(ctx context.Context, block, rec int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.cur.SeekPos(block, rec)
+}
+
+func (c *cursor) Close() error { return nil }
+
+// sub is one shard's leg of the merged root cursor. It holds at most one
+// peeked-but-unconsumed entry; dir records which direction the underlying
+// cursor was stepped to fetch it, so a direction switch can un-step the
+// cursor (the gap-position model makes one opposite step return exactly
+// the peeked entry).
+type sub struct {
+	cur   *core.Cursor
+	shard int
+	pend  *logapi.Entry
+	dir   int // +1: pend fetched by Next; -1: by Prev; 0: no pend
+}
+
+// peekNext returns the sub's next entry without consuming it, or nil at
+// EOF.
+func (s *sub) peekNext() (*logapi.Entry, error) {
+	if s.pend != nil && s.dir == +1 {
+		return s.pend, nil
+	}
+	if s.pend != nil {
+		// pend was fetched by Prev, so the gap sits before it; step
+		// forward across it to undo the peek.
+		if _, err := s.cur.Next(); err != nil {
+			return nil, err
+		}
+		s.pend, s.dir = nil, 0
+	}
+	e, err := s.cur.Next()
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.Shard = s.shard
+	s.pend, s.dir = e, +1
+	return e, nil
+}
+
+// peekPrev mirrors peekNext toward the start.
+func (s *sub) peekPrev() (*logapi.Entry, error) {
+	if s.pend != nil && s.dir == -1 {
+		return s.pend, nil
+	}
+	if s.pend != nil {
+		if _, err := s.cur.Prev(); err != nil {
+			return nil, err
+		}
+		s.pend, s.dir = nil, 0
+	}
+	e, err := s.cur.Prev()
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.Shard = s.shard
+	s.pend, s.dir = e, -1
+	return e, nil
+}
+
+func (s *sub) consume() { s.pend, s.dir = nil, 0 }
+
+func (s *sub) reset() { s.pend, s.dir = nil, 0 }
+
+// rootCursor merges every shard's volume sequence log into one stream
+// ordered by (timestamp, shard): a K-way merge over peeked heads. Shard
+// timestamps advance independently, so the merge order is the store-wide
+// time order the root log promises (§2.1's "sequence of entries ...
+// subsequent to, or prior to, any previous point in time"), with the shard
+// ordinal breaking ties deterministically.
+type rootCursor struct {
+	subs []*sub
+}
+
+var _ logapi.Cursor = (*rootCursor)(nil)
+
+func (st *Store) openRootCursor() (*rootCursor, error) {
+	rc := &rootCursor{subs: make([]*sub, len(st.svcs))}
+	for i, svc := range st.svcs {
+		cur, err := svc.OpenCursor("/")
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		rc.subs[i] = &sub{cur: cur, shard: i}
+	}
+	return rc, nil
+}
+
+func (rc *rootCursor) Next(ctx context.Context) (*logapi.Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var best *sub
+	var bestE *logapi.Entry
+	for _, s := range rc.subs {
+		e, err := s.peekNext()
+		if err != nil {
+			return nil, err
+		}
+		if e == nil {
+			continue
+		}
+		if bestE == nil || e.Timestamp < bestE.Timestamp ||
+			(e.Timestamp == bestE.Timestamp && s.shard < best.shard) {
+			best, bestE = s, e
+		}
+	}
+	if bestE == nil {
+		return nil, io.EOF
+	}
+	best.consume()
+	return bestE, nil
+}
+
+func (rc *rootCursor) Prev(ctx context.Context) (*logapi.Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var best *sub
+	var bestE *logapi.Entry
+	for _, s := range rc.subs {
+		e, err := s.peekPrev()
+		if err != nil {
+			return nil, err
+		}
+		if e == nil {
+			continue
+		}
+		if bestE == nil || e.Timestamp > bestE.Timestamp ||
+			(e.Timestamp == bestE.Timestamp && s.shard > best.shard) {
+			best, bestE = s, e
+		}
+	}
+	if bestE == nil {
+		return nil, io.EOF
+	}
+	best.consume()
+	return bestE, nil
+}
+
+func (rc *rootCursor) SeekStart(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, s := range rc.subs {
+		s.reset()
+		s.cur.SeekStart()
+	}
+	return nil
+}
+
+func (rc *rootCursor) SeekEnd(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, s := range rc.subs {
+		s.reset()
+		s.cur.SeekEnd()
+	}
+	return nil
+}
+
+func (rc *rootCursor) SeekTime(ctx context.Context, ts int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, s := range rc.subs {
+		s.reset()
+		if err := s.cur.SeekTime(ts); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (rc *rootCursor) SeekPos(ctx context.Context, block, rec int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return ErrRootSeekPos
+}
+
+func (rc *rootCursor) Close() error { return nil }

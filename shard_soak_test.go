@@ -1,0 +1,148 @@
+package clio_test
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"clio"
+)
+
+// soakShardCount is the shard count TestShardSoak runs with; CI's race
+// step passes -shards=4 (go test -race -run TestShardSoak . -args -shards=4).
+var soakShardCount = flag.Int("shards", 2, "shard count for TestShardSoak")
+
+// TestShardSoak hammers one sharded store from many goroutines at once —
+// writers appending to their own logs (routed to different shards by the
+// store's hash), readers scanning concurrently, a forcer making everything
+// durable — then verifies every log holds exactly its writer's entries in
+// order. Its job is to prove the shard fan-out adds no shared mutable
+// state beyond what each core service already synchronizes; CI runs it
+// under the race detector.
+func TestShardSoak(t *testing.T) {
+	const (
+		writers      = 12
+		opsPerWriter = 250
+	)
+	n := *soakShardCount
+	ctx := context.Background()
+	st, err := clio.NewMemStore(n, 512, 1<<14, clio.Options{BlockSize: 512, Degree: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Shards() != n {
+		t.Fatalf("store has %d shards, want %d", st.Shards(), n)
+	}
+
+	ids := make([]clio.ID, writers)
+	for w := range ids {
+		id, err := st.CreateLog(ctx, fmt.Sprintf("/soak%02d", w), 0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[w] = id
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+writers/2+1)
+	// Writers: sequence-numbered entries, every 16th forced.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				payload := []byte(fmt.Sprintf("w%02d-%06d", w, i))
+				opts := clio.AppendOptions{Timestamped: true, Forced: i%16 == 15}
+				if _, err := st.Append(ctx, ids[w], payload, opts); err != nil {
+					errs <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: scan a log while it is being written; entries must arrive
+	// in order even mid-write.
+	for r := 0; r < writers/2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/soak%02d", r*2)
+			cur, err := st.OpenCursor(ctx, path)
+			if err != nil {
+				errs <- fmt.Errorf("reader %d: %w", r, err)
+				return
+			}
+			defer cur.Close()
+			seq := 0
+			for {
+				e, err := cur.Next(ctx)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				want := fmt.Sprintf("w%02d-%06d", r*2, seq)
+				if string(e.Data) != want {
+					errs <- fmt.Errorf("reader %d: entry %d is %q, want %q", r, seq, e.Data, want)
+					return
+				}
+				seq++
+			}
+		}(r)
+	}
+	// A forcer exercising the store-wide durability fan-out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := st.Force(ctx); err != nil {
+				errs <- fmt.Errorf("force: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Final read-back: every log holds exactly its writer's entries.
+	for w := 0; w < writers; w++ {
+		cur, err := st.OpenCursor(ctx, fmt.Sprintf("/soak%02d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := 0
+		for {
+			e, err := cur.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf("w%02d-%06d", w, seq)
+			if string(e.Data) != want {
+				t.Fatalf("log %d entry %d is %q, want %q", w, seq, e.Data, want)
+			}
+			if e.Shard != ids[w].Shard() {
+				t.Fatalf("log %d entry carries shard %d, want %d", w, e.Shard, ids[w].Shard())
+			}
+			seq++
+		}
+		cur.Close()
+		if seq != opsPerWriter {
+			t.Fatalf("log %d holds %d entries, want %d", w, seq, opsPerWriter)
+		}
+	}
+}

@@ -1,13 +1,16 @@
 package clio
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"clio/internal/core"
+	"clio/internal/shard"
 	"clio/internal/volume"
 	"clio/internal/wodev"
 )
@@ -16,10 +19,26 @@ import (
 // NVRAM sidecar. The volume files enforce the append-only policy in
 // software — "the append-only storage model is appropriate even if the
 // backing storage medium happens to be rewriteable" (§6).
+//
+// A sharded store nests the same layout one level down: shard-K/vol-*.clio
+// with a per-shard NVRAM sidecar, one subdirectory per shard. A store
+// created with one shard keeps the flat layout, so pre-sharding store
+// directories reopen unchanged.
 const (
-	volPrefix = "vol-"
-	volSuffix = ".clio"
-	nvramFile = "nvram.clio"
+	volPrefix      = "vol-"
+	volSuffix      = ".clio"
+	nvramFile      = "nvram.clio"
+	shardDirPrefix = "shard-"
+)
+
+// Sentinel errors for the file-backed store helpers, matchable with
+// errors.Is through any wrapping the helpers add.
+var (
+	// ErrStoreExists reports a create into a directory that already holds
+	// a log store (flat or sharded).
+	ErrStoreExists = errors.New("clio: directory already contains a log store")
+	// ErrNoStore reports an open of a directory that holds no log store.
+	ErrNoStore = errors.New("clio: no log store in directory")
 )
 
 // DirOptions configures a file-backed store.
@@ -33,10 +52,18 @@ type DirOptions struct {
 	VolumeBlocks int
 	// SyncEvery makes every sealed block fsync.
 	SyncEvery bool
+	// Shards is the number of hash partitions for CreateStore (default 1,
+	// which keeps the flat single-sequence layout). OpenStore detects the
+	// count from the directory; setting Shards there asserts it.
+	Shards int
 }
 
 func volPath(dir string, index uint32) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", volPrefix, index, volSuffix))
+}
+
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, shardDirPrefix+strconv.Itoa(i))
 }
 
 func (o DirOptions) withDefaults() DirOptions {
@@ -45,6 +72,9 @@ func (o DirOptions) withDefaults() DirOptions {
 	}
 	if o.BlockSize <= 0 {
 		o.BlockSize = wodev.DefaultBlockSize
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -60,9 +90,12 @@ func dirAllocator(dir string, o DirOptions) Allocator {
 	}
 }
 
-// CreateDir initializes a new file-backed log store in dir (created if
-// needed, which must not already contain a store) and returns the running
-// service.
+// CreateDir initializes a new flat (single-sequence) file-backed log store
+// in dir (created if needed, which must not already contain a store) and
+// returns the running service.
+//
+// Deprecated: new code should use CreateStore, which also handles sharded
+// layouts and returns the Store interface surface.
 func CreateDir(dir string, o DirOptions) (*Service, error) {
 	o = o.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -71,7 +104,12 @@ func CreateDir(dir string, o DirOptions) (*Service, error) {
 	if names, err := listVolumes(dir); err != nil {
 		return nil, err
 	} else if len(names) > 0 {
-		return nil, fmt.Errorf("clio: %s already contains a log store (%d volumes)", dir, len(names))
+		return nil, fmt.Errorf("%w: %s holds %d volumes", ErrStoreExists, dir, len(names))
+	}
+	if dirs, err := listShardDirs(dir); err != nil {
+		return nil, err
+	} else if len(dirs) > 0 {
+		return nil, fmt.Errorf("%w: %s holds %d shard directories", ErrStoreExists, dir, len(dirs))
 	}
 	dev, err := wodev.OpenFile(volPath(dir, 0), wodev.FileOptions{
 		BlockSize: o.BlockSize,
@@ -79,7 +117,7 @@ func CreateDir(dir string, o DirOptions) (*Service, error) {
 		SyncEvery: o.SyncEvery,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("clio: create volume in %s: %w", dir, err)
 	}
 	opt := o.Options
 	opt.NVRAM = core.NewFileNVRAM(filepath.Join(dir, nvramFile))
@@ -92,23 +130,39 @@ func CreateDir(dir string, o DirOptions) (*Service, error) {
 	return s, nil
 }
 
-// OpenDir opens an existing file-backed log store in dir, recovering state
-// as server initialization does (§2.3.1).
+// OpenDir opens an existing flat file-backed log store in dir, recovering
+// state as server initialization does (§2.3.1).
+//
+// Deprecated: new code should use OpenStore, which also detects sharded
+// layouts.
 func OpenDir(dir string, o DirOptions) (*Service, error) {
 	o = o.withDefaults()
+	devs, err := openVolumeFiles(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	opt := o.Options
+	opt.NVRAM = core.NewFileNVRAM(filepath.Join(dir, nvramFile))
+	opt.Allocate = dirAllocator(dir, o)
+	s, err := core.Open(devs, opt)
+	if err != nil {
+		closeDevs(devs)
+		return nil, err
+	}
+	return s, nil
+}
+
+// openVolumeFiles opens every volume file of one flat layout, in index
+// order.
+func openVolumeFiles(dir string, o DirOptions) ([]wodev.Device, error) {
 	names, err := listVolumes(dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("clio: no volumes in %s", dir)
+		return nil, fmt.Errorf("%w: no volumes in %s", ErrNoStore, dir)
 	}
 	var devs []wodev.Device
-	closeAll := func() {
-		for _, d := range devs {
-			d.Close()
-		}
-	}
 	for _, name := range names {
 		dev, err := wodev.OpenFile(filepath.Join(dir, name), wodev.FileOptions{
 			BlockSize: o.BlockSize,
@@ -116,20 +170,125 @@ func OpenDir(dir string, o DirOptions) (*Service, error) {
 			SyncEvery: o.SyncEvery,
 		})
 		if err != nil {
-			closeAll()
-			return nil, err
+			closeDevs(devs)
+			return nil, fmt.Errorf("clio: open volume %s: %w", filepath.Join(dir, name), err)
 		}
 		devs = append(devs, dev)
 	}
-	opt := o.Options
-	opt.NVRAM = core.NewFileNVRAM(filepath.Join(dir, nvramFile))
-	opt.Allocate = dirAllocator(dir, o)
-	s, err := core.Open(devs, opt)
-	if err != nil {
-		closeAll()
+	return devs, nil
+}
+
+func closeDevs(devs []wodev.Device) {
+	for _, d := range devs {
+		d.Close()
+	}
+}
+
+// CreateStore initializes a new file-backed store in dir with
+// o.Shards hash partitions and returns the running sharded store. One
+// shard produces the flat layout CreateDir produces; more produce
+// shard-K subdirectories, each a complete volume sequence with its own
+// NVRAM sidecar.
+func CreateStore(dir string, o DirOptions) (*Store, error) {
+	o = o.withDefaults()
+	if o.Shards == 1 {
+		svc, err := CreateDir(dir, o)
+		if err != nil {
+			return nil, err
+		}
+		return shard.Single(svc), nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return s, nil
+	if names, err := listVolumes(dir); err != nil {
+		return nil, err
+	} else if len(names) > 0 {
+		return nil, fmt.Errorf("%w: %s holds %d volumes", ErrStoreExists, dir, len(names))
+	}
+	if dirs, err := listShardDirs(dir); err != nil {
+		return nil, err
+	} else if len(dirs) > 0 {
+		return nil, fmt.Errorf("%w: %s holds %d shard directories", ErrStoreExists, dir, len(dirs))
+	}
+	svcs := make([]*core.Service, o.Shards)
+	fail := func(err error) (*Store, error) {
+		for _, s := range svcs {
+			if s != nil {
+				s.Close()
+			}
+		}
+		return nil, err
+	}
+	for i := range svcs {
+		sub := o
+		sub.Shards = 1
+		svc, err := CreateDir(shardDir(dir, i), sub)
+		if err != nil {
+			return fail(fmt.Errorf("clio: create shard %d: %w", i, err))
+		}
+		svcs[i] = svc
+	}
+	return shard.New(svcs)
+}
+
+// OpenStore opens an existing file-backed store in dir, detecting the
+// layout: shard-K subdirectories open as a sharded store (recovering all
+// shards concurrently), a flat volume directory opens as one shard. If
+// o.Shards is set, it must match the detected count.
+func OpenStore(dir string, o DirOptions) (*Store, error) {
+	detect := o.Shards // 0 (or 1 after defaults) asserts nothing for flat
+	o = o.withDefaults()
+	dirs, err := listShardDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		if detect > 1 {
+			if names, err := listVolumes(dir); err != nil {
+				return nil, err
+			} else if len(names) == 0 {
+				return nil, fmt.Errorf("%w: no volumes or shard directories in %s", ErrNoStore, dir)
+			}
+			return nil, fmt.Errorf("clio: %s is a flat (1-shard) store, not %d shards", dir, detect)
+		}
+		svc, err := OpenDir(dir, o)
+		if err != nil {
+			return nil, err
+		}
+		return shard.Single(svc), nil
+	}
+	if detect > 1 && detect != len(dirs) {
+		return nil, fmt.Errorf("clio: %s holds %d shards, not %d", dir, len(dirs), detect)
+	}
+	devs := make([][]wodev.Device, len(dirs))
+	opts := make([]core.Options, len(dirs))
+	fail := func(err error) (*Store, error) {
+		for _, ds := range devs {
+			closeDevs(ds)
+		}
+		return nil, err
+	}
+	for i := range dirs {
+		sd := shardDir(dir, i)
+		ds, err := openVolumeFiles(sd, o)
+		if err != nil {
+			return fail(fmt.Errorf("clio: shard %d: %w", i, err))
+		}
+		devs[i] = ds
+		opt := o.Options
+		opt.NVRAM = core.NewFileNVRAM(filepath.Join(sd, nvramFile))
+		opt.Allocate = dirAllocator(sd, o)
+		opts[i] = opt
+	}
+	st, err := shard.Open(devs, opts)
+	if err != nil {
+		// shard.Open closes the devices of shards it opened; the rest are
+		// closed via their wodev handles here. Closing twice is safe for
+		// file devices, but avoid it: shard.Open owns them all on entry.
+		return nil, err
+	}
+	return st, nil
 }
 
 func listVolumes(dir string) ([]string, error) {
@@ -149,4 +308,38 @@ func listVolumes(dir string) ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// listShardDirs returns the shard subdirectories of dir and checks they
+// number contiguously from 0 — a gap means a damaged or foreign layout.
+func listShardDirs(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[int]string)
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(n, shardDirPrefix) {
+			continue
+		}
+		k, err := strconv.Atoi(strings.TrimPrefix(n, shardDirPrefix))
+		if err != nil || k < 0 {
+			continue
+		}
+		idx[k] = n
+	}
+	out := make([]string, 0, len(idx))
+	for i := 0; i < len(idx); i++ {
+		n, ok := idx[i]
+		if !ok {
+			return nil, fmt.Errorf("clio: %s shard directories are not contiguous (missing shard-%d of %d)",
+				dir, i, len(idx))
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
