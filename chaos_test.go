@@ -90,6 +90,10 @@ func TestChaos(t *testing.T) {
 	var nowMu sync.Mutex
 	opt := core.Options{
 		BlockSize: blockSz, Degree: 8, NVRAM: core.NewMemNVRAM(),
+		// -checkpoint-interval > 0 makes every simulated restart recover
+		// through the checkpoint path (restore + bounded replay) under the
+		// same fault injection; the end-to-end contract must be unchanged.
+		CheckpointInterval: *ckptInterval,
 		Retry: &faults.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond,
 			MaxDelay: time.Microsecond, Sleep: func(time.Duration) {}},
 		Now: func() int64 { nowMu.Lock(); defer nowMu.Unlock(); now += 1000; return now },

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	cliod -store /var/lib/clio [-listen :7846] [-create] [-shards N]
-//	      [-volume-blocks N] [-admin :7847] [-slow-trace 100ms]
+//	      [-volume-blocks N] [-checkpoint-interval N] [-admin :7847]
+//	      [-slow-trace 100ms]
 //
 // A 1-shard store holds one file per log volume plus the NVRAM sidecar that
 // stages the current partial block across restarts (§2.3.1). -create
@@ -43,6 +44,7 @@ func main() {
 	volBlocks := flag.Int("volume-blocks", 1<<20, "capacity of each volume file in blocks")
 	blockSize := flag.Int("block-size", 1024, "block size in bytes")
 	syncEvery := flag.Bool("sync", false, "fsync every sealed block")
+	ckptInterval := flag.Int("checkpoint-interval", 0, "emit a recovery checkpoint every N sealed blocks per shard, and on clean shutdown (0 disables; recovery then reconstructs from scratch)")
 	admin := flag.String("admin", "", "HTTP admin listen address (/metrics, /statusz, /tracez, /debug/pprof); empty disables")
 	slowTrace := flag.Duration("slow-trace", 100*time.Millisecond, "requests at least this slow are kept in /tracez's slow ring (0 keeps everything)")
 	flag.Parse()
@@ -52,6 +54,7 @@ func main() {
 
 	opts := clio.DirOptions{VolumeBlocks: *volBlocks, SyncEvery: *syncEvery, Shards: *shards}
 	opts.BlockSize = *blockSize
+	opts.CheckpointInterval = *ckptInterval
 	var (
 		st  *clio.Store
 		err error
@@ -65,8 +68,8 @@ func main() {
 		log.Fatalf("cliod: %v", err)
 	}
 	rep := st.LastRecovery()
-	log.Printf("cliod: store %s open: %d shards, %d data blocks, %d catalog records, tail restored=%v",
-		*store, st.Shards(), rep.SealedBlocks, rep.CatalogEntries, rep.TailRestored)
+	log.Printf("cliod: store %s open: %d shards, %d data blocks, %d catalog records, tails restored=%d, checkpoints used=%d/%d",
+		*store, st.Shards(), rep.SealedBlocks, rep.CatalogEntries, rep.TailsRestored, rep.CheckpointsUsed, st.Shards())
 
 	srv := server.NewStore(st)
 	srv.Logf = log.Printf

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	experiments [-run all|write|table1|fig3|fig4|space|baseline|nvram|tailgrowth|shards]
-//	            [-deep] [-shards N] [-cpuprofile out.pprof] [-mutexprofile out.pprof]
-//	            [-metrics-out out.json]
+//	experiments [-run all|write|table1|fig3|fig4|space|baseline|nvram|tailgrowth|shards|checkpoint]
+//	            [-deep] [-shards N] [-checkpoint-interval N] [-cpuprofile out.pprof]
+//	            [-mutexprofile out.pprof] [-metrics-out out.json]
 //
 // -deep extends the locate experiments to distance N^5 (the paper's full
 // Table 1 range); it builds a ~10^6-block volume and needs ~0.5 GiB of
@@ -34,6 +34,7 @@ import (
 func main() {
 	run := flag.String("run", "all", "experiments to run (comma separated): all, write, table1, fig3, fig4, space, baseline, nvram, cache, degree, tailgrowth, shards")
 	shards := flag.Int("shards", 1, "shard count for the scaling section; 1 (the default) omits it entirely")
+	ckptInterval := flag.Int("checkpoint-interval", 16, "sealed blocks between recovery checkpoints for the checkpoint section (run it with -run checkpoint; it is not part of all)")
 	deep := flag.Bool("deep", false, "extend locate experiments to the paper's full N^5 distance (slow, ~0.5 GiB)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (samples every contended lock)")
@@ -207,6 +208,24 @@ func main() {
 		experiments.PrintTailGrowth(out, rows)
 		return nil
 	})
+
+	// The checkpointed-recovery section only runs when requested by name
+	// (it is not part of "all"), so the default output stays byte-identical
+	// to the checkpoint-free harness.
+	if want["checkpoint"] {
+		step("checkpoint", func() error {
+			stages := []int{200, 1_000, 5_000, 20_000}
+			if *deep {
+				stages = append(stages, 100_000)
+			}
+			rows, err := experiments.RunRecoveryCheckpoint(blockSize, 16, *ckptInterval, stages)
+			if err != nil {
+				return err
+			}
+			experiments.PrintRecoveryCheckpoint(out, rows)
+			return nil
+		})
+	}
 
 	// The sharded section only exists at -shards > 1, so the default
 	// output stays byte-identical to the unsharded harness.

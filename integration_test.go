@@ -409,3 +409,144 @@ func TestShardedStoreCrashMidSealRecovers(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedStoreCheckpointedCrashRecovers is the checkpointed variant of
+// the crash test above: every shard emits recovery checkpoints as it grows,
+// a crash leaves durable entries plus NVRAM-staged tails, and the reopen
+// must restore every shard from its checkpoint — replaying only the blocks
+// past it, not the whole multi-volume sequence — while the catalog and
+// every entry (sealed or staged) come back intact.
+func TestShardedStoreCheckpointedCrashRecovers(t *testing.T) {
+	const (
+		shards   = 3
+		interval = 8
+	)
+	dir := t.TempDir()
+	opts := clio.DirOptions{Shards: shards, VolumeBlocks: 48}
+	opts.BlockSize = 512
+	opts.CheckpointInterval = interval
+	st, err := clio.CreateStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	paths := make([]string, 12)
+	ids := make([]clio.ID, len(paths))
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/seg%02d", i)
+		id, err := st.CreateLog(ctx, paths[i], 0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	counts := make([]int, len(paths))
+	payload := bytes.Repeat([]byte("x"), 400)
+	for round := 0; ; round++ {
+		for i, id := range ids {
+			data := append([]byte(fmt.Sprintf("%s-%04d|", paths[i], counts[i])), payload...)
+			if _, err := st.Append(ctx, id, data, clio.AppendOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			counts[i]++
+		}
+		all := true
+		for s := 0; s < shards; s++ {
+			if st.Service(s).End() <= 56 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if round > 2000 {
+			t.Fatal("shards never crossed the first volume boundary")
+		}
+	}
+	if err := st.Force(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Every shard must have checkpointed organically by now (> 56 sealed
+	// blocks at interval 8).
+	for s := 0; s < shards; s++ {
+		if st.Service(s).Stats().Checkpoints == 0 {
+			t.Fatalf("shard %d sealed %d blocks without a checkpoint", s, st.Service(s).End())
+		}
+	}
+	// Staged-only tail entries on a few shards, then crash mid-seal.
+	for i, id := range ids[:shards] {
+		data := []byte(fmt.Sprintf("%s-%04d|staged", paths[i], counts[i]))
+		if _, err := st.Append(ctx, id, data, clio.AppendOptions{Forced: true}); err != nil {
+			t.Fatal(err)
+		}
+		counts[i]++
+	}
+	st.Crash()
+
+	reopen := clio.DirOptions{VolumeBlocks: 48}
+	reopen.BlockSize = 512
+	reopen.CheckpointInterval = interval
+	st2, err := clio.OpenStore(dir, reopen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+
+	// The replay window per shard is bounded by the interval plus the
+	// checkpoint's own blocks and in-flight tail activity — a constant,
+	// regardless of each shard's multi-volume history.
+	const slack = 16
+	for s, rep := range st2.LastRecoveryByShard() {
+		if !rep.CheckpointUsed {
+			t.Errorf("shard %d did not restore from its checkpoint: %+v", s, rep)
+		}
+		if rep.BlocksReplayed > interval+slack {
+			t.Errorf("shard %d replayed %d blocks, want <= %d", s, rep.BlocksReplayed, interval+slack)
+		}
+		if rep.SealedBlocks <= 48 {
+			t.Errorf("shard %d recovered only %d sealed blocks, want a multi-volume sequence", s, rep.SealedBlocks)
+		}
+	}
+	merged := st2.LastRecovery()
+	if merged.CheckpointsUsed != shards {
+		t.Errorf("merged CheckpointsUsed = %d, want %d", merged.CheckpointsUsed, shards)
+	}
+	if merged.TailsRestored == 0 {
+		t.Error("no shard restored its NVRAM-staged tail")
+	}
+
+	for i, p := range paths {
+		id, err := st2.Resolve(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != ids[i] {
+			t.Fatalf("%s resolves to %v after recovery, was %v", p, id, ids[i])
+		}
+		cur, err := st2.OpenCursor(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			e, err := cur.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantPrefix := fmt.Sprintf("%s-%04d|", p, n)
+			if !bytes.HasPrefix(e.Data, []byte(wantPrefix)) {
+				t.Fatalf("%s entry %d starts %q, want prefix %q", p, n, e.Data[:20], wantPrefix)
+			}
+			n++
+		}
+		cur.Close()
+		if n != counts[i] {
+			t.Fatalf("%s holds %d entries after recovery, want %d", p, n, counts[i])
+		}
+	}
+}

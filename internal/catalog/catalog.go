@@ -35,6 +35,10 @@ const (
 	CatalogID     = 2
 	BadBlockID    = 3
 	FirstClientID = 4
+	// CheckpointID holds recovery checkpoint records; it sits at the top
+	// of the id space so the client range stays contiguous from
+	// FirstClientID.
+	CheckpointID = wire.MaxLogID
 )
 
 // MaxLogID is the top of the 12-bit id space.
@@ -213,6 +217,7 @@ func NewTable() *Table {
 		{EntrymapID, ".entrymap"},
 		{CatalogID, ".catalog"},
 		{BadBlockID, ".badblocks"},
+		{CheckpointID, ".checkpoint"},
 	}
 	for _, s := range sys {
 		d := &Descriptor{ID: s.id, Parent: VolumeSeqID, Name: s.name, System: true}

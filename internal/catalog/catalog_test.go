@@ -12,17 +12,17 @@ import (
 func TestReservedIDsMatchEntrymap(t *testing.T) {
 	if VolumeSeqID != entrymap.VolumeSeqID || EntrymapID != entrymap.EntrymapID ||
 		CatalogID != entrymap.CatalogID || BadBlockID != entrymap.BadBlockID ||
-		FirstClientID != entrymap.FirstClientID {
+		FirstClientID != entrymap.FirstClientID || CheckpointID != entrymap.CheckpointID {
 		t.Error("reserved id constants diverge from internal/entrymap")
 	}
 }
 
 func TestNewTableSystemFiles(t *testing.T) {
 	tab := NewTable()
-	if tab.Len() != 4 {
+	if tab.Len() != 5 {
 		t.Fatalf("Len = %d", tab.Len())
 	}
-	for _, id := range []uint16{VolumeSeqID, EntrymapID, CatalogID, BadBlockID} {
+	for _, id := range []uint16{VolumeSeqID, EntrymapID, CatalogID, BadBlockID, CheckpointID} {
 		d, err := tab.Get(id)
 		if err != nil {
 			t.Fatalf("Get(%d): %v", id, err)
@@ -35,7 +35,7 @@ func TestNewTableSystemFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{".badblocks", ".catalog", ".entrymap"}
+	want := []string{".badblocks", ".catalog", ".checkpoint", ".entrymap"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("List(/) = %v", names)
 	}
@@ -232,9 +232,10 @@ func TestIDExhaustion(t *testing.T) {
 		}
 		count++
 	}
-	// 4096 ids minus 4 reserved.
-	if count != MaxLogID+1-FirstClientID {
-		t.Errorf("created %d log files before exhaustion, want %d", count, MaxLogID+1-FirstClientID)
+	// 4096 ids minus the 4 low reserved ids and the checkpoint id at the
+	// top of the space.
+	if count != MaxLogID-FirstClientID {
+		t.Errorf("created %d log files before exhaustion, want %d", count, MaxLogID-FirstClientID)
 	}
 }
 

@@ -93,6 +93,9 @@ func (s *Service) appendClientInner(ids []uint16, data []byte, opts AppendOption
 	if err := s.stageTailLocked(false); err != nil {
 		return 0, err
 	}
+	if err := s.maybeCheckpointLocked(); err != nil {
+		return 0, err
+	}
 	// A non-nil *DegradedError still means the entry is durable at ts; the
 	// service relocated past damaged blocks to complete it (§2.3.2).
 	return ts, s.opDegradedErr(ts)
@@ -280,6 +283,12 @@ func (s *Service) runForceBatch() {
 				req.err = s.opDegradedErr(req.ts)
 			}
 		}
+		if committed && ferr == nil {
+			// The batch is durable at this point, so a failing checkpoint
+			// emission must not be reported as a failed append; the device
+			// fault resurfaces on the next operation.
+			_ = s.maybeCheckpointLocked()
+		}
 	}()
 	if batchTr != nil {
 		commitDur := time.Since(commitStart)
@@ -319,7 +328,10 @@ func (s *Service) SealTail() error {
 	if s.tailGlobal < 0 {
 		return nil
 	}
-	return s.sealTailLocked(true)
+	if err := s.sealTailLocked(true); err != nil {
+		return err
+	}
+	return s.maybeCheckpointLocked()
 }
 
 // Force makes everything appended so far durable (a group commit). A force
@@ -346,6 +358,9 @@ func (s *Service) Force() error {
 		m.forceLat.ObserveSince(fstart)
 	}
 	if err != nil {
+		return err
+	}
+	if err := s.maybeCheckpointLocked(); err != nil {
 		return err
 	}
 	return s.opDegradedErr(s.lastTS)
@@ -691,6 +706,7 @@ func (s *Service) sealTailLocked(forced bool) error {
 			}
 			dead := s.tailGlobal
 			slidBad = append(slidBad, dead)
+			s.badBlocks = append(s.badBlocks, dead)
 			s.opDegraded = append(s.opDegraded, dead)
 			s.opDegradedCause = werr
 			s.stats.DeadBlocks++

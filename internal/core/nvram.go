@@ -69,6 +69,9 @@ func (m *MemNVRAM) Clear() error {
 // file-backed deployments the same crash durability the paper gets from
 // battery-backed RAM. The file layout is: global(u64) imageLen(u32) image
 // crc(u32); a torn write is detected by the checksum and treated as empty.
+// Recovery checkpoints (see checkpoint.go) apply the same torn-write rule
+// to entries on the write-once medium itself: anything that fails its
+// trailing checksum is treated as never written.
 type FileNVRAM struct {
 	mu   sync.Mutex
 	path string

@@ -90,6 +90,8 @@ func (s *Service) RegisterMetricsLabeled(reg *obs.Registry, labels ...obs.Label)
 		{"clio_core_footer_bytes_total", "Per-block footer bytes.", func(st Stats) int64 { return st.FooterBytes }},
 		{"clio_core_group_commits_total", "Batch commits serving two or more forced appends.", func(st Stats) int64 { return st.GroupCommits }},
 		{"clio_core_batched_forces_total", "Forced appends that shared their commit.", func(st Stats) int64 { return st.BatchedForces }},
+		{"clio_core_checkpoints_total", "Recovery checkpoints emitted.", func(st Stats) int64 { return st.Checkpoints }},
+		{"clio_core_checkpoint_bytes_total", "Checkpoint payload bytes appended.", func(st Stats) int64 { return st.CheckpointBytes }},
 	}
 	for _, c := range counters {
 		get := c.get
@@ -119,6 +121,18 @@ func (s *Service) RegisterMetricsLabeled(reg *obs.Registry, labels ...obs.Label)
 		func() int64 { return s.DeviceStats().Seeks }, labels...)
 	reg.CounterFunc("clio_wodev_probes_total", "Reads of unwritten blocks (end-finding probes), summed over mounted volumes.",
 		func() int64 { return s.DeviceStats().Probes }, labels...)
+
+	reg.GaugeFunc("clio_recovery_blocks_replayed", "Blocks replayed after the checkpoint at the last recovery (0 when recovery reconstructed fully).",
+		func() int64 { return int64(s.LastRecovery().BlocksReplayed) }, labels...)
+	reg.GaugeFunc("clio_recovery_checkpoint_used", "Whether the last recovery restored from an in-log checkpoint (1) or reconstructed fully (0).",
+		func() int64 {
+			if s.LastRecovery().CheckpointUsed {
+				return 1
+			}
+			return 0
+		}, labels...)
+	reg.GaugeFunc("clio_recovery_entrymap_blocks_scanned", "Raw blocks examined for entrymap state at the last recovery.",
+		func() int64 { return int64(s.LastRecovery().EntrymapBlocksScanned) }, labels...)
 
 	reg.CounterFunc("clio_entrymap_entries_examined_total", "Entrymap log entries decoded and inspected by locator searches.",
 		func() int64 { return int64(s.LocateStats().EntriesExamined) }, labels...)
@@ -196,6 +210,7 @@ type ServiceStatus struct {
 	CacheBlocks   int                  `json:"cache_blocks"`
 	Device        wodev.Stats          `json:"device"`
 	Locate        entrymap.LocateStats `json:"locate"`
+	Recovery      RecoveryReport       `json:"recovery"`
 }
 
 // Status snapshots the service for /statusz. Sub-snapshots are gathered
@@ -212,6 +227,7 @@ func (s *Service) Status() ServiceStatus {
 		Locate:    s.LocateStats(),
 	}
 	st.CacheBlocks = s.blockCache().Len()
+	st.Recovery = s.LastRecovery()
 	s.forceQMu.Lock()
 	st.PendingForces = len(s.forceQ)
 	s.forceQMu.Unlock()

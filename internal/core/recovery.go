@@ -29,6 +29,12 @@ type RecoveryReport struct {
 	// BadBlocks lists the known corrupted block indices from the bad-block
 	// log file.
 	BadBlocks []int
+	// CheckpointUsed reports whether recovery restored from an in-log
+	// checkpoint instead of reconstructing from scratch.
+	CheckpointUsed bool
+	// BlocksReplayed counts the sealed blocks replayed after the
+	// checkpoint; zero when CheckpointUsed is false.
+	BlocksReplayed int
 }
 
 // LastRecovery returns the report from the service's Open.
@@ -48,6 +54,13 @@ func (s *Service) LastRecovery() RecoveryReport {
 //
 // plus, in this implementation, restoring the NVRAM-staged tail block and
 // the bad-block list.
+//
+// When the checkpoint policy is active (Options.CheckpointInterval > 0),
+// steps 2 and 3 restore from the newest valid in-log checkpoint instead and
+// replay only the blocks after it, bounding reopen cost by the tail length
+// rather than the volume size. A missing, torn or checksum-failed
+// checkpoint falls back to the full path below — on write-once media an
+// invalid checkpoint is garbage to skip, never corruption to repair.
 func (s *Service) recover() error {
 	probesBefore := s.DeviceStats().Probes
 	end, err := s.set.GlobalEnd()
@@ -58,6 +71,30 @@ func (s *Service) recover() error {
 	s.publishTail(nil) // entrymap reconstruction reads through the snapshot
 	s.recovery.SealedBlocks = end
 	s.recovery.EndProbes = s.DeviceStats().Probes - probesBefore
+
+	if cp := s.findCheckpoint(end); cp != nil {
+		err := s.restoreFromCheckpoint(cp, end)
+		if err == nil {
+			// Everything through end is now reflected in memory, so the next
+			// checkpoint is owed only after CheckpointInterval *new* blocks.
+			// (Using cp.coveredEnd here would make every idle close/reopen
+			// cycle burn a block on a fresh checkpoint, since the previous
+			// checkpoint's own blocks always sit past its coveredEnd.)
+			s.ckptAt = end
+			s.badBlocks = append([]int(nil), s.recovery.BadBlocks...)
+			s.restoreLastTS()
+			return nil
+		}
+		// The snapshot could not be applied: reset what the partial
+		// restore touched and reconstruct from scratch.
+		s.cat = catalog.NewTable()
+		s.recovery = RecoveryReport{
+			SealedBlocks: s.recovery.SealedBlocks,
+			EndProbes:    s.recovery.EndProbes,
+		}
+		s.lastBound = 0
+		s.lastTS = 0
+	}
 
 	// Step 2: reconstruct the entrymap accumulator from the sealed blocks.
 	acc, rstats, err := entrymap.Reconstruct((*locatorSource)(s), s.opt.Degree, s.sealedEnd)
@@ -85,6 +122,7 @@ func (s *Service) recover() error {
 	if err := s.replayBadBlocks(); err != nil {
 		return err
 	}
+	s.badBlocks = append([]int(nil), s.recovery.BadBlocks...)
 
 	// Re-arm the timestamp clock past anything already written.
 	s.restoreLastTS()
@@ -195,7 +233,13 @@ func (s *Service) tailHasEntrymapEntry(parsed *blockfmt.Parsed, level, boundary 
 // replayCatalog rebuilds the log-file table by reading the catalog log file
 // from the beginning of the sequence.
 func (s *Service) replayCatalog() error {
-	b, err := s.loc.FindNext(entrymap.CatalogID, 0)
+	return s.replayCatalogFrom(0)
+}
+
+// replayCatalogFrom applies the catalog records found in blocks at or after
+// `from` (checkpoint recovery replays only the suffix past the snapshot).
+func (s *Service) replayCatalogFrom(from int) error {
+	b, err := s.loc.FindNext(entrymap.CatalogID, from)
 	if err != nil {
 		return err
 	}
@@ -231,9 +275,21 @@ func (s *Service) replayCatalog() error {
 
 // replayBadBlocks loads the bad-block log file (§2.3.2).
 func (s *Service) replayBadBlocks() error {
-	b, err := s.loc.FindNext(entrymap.BadBlockID, 0)
+	got, err := s.readBadBlocksFrom(0)
 	if err != nil {
 		return err
+	}
+	s.recovery.BadBlocks = append(s.recovery.BadBlocks, got...)
+	return nil
+}
+
+// readBadBlocksFrom returns the bad-block indices logged in blocks at or
+// after `from`.
+func (s *Service) readBadBlocksFrom(from int) ([]int, error) {
+	var out []int
+	b, err := s.loc.FindNext(entrymap.BadBlockID, from)
+	if err != nil {
+		return nil, err
 	}
 	for b >= 0 {
 		parsed, perr := s.parseBlock(b)
@@ -247,16 +303,16 @@ func (s *Service) replayBadBlocks() error {
 					continue
 				}
 				if idx, _, uerr := wire.Uvarint(data); uerr == nil {
-					s.recovery.BadBlocks = append(s.recovery.BadBlocks, int(idx))
+					out = append(out, int(idx))
 				}
 			}
 		}
 		b, err = s.loc.FindNext(entrymap.BadBlockID, b+1)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return out, nil
 }
 
 // restoreLastTS arms the timestamp clock past every written timestamp by

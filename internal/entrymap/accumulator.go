@@ -152,3 +152,84 @@ func (a *Accumulator) Levels() int { return len(a.levels) }
 
 // Reset clears all accumulated state (used before recovery reconstruction).
 func (a *Accumulator) Reset() { a.levels = nil }
+
+// EncodeState appends a serialized snapshot of the accumulator — degree,
+// every materialized level's span start and non-empty per-id bitmaps — to
+// dst. The snapshot is what a recovery checkpoint stores so reopen can skip
+// the reconstruction scan; DecodeState is its inverse.
+//
+// Layout: n(u16) levelCount(uvarint) then per level
+// spanStart(uvarint) mapCount(uvarint) { id(uvarint) bitmap((n+7)/8 bytes) }*
+// with ids sorted ascending so the encoding is deterministic.
+func (a *Accumulator) EncodeState(dst []byte) []byte {
+	dst = wire.PutUint16(dst, uint16(a.n))
+	dst = wire.PutUvarint(dst, uint64(len(a.levels)))
+	for _, l := range a.levels {
+		dst = wire.PutUvarint(dst, uint64(l.spanStart))
+		ids := make([]uint16, 0, len(l.maps))
+		for id, bm := range l.maps {
+			if !bm.Empty() {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		dst = wire.PutUvarint(dst, uint64(len(ids)))
+		for _, id := range ids {
+			dst = wire.PutUvarint(dst, uint64(id))
+			dst = append(dst, l.maps[id]...)
+		}
+	}
+	return dst
+}
+
+// DecodeState parses a snapshot produced by EncodeState and returns the
+// restored accumulator plus the number of bytes consumed.
+func DecodeState(data []byte) (*Accumulator, int, error) {
+	if len(data) < 2 {
+		return nil, 0, ErrBadEntry
+	}
+	n16, err := wire.Uint16(data)
+	if err != nil {
+		return nil, 0, ErrBadEntry
+	}
+	a, err := NewAccumulator(int(n16))
+	if err != nil {
+		return nil, 0, err
+	}
+	off := 2
+	bmLen := (a.n + 7) / 8
+	levelCount, c, err := wire.Uvarint(data[off:])
+	if err != nil || levelCount > 64 {
+		return nil, 0, ErrBadEntry
+	}
+	off += c
+	for lvl := 1; lvl <= int(levelCount); lvl++ {
+		l := a.level(lvl)
+		span, c, err := wire.Uvarint(data[off:])
+		if err != nil {
+			return nil, 0, ErrBadEntry
+		}
+		off += c
+		l.spanStart = int(span)
+		mapCount, c, err := wire.Uvarint(data[off:])
+		if err != nil || mapCount > uint64(wire.MaxLogID)+1 {
+			return nil, 0, ErrBadEntry
+		}
+		off += c
+		for m := uint64(0); m < mapCount; m++ {
+			id, c, err := wire.Uvarint(data[off:])
+			if err != nil || id > wire.MaxLogID {
+				return nil, 0, ErrBadEntry
+			}
+			off += c
+			if off+bmLen > len(data) {
+				return nil, 0, ErrBadEntry
+			}
+			bm := wire.NewBitmap(a.n)
+			copy(bm, data[off:off+bmLen])
+			off += bmLen
+			l.maps[uint16(id)] = bm
+		}
+	}
+	return a, off, nil
+}

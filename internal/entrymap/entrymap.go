@@ -48,6 +48,15 @@ const (
 	BadBlockID = 3
 	// FirstClientID is the first id available to client log files.
 	FirstClientID = 4
+	// CheckpointID is the log file holding recovery checkpoint records:
+	// periodic snapshots of the server's volatile recovery state (§2.3.1)
+	// written as ordinary log entries so reopen can replay only the blocks
+	// after the newest valid checkpoint. It sits at the top of the 12-bit
+	// id space, far from the client range, and — unlike the volume
+	// sequence and the entrymap itself — it IS carried in entrymap
+	// bitmaps, so recovery can find checkpoint blocks with the ordinary
+	// locator search.
+	CheckpointID = wire.MaxLogID
 )
 
 // Errors.

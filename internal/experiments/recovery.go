@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -110,5 +111,115 @@ func PrintFig4(w io.Writer, rows []Fig4Row) {
 		} else {
 			fprintf(w, "%5d %12d %12.1f %10d %10d\n", r.N, r.Blocks, r.Theory, r.Measured, r.EndProbes)
 		}
+	}
+}
+
+// CheckpointRow is one point of the checkpointed-recovery experiment (the
+// Figure 4 variant): the same crash recovery measured with the checkpoint
+// policy on and off, on the same volume contents.
+type CheckpointRow struct {
+	Blocks   int // sealed blocks at the crash
+	Interval int
+	// CostFull is EntrymapBlocksScanned + CatalogEntries for a reopen with
+	// checkpoints disabled (full reconstruction: the whole catalog history
+	// replays).
+	CostFull int
+	// CostCkpt is the same sum for a checkpointed reopen; it stays bounded
+	// by Interval plus a constant as Blocks grows.
+	CostCkpt int
+	// Replayed is the number of post-checkpoint blocks the checkpointed
+	// reopen replayed.
+	Replayed int
+}
+
+// RunRecoveryCheckpoint grows one volume in stages under the checkpoint
+// policy and at each stage crash-recovers the SAME device twice: once with
+// checkpoints disabled (full reconstruction) and once with them enabled
+// (checkpoint restore + bounded replay). The log-file population is fixed
+// up front: a checkpoint snapshots the live catalog, so its size — and with
+// it the replay window — is O(live files), and holding that fixed isolates
+// the claim under test, that checkpointed reopen cost does not grow with
+// the number of sealed blocks while the full reconstruction's does.
+func RunRecoveryCheckpoint(blockSize, n, interval int, stages []int) ([]CheckpointRow, error) {
+	if len(stages) == 0 {
+		stages = []int{200, 1_000, 5_000, 20_000}
+	}
+	maxStage := stages[len(stages)-1]
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: blockSize, Capacity: maxStage + 256})
+	ckptOpt := core.Options{
+		BlockSize:          blockSize,
+		Degree:             n,
+		CacheBlocks:        -1,
+		Now:                testNow(),
+		CheckpointInterval: interval,
+	}
+	fullOpt := ckptOpt
+	fullOpt.CheckpointInterval = 0
+
+	svc, err := core.New(dev, ckptOpt)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint16, 100)
+	for i := range ids {
+		id, err := svc.CreateLog(fmt.Sprintf("/f%04d", i), 0, "")
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	rng := rand.New(rand.NewSource(int64(n)))
+	payload := make([]byte, blockSize/3)
+	var rows []CheckpointRow
+	for _, stage := range stages {
+		for svc.End() < stage {
+			id := ids[rng.Intn(len(ids))]
+			if _, err := svc.Append(id, payload, core.AppendOptions{}); err != nil {
+				return nil, err
+			}
+		}
+		if err := svc.Force(); err != nil {
+			return nil, err
+		}
+		svc.Crash()
+
+		// Full reconstruction first (it writes nothing, so the device is
+		// unchanged for the checkpointed reopen of the same crash).
+		dev.SetReportEnd(false)
+		full, err := core.Open([]wodev.Device{dev}, fullOpt)
+		if err != nil {
+			return nil, err
+		}
+		fullRep := full.LastRecovery()
+		full.Crash()
+
+		svc, err = core.Open([]wodev.Device{dev}, ckptOpt)
+		if err != nil {
+			return nil, err
+		}
+		dev.SetReportEnd(true)
+		rep := svc.LastRecovery()
+		if !rep.CheckpointUsed {
+			return nil, fmt.Errorf("experiments: no checkpoint used at %d blocks", rep.SealedBlocks)
+		}
+		rows = append(rows, CheckpointRow{
+			Blocks:   rep.SealedBlocks,
+			Interval: interval,
+			CostFull: fullRep.EntrymapBlocksScanned + fullRep.CatalogEntries,
+			CostCkpt: rep.EntrymapBlocksScanned + rep.CatalogEntries,
+			Replayed: rep.BlocksReplayed,
+		})
+	}
+	svc.Close()
+	return rows, nil
+}
+
+// PrintRecoveryCheckpoint renders the checkpointed-recovery comparison.
+func PrintRecoveryCheckpoint(w io.Writer, rows []CheckpointRow) {
+	fprintf(w, "Checkpointed recovery: reconstruction work at reopen, full vs checkpoint restore\n")
+	fprintf(w, "(cost = entrymap blocks scanned + catalog records replayed; interval = sealed blocks between checkpoints)\n")
+	fprintf(w, "%12s %10s %12s %12s %10s\n", "b(blocks)", "interval", "cost-full", "cost-ckpt", "replayed")
+	for _, r := range rows {
+		fprintf(w, "%12d %10d %12d %12d %10d\n", r.Blocks, r.Interval, r.CostFull, r.CostCkpt, r.Replayed)
 	}
 }

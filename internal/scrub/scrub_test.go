@@ -248,3 +248,45 @@ func TestUsageAccounting(t *testing.T) {
 		t.Error("system logs missing from usage")
 	}
 }
+
+// TestScrubCleanWithCheckpoints: recovery checkpoints are ordinary entries
+// in a reserved system log file, so a volume written under the checkpoint
+// policy (including the clean-Close checkpoint) must scrub clean with no
+// special cases.
+func TestScrubCleanWithCheckpoints(t *testing.T) {
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 1 << 13})
+	now := int64(0)
+	opt := core.Options{BlockSize: 256, Degree: 4, CheckpointInterval: 8,
+		Now: func() int64 { now += 1000; return now }}
+	svc, err := core.New(dev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.CreateLog("/ck", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := svc.Append(id, []byte(fmt.Sprintf("entry-%04d", i)), core.AppendOptions{Forced: i%5 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.Stats().Checkpoints == 0 {
+		t.Fatal("no checkpoints emitted")
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Volumes([]wodev.Device{dev}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		for _, p := range rep.Problems {
+			t.Errorf("problem: %s", p)
+		}
+	}
+	if rep.EntrymapEntries == 0 {
+		t.Error("no entrymap entries verified")
+	}
+}

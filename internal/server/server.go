@@ -281,6 +281,15 @@ func (s *Server) ServeConn(conn net.Conn) {
 	h := &connHandler{srv: s, sess: newSession(0)}
 	// Async workers interleave responses with the inline path; wmu keeps
 	// frames whole, inflight keeps workers from outliving the connection.
+	//
+	// Invariant (audited): a read-class worker can never write onto a
+	// replaced connection. The write closure below captures THIS call's
+	// conn and wmu; a reconnect is served by a fresh ServeConn with its own
+	// conn, wmu and inflight, so a worker spawned here writes only to the
+	// connection its request arrived on. And because deferred calls run
+	// LIFO, inflight.Wait() (registered last) completes before the
+	// conns-map delete and conn.Close() above it — workers are fully
+	// drained before this connection is torn down.
 	var wmu sync.Mutex
 	var inflight sync.WaitGroup
 	defer inflight.Wait()
@@ -415,6 +424,17 @@ func (ss *session) lookup(seq uint64) (resp cachedResp, seen, stale bool) {
 }
 
 // record caches the response for seq and advances maxSeq.
+//
+// Invariant (audited): FIFO eviction can never drop a mid-flight sequenced
+// request. A request is "mid-flight" between lookup and record, and during
+// that span its seq is not in the window at all — there is nothing to
+// evict. Once record inserts it, it is the newest of at most dedupWindow
+// entries, and handle has already returned the response by the time
+// dedupWindow further sequenced requests (each serialized under sess.exec)
+// could push it out the FIFO. Eviction therefore only ever discards
+// responses whose original request completed long ago; a replay that
+// arrives after that reports the explicit "outside duplicate-suppression
+// window" error rather than re-executing.
 func (ss *session) record(seq uint64, status byte, payload []byte) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()

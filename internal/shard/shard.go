@@ -191,7 +191,8 @@ func (st *Store) Resolve(ctx context.Context, path string) (logapi.ID, error) {
 
 // List returns the sublog names beneath a path. Listing the root fans out
 // to every shard and merges the name sets; the per-shard system log files
-// (".entrymap", ".catalog", ".badblocks"), present on each shard, dedupe
+// (".entrymap", ".catalog", ".badblocks", ".checkpoint"), present on each
+// shard, dedupe
 // to one listing entry.
 func (st *Store) List(ctx context.Context, path string) ([]string, error) {
 	if err := ctx.Err(); err != nil {
@@ -420,22 +421,69 @@ func (st *Store) LastRecoveryByShard() []core.RecoveryReport {
 	return out
 }
 
-// LastRecovery merges the per-shard recovery reports: counters sum,
-// TailRestored reports whether any shard restored a staged tail, and
-// BadBlocks concatenates in shard order (block numbers are shard-local;
-// use LastRecoveryByShard to attribute them).
-func (st *Store) LastRecovery() core.RecoveryReport {
-	var out core.RecoveryReport
-	for _, r := range st.LastRecoveryByShard() {
+// BadBlockRef attributes a corrupted block to the shard that owns it. Block
+// indices are shard-local — every shard numbers its data blocks from zero —
+// so a merged report must carry the pair, never the bare index: two shards
+// can each have a bad block 7, and a flat []int would silently alias them.
+type BadBlockRef struct {
+	Shard int
+	Block int
+}
+
+// MergedRecovery is the store-wide summary of the per-shard recovery
+// reports. Counters are sums across shards; the tail and checkpoint fields
+// are explicit about their quantifier (a plain bool named TailRestored was
+// ambiguous between "any" and "all" — it meant "any", and now says so).
+type MergedRecovery struct {
+	// SealedBlocks, EndProbes, EntrymapBlocksScanned, EntrymapEntriesRead,
+	// CatalogEntries and BlocksReplayed sum the per-shard counters.
+	SealedBlocks          int
+	EndProbes             int64
+	EntrymapBlocksScanned int
+	EntrymapEntriesRead   int
+	CatalogEntries        int
+	BlocksReplayed        int
+	// TailsRestored counts the shards that restored an NVRAM-staged tail;
+	// TailRestored is true when any shard did (TailsRestored > 0).
+	TailsRestored int
+	TailRestored  bool
+	// CheckpointsUsed counts the shards that recovered from an in-log
+	// checkpoint rather than full reconstruction.
+	CheckpointsUsed int
+	// BadBlocks lists every known-corrupted block, attributed to its shard.
+	BadBlocks []BadBlockRef
+}
+
+// LastRecovery merges the per-shard recovery reports from the most recent
+// open. Use LastRecoveryByShard for the raw per-shard reports.
+func (st *Store) LastRecovery() MergedRecovery {
+	var out MergedRecovery
+	for sh, r := range st.LastRecoveryByShard() {
 		out.SealedBlocks += r.SealedBlocks
 		out.EndProbes += r.EndProbes
 		out.EntrymapBlocksScanned += r.EntrymapBlocksScanned
 		out.EntrymapEntriesRead += r.EntrymapEntriesRead
 		out.CatalogEntries += r.CatalogEntries
-		out.TailRestored = out.TailRestored || r.TailRestored
-		out.BadBlocks = append(out.BadBlocks, r.BadBlocks...)
+		out.BlocksReplayed += r.BlocksReplayed
+		if r.TailRestored {
+			out.TailsRestored++
+		}
+		if r.CheckpointUsed {
+			out.CheckpointsUsed++
+		}
+		for _, b := range r.BadBlocks {
+			out.BadBlocks = append(out.BadBlocks, BadBlockRef{Shard: sh, Block: b})
+		}
 	}
+	out.TailRestored = out.TailsRestored > 0
 	return out
+}
+
+// Checkpoint emits a recovery checkpoint on every shard concurrently, each
+// covering that shard's own volume sequence (checkpoints are per-sequence
+// state; there is no cross-shard snapshot to coordinate).
+func (st *Store) Checkpoint() error {
+	return st.each(func(svc *core.Service) error { return svc.Checkpoint() })
 }
 
 // RegisterMetrics registers every shard's full metric surface in reg, each

@@ -15,6 +15,13 @@ import (
 // step passes -shards=4 (go test -race -run TestShardSoak . -args -shards=4).
 var soakShardCount = flag.Int("shards", 2, "shard count for TestShardSoak")
 
+// ckptInterval turns on the recovery-checkpoint policy for TestShardSoak
+// and TestChaos (0, the default, leaves it off). CI runs both with a low
+// interval so checkpoint emission interleaves with concurrent traffic,
+// crashes land near and inside checkpoint writes, and chaos recoveries
+// exercise the restore-plus-replay path under fault injection.
+var ckptInterval = flag.Int("checkpoint-interval", 0, "recovery-checkpoint interval in sealed blocks for the soak and chaos tests (0 disables)")
+
 // TestShardSoak hammers one sharded store from many goroutines at once —
 // writers appending to their own logs (routed to different shards by the
 // store's hash), readers scanning concurrently, a forcer making everything
@@ -29,7 +36,7 @@ func TestShardSoak(t *testing.T) {
 	)
 	n := *soakShardCount
 	ctx := context.Background()
-	st, err := clio.NewMemStore(n, 512, 1<<14, clio.Options{BlockSize: 512, Degree: 16})
+	st, err := clio.NewMemStore(n, 512, 1<<14, clio.Options{BlockSize: 512, Degree: 16, CheckpointInterval: *ckptInterval})
 	if err != nil {
 		t.Fatal(err)
 	}
