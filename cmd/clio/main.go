@@ -19,10 +19,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -33,8 +35,10 @@ import (
 	"clio"
 	"clio/internal/archive"
 	"clio/internal/client"
+	"clio/internal/cluster"
 	"clio/internal/scrub"
 	"clio/internal/server"
+	"clio/internal/wire"
 	"clio/internal/wodev"
 )
 
@@ -51,6 +55,9 @@ commands:
   stat <path>              show a log file's descriptor
   retire <path>            close a log file for appends
   stats                    server counters
+  status                   cluster role, term and per-shard replication lag
+                           (-admin for a node's admin endpoint, or -addr)
+  promote                  promote the follower at -addr to cluster leader
   fsck [-repair]           verify a local store's media (-store only; the
                            NVRAM-staged tail is not on the media yet)
   du                       per-log-file space usage (-store only)
@@ -63,6 +70,7 @@ commands:
 func main() {
 	addr := flag.String("addr", "", "log server address")
 	store := flag.String("store", "", "local store directory (serve in-process)")
+	adminAddr := flag.String("admin", "", "cluster node admin (HTTP) address, for status")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -71,6 +79,12 @@ func main() {
 	}
 
 	switch args[0] {
+	case "status":
+		runStatus(*adminAddr, *addr)
+		return
+	case "promote":
+		runPromote(*addr)
+		return
 	case "fsck":
 		runFsck(*store, args[1:])
 		return
@@ -237,6 +251,129 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runStatus prints a cluster node's role, term and per-shard replication
+// state, read from its admin endpoint (-admin) or over the log-file wire
+// protocol (-addr).
+func runStatus(adminAddr, addr string) {
+	var st cluster.NodeStatus
+	switch {
+	case adminAddr != "":
+		resp, err := http.Get("http://" + adminAddr + "/statusz")
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Cluster *cluster.NodeStatus `json:"cluster"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			fatal(fmt.Errorf("parse %s/statusz: %w", adminAddr, err))
+		}
+		if doc.Cluster == nil {
+			fatal(fmt.Errorf("%s is not running in cluster mode (no cluster section in /statusz)", adminAddr))
+		}
+		st = *doc.Cluster
+	case addr != "":
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer conn.Close()
+		if err := server.WriteFrame(conn, wire.OpReplStatus, 0, 0, nil); err != nil {
+			fatal(err)
+		}
+		status, _, _, payload, err := server.ReadFrame(conn)
+		if err != nil {
+			fatal(err)
+		}
+		if status != server.StatusOK {
+			fatal(fmt.Errorf("status request refused (status %d)", status))
+		}
+		r, err := wire.DecodeReplStatusResp(payload)
+		if err != nil {
+			fatal(err)
+		}
+		st = cluster.NodeStatus{
+			NodeID: addr, Term: r.Term, Epoch: r.Epoch, LeaderAddr: r.LeaderAddr,
+			StreamPos: r.Pos, Committed: r.Committed, Applied: r.Applied,
+			Role: "follower",
+		}
+		if r.Role == wire.RoleLeader {
+			st.Role = "leader"
+		}
+		ends := map[uint32]int{}
+		for _, d := range r.Devs {
+			if d.Written > 0 {
+				ends[d.Shard] += int(d.Written) - 1
+			}
+		}
+		for i := 0; i < len(ends); i++ {
+			st.ShardEnds = append(st.ShardEnds, ends[uint32(i)])
+		}
+	default:
+		fatal(fmt.Errorf("status requires -admin or -addr"))
+	}
+
+	fmt.Printf("node:   %s\nrole:   %s (term %d, epoch %d)\n", st.NodeID, st.Role, st.Term, st.Epoch)
+	if st.LeaderAddr != "" && st.Role != "leader" {
+		fmt.Printf("leader: %s\n", st.LeaderAddr)
+	}
+	if st.Quorum > 0 {
+		fmt.Printf("quorum: %d (stream %d, committed %d, applied %d)\n",
+			st.Quorum, st.StreamPos, st.Committed, st.Applied)
+	} else {
+		fmt.Printf("stream: %d, committed %d, applied %d\n", st.StreamPos, st.Committed, st.Applied)
+	}
+	for i, end := range st.ShardEnds {
+		fmt.Printf("shard %d: %d data blocks\n", i, end)
+	}
+	for _, p := range st.Peers {
+		state := "down"
+		if p.Alive {
+			state = "streaming"
+		}
+		fmt.Printf("replica %s: %s, lag %d (acked %d, catch-up blocks %d, resets %d)\n",
+			p.Addr, state, p.Lag, p.Acked, p.CatchupBlocks, p.Resets)
+	}
+	if st.Promotions+st.Demotions+st.QuorumTimeouts+st.QuorumRefusals > 0 {
+		fmt.Printf("history: %d promotions, %d demotions, %d quorum timeouts, %d refusals\n",
+			st.Promotions, st.Demotions, st.QuorumTimeouts, st.QuorumRefusals)
+	}
+}
+
+// runPromote tells the follower at addr to become the leader (used after
+// the leader host is lost; promote the replica with the highest applied
+// position — compare with `clio status`).
+func runPromote(addr string) {
+	if addr == "" {
+		fatal(fmt.Errorf("promote requires -addr"))
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	if err := server.WriteFrame(conn, wire.OpPromote, 0, 0, nil); err != nil {
+		fatal(err)
+	}
+	status, _, _, payload, err := server.ReadFrame(conn)
+	if err != nil {
+		fatal(err)
+	}
+	if status != server.StatusOK {
+		msg := "refused"
+		if m, err := server.NewDecoder(payload).String(); err == nil {
+			msg = m
+		}
+		fatal(fmt.Errorf("promote %s: %s", addr, msg))
+	}
+	term, err := wire.Uint64(payload)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s promoted to leader, term %d\n", addr, term)
 }
 
 // connect returns a client either over TCP or over a net.Pipe to an

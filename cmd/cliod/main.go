@@ -19,6 +19,22 @@
 // slow request traces) and /debug/pprof. Requests slower than -slow-trace
 // are captured with their per-layer spans (server dispatch, group commit,
 // device write).
+//
+// Replicated cluster mode — -peers switches the node into per-shard
+// leader/follower replication:
+//
+//	cliod -store /var/lib/clio -listen :7846 -create \
+//	      -peers b:7846,c:7846 -advertise a:7846 -role leader [-quorum 2]
+//
+// The leader orders every append through its group-commit path and acks a
+// forced append only after a quorum of replicas has durably staged it;
+// followers serve reads of sealed history and redirect writes to the
+// leader. `clio promote` turns a follower into the leader after a failure;
+// `clio status` shows each node's role, term and replication lag. In
+// cluster mode /statusz gains a "cluster" section and /metrics the
+// clio_cluster_* instruments. Volume allocation is disabled (capacity is
+// the initial volume), and shutdown never seals the staged tail — a
+// replica must not write blocks its leader did not order.
 package main
 
 import (
@@ -28,10 +44,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"clio"
+	"clio/internal/cluster"
 	"clio/internal/obs"
 	"clio/internal/server"
 )
@@ -47,6 +65,10 @@ func main() {
 	ckptInterval := flag.Int("checkpoint-interval", 0, "emit a recovery checkpoint every N sealed blocks per shard, and on clean shutdown (0 disables; recovery then reconstructs from scratch)")
 	admin := flag.String("admin", "", "HTTP admin listen address (/metrics, /statusz, /tracez, /debug/pprof); empty disables")
 	slowTrace := flag.Duration("slow-trace", 100*time.Millisecond, "requests at least this slow are kept in /tracez's slow ring (0 keeps everything)")
+	peers := flag.String("peers", "", "comma-separated replica addresses; enables cluster mode")
+	advertise := flag.String("advertise", "", "address peers and redirected clients reach this node at (default -listen)")
+	role := flag.String("role", "leader", "initial cluster role: leader or follower")
+	quorum := flag.Int("quorum", 2, "replicas (leader included) that must stage a write before it is acked")
 	flag.Parse()
 	if *store == "" {
 		log.Fatal("cliod: -store is required")
@@ -55,6 +77,10 @@ func main() {
 	opts := clio.DirOptions{VolumeBlocks: *volBlocks, SyncEvery: *syncEvery, Shards: *shards}
 	opts.BlockSize = *blockSize
 	opts.CheckpointInterval = *ckptInterval
+	if *peers != "" {
+		runCluster(*store, opts, *listen, *create, *peers, *advertise, *role, *quorum, *admin)
+		return
+	}
 	var (
 		st  *clio.Store
 		err error
@@ -114,5 +140,83 @@ func main() {
 	}
 	if err := st.Close(); err != nil {
 		log.Printf("cliod: close: %v", err)
+	}
+}
+
+// runCluster runs the node as a replication cluster member: the store is
+// opened as raw devices (a follower holds media its leader writes; only a
+// leader — initial or promoted — mounts a service over them).
+func runCluster(store string, opts clio.DirOptions, listen string, create bool,
+	peers, advertise, role string, quorum int, admin string) {
+	if role != "leader" && role != "follower" {
+		log.Fatalf("cliod: -role must be leader or follower, not %q", role)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatalf("cliod: listen: %v", err)
+	}
+	if advertise == "" {
+		advertise = ln.Addr().String()
+	}
+	raw, err := clio.OpenRaw(store, opts, create)
+	if err != nil {
+		log.Fatalf("cliod: %v", err)
+	}
+	node, err := cluster.New(cluster.Config{
+		NodeID:  advertise,
+		Peers:   strings.Split(peers, ","),
+		Quorum:  quorum,
+		Devices: raw.Devices,
+		NVRAMs:  raw.NVRAMs,
+		Opts:    raw.Opts,
+		Create:  create && role == "leader",
+		Reset:   raw.Reset,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("cliod: %v", err)
+	}
+	if err := node.Start(role == "leader"); err != nil {
+		log.Fatalf("cliod: %v", err)
+	}
+	if role == "leader" {
+		if rep, ok := node.PromotionRecovery(); ok {
+			log.Printf("cliod: store %s recovered: %d data blocks, %d replayed past checkpoints, %d tails restored",
+				store, rep.SealedBlocks, rep.BlocksReplayed, rep.TailsRestored)
+		}
+	}
+	if admin != "" {
+		reg := obs.NewRegistry()
+		node.RegisterMetrics(reg)
+		obs.RegisterProcessMetrics(reg)
+		mux := obs.NewAdminMux(reg, nil, func() any {
+			s := map[string]any{"cluster": node.Status()}
+			if st := node.Store(); st != nil {
+				s["shards"] = st.Status()
+			}
+			return s
+		})
+		aln, err := net.Listen("tcp", admin)
+		if err != nil {
+			log.Fatalf("cliod: admin listen: %v", err)
+		}
+		log.Printf("cliod: admin on http://%s", aln.Addr())
+		go func() {
+			if err := http.Serve(aln, mux); err != nil {
+				log.Printf("cliod: admin: %v", err)
+			}
+		}()
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("cliod: shutting down (replica media stays exactly as ordered)")
+		node.Kill()
+	}()
+	log.Printf("cliod: %s serving as cluster %s on %s (peers %s, quorum %d)",
+		advertise, role, ln.Addr(), peers, quorum)
+	if err := node.Serve(ln); err != nil {
+		log.Printf("cliod: serve: %v", err)
 	}
 }

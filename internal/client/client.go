@@ -66,8 +66,36 @@ type Options struct {
 	// 0 means a fresh random id.
 	SessionID uint64
 	// Dialer establishes connections; nil means TCP to the Dial address.
-	// Setting it makes the Client reconnectable over any transport.
+	// Setting it makes the Client reconnectable over any transport. It
+	// overrides Addrs/DialAddr.
 	Dialer func(ctx context.Context) (net.Conn, error)
+	// Addrs is the cluster address list for multi-node failover: the dial
+	// address plus these are rotated through when connections fail, and a
+	// StatusNotLeader redirect steers the next attempt at the named leader
+	// directly. Reconnect backoff is carried ACROSS the list — rotating to
+	// the next address continues the schedule rather than restarting it
+	// from the base delay, so a dead cluster is probed at the backed-off
+	// rate, not hammered once per address per step.
+	Addrs []string
+	// DialAddr establishes a connection to one named address; nil means
+	// TCP. Lets tests and partition injectors intercept per-address dials.
+	DialAddr func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// ErrNotLeader reports that a write-class request was sent to a replication
+// follower. LeaderAddr is the leader the follower pointed at ("" when it
+// knows none). The Client handles the redirect itself — callers see this
+// error only when every redirect hop failed or the address list is
+// exhausted.
+type ErrNotLeader struct {
+	LeaderAddr string
+}
+
+func (e *ErrNotLeader) Error() string {
+	if e.LeaderAddr == "" {
+		return "client: node is not the leader (no leader known)"
+	}
+	return fmt.Sprintf("client: node is not the leader (leader at %s)", e.LeaderAddr)
 }
 
 // AmbiguousError reports a request whose outcome is unknowable: the
@@ -139,6 +167,17 @@ type Client struct {
 	epoch      uint64 // last observed server epoch; 0 = none yet
 	closed     bool
 	reconnects int64
+
+	// Failover state (only used when addrs is non-empty).
+	addrs     []string
+	addrIdx   int    // rotation cursor into addrs
+	preferred string // leader hint from a StatusNotLeader redirect; tried first
+	connAddr  string // address the live conn was dialed to
+	// failStreak counts consecutive connection-level failures across calls
+	// AND across the address list; it indexes the backoff schedule and is
+	// reset only by a successful round trip. This is what keeps failover
+	// from restarting the backoff at the base delay on every new address.
+	failStreak int
 }
 
 var _ logapi.Service = (*Client)(nil)
@@ -161,19 +200,44 @@ func DialOptions(addr string, opt Options) (*Client, error) {
 }
 
 // DialContext connects to a log server, performing the session handshake.
-// If opt.Dialer is nil, connections are TCP to addr; otherwise addr is
-// ignored and opt.Dialer is used (and reused on reconnect).
+// If opt.Dialer is nil, connections go to addr plus any opt.Addrs (TCP
+// unless opt.DialAddr overrides the transport), with failover rotation and
+// leader-redirect handling; otherwise addr is ignored and opt.Dialer is used
+// (and reused on reconnect).
 func DialContext(ctx context.Context, addr string, opt Options) (*Client, error) {
+	c := &Client{opt: opt, session: opt.SessionID}
 	if opt.Dialer == nil {
-		opt.Dialer = func(ctx context.Context) (net.Conn, error) {
-			d := net.Dialer{Timeout: dialTimeout(opt)}
-			return d.DialContext(ctx, "tcp", addr)
+		if addr != "" {
+			c.addrs = append(c.addrs, addr)
+		}
+		for _, a := range opt.Addrs {
+			dup := false
+			for _, have := range c.addrs {
+				dup = dup || have == a
+			}
+			if !dup && a != "" {
+				c.addrs = append(c.addrs, a)
+			}
+		}
+		if len(c.addrs) == 0 {
+			return nil, errors.New("client: no address to dial")
+		}
+		if c.opt.DialAddr == nil {
+			c.opt.DialAddr = func(ctx context.Context, addr string) (net.Conn, error) {
+				d := net.Dialer{Timeout: dialTimeout(opt)}
+				return d.DialContext(ctx, "tcp", addr)
+			}
 		}
 	}
-	c := &Client{opt: opt, session: opt.SessionID}
-	c.retry = faults.DefaultNetPolicy()
 	if opt.Retry != nil {
 		c.retry = *opt.Retry
+	} else {
+		// Full jitter with a per-client seed: after a cluster-wide failure
+		// the clients' reconnect storms spread across the backoff window
+		// instead of arriving in lockstep.
+		c.retry = faults.DefaultNetPolicy()
+		c.retry.FullJitter = true
+		c.retry.Seed = int64(randomSession())
 	}
 	if c.session == 0 {
 		c.session = randomSession()
@@ -249,28 +313,42 @@ func (c *Client) reconnectLocked(ctx context.Context, ambiguous bool, opName str
 		ctx, cancel = context.WithTimeout(ctx, dt)
 		defer cancel()
 	}
-	conn, err := c.opt.Dialer(ctx)
+	var conn net.Conn
+	var err error
+	var dialed string
+	if c.opt.Dialer != nil {
+		conn, err = c.opt.Dialer(ctx)
+	} else {
+		dialed = c.pickAddrLocked()
+		conn, err = c.opt.DialAddr(ctx, dialed)
+	}
 	if err != nil {
+		c.addrFailedLocked(dialed)
 		return err
 	}
 	hello := wire.PutUint64(nil, c.session)
 	status, d, err := c.roundTrip(ctx, conn, server.OpHello, 0, traceID(c.session, 0), hello)
 	if err != nil {
 		conn.Close()
+		c.addrFailedLocked(dialed)
 		return err
 	}
 	if status != server.StatusOK {
 		conn.Close()
-		return fmt.Errorf("client: handshake rejected (status %d)", status)
+		c.addrFailedLocked(dialed)
+		// Transient: another node in the rotation may accept the session.
+		return faults.WithClass(fmt.Errorf("client: handshake rejected (status %d)", status), faults.Transient)
 	}
 	epoch, err := d.Int64()
 	if err != nil {
 		conn.Close()
+		c.addrFailedLocked(dialed)
 		return err
 	}
 	maxSeq, err := d.Int64()
 	if err != nil {
 		conn.Close()
+		c.addrFailedLocked(dialed)
 		return err
 	}
 	prev := c.epoch
@@ -281,11 +359,55 @@ func (c *Client) reconnectLocked(ctx context.Context, ambiguous bool, opName str
 		c.seq = uint64(maxSeq)
 	}
 	c.conn = conn
+	c.connAddr = dialed
 	c.reconnects++
 	if ambiguous && prev != 0 && uint64(epoch) != prev {
 		return &AmbiguousError{Op: opName, Err: net.ErrClosed}
 	}
 	return nil
+}
+
+// pickAddrLocked chooses the next address to dial: a leader hint from a
+// StatusNotLeader redirect wins, otherwise the rotation cursor.
+func (c *Client) pickAddrLocked() string {
+	if c.preferred != "" {
+		return c.preferred
+	}
+	return c.addrs[c.addrIdx%len(c.addrs)]
+}
+
+// addrFailedLocked advances failover state after a connection-level failure
+// on addr ("" when a custom Dialer is in use, which has no address list). A
+// failed leader hint is dropped; a failed rotation address advances the
+// cursor so the next attempt tries the next node.
+func (c *Client) addrFailedLocked(addr string) {
+	if addr == "" || len(c.addrs) == 0 {
+		return
+	}
+	if addr == c.preferred {
+		c.preferred = ""
+		return
+	}
+	if c.addrs[c.addrIdx%len(c.addrs)] == addr {
+		c.addrIdx++
+	}
+}
+
+// redirectLocked records a StatusNotLeader redirect: the named leader
+// becomes the preferred next dial (and joins the rotation list if new).
+// Returns false when the follower knew no leader.
+func (c *Client) redirectLocked(leader string) bool {
+	if leader == "" || len(c.addrs) == 0 {
+		return false
+	}
+	c.preferred = leader
+	for _, have := range c.addrs {
+		if have == leader {
+			return true
+		}
+	}
+	c.addrs = append(c.addrs, leader)
+	return true
 }
 
 // traceID derives the request's wire trace ID from (session, seq) via a
@@ -358,22 +480,35 @@ func (c *Client) call(ctx context.Context, op byte, opName string, mutating bool
 	if maxAttempts < 1 {
 		maxAttempts = 4
 	}
-	inFlight := false // the request may have reached the server
+	inFlight := false  // the request may have reached the server
+	skipPause := false // a leader redirect retries immediately
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if attempt > 1 {
 			if attempt > maxAttempts {
 				return 0, nil, fmt.Errorf("client: %s: %d attempts exhausted: %w", opName, maxAttempts, lastErr)
 			}
-			if err := c.pause(ctx, attempt-1); err != nil {
-				return 0, nil, err
+			if skipPause {
+				skipPause = false
+			} else {
+				// The pause is indexed by the cross-call failure streak, not
+				// this call's attempt number: failing over to the next
+				// address (or the next call) continues the backoff schedule
+				// instead of restarting it at the base delay.
+				streak := c.failStreak
+				if streak < 1 {
+					streak = attempt - 1
+				}
+				if err := c.pause(ctx, streak); err != nil {
+					return 0, nil, err
+				}
 			}
 		}
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
 		if c.conn == nil {
-			if c.opt.Dialer == nil {
+			if c.opt.Dialer == nil && len(c.addrs) == 0 {
 				return 0, nil, ErrClosed
 			}
 			err := c.reconnectLocked(ctx, inFlight && mutating, opName)
@@ -385,12 +520,45 @@ func (c *Client) call(ctx context.Context, op byte, opName string, mutating bool
 				if faults.Classify(err) != faults.Transient {
 					return 0, nil, err
 				}
+				c.failStreak++
 				lastErr = err
 				continue
 			}
 		}
 		status, d, err := c.roundTrip(ctx, c.conn, op, seq, traceID(c.session, seq), payload)
 		if err == nil {
+			// The node answered: the network path works, whatever the status.
+			c.failStreak = 0
+			if status == server.StatusNotLeader {
+				leader, _ := d.String()
+				c.conn.Close()
+				c.conn = nil
+				lastErr = &ErrNotLeader{LeaderAddr: leader}
+				if c.redirectLocked(leader) {
+					// One-round-trip redirect: dial the named leader now.
+					skipPause = true
+				} else {
+					// No leader known: rotate and back off like a failure.
+					c.addrFailedLocked(c.connAddr)
+					c.failStreak++
+				}
+				continue
+			}
+			if status == server.StatusUnavailable {
+				// The node itself cannot serve writes right now (e.g. a
+				// leader cut off from its quorum): rotate to another address
+				// and keep retrying rather than failing the call.
+				msg, derr := d.String()
+				if derr != nil {
+					msg = "node unavailable"
+				}
+				c.conn.Close()
+				c.conn = nil
+				c.addrFailedLocked(c.connAddr)
+				c.failStreak++
+				lastErr = errors.New(msg)
+				continue
+			}
 			if status == server.StatusErr {
 				msg, derr := d.String()
 				if derr != nil {
@@ -403,11 +571,13 @@ func (c *Client) call(ctx context.Context, op byte, opName string, mutating bool
 		// Connection-level failure: the conn is poisoned either way.
 		c.conn.Close()
 		c.conn = nil
+		c.addrFailedLocked(c.connAddr)
+		c.failStreak++
 		inFlight = true
 		if cerr := ctx.Err(); cerr != nil {
 			return 0, nil, cerr
 		}
-		if c.opt.Dialer == nil || faults.Classify(err) != faults.Transient {
+		if c.opt.Dialer == nil && len(c.addrs) == 0 || faults.Classify(err) != faults.Transient {
 			return 0, nil, err
 		}
 		lastErr = err

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"clio/internal/core"
+	"clio/internal/faults"
+	"clio/internal/server"
+	"clio/internal/wodev"
+)
+
+// TestBackoffCarriedAcrossAddresses pins the failover pacing contract: when
+// every address in the rotation is down, the backoff schedule keeps growing
+// across the whole rotation instead of restarting at the base delay each
+// time the client moves to the next address (which would turn an N-address
+// client into an N-times-faster hammer on a down cluster).
+func TestBackoffCarriedAcrossAddresses(t *testing.T) {
+	// One live server for the initial dial, two dead addresses.
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
+	svc, err := core.New(dev, core.Options{BlockSize: 512, Degree: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := server.New(svc)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	addrs := []string{ln.Addr().String()}
+	for i := 0; i < 2; i++ {
+		dead, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, dead.Addr().String())
+		dead.Close()
+	}
+
+	var mu sync.Mutex
+	var dialed []string
+	var slept []time.Duration
+	pol := faults.RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Multiplier:  2,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	}
+	cl, err := DialContext(bg, addrs[0], Options{
+		Addrs: addrs[1:],
+		Retry: &pol,
+		DialAddr: func(ctx context.Context, addr string) (net.Conn, error) {
+			mu.Lock()
+			dialed = append(dialed, addr)
+			mu.Unlock()
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(bg); err != nil {
+		t.Fatalf("ping with live server: %v", err)
+	}
+
+	// Take the whole cluster down and record what one failing call does.
+	ln.Close()
+	srv.Close()
+	mu.Lock()
+	dialed, slept = nil, nil
+	mu.Unlock()
+	if err := cl.Ping(bg); err == nil {
+		t.Fatal("ping succeeded against a dead cluster")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Attempts 2..MaxAttempts each pause first, indexed by the cross-address
+	// failure streak: the schedule must be Backoff(1), Backoff(2), ... with
+	// no reset at an address boundary.
+	want := make([]time.Duration, 0, pol.MaxAttempts-1)
+	for i := 1; i < pol.MaxAttempts; i++ {
+		want = append(want, pol.Backoff(i))
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d pauses", len(slept), slept, len(want))
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("pause %d = %v, want %v (schedule %v)", i, slept[i], want[i], slept)
+		}
+		if i > 0 && slept[i] <= slept[i-1] && slept[i] != pol.MaxDelay {
+			t.Errorf("backoff restarted mid-rotation: pause %d (%v) <= pause %d (%v)",
+				i, slept[i], i-1, slept[i-1])
+		}
+	}
+	// The failing call must actually have rotated through every address.
+	seen := map[string]bool{}
+	for _, a := range dialed {
+		seen[a] = true
+	}
+	for _, a := range addrs {
+		if !seen[a] {
+			t.Errorf("address %s never dialed during failover (dials: %v)", a, dialed)
+		}
+	}
+}
+
+// TestErrNotLeaderType pins the typed redirect error: callers must be able
+// to extract the leader address with errors.As from a wrapped chain.
+func TestErrNotLeaderType(t *testing.T) {
+	base := &ErrNotLeader{LeaderAddr: "10.0.0.7:4444"}
+	wrapped := fmt.Errorf("append: %w", base)
+	var nl *ErrNotLeader
+	if !errors.As(wrapped, &nl) {
+		t.Fatal("errors.As failed to extract *ErrNotLeader")
+	}
+	if nl.LeaderAddr != "10.0.0.7:4444" {
+		t.Fatalf("LeaderAddr = %q", nl.LeaderAddr)
+	}
+	if msg := base.Error(); msg == "" {
+		t.Fatal("empty error message")
+	}
+	if (&ErrNotLeader{}).Error() == "" {
+		t.Fatal("empty no-leader message")
+	}
+}

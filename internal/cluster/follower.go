@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"clio/internal/blockfmt"
+	"clio/internal/core"
+	"clio/internal/server"
+	"clio/internal/volume"
+	"clio/internal/wire"
+	"clio/internal/wodev"
+)
+
+// folDedupWindow mirrors the server's per-session duplicate-suppression
+// window size, so a promoted follower holds the same replay horizon the
+// dead leader did.
+const folDedupWindow = 128
+
+// folSession is one session's replicated duplicate-suppression state.
+type folSession struct {
+	maxSeq uint64
+	window map[uint64]wire.ReplResp
+	order  []uint64 // FIFO for eviction
+}
+
+// followerState is everything a follower accumulates from the leader's
+// stream: device writes land directly on the node's devices, tail images on
+// its NVRAMs, and session acks here. It is fenced (frozen) and drained
+// before a promotion recovers a live store over the same devices.
+type followerState struct {
+	n       *Node
+	frozen  atomic.Bool
+	applied atomic.Uint64
+	resets  atomic.Int64
+
+	// wg counts connection handlers that may touch devices; Promote waits
+	// it out after freezing. mu guards sessions, vsets and the frozen/Add
+	// handoff in serveFollowerConn.
+	wg sync.WaitGroup
+	mu sync.Mutex
+
+	sessions map[uint64]*folSession
+	vsets    []*volume.Set // lazy read-only views per shard
+}
+
+func newFollowerState(n *Node) *followerState {
+	return &followerState{
+		n:        n,
+		sessions: make(map[uint64]*folSession),
+		vsets:    make([]*volume.Set, len(n.cfg.Devices)),
+	}
+}
+
+// serveFollowerConn handles one connection on a follower. The same
+// listener serves both sides of the node's life: a leader's replication
+// stream (after an OpReplHello) and ordinary clients, who get sealed reads,
+// session hellos answered from replicated state, and one-round-trip
+// StatusNotLeader redirects for everything that needs the leader.
+func (n *Node) serveFollowerConn(conn net.Conn) {
+	n.mu.Lock()
+	fol := n.fol
+	n.mu.Unlock()
+	if fol == nil {
+		return // role transition in flight; the client will reconnect
+	}
+	fol.mu.Lock()
+	if fol.frozen.Load() {
+		fol.mu.Unlock()
+		return
+	}
+	fol.wg.Add(1)
+	fol.mu.Unlock()
+	detached := false
+	defer func() {
+		if !detached {
+			fol.wg.Done()
+		}
+	}()
+
+	leaderConn := false
+	var sessID uint64
+	for {
+		op, seq, trace, payload, err := server.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var status byte
+		var resp []byte
+		fatal := false
+		switch op {
+		case wire.OpReplHello:
+			status, resp, leaderConn = n.folHello(payload)
+		case wire.OpReplWrite, wire.OpReplInvalidate, wire.OpReplTail,
+			wire.OpReplTailClear, wire.OpReplAck, wire.OpReplSessions,
+			wire.OpReplBase, wire.OpReplReset:
+			if !leaderConn {
+				status, resp, fatal = server.StatusErr, server.PutString(nil, "cluster: replication frame before handshake"), true
+				break
+			}
+			if err := fol.apply(op, payload); err != nil {
+				// An out-of-sync stream cannot be patched mid-flight; drop
+				// the connection and let the leader's reconnect catch up.
+				status, resp, fatal = server.StatusErr, server.PutString(nil, err.Error()), true
+				break
+			}
+			if seq > 0 {
+				for {
+					cur := fol.applied.Load()
+					if seq <= cur || fol.applied.CompareAndSwap(cur, seq) {
+						break
+					}
+				}
+			}
+			status = server.StatusOK
+		case wire.OpPromote:
+			// This handler is about to tear down the very state that its
+			// drain fence waits on, so it steps out of the accounting
+			// first; its connection is exempted from the fence's sweep so
+			// the response still goes out.
+			detached = true
+			fol.wg.Done()
+			term, err := n.promoteExcept(conn)
+			if err != nil {
+				status, resp = server.StatusErr, server.PutString(nil, err.Error())
+			} else {
+				status, resp = server.StatusOK, wire.PutUint64(nil, term)
+			}
+			server.WriteFrame(conn, status, seq, trace, resp)
+			return
+		case wire.OpReplStatus:
+			status, resp = server.StatusOK, n.statusPayload()
+		case server.OpHello:
+			status, resp, sessID = n.folClientHello(fol, payload)
+		case server.OpPing:
+			status = server.StatusOK
+		case server.OpReadAt:
+			status, resp = fol.handleReadAt(payload)
+		default:
+			// Everything else needs the leader: answer with its address so
+			// the client redirects in one round trip.
+			_ = sessID
+			n.mu.Lock()
+			leader := n.leaderAddr
+			n.mu.Unlock()
+			status, resp = server.StatusNotLeader, server.PutString(nil, leader)
+		}
+		if err := server.WriteFrame(conn, status, seq, trace, resp); err != nil {
+			return
+		}
+		if fatal {
+			return
+		}
+	}
+}
+
+// folHello answers a leader's stream handshake: term arbitration, geometry
+// check, then the per-device extents the leader needs to compute the
+// missing suffix.
+func (n *Node) folHello(payload []byte) (byte, []byte, bool) {
+	h, err := wire.DecodeReplHello(payload)
+	if err != nil {
+		return server.StatusErr, server.PutString(nil, err.Error()), false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if int(h.Shards) != len(n.devs) || int(h.BlockSize) != n.devs[0][0].BlockSize() {
+		resp := &wire.ReplHelloResp{
+			Accept: false, Term: n.term,
+			Reason: fmt.Sprintf("geometry mismatch: leader %d shards x %dB blocks, local %d x %dB",
+				h.Shards, h.BlockSize, len(n.devs), n.devs[0][0].BlockSize()),
+		}
+		return server.StatusOK, resp.Encode(nil), false
+	}
+	if h.Term < n.term {
+		resp := &wire.ReplHelloResp{
+			Accept: false, Term: n.term,
+			Reason: fmt.Sprintf("stale term %d, highest seen %d", h.Term, n.term),
+		}
+		return server.StatusOK, resp.Encode(nil), false
+	}
+	n.term = h.Term
+	n.epoch = h.Epoch
+	n.leaderAddr = h.LeaderAddr
+	resp := &wire.ReplHelloResp{Accept: true, Term: n.term}
+	for si, shardDevs := range n.devs {
+		for di, dev := range shardDevs {
+			st := wire.ReplDevState{Shard: uint32(si), Dev: uint32(di), Written: uint64(dev.Written())}
+			if st.Written > 0 {
+				st.LastCRC = blockCRC(dev, int(st.Written)-1)
+			}
+			resp.Devs = append(resp.Devs, st)
+		}
+	}
+	return server.StatusOK, resp.Encode(nil), true
+}
+
+// folClientHello answers a client session attach from replicated state: the
+// cluster epoch (so the client's session survives failover) and the
+// session's replicated high-water sequence.
+func (n *Node) folClientHello(fol *followerState, payload []byte) (byte, []byte, uint64) {
+	d := server.NewDecoder(payload)
+	id, err := d.Int64()
+	if err != nil {
+		return server.StatusErr, server.PutString(nil, err.Error()), 0
+	}
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	if epoch == 0 {
+		// Nothing replicated yet: there is no epoch to promise a session
+		// under. Refuse; the client rotates to another node.
+		return server.StatusErr, server.PutString(nil, "cluster: follower has no leader yet"), 0
+	}
+	var maxSeq uint64
+	fol.mu.Lock()
+	if s := fol.sessions[uint64(id)]; s != nil {
+		maxSeq = s.maxSeq
+	}
+	fol.mu.Unlock()
+	out := wire.PutUint64(nil, epoch)
+	out = wire.PutUint64(out, maxSeq)
+	return server.StatusOK, out, uint64(id)
+}
+
+// apply dispatches one replication frame onto local state. Every path is
+// idempotent, because catch-up and live streaming deliberately overlap.
+func (fol *followerState) apply(op byte, payload []byte) error {
+	if fol.frozen.Load() {
+		return errors.New("cluster: follower fenced for promotion")
+	}
+	v, err := wire.DecodeRepl(op, payload)
+	if err != nil {
+		return err
+	}
+	switch m := v.(type) {
+	case *wire.ReplWrite:
+		return fol.applyWrite(m)
+	case *wire.ReplInvalidate:
+		dev, err := fol.n.device(m.Shard, m.Dev)
+		if err != nil {
+			return err
+		}
+		return dev.Invalidate(int(m.Index))
+	case *wire.ReplTail:
+		nv, err := fol.nvram(m.Shard)
+		if err != nil {
+			return err
+		}
+		return nv.Store(int(m.Global), m.Image)
+	case *wire.ReplTailClear:
+		nv, err := fol.nvram(m.Shard)
+		if err != nil {
+			return err
+		}
+		return nv.Clear()
+	case *wire.ReplAck:
+		fol.recordAck(m.Session, m.Seq, m.Status, m.Resp)
+		return nil
+	case *wire.ReplSessions:
+		for i := range m.Sessions {
+			fol.installSession(&m.Sessions[i])
+		}
+		return nil
+	case *wire.ReplBase:
+		if m.Pos > 0 {
+			for {
+				cur := fol.applied.Load()
+				if m.Pos <= cur || fol.applied.CompareAndSwap(cur, m.Pos) {
+					break
+				}
+			}
+		}
+		return nil
+	case *wire.ReplReset:
+		return fol.applyReset(m)
+	}
+	return fmt.Errorf("cluster: unexpected replication op 0x%x", op)
+}
+
+// applyWrite lands one block image: a duplicate below the write point is
+// skipped, the block at the write point is appended, and anything past it
+// is a gap — the stream is broken and must restart with a catch-up.
+func (fol *followerState) applyWrite(w *wire.ReplWrite) error {
+	dev, err := fol.n.device(w.Shard, w.Dev)
+	if err != nil {
+		return err
+	}
+	written := uint64(dev.Written())
+	switch {
+	case w.Index < written:
+		return nil
+	case w.Index > written:
+		return fmt.Errorf("cluster: replication gap: block %d arrived with only %d written (shard %d dev %d)",
+			w.Index, written, w.Shard, w.Dev)
+	}
+	if _, err := dev.AppendBlock(w.Data); err != nil {
+		return err
+	}
+	if w.Index == 0 {
+		// A new volume header: the cached read-only view is stale.
+		fol.dropVset(int(w.Shard))
+	}
+	return nil
+}
+
+// applyReset swaps in a blank device for a diverged one via the node's
+// Reset hook.
+func (fol *followerState) applyReset(m *wire.ReplReset) error {
+	n := fol.n
+	if n.cfg.Reset == nil {
+		return fmt.Errorf("cluster: shard %d dev %d diverged and no Reset hook is configured", m.Shard, m.Dev)
+	}
+	fresh, err := n.cfg.Reset(int(m.Shard), int(m.Dev))
+	if err != nil {
+		return fmt.Errorf("cluster: reset shard %d dev %d: %w", m.Shard, m.Dev, err)
+	}
+	n.mu.Lock()
+	if int(m.Shard) >= len(n.devs) || int(m.Dev) >= len(n.devs[m.Shard]) {
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: no device (shard %d, dev %d)", m.Shard, m.Dev)
+	}
+	n.devs[m.Shard][m.Dev] = fresh
+	n.mu.Unlock()
+	fol.dropVset(int(m.Shard))
+	fol.resets.Add(1)
+	n.logf("cluster: shard %d dev %d reset for re-sync", m.Shard, m.Dev)
+	return nil
+}
+
+func (fol *followerState) nvram(shard uint32) (core.NVRAM, error) {
+	if int(shard) >= len(fol.n.cfg.NVRAMs) {
+		return nil, fmt.Errorf("cluster: no NVRAM for shard %d", shard)
+	}
+	return fol.n.cfg.NVRAMs[shard], nil
+}
+
+func (fol *followerState) recordAck(id, seq uint64, status byte, resp []byte) {
+	if id == 0 || seq == 0 {
+		return
+	}
+	fol.mu.Lock()
+	defer fol.mu.Unlock()
+	s := fol.sessions[id]
+	if s == nil {
+		s = &folSession{window: make(map[uint64]wire.ReplResp)}
+		fol.sessions[id] = s
+	}
+	if seq > s.maxSeq {
+		s.maxSeq = seq
+	}
+	if _, ok := s.window[seq]; ok {
+		return
+	}
+	s.window[seq] = wire.ReplResp{Seq: seq, Status: status, Resp: resp}
+	s.order = append(s.order, seq)
+	for len(s.order) > folDedupWindow {
+		delete(s.window, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+func (fol *followerState) installSession(ws *wire.ReplSession) {
+	fol.mu.Lock()
+	if s := fol.sessions[ws.ID]; s != nil && ws.MaxSeq > s.maxSeq {
+		s.maxSeq = ws.MaxSeq
+	} else if s == nil {
+		fol.sessions[ws.ID] = &folSession{maxSeq: ws.MaxSeq, window: make(map[uint64]wire.ReplResp)}
+	}
+	fol.mu.Unlock()
+	for _, r := range ws.Resps {
+		fol.recordAck(ws.ID, r.Seq, r.Status, r.Resp)
+	}
+}
+
+// exportSessions renders the replicated session table in the server's
+// install format, oldest response first, for promotion.
+func (fol *followerState) exportSessions() []server.SessionState {
+	fol.mu.Lock()
+	defer fol.mu.Unlock()
+	out := make([]server.SessionState, 0, len(fol.sessions))
+	for id, s := range fol.sessions {
+		st := server.SessionState{ID: id, MaxSeq: s.maxSeq}
+		for _, seq := range s.order {
+			r := s.window[seq]
+			st.Resps = append(st.Resps, server.SessionResp{Seq: r.Seq, Status: r.Status, Resp: r.Resp})
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// --- sealed-history reads ---
+
+// handleReadAt serves OpReadAt (same payload and entry layout as the
+// leader) against the replicated devices, read-only: sealed blocks only,
+// which is exactly the guarantee replication gives (the staged tail lives
+// in NVRAM until sealed).
+func (fol *followerState) handleReadAt(payload []byte) (byte, []byte) {
+	d := server.NewDecoder(payload)
+	shardN, err := d.Uvarint()
+	if err == nil {
+		var block, index uint64
+		if block, err = d.Uvarint(); err == nil {
+			if index, err = d.Uvarint(); err == nil {
+				e, rerr := fol.readAt(int(shardN), int(block), int(index))
+				if rerr != nil {
+					return server.StatusErr, server.PutString(nil, rerr.Error())
+				}
+				return server.StatusOK, server.EncodeEntry(e)
+			}
+		}
+	}
+	return server.StatusErr, server.PutString(nil, err.Error())
+}
+
+// vset returns (building lazily) the shard's read-only volume view.
+func (fol *followerState) vset(shard int) (*volume.Set, error) {
+	fol.mu.Lock()
+	defer fol.mu.Unlock()
+	if shard < 0 || shard >= len(fol.vsets) {
+		return nil, fmt.Errorf("cluster: no shard %d", shard)
+	}
+	if fol.vsets[shard] != nil {
+		return fol.vsets[shard], nil
+	}
+	n := fol.n
+	n.mu.Lock()
+	devs := append([]wodev.Device(nil), n.devs[shard]...)
+	n.mu.Unlock()
+	var set *volume.Set
+	for di, dev := range devs {
+		v, err := volume.Mount(dev, di)
+		if err != nil {
+			if errors.Is(err, volume.ErrNoHeader) {
+				continue // not yet replicated this far
+			}
+			return nil, err
+		}
+		if set == nil {
+			set = volume.NewSet(v.Hdr.Seq)
+		}
+		if err := set.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	if set == nil {
+		return nil, errors.New("cluster: no replicated volumes yet")
+	}
+	fol.vsets[shard] = set
+	return set, nil
+}
+
+func (fol *followerState) dropVset(shard int) {
+	fol.mu.Lock()
+	if shard >= 0 && shard < len(fol.vsets) {
+		fol.vsets[shard] = nil
+	}
+	fol.mu.Unlock()
+}
+
+// readGlobal reads and returns one global data block's image.
+func readGlobal(set *volume.Set, global int) ([]byte, error) {
+	v, local, err := set.Locate(global)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, v.Dev.BlockSize())
+	if err := v.Dev.ReadBlock(v.DeviceBlock(local), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readAt mirrors the core's ReadAt over the replicated sealed history:
+// parse the block, reassemble fragment chains (skipping invalidated blocks
+// the writer slid past), and compute the effective timestamp the same way
+// the leader's read path does.
+func (fol *followerState) readAt(shard, block, index int) (*core.Entry, error) {
+	set, err := fol.vset(shard)
+	if err != nil {
+		return nil, err
+	}
+	end, err := set.GlobalEnd()
+	if err != nil {
+		return nil, err
+	}
+	if block < 0 || block >= end {
+		return nil, fmt.Errorf("cluster: block %d beyond replicated sealed history (%d blocks)", block, end)
+	}
+	parsed, err := parseGlobal(set, block)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(parsed.Records) {
+		return nil, fmt.Errorf("cluster: no record %d in block %d", index, block)
+	}
+	rec := parsed.Records[index]
+	if rec.Continued {
+		return nil, fmt.Errorf("cluster: record %d of block %d is a continuation fragment", index, block)
+	}
+	data, err := assembleSealed(set, end, block, index, parsed)
+	if err != nil {
+		return nil, err
+	}
+	// Effective timestamp: the record's own when full-form, else the
+	// nearest preceding one (at worst the block's mandatory first-entry
+	// timestamp).
+	ts := parsed.FirstTimestamp
+	for i := 0; i <= index; i++ {
+		r := parsed.Records[i]
+		if r.Form != blockfmt.FormMinimal && r.Timestamp != 0 {
+			ts = r.Timestamp
+		}
+	}
+	return &core.Entry{
+		LogID:       rec.LogID,
+		Timestamp:   ts,
+		Timestamped: rec.Form != blockfmt.FormMinimal,
+		Forced:      rec.AttrFlags&blockfmt.AttrForced != 0,
+		Data:        data,
+		Block:       block,
+		Index:       index,
+		ExtraIDs:    rec.ExtraIDs,
+		Shard:       shard,
+	}, nil
+}
+
+func parseGlobal(set *volume.Set, global int) (*blockfmt.Parsed, error) {
+	img, err := readGlobal(set, global)
+	if err != nil {
+		return nil, err
+	}
+	return blockfmt.Parse(img)
+}
+
+// assembleSealed follows a fragmented entry's chain across blocks, exactly
+// like the core's assemble: the chain continues as the first same-id
+// continued record of each following block, invalidated blocks are slid
+// past, and a chain running off the end is lost.
+func assembleSealed(set *volume.Set, end, global, idx int, parsed *blockfmt.Parsed) ([]byte, error) {
+	rec := parsed.Records[idx]
+	out := append([]byte(nil), rec.Data...)
+	if !rec.Continues {
+		return out, nil
+	}
+	id := rec.LogID
+	for b := global + 1; ; b++ {
+		if b >= end {
+			return nil, errors.New("cluster: entry lost (torn fragment chain)")
+		}
+		p, err := parseGlobal(set, b)
+		if err != nil {
+			if errors.Is(err, wodev.ErrInvalidated) {
+				continue // writer slid past a damaged block; chain continues
+			}
+			return nil, errors.New("cluster: entry lost (unreadable continuation block)")
+		}
+		found, done := false, false
+		for _, r := range p.Records {
+			if r.LogID != id || !r.Continued {
+				continue
+			}
+			out = append(out, r.Data...)
+			found = true
+			done = !r.Continues
+			break
+		}
+		if !found {
+			return nil, errors.New("cluster: entry lost (broken fragment chain)")
+		}
+		if done {
+			return out, nil
+		}
+	}
+}

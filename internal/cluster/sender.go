@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clio/internal/faults"
+	"clio/internal/server"
+	"clio/internal/wire"
+	"clio/internal/wodev"
+)
+
+// sessionChunk bounds how many sessions ride one ReplSessions frame during
+// catch-up, keeping frames well under the protocol limit.
+const sessionChunk = 64
+
+// peer is the leader's view of one follower: its cumulative ack position
+// (the quorum input) and liveness (the pre-gate input).
+type peer struct {
+	addr          string
+	acked         atomic.Uint64
+	alive         atomic.Bool
+	catchupBlocks atomic.Int64
+	resets        atomic.Int64
+
+	mu       sync.Mutex
+	conn     net.Conn
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+func newPeer(addr string) *peer { return &peer{addr: addr, stopCh: make(chan struct{})} }
+
+func (p *peer) stop() {
+	p.stopOnce.Do(func() { close(p.stopCh) })
+	p.mu.Lock()
+	c := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// setConn registers the live connection so stop can sever it; false means
+// the peer was already stopped.
+func (p *peer) setConn(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.stopCh:
+		return false
+	default:
+	}
+	p.conn = c
+	return true
+}
+
+// runSender owns one follower's replication stream for the node's whole
+// leadership: dial, hand-shake, catch up, stream, and on any failure back
+// off and start over. The backoff is full-jitter so a cluster-wide blip
+// does not resynchronize every sender's retries.
+func (n *Node) runSender(p *peer) {
+	defer n.wg.Done()
+	pol := faults.RetryPolicy{
+		MaxAttempts: 1 << 30, // the loop itself decides when to stop
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Multiplier:  2,
+		FullJitter:  true,
+		Seed:        addrSeed(p.addr),
+	}
+	attempt := 0
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		default:
+		}
+		err := n.streamTo(p)
+		p.alive.Store(false)
+		select {
+		case <-p.stopCh:
+			return
+		default:
+		}
+		if err == nil {
+			return // stopped cleanly mid-stream
+		}
+		attempt++
+		n.logf("cluster: replica %s: %v", p.addr, err)
+		select {
+		case <-p.stopCh:
+			return
+		case <-time.After(pol.Backoff(attempt)):
+		}
+	}
+}
+
+// streamTo runs one replication session: handshake (which reports the
+// follower's per-device extents), catch-up of the missing suffix plus
+// NVRAM tails and the session table, then live frames until something
+// breaks.
+func (n *Node) streamTo(p *peer) error {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.DialTimeout)
+	conn, err := n.dialPeer(ctx, p.addr)
+	cancel()
+	if err != nil {
+		return err
+	}
+	if !p.setConn(conn) {
+		conn.Close()
+		return nil
+	}
+	defer conn.Close()
+
+	n.mu.Lock()
+	if n.role != wire.RoleLeader || n.srv == nil {
+		n.mu.Unlock()
+		return errors.New("no longer leader")
+	}
+	term, epoch, srv := n.term, n.epoch, n.srv
+	devs := n.devs
+	n.mu.Unlock()
+
+	hello := &wire.ReplHello{
+		Term:       term,
+		Epoch:      epoch,
+		LeaderAddr: n.cfg.NodeID,
+		Shards:     uint32(len(devs)),
+		BlockSize:  uint32(devs[0][0].BlockSize()),
+	}
+	if err := server.WriteFrame(conn, wire.OpReplHello, 0, 0, hello.Encode(nil)); err != nil {
+		return err
+	}
+	status, _, _, payload, err := server.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if status != server.StatusOK {
+		return fmt.Errorf("handshake refused: %s", respError(payload))
+	}
+	hr, err := wire.DecodeReplHelloResp(payload)
+	if err != nil {
+		return err
+	}
+	if !hr.Accept {
+		if hr.Term > term {
+			// A higher term exists: someone was promoted past us. Stop
+			// being leader; the sender dies with the demotion.
+			go n.stepDown(hr.Term, "")
+			return fmt.Errorf("follower at term %d > ours %d; stepping down", hr.Term, term)
+		}
+		return fmt.Errorf("follower refused stream: %s", hr.Reason)
+	}
+
+	// The ack reader runs for the rest of the session so catch-up writes
+	// never deadlock against the follower's buffered per-frame responses.
+	errCh := make(chan error, 1)
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		for {
+			st, seq, _, pl, err := server.ReadFrame(conn)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if st != server.StatusOK {
+				errCh <- fmt.Errorf("follower error: %s", respError(pl))
+				return
+			}
+			if seq == 0 {
+				continue
+			}
+			for {
+				cur := p.acked.Load()
+				if seq <= cur || p.acked.CompareAndSwap(cur, seq) {
+					break
+				}
+			}
+			n.noteAck()
+		}
+	}()
+	defer func() {
+		conn.Close()
+		<-ackDone
+	}()
+
+	// Subscribe BEFORE snapshotting device extents: anything written after
+	// the snapshot is covered twice (suffix copy + stream frame) and the
+	// follower's apply is idempotent; subscribing after would leave a gap.
+	sub, base := n.stream.subscribe()
+	defer n.stream.unsubscribe(sub)
+
+	if err := n.catchUp(conn, p, srv, hr.Devs, base); err != nil {
+		return fmt.Errorf("catch-up: %w", err)
+	}
+
+	p.alive.Store(true)
+	defer p.alive.Store(false)
+
+	for {
+		select {
+		case f, ok := <-sub.ch:
+			if !ok {
+				return errors.New("fell behind the stream; restarting with catch-up")
+			}
+			if err := server.WriteFrame(conn, f.op, f.pos, 0, f.payload); err != nil {
+				return err
+			}
+		case err := <-errCh:
+			return err
+		case <-p.stopCh:
+			return nil
+		}
+	}
+}
+
+// catchUp ships everything the follower is missing below the subscription
+// base: per-device block suffixes (the checkpoint-bounded "newest state,
+// not full history" path — a follower that was briefly down receives only
+// what it missed), the current NVRAM tail images, and the session
+// duplicate-suppression table. It ends with a ReplBase frame whose ack
+// (seq=base) tells the quorum counter the follower is caught up.
+func (n *Node) catchUp(conn net.Conn, p *peer, srv *server.Server, theirDevs []wire.ReplDevState, base uint64) error {
+	their := make(map[[2]uint32]wire.ReplDevState, len(theirDevs))
+	for _, d := range theirDevs {
+		their[[2]uint32{d.Shard, d.Dev}] = d
+	}
+	n.mu.Lock()
+	devs := n.devs
+	n.mu.Unlock()
+	for si, shardDevs := range devs {
+		for di, dev := range shardDevs {
+			st := their[[2]uint32{uint32(si), uint32(di)}]
+			fw := int(st.Written)
+			lw := dev.Written()
+			diverged := fw > lw
+			if !diverged && fw > 0 && st.LastCRC != blockCRC(dev, fw-1) {
+				diverged = true
+			}
+			if diverged {
+				// The follower's blocks are not a prefix of ours (it was a
+				// leader whose unreplicated writes survived a crash).
+				// Write-once media cannot be rewound in place: order a
+				// device reset and restream from block zero.
+				p.resets.Add(1)
+				n.logf("cluster: replica %s shard %d dev %d diverged (%d blocks vs our %d); resetting",
+					p.addr, si, di, fw, lw)
+				rst := (&wire.ReplReset{Shard: uint32(si), Dev: uint32(di)}).Encode(nil)
+				if err := server.WriteFrame(conn, wire.OpReplReset, 0, 0, rst); err != nil {
+					return err
+				}
+				fw = 0
+			}
+			buf := make([]byte, dev.BlockSize())
+			for idx := fw; idx < lw; idx++ {
+				err := dev.ReadBlock(idx, buf)
+				switch {
+				case errors.Is(err, wodev.ErrInvalidated):
+					inv := (&wire.ReplInvalidate{Shard: uint32(si), Dev: uint32(di), Index: uint64(idx)}).Encode(nil)
+					if err := server.WriteFrame(conn, wire.OpReplInvalidate, 0, 0, inv); err != nil {
+						return err
+					}
+				case err != nil:
+					return fmt.Errorf("shard %d dev %d block %d: %w", si, di, idx, err)
+				default:
+					w := (&wire.ReplWrite{Shard: uint32(si), Dev: uint32(di), Index: uint64(idx), Data: buf}).Encode(nil)
+					if err := server.WriteFrame(conn, wire.OpReplWrite, 0, 0, w); err != nil {
+						return err
+					}
+				}
+				p.catchupBlocks.Add(1)
+			}
+		}
+	}
+	for si, nv := range n.cfg.NVRAMs {
+		g, img, err := nv.Load()
+		if err != nil {
+			return fmt.Errorf("shard %d nvram: %w", si, err)
+		}
+		var op byte
+		var pl []byte
+		if len(img) > 0 {
+			op = wire.OpReplTail
+			pl = (&wire.ReplTail{Shard: uint32(si), Global: uint64(g), Image: img}).Encode(nil)
+		} else {
+			op = wire.OpReplTailClear
+			pl = (&wire.ReplTailClear{Shard: uint32(si)}).Encode(nil)
+		}
+		if err := server.WriteFrame(conn, op, 0, 0, pl); err != nil {
+			return err
+		}
+	}
+	states := srv.ExportSessions()
+	for len(states) > 0 {
+		k := min(len(states), sessionChunk)
+		rs := &wire.ReplSessions{Sessions: make([]wire.ReplSession, 0, k)}
+		for _, s := range states[:k] {
+			ws := wire.ReplSession{ID: s.ID, MaxSeq: s.MaxSeq}
+			for _, r := range s.Resps {
+				ws.Resps = append(ws.Resps, wire.ReplResp{Seq: r.Seq, Status: r.Status, Resp: r.Resp})
+			}
+			rs.Sessions = append(rs.Sessions, ws)
+		}
+		states = states[k:]
+		if err := server.WriteFrame(conn, wire.OpReplSessions, 0, 0, rs.Encode(nil)); err != nil {
+			return err
+		}
+	}
+	return server.WriteFrame(conn, wire.OpReplBase, base, 0, (&wire.ReplBase{Pos: base}).Encode(nil))
+}
+
+// addrSeed derives a per-peer jitter seed (FNV-1a) so sender backoffs
+// spread without needing a randomness source.
+func addrSeed(addr string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}

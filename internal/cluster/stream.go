@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"sync"
+
+	"clio/internal/core"
+	"clio/internal/wire"
+	"clio/internal/wodev"
+)
+
+// subQueue is each subscriber's frame buffer. A sender that falls this far
+// behind is cut loose and restarts with a fresh device-level catch-up —
+// cheaper than retaining unbounded history centrally, and correct because a
+// follower's state is always reconstructible from the devices themselves.
+const subQueue = 4096
+
+// frame is one replication stream element: a totally ordered record of one
+// device-level mutation (or session ack) with its stream position.
+type frame struct {
+	pos     uint64
+	op      byte
+	payload []byte
+}
+
+type subscriber struct {
+	ch chan frame
+}
+
+// stream is the leader's totally ordered mutation log, existing only as a
+// position counter and live fan-out: frames are not retained, because every
+// prefix of the stream is equivalent to the device state that produced it.
+type stream struct {
+	mu   sync.Mutex
+	pos  uint64
+	subs map[*subscriber]struct{}
+}
+
+func newStream() *stream { return &stream{subs: make(map[*subscriber]struct{})} }
+
+// emit assigns the next position and delivers to every live subscriber. A
+// subscriber with a full queue is dropped on the spot (its channel closed);
+// blocking here would stall the group-commit path on the slowest replica.
+func (st *stream) emit(op byte, payload []byte) uint64 {
+	st.mu.Lock()
+	st.pos++
+	f := frame{pos: st.pos, op: op, payload: payload}
+	for sub := range st.subs {
+		select {
+		case sub.ch <- f:
+		default:
+			delete(st.subs, sub)
+			close(sub.ch)
+		}
+	}
+	pos := st.pos
+	st.mu.Unlock()
+	return pos
+}
+
+// subscribe registers a new consumer and returns the current position: the
+// caller owns catching the follower up to it by other means (device suffix
+// copy); everything after arrives on the channel.
+func (st *stream) subscribe() (*subscriber, uint64) {
+	sub := &subscriber{ch: make(chan frame, subQueue)}
+	st.mu.Lock()
+	st.subs[sub] = struct{}{}
+	pos := st.pos
+	st.mu.Unlock()
+	return sub, pos
+}
+
+func (st *stream) unsubscribe(sub *subscriber) {
+	st.mu.Lock()
+	if _, ok := st.subs[sub]; ok {
+		delete(st.subs, sub)
+		close(sub.ch)
+	}
+	st.mu.Unlock()
+}
+
+func (st *stream) Pos() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.pos
+}
+
+// tapDevice wraps a leader's device and emits a stream frame after every
+// successful mutation — after, so a frame never describes a write the local
+// media rejected. The core serializes writes per device, so per-device
+// frame order matches device order; cross-device interleaving is harmless
+// because frames address (shard, dev, index) explicitly.
+//
+// One deliberate gap: a write that succeeds only via the core's
+// ErrRewrite read-back path (the device wrote but reported failure) emits
+// no frame. The follower detects the resulting index gap on the next frame
+// for that device, drops the stream, and the reconnect's suffix catch-up
+// repairs it.
+type tapDevice struct {
+	wodev.Device
+	n     *Node
+	shard uint32
+	dev   uint32
+}
+
+func (t *tapDevice) AppendBlock(data []byte) (int, error) {
+	idx, err := t.Device.AppendBlock(data)
+	if err == nil {
+		t.n.emitFrame(wire.OpReplWrite,
+			(&wire.ReplWrite{Shard: t.shard, Dev: t.dev, Index: uint64(idx), Data: data}).Encode(nil))
+	}
+	return idx, err
+}
+
+func (t *tapDevice) WriteAt(idx int, data []byte) error {
+	err := t.Device.WriteAt(idx, data)
+	if err == nil {
+		t.n.emitFrame(wire.OpReplWrite,
+			(&wire.ReplWrite{Shard: t.shard, Dev: t.dev, Index: uint64(idx), Data: data}).Encode(nil))
+	}
+	return err
+}
+
+func (t *tapDevice) Invalidate(idx int) error {
+	err := t.Device.Invalidate(idx)
+	if err == nil {
+		t.n.emitFrame(wire.OpReplInvalidate,
+			(&wire.ReplInvalidate{Shard: t.shard, Dev: t.dev, Index: uint64(idx)}).Encode(nil))
+	}
+	return err
+}
+
+// tapNVRAM mirrors the forced-tail staging writes: replicating these frames
+// is what extends the paper's NVRAM crash guarantee across machines — a
+// follower holds the exact partial-block image a leader crash would have
+// recovered from locally.
+type tapNVRAM struct {
+	core.NVRAM
+	n     *Node
+	shard uint32
+}
+
+func (t *tapNVRAM) Store(global int, image []byte) error {
+	err := t.NVRAM.Store(global, image)
+	if err == nil {
+		t.n.emitFrame(wire.OpReplTail,
+			(&wire.ReplTail{Shard: t.shard, Global: uint64(global), Image: image}).Encode(nil))
+	}
+	return err
+}
+
+func (t *tapNVRAM) Clear() error {
+	err := t.NVRAM.Clear()
+	if err == nil {
+		t.n.emitFrame(wire.OpReplTailClear,
+			(&wire.ReplTailClear{Shard: t.shard}).Encode(nil))
+	}
+	return err
+}
+
+func (n *Node) emitFrame(op byte, payload []byte) uint64 {
+	n.framesEmitted.Add(1)
+	return n.stream.emit(op, payload)
+}

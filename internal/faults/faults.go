@@ -141,6 +141,15 @@ type RetryPolicy struct {
 	// Jitter is the fraction of the computed delay randomized symmetrically
 	// around it (0.2 → ±20%). Jitter is deterministic in (Seed, attempt).
 	Jitter float64
+	// FullJitter, when true, replaces the symmetric jitter with the
+	// "full jitter" scheme: the delay is drawn uniformly from [0, d), where
+	// d is the capped exponential backoff. Clients of a shared service
+	// should prefer it — after a common failure (a dead cluster, a leader
+	// crash) symmetric jitter keeps every client's retry clock in near
+	// lockstep, while full jitter spreads the reconnect storm across the
+	// whole window. Jitter is ignored when FullJitter is set; give each
+	// client its own Seed or the spread collapses back to lockstep.
+	FullJitter bool
 	// Seed makes the jitter sequence reproducible; 0 uses a fixed seed.
 	Seed int64
 	// Sleep is called to wait between attempts; nil means time.Sleep. Tests
@@ -202,21 +211,27 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	if d > float64(p.MaxDelay) {
 		d = float64(p.MaxDelay)
 	}
-	if p.Jitter > 0 {
-		// splitmix64 over (Seed, attempt): deterministic, well-mixed.
-		x := uint64(p.Seed)*0x9E3779B97F4A7C15 + uint64(attempt)
-		x ^= x >> 30
-		x *= 0xBF58476D1CE4E5B9
-		x ^= x >> 27
-		x *= 0x94D049BB133111EB
-		x ^= x >> 31
-		frac := float64(x>>11) / float64(1<<53) // [0,1)
-		d += d * p.Jitter * (2*frac - 1)
+	if p.FullJitter {
+		d *= jitterFrac(p.Seed, attempt)
+	} else if p.Jitter > 0 {
+		d += d * p.Jitter * (2*jitterFrac(p.Seed, attempt) - 1)
 	}
 	if d < 0 {
 		d = 0
 	}
 	return time.Duration(d)
+}
+
+// jitterFrac maps (seed, attempt) to a deterministic, well-mixed fraction
+// in [0,1) via splitmix64.
+func jitterFrac(seed int64, attempt int) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(attempt)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
 }
 
 // Do runs op, retrying while the returned error classifies as Transient, up

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"clio/internal/obs"
+	"clio/internal/wire"
 )
 
 // opNames maps opcodes to the stable names used in metric labels and trace
@@ -30,6 +31,18 @@ var opNames = map[byte]string{
 	OpSeekPos:     "seek_pos",
 	OpHello:       "hello",
 	OpForce:       "force",
+
+	wire.OpReplHello:      "repl_hello",
+	wire.OpReplWrite:      "repl_write",
+	wire.OpReplInvalidate: "repl_invalidate",
+	wire.OpReplTail:       "repl_tail",
+	wire.OpReplTailClear:  "repl_tail_clear",
+	wire.OpReplAck:        "repl_ack",
+	wire.OpReplSessions:   "repl_sessions",
+	wire.OpReplBase:       "repl_base",
+	wire.OpReplReset:      "repl_reset",
+	wire.OpPromote:        "promote",
+	wire.OpReplStatus:     "repl_status",
 }
 
 func opName(op byte) string {

@@ -80,7 +80,30 @@ const (
 	// the entry's timestamp, exactly like StatusOK) but had to relocate
 	// past damaged blocks to do so (§2.3.2, core.DegradedError).
 	StatusDegraded = 3
+	// StatusNotLeader rejects a write-class request sent to a replication
+	// follower. The payload carries the current leader's address as a
+	// length-prefixed string (empty when unknown), so the client can
+	// redirect in one round trip instead of probing the address list.
+	StatusNotLeader = 4
+	// StatusUnavailable rejects a write-class request the node refuses to
+	// even start — a cluster leader cut off from its quorum answers this
+	// instead of executing a write it could never ack. The payload carries a
+	// length-prefixed reason. Unlike StatusErr it is a property of the node,
+	// not the request: clients should retry elsewhere.
+	StatusUnavailable = 5
 )
+
+// IsMutating reports whether op changes store state (as opposed to reads and
+// cursor motion). Mutating ops are the write class: replication followers
+// refuse them with StatusNotLeader, and a cluster leader acks them only
+// after a quorum has durably staged their effects.
+func IsMutating(op byte) bool {
+	switch op {
+	case OpCreate, OpSetPerms, OpRetire, OpAppend, OpAppendMulti, OpForce:
+		return true
+	}
+	return false
+}
 
 // Append flag bits.
 const (

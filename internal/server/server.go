@@ -67,6 +67,31 @@ type Server struct {
 	// request frame, so client and server views correlate. Nil disables
 	// tracing at zero cost. Set before the first connection is served.
 	Tracer *obs.Tracer
+	// Gate, when set, intercepts the response of every mutating request
+	// (IsMutating) after it executed but before it is recorded in the dedup
+	// window and returned. The cluster layer uses it to hold the ack until a
+	// quorum of replicas has durably staged the mutation, and to rewrite the
+	// response if the quorum cannot be reached. The returned record flag
+	// says whether the (possibly rewritten) response may enter the
+	// duplicate-suppression window — a quorum failure must NOT be cached, so
+	// the client's replay re-executes instead of being answered with the
+	// stale failure. Set before the first connection is served.
+	Gate func(op byte, session, seq uint64, status byte, resp []byte) (newStatus byte, newResp []byte, record bool)
+	// PreGate, when set, is consulted before a mutating request executes
+	// (after the dedup-window lookup, so an already-answered replay still
+	// returns its cached response). reject=true refuses the request with the
+	// returned status/resp WITHOUT executing it or recording it. The cluster
+	// layer uses it to refuse writes while a quorum of replicas is
+	// unreachable — refusing before execution keeps a minority-partitioned
+	// leader from diverging its write-once media with entries it can never
+	// ack. Set before the first connection is served.
+	PreGate func(op byte) (status byte, resp []byte, reject bool)
+	// ExtOp, when set, is offered every opcode the core dispatcher does not
+	// recognize before the unknown-op error is returned; handled=false falls
+	// through to that error. The cluster layer uses it for the replication
+	// control ops that are valid on a leader (OpReplStatus, stale-leader
+	// demotion). Set before the first connection is served.
+	ExtOp func(op byte, payload []byte) (status byte, resp []byte, handled bool)
 
 	// obsM holds the registered metrics; nil until RegisterMetrics. An
 	// atomic pointer mirrors core's cacheP pattern: the hot path loads it
@@ -115,6 +140,106 @@ func (s *Server) Service() *core.Service { return s.store.Service(0) }
 
 // Epoch returns the server instance identifier carried in Hello responses.
 func (s *Server) Epoch() uint64 { return s.epoch }
+
+// SetEpoch overrides the server's epoch. A promoted replication follower
+// installs the cluster epoch minted by the first leader, so clients keep
+// their sessions (and their replay/dedup guarantees) across a failover
+// instead of treating the promotion as a restart. Must be called before the
+// first connection is served.
+func (s *Server) SetEpoch(e uint64) { s.epoch = e }
+
+// SessionState is the replicable form of one client session's
+// duplicate-suppression state (cursors are connection-domain and do not
+// replicate).
+type SessionState struct {
+	ID     uint64
+	MaxSeq uint64
+	Resps  []SessionResp
+}
+
+// SessionResp is one cached response inside a SessionState.
+type SessionResp struct {
+	Seq    uint64
+	Status byte
+	Resp   []byte
+}
+
+// ExportSessions snapshots every shared session's dedup window, oldest
+// cached response first. The cluster layer ships this to a catching-up
+// follower so a promotion preserves replay idempotency.
+func (s *Server) ExportSessions() []SessionState {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	out := make([]SessionState, 0, len(sessions))
+	for _, ss := range sessions {
+		ss.mu.Lock()
+		st := SessionState{ID: ss.id, MaxSeq: ss.maxSeq}
+		for _, seq := range ss.order {
+			if r, ok := ss.window[seq]; ok {
+				st.Resps = append(st.Resps, SessionResp{Seq: seq, Status: r.status, Resp: r.payload})
+			}
+		}
+		ss.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// InstallSessions merges replicated session state into the server's session
+// table: maxSeq advances monotonically and cached responses are adopted for
+// seqs not already present, so installing is idempotent and never regresses
+// state a live session has built since. A promoted follower calls this with
+// the state replicated from the old leader before serving clients.
+func (s *Server) InstallSessions(states []SessionState) {
+	for _, st := range states {
+		if st.ID == 0 {
+			continue
+		}
+		s.mu.Lock()
+		sess, ok := s.sessions[st.ID]
+		if !ok {
+			sess = newSession(st.ID)
+			s.sessions[st.ID] = sess
+		}
+		s.mu.Unlock()
+		sess.mu.Lock()
+		if st.MaxSeq > sess.maxSeq {
+			sess.maxSeq = st.MaxSeq
+		}
+		for _, r := range st.Resps {
+			if _, exists := sess.window[r.Seq]; !exists {
+				sess.order = append(sess.order, r.Seq)
+				sess.window[r.Seq] = cachedResp{status: r.Status, payload: r.Resp}
+			}
+		}
+		for len(sess.order) > dedupWindow {
+			evict := sess.order[0]
+			sess.order = sess.order[1:]
+			delete(sess.window, evict)
+		}
+		sess.mu.Unlock()
+	}
+}
+
+// RecordSessionResp installs one replicated dedup record — a follower calls
+// this for each streamed ReplAck so its session table tracks the leader's.
+func (s *Server) RecordSessionResp(id, seq uint64, status byte, resp []byte) {
+	if id == 0 || seq == 0 {
+		return
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		sess = newSession(id)
+		s.sessions[id] = sess
+	}
+	s.mu.Unlock()
+	sess.record(seq, status, resp)
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
@@ -496,7 +621,16 @@ func (h *connHandler) handle(tr *obs.Trace, op byte, seq uint64, payload []byte)
 		return h.hello(payload)
 	}
 	if seq == 0 {
-		return h.dispatch(tr, op, payload)
+		if pg := h.srv.PreGate; pg != nil && IsMutating(op) {
+			if status, resp, reject := pg(op); reject {
+				return status, resp
+			}
+		}
+		status, resp := h.dispatch(tr, op, payload)
+		if g := h.srv.Gate; g != nil && IsMutating(op) {
+			status, resp, _ = g(op, h.sess.id, 0, status, resp)
+		}
+		return status, resp
 	}
 	h.sess.exec.Lock()
 	defer h.sess.exec.Unlock()
@@ -506,8 +640,23 @@ func (h *connHandler) handle(tr *obs.Trace, op byte, seq uint64, payload []byte)
 	} else if stale {
 		return errResp(fmt.Errorf("server: request %d outside duplicate-suppression window", seq))
 	}
+	if pg := h.srv.PreGate; pg != nil && IsMutating(op) {
+		if status, resp, reject := pg(op); reject {
+			// Refused without executing and without recording: the client's
+			// retry re-attempts the mutation once quorum is back.
+			return status, resp
+		}
+	}
 	status, resp := h.dispatch(tr, op, payload)
-	h.sess.record(seq, status, resp)
+	record := true
+	if g := h.srv.Gate; g != nil && IsMutating(op) {
+		// The gate may hold the response for quorum, rewrite it on quorum
+		// failure, and veto caching so the client's replay re-executes.
+		status, resp, record = g(op, h.sess.id, seq, status, resp)
+	}
+	if record {
+		h.sess.record(seq, status, resp)
+	}
 	return status, resp
 }
 
@@ -827,6 +976,11 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		return StatusOK, out
 
 	default:
+		if ext := h.srv.ExtOp; ext != nil {
+			if status, resp, handled := ext(op, payload); handled {
+				return status, resp
+			}
+		}
 		return errResp(fmt.Errorf("server: unknown op %d", op))
 	}
 }
@@ -855,6 +1009,11 @@ func (h *connHandler) cursor(d *Decoder) (logapi.Cursor, error) {
 	}
 	return cur, nil
 }
+
+// EncodeEntry renders one entry in the protocol's entry-response layout.
+// Exported for the cluster follower, which serves OpReadAt from replicated
+// sealed history without a live server.
+func EncodeEntry(e *core.Entry) []byte { return encodeEntry(e) }
 
 // encodeEntry lays out one entry: shard-local LogID (u16), timestamp, flag
 // byte, then the shard ordinal and the shard-local (block, index) position

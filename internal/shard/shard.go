@@ -411,6 +411,17 @@ func (st *Store) End() int {
 	return n
 }
 
+// Ends returns each shard's data-block end individually, in shard order. The
+// cluster layer compares these against follower extents to report per-shard
+// replication lag.
+func (st *Store) Ends() []int {
+	out := make([]int, len(st.svcs))
+	for i, svc := range st.svcs {
+		out[i] = svc.End()
+	}
+	return out
+}
+
 // LastRecoveryByShard returns each shard's recovery report from the most
 // recent open.
 func (st *Store) LastRecoveryByShard() []core.RecoveryReport {

@@ -1,0 +1,56 @@
+package wire
+
+import "testing"
+
+// FuzzReplDecode throws arbitrary bytes at every replication payload decoder.
+// A malformed frame from a confused peer must produce an error, never a
+// panic or an oversized allocation.
+func FuzzReplDecode(f *testing.F) {
+	f.Add(byte(OpReplHello), (&ReplHello{Term: 1, Epoch: 2, LeaderAddr: "127.0.0.1:9000", Shards: 2, BlockSize: 512}).Encode(nil))
+	f.Add(byte(OpReplWrite), (&ReplWrite{Shard: 1, Dev: 0, Index: 7, Data: []byte("payload")}).Encode(nil))
+	f.Add(byte(OpReplInvalidate), (&ReplInvalidate{Shard: 0, Dev: 1, Index: 3}).Encode(nil))
+	f.Add(byte(OpReplTail), (&ReplTail{Shard: 0, Global: 11, Image: []byte{0xAA, 0xBB}}).Encode(nil))
+	f.Add(byte(OpReplTailClear), (&ReplTailClear{Shard: 3}).Encode(nil))
+	f.Add(byte(OpReplAck), (&ReplAck{Session: 9, Seq: 4, Status: 1, Resp: []byte("err")}).Encode(nil))
+	f.Add(byte(OpReplSessions), (&ReplSessions{Sessions: []ReplSession{{ID: 1, MaxSeq: 3, Resps: []ReplResp{{Seq: 3, Status: 0, Resp: []byte("ok")}}}}}).Encode(nil))
+	f.Add(byte(OpReplBase), (&ReplBase{Pos: 99}).Encode(nil))
+	f.Add(byte(OpReplReset), (&ReplReset{Shard: 1, Dev: 2}).Encode(nil))
+	f.Add(byte(OpPromote), []byte{})
+	f.Add(byte(0x00), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, op byte, payload []byte) {
+		v, err := DecodeRepl(op, payload)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode without panicking; this also keeps
+		// the encoders honest about accepting any decoder-produced value.
+		switch m := v.(type) {
+		case *ReplHello:
+			m.Encode(nil)
+		case *ReplWrite:
+			m.Encode(nil)
+		case *ReplInvalidate:
+			m.Encode(nil)
+		case *ReplTail:
+			m.Encode(nil)
+		case *ReplTailClear:
+			m.Encode(nil)
+		case *ReplAck:
+			m.Encode(nil)
+		case *ReplSessions:
+			m.Encode(nil)
+		case *ReplBase:
+			m.Encode(nil)
+		case *ReplReset:
+			m.Encode(nil)
+		}
+		// Decoders for hello responses and status reports are exercised via
+		// their own seeds below the op dispatch: feed the same payload in.
+		if r, err := DecodeReplHelloResp(payload); err == nil {
+			r.Encode(nil)
+		}
+		if s, err := DecodeReplStatusResp(payload); err == nil {
+			s.Encode(nil)
+		}
+	})
+}

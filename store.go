@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"clio/internal/core"
 	"clio/internal/shard"
@@ -342,4 +343,125 @@ func listShardDirs(dir string) ([]string, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// RawStore is the unmounted layout of a file-backed store: the per-shard
+// device and NVRAM sidecar handles, without a service recovered over them.
+// The replication layer consumes this shape — a follower holds raw devices
+// its leader writes through it, and mounts (recovers) a service over them
+// only if promoted.
+type RawStore struct {
+	Devices [][]wodev.Device
+	NVRAMs  []NVRAM
+	// Opts is the per-shard service options derived from the DirOptions
+	// (block size, checkpoint interval, ...). NVRAM and Allocate are left
+	// nil: the replication node installs its own per-shard NVRAM, and a
+	// replicated store does not mint volumes outside the leader's ordering.
+	Opts Options
+
+	mu   sync.Mutex
+	dirs []string // per-shard directory, for Reset
+	o    DirOptions
+}
+
+// OpenRaw opens (create=false) or lays out fresh (create=true) the devices
+// and NVRAM sidecars of a file-backed store without mounting it. A fresh
+// layout holds one empty volume file per shard: on a replication leader the
+// node formats it at start, on a follower the leader's stream fills it,
+// header block included.
+func OpenRaw(dir string, o DirOptions, create bool) (*RawStore, error) {
+	o = o.withDefaults()
+	r := &RawStore{o: o}
+	fail := func(err error) (*RawStore, error) {
+		r.Close()
+		return nil, err
+	}
+	if create {
+		for i := 0; i < o.Shards; i++ {
+			sd := dir
+			if o.Shards > 1 {
+				sd = shardDir(dir, i)
+			}
+			if err := os.MkdirAll(sd, 0o755); err != nil {
+				return fail(err)
+			}
+			if names, err := listVolumes(sd); err != nil {
+				return fail(err)
+			} else if len(names) > 0 {
+				return fail(fmt.Errorf("%w: %s holds %d volumes", ErrStoreExists, sd, len(names)))
+			}
+			dev, err := wodev.OpenFile(volPath(sd, 0), wodev.FileOptions{
+				BlockSize: o.BlockSize, Capacity: o.VolumeBlocks, SyncEvery: o.SyncEvery,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			r.Devices = append(r.Devices, []wodev.Device{dev})
+			r.NVRAMs = append(r.NVRAMs, core.NewFileNVRAM(filepath.Join(sd, nvramFile)))
+			r.dirs = append(r.dirs, sd)
+		}
+	} else {
+		dirs, err := listShardDirs(dir)
+		if err != nil {
+			return fail(err)
+		}
+		var shardDirs []string
+		if len(dirs) == 0 {
+			shardDirs = []string{dir} // flat single-shard layout
+		} else {
+			for i := range dirs {
+				shardDirs = append(shardDirs, shardDir(dir, i))
+			}
+		}
+		if o.Shards > 1 && o.Shards != len(shardDirs) {
+			return fail(fmt.Errorf("clio: %s holds %d shards, not %d", dir, len(shardDirs), o.Shards))
+		}
+		for _, sd := range shardDirs {
+			devs, err := openVolumeFiles(sd, o)
+			if err != nil {
+				return fail(err)
+			}
+			r.Devices = append(r.Devices, devs)
+			r.NVRAMs = append(r.NVRAMs, core.NewFileNVRAM(filepath.Join(sd, nvramFile)))
+			r.dirs = append(r.dirs, sd)
+		}
+	}
+	r.Opts = o.Options
+	r.Opts.NVRAM = nil
+	r.Opts.Allocate = nil
+	return r, nil
+}
+
+// Reset discards one device's on-disk state and returns a blank replacement
+// — the replication node's hook for a diverged replica that must re-sync
+// from block zero. The old handle is closed and its file recreated.
+func (r *RawStore) Reset(shard, dev int) (wodev.Device, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if shard < 0 || shard >= len(r.Devices) || dev < 0 || dev >= len(r.Devices[shard]) {
+		return nil, fmt.Errorf("clio: reset: no device (shard %d, dev %d)", shard, dev)
+	}
+	r.Devices[shard][dev].Close()
+	path := volPath(r.dirs[shard], uint32(dev))
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	fresh, err := wodev.OpenFile(path, wodev.FileOptions{
+		BlockSize: r.o.BlockSize, Capacity: r.o.VolumeBlocks, SyncEvery: r.o.SyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Devices[shard][dev] = fresh
+	return fresh, nil
+}
+
+// Close releases the device handles. Harmless after the devices have been
+// handed to a replication node that was itself shut down.
+func (r *RawStore) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ds := range r.Devices {
+		closeDevs(ds)
+	}
 }
