@@ -44,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -170,8 +171,12 @@ func runCluster(store string, opts clio.DirOptions, listen string, create bool,
 		NVRAMs:  raw.NVRAMs,
 		Opts:    raw.Opts,
 		Create:  create && role == "leader",
-		Reset:   raw.Reset,
-		Logf:    log.Printf,
+		// Persist term arbitration next to the store: a restarted node must
+		// remember the highest term it has seen, or a stale leader could be
+		// mistaken for the legitimate one after a full-cluster restart.
+		TermPath: filepath.Join(store, "term.clio"),
+		Reset:    raw.Reset,
+		Logf:     log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("cliod: %v", err)

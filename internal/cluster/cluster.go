@@ -25,7 +25,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +46,10 @@ const DefaultAckTimeout = 5 * time.Second
 
 // DefaultDialTimeout bounds one replication dial attempt.
 const DefaultDialTimeout = 2 * time.Second
+
+// DefaultStreamQueue is the default per-subscriber replication frame
+// buffer (Config.StreamQueue).
+const DefaultStreamQueue = 4096
 
 // Config describes one cluster node.
 type Config struct {
@@ -69,6 +76,17 @@ type Config struct {
 	// Create formats fresh single-volume shards when the node first becomes
 	// leader, instead of opening existing state.
 	Create bool
+	// TermPath, when set, persists the highest term this node has seen to
+	// that file (written atomically via rename); New reloads it. Without
+	// it terms live only in memory, so a full-cluster restart forgets the
+	// term history and a formerly-demoted node restarted as leader is
+	// indistinguishable from the legitimate one.
+	TermPath string
+	// StreamQueue is each replication subscriber's frame buffer; a sender
+	// that falls this far behind is cut loose and restarts with a suffix
+	// catch-up. Size it against the group-commit rate to make that rare.
+	// 0 uses DefaultStreamQueue.
+	StreamQueue int
 	// AckTimeout bounds the quorum wait per mutation; 0 uses
 	// DefaultAckTimeout.
 	AckTimeout time.Duration
@@ -126,6 +144,16 @@ type Node struct {
 	quorumTimeouts atomic.Int64
 	quorumRefusals atomic.Int64
 	framesEmitted  atomic.Int64
+
+	// streamGen numbers accepted replication handshakes; applyMu serializes
+	// frame application against it. Together they guarantee exactly one
+	// stream lands frames at a time: each accepted folHello bumps the
+	// generation (superseding every older connection, even the same
+	// leader's — its in-flight frames would race the new session's catch-up)
+	// and then takes applyMu once as a barrier, so an apply already past its
+	// generation check finishes before the handshake snapshots extents.
+	streamGen atomic.Uint64
+	applyMu   sync.Mutex
 }
 
 // New validates cfg and returns an idle node; call Start and Serve.
@@ -154,29 +182,76 @@ func New(cfg Config) (*Node, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = DefaultDialTimeout
 	}
+	if cfg.StreamQueue == 0 {
+		cfg.StreamQueue = DefaultStreamQueue
+	}
 	devs := make([][]wodev.Device, len(cfg.Devices))
 	for i := range cfg.Devices {
 		devs[i] = append([]wodev.Device(nil), cfg.Devices[i]...)
 	}
-	return &Node{
+	n := &Node{
 		cfg:      cfg,
-		stream:   newStream(),
+		stream:   newStream(cfg.StreamQueue),
 		devs:     devs,
 		role:     wire.RoleFollower,
 		conns:    make(map[net.Conn]struct{}),
 		stopCh:   make(chan struct{}),
 		commitCh: make(chan struct{}),
-	}, nil
+	}
+	if cfg.TermPath != "" {
+		term, err := loadTerm(cfg.TermPath)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: term file: %w", err)
+		}
+		n.term = term
+	}
+	return n, nil
+}
+
+// persistTerm records term in cfg.TermPath so a restart cannot regress the
+// node's term arbitration; the write is atomic (temp file + rename) so a
+// crash mid-write leaves the old term, never garbage. No-op without a
+// path. Small, rare writes: safe to call with n.mu held.
+func (n *Node) persistTerm(term uint64) error {
+	if n.cfg.TermPath == "" {
+		return nil
+	}
+	tmp := n.cfg.TermPath + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(term, 10)+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, n.cfg.TermPath)
+}
+
+// loadTerm reads a persisted term; a missing file is term 0 (fresh node).
+func loadTerm(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	term, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return term, nil
 }
 
 // Start brings the node up in the given role. A leader opens (or, with
-// cfg.Create, formats) the store and begins streaming to its peers; a
-// follower waits for a leader's stream and for Promote.
+// cfg.Create, formats) the store and begins streaming to its peers, at one
+// past the highest persisted term — starting a node as leader is an
+// operator's explicit claim of authority over anything it has seen before;
+// a follower waits for a leader's stream and for Promote.
 func (n *Node) Start(leader bool) error {
 	n.roleMu.Lock()
 	defer n.roleMu.Unlock()
 	if leader {
-		return n.becomeLeader(1, 0, nil, n.cfg.Create)
+		n.mu.Lock()
+		term := n.term + 1
+		n.mu.Unlock()
+		return n.becomeLeader(term, 0, nil, n.cfg.Create)
 	}
 	n.mu.Lock()
 	n.fol = newFollowerState(n)
@@ -188,6 +263,11 @@ func (n *Node) Start(leader bool) error {
 // becomeLeader opens the store over tapped devices and installs the
 // replication hooks. roleMu must be held.
 func (n *Node) becomeLeader(term, epoch uint64, sessions []server.SessionState, create bool) error {
+	// Persist before anything else: a leader that crashes right after
+	// minting its term must come back remembering it.
+	if err := n.persistTerm(term); err != nil {
+		return fmt.Errorf("cluster: persist term %d: %w", term, err)
+	}
 	n.mu.Lock()
 	devs := n.devs
 	n.mu.Unlock()
@@ -314,14 +394,16 @@ func (n *Node) promoteExcept(keep net.Conn) (uint64, error) {
 	return term, nil
 }
 
-// stepDown demotes a leader that has learned of a higher term. Safe to call
-// from any goroutine except a server request handler (it closes the server,
+// stepDown demotes a leader that has learned of a higher term — or, losing
+// the same-term arbitration in leaderExtOp, an equal one. Safe to call from
+// any goroutine except a server request handler (it closes the server,
 // which waits for handlers to drain — callers inside one must use `go`).
 func (n *Node) stepDown(newTerm uint64, newLeader string) {
 	n.roleMu.Lock()
 	defer n.roleMu.Unlock()
 	n.mu.Lock()
-	if n.stopped || n.role != wire.RoleLeader || newTerm <= n.term {
+	if n.stopped || n.role != wire.RoleLeader || newTerm < n.term ||
+		(newTerm == n.term && newLeader == "") {
 		n.mu.Unlock()
 		return
 	}
@@ -331,6 +413,10 @@ func (n *Node) stepDown(newTerm uint64, newLeader string) {
 	n.term = newTerm
 	n.leaderAddr = newLeader
 	n.fol = newFollowerState(n)
+	if err := n.persistTerm(newTerm); err != nil {
+		// Demoting is the safe direction even unpersisted; log and continue.
+		n.logf("cluster: persist term %d on step-down: %v", newTerm, err)
+	}
 	n.mu.Unlock()
 	n.wakeCommit() // quorum waiters re-check the role and fail fast
 	for _, p := range peers {
@@ -528,11 +614,20 @@ func (n *Node) leaderExtOp(op byte, payload []byte) (byte, []byte, bool) {
 		term := n.term
 		n.mu.Unlock()
 		resp := &wire.ReplHelloResp{Accept: false, Term: term}
-		if h.Term > term {
+		switch {
+		case h.Term > term:
 			resp.Term = h.Term
 			resp.Reason = "stepping down to follower; retry"
 			go n.stepDown(h.Term, h.LeaderAddr)
-		} else {
+		case h.Term == term && h.LeaderAddr != n.cfg.NodeID && h.LeaderAddr > n.cfg.NodeID:
+			// Same-term rival (two concurrent promotions, or an operator
+			// double-start). Neither side outranks the other by term, so
+			// break the tie deterministically: the greater advertised
+			// address keeps leadership. Both leaders dial each other, each
+			// evaluates the same comparison, and exactly one demotes.
+			resp.Reason = fmt.Sprintf("same-term rival %s wins arbitration; stepping down", h.LeaderAddr)
+			go n.stepDown(h.Term, h.LeaderAddr)
+		default:
 			resp.Reason = fmt.Sprintf("node is leader at term %d", term)
 		}
 		return server.StatusOK, resp.Encode(nil), true

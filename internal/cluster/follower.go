@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -83,6 +84,8 @@ func (n *Node) serveFollowerConn(conn net.Conn) {
 	}()
 
 	leaderConn := false
+	var connTerm uint64 // term the stream handshake was accepted at
+	var connGen uint64  // stream generation the handshake was accepted at
 	var sessID uint64
 	for {
 		op, seq, trace, payload, err := server.ReadFrame(conn)
@@ -94,7 +97,7 @@ func (n *Node) serveFollowerConn(conn net.Conn) {
 		fatal := false
 		switch op {
 		case wire.OpReplHello:
-			status, resp, leaderConn = n.folHello(payload)
+			status, resp, leaderConn, connTerm, connGen = n.folHello(payload)
 		case wire.OpReplWrite, wire.OpReplInvalidate, wire.OpReplTail,
 			wire.OpReplTailClear, wire.OpReplAck, wire.OpReplSessions,
 			wire.OpReplBase, wire.OpReplReset:
@@ -102,9 +105,40 @@ func (n *Node) serveFollowerConn(conn net.Conn) {
 				status, resp, fatal = server.StatusErr, server.PutString(nil, "cluster: replication frame before handshake"), true
 				break
 			}
-			if err := fol.apply(op, payload); err != nil {
+			// Term arbitration must hold for the connection's whole life, not
+			// just the handshake: if a newer leader has handshaken since, this
+			// stream belongs to a deposed leader that may not know it yet
+			// (asymmetric partition), and applying its frames would diverge
+			// the write-once media. Refusing fatally forces it back through
+			// folHello, which tells it the higher term so it steps down.
+			if cur := n.Term(); connTerm < cur {
+				status, resp, fatal = server.StatusErr, server.PutString(nil,
+					fmt.Sprintf("cluster: stale leader stream (handshake term %d, highest seen %d)", connTerm, cur)), true
+				break
+			}
+			// One stream at a time, same leader included: a reconnect's
+			// handshake supersedes this connection, and any frame still in
+			// flight here (buffered behind a stall) would race the new
+			// session's catch-up — a stale tail image applying late regresses
+			// the staged tail, and a stale block write could double-append.
+			// The generation check runs under applyMu so it is atomic with
+			// the apply itself.
+			n.applyMu.Lock()
+			if connGen != n.streamGen.Load() {
+				n.applyMu.Unlock()
+				n.logf("cluster: dropping superseded replication stream (generation %d, newest %d)", connGen, n.streamGen.Load())
+				status, resp, fatal = server.StatusErr, server.PutString(nil,
+					"cluster: superseded replication stream (a newer stream has handshaken)"), true
+				break
+			}
+			err := fol.apply(op, payload)
+			n.applyMu.Unlock()
+			if err != nil {
 				// An out-of-sync stream cannot be patched mid-flight; drop
 				// the connection and let the leader's reconnect catch up.
+				// Log locally too: the leader's sender often loses the
+				// response to the connection teardown.
+				n.logf("cluster: dropping replication stream: %v", err)
 				status, resp, fatal = server.StatusErr, server.PutString(nil, err.Error()), true
 				break
 			}
@@ -160,33 +194,60 @@ func (n *Node) serveFollowerConn(conn net.Conn) {
 
 // folHello answers a leader's stream handshake: term arbitration, geometry
 // check, then the per-device extents the leader needs to compute the
-// missing suffix.
-func (n *Node) folHello(payload []byte) (byte, []byte, bool) {
+// missing suffix. The returned term and stream generation are the ones the
+// stream was accepted at; the connection handler re-checks both against the
+// node's per frame.
+func (n *Node) folHello(payload []byte) (byte, []byte, bool, uint64, uint64) {
 	h, err := wire.DecodeReplHello(payload)
 	if err != nil {
-		return server.StatusErr, server.PutString(nil, err.Error()), false
+		return server.StatusErr, server.PutString(nil, err.Error()), false, 0, 0
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	refuse := func(reason string) (byte, []byte, bool, uint64, uint64) {
+		resp := &wire.ReplHelloResp{Accept: false, Term: n.term, Reason: reason}
+		n.mu.Unlock()
+		return server.StatusOK, resp.Encode(nil), false, 0, 0
+	}
 	if int(h.Shards) != len(n.devs) || int(h.BlockSize) != n.devs[0][0].BlockSize() {
-		resp := &wire.ReplHelloResp{
-			Accept: false, Term: n.term,
-			Reason: fmt.Sprintf("geometry mismatch: leader %d shards x %dB blocks, local %d x %dB",
-				h.Shards, h.BlockSize, len(n.devs), n.devs[0][0].BlockSize()),
-		}
-		return server.StatusOK, resp.Encode(nil), false
+		return refuse(fmt.Sprintf("geometry mismatch: leader %d shards x %dB blocks, local %d x %dB",
+			h.Shards, h.BlockSize, len(n.devs), n.devs[0][0].BlockSize()))
 	}
 	if h.Term < n.term {
-		resp := &wire.ReplHelloResp{
-			Accept: false, Term: n.term,
-			Reason: fmt.Sprintf("stale term %d, highest seen %d", h.Term, n.term),
-		}
-		return server.StatusOK, resp.Encode(nil), false
+		return refuse(fmt.Sprintf("stale term %d, highest seen %d", h.Term, n.term))
 	}
-	n.term = h.Term
+	if h.Term == n.term && n.leaderAddr != "" && n.leaderAddr != h.LeaderAddr {
+		// One leader per term: a second claimant of the current term is a
+		// same-term split brain (two concurrent promotions, or an operator
+		// double-start), and following both would interleave two orderings
+		// onto the same devices. The rivals resolve it between themselves
+		// (leaderExtOp's arbitration); this node keeps the leader it has.
+		return refuse(fmt.Sprintf("already following %s at term %d", n.leaderAddr, n.term))
+	}
+	if h.Term > n.term {
+		// Persist before accepting: once this stream lands frames, a restart
+		// must never regress below the term those frames were ordered under.
+		if err := n.persistTerm(h.Term); err != nil {
+			return refuse(fmt.Sprintf("cannot persist term %d: %v", h.Term, err))
+		}
+		n.term = h.Term
+	}
 	n.epoch = h.Epoch
 	n.leaderAddr = h.LeaderAddr
-	resp := &wire.ReplHelloResp{Accept: true, Term: n.term}
+	term := n.term
+	n.mu.Unlock()
+
+	// Supersede every older stream before snapshotting extents: bump the
+	// generation (frames from older connections are refused from here on),
+	// then pass through applyMu so an apply that was already past its
+	// generation check finishes first. Without the barrier, an old stream's
+	// in-flight frame could land after the snapshot below and the leader's
+	// catch-up would compute its suffix against stale extents.
+	gen := n.streamGen.Add(1)
+	n.applyMu.Lock()
+	n.applyMu.Unlock() //lint:ignore SA2001 empty section is the barrier
+
+	n.mu.Lock()
+	resp := &wire.ReplHelloResp{Accept: true, Term: term}
 	for si, shardDevs := range n.devs {
 		for di, dev := range shardDevs {
 			st := wire.ReplDevState{Shard: uint32(si), Dev: uint32(di), Written: uint64(dev.Written())}
@@ -196,7 +257,8 @@ func (n *Node) folHello(payload []byte) (byte, []byte, bool) {
 			resp.Devs = append(resp.Devs, st)
 		}
 	}
-	return server.StatusOK, resp.Encode(nil), true
+	n.mu.Unlock()
+	return server.StatusOK, resp.Encode(nil), true, term, gen
 }
 
 // folClientHello answers a client session attach from replicated state: the
@@ -283,8 +345,9 @@ func (fol *followerState) apply(op byte, payload []byte) error {
 }
 
 // applyWrite lands one block image: a duplicate below the write point is
-// skipped, the block at the write point is appended, and anything past it
-// is a gap — the stream is broken and must restart with a catch-up.
+// verified byte-identical and skipped, the block at the write point is
+// appended, and anything past it is a gap — the stream is broken and must
+// restart with a catch-up.
 func (fol *followerState) applyWrite(w *wire.ReplWrite) error {
 	dev, err := fol.n.device(w.Shard, w.Dev)
 	if err != nil {
@@ -293,6 +356,23 @@ func (fol *followerState) applyWrite(w *wire.ReplWrite) error {
 	written := uint64(dev.Written())
 	switch {
 	case w.Index < written:
+		// Catch-up and live streaming deliberately overlap, so duplicates
+		// are expected — but only byte-identical ones. A conflicting image
+		// at an already-written index is divergence (a stale leader, or a
+		// bug upstream); swallowing it would mask corruption, so break the
+		// stream and let the reconnect's handshake-level probe resolve it.
+		local := make([]byte, dev.BlockSize())
+		rerr := dev.ReadBlock(int(w.Index), local)
+		switch {
+		case errors.Is(rerr, wodev.ErrInvalidated):
+			return nil // the write was superseded by a replicated invalidate
+		case rerr != nil:
+			return fmt.Errorf("cluster: verify duplicate block %d (shard %d dev %d): %w",
+				w.Index, w.Shard, w.Dev, rerr)
+		case !bytes.Equal(local, w.Data):
+			return fmt.Errorf("cluster: divergent duplicate: block %d (shard %d dev %d) differs from the replicated image",
+				w.Index, w.Shard, w.Dev)
+		}
 		return nil
 	case w.Index > written:
 		return fmt.Errorf("cluster: replication gap: block %d arrived with only %d written (shard %d dev %d)",

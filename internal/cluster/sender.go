@@ -19,6 +19,15 @@ import (
 // catch-up, keeping frames well under the protocol limit.
 const sessionChunk = 64
 
+// errFellBehind marks a subscriber dropped for a full stream queue. It is
+// the one stream failure that says nothing about the peer's health — the
+// follower is reachable and applying, just slower than the emit rate — so
+// the sender reconnects immediately (no backoff) and leaves p.alive set
+// while the catch-up ships the missed suffix. Clearing it would make a
+// slow follower flap the pre-gate's live-replica count and refuse writes
+// cluster-wide even though quorum acks are still arriving.
+var errFellBehind = errors.New("cluster: fell behind the stream; restarting with catch-up")
+
 // peer is the leader's view of one follower: its cumulative ack position
 // (the quorum input) and liveness (the pre-gate input).
 type peer struct {
@@ -83,6 +92,16 @@ func (n *Node) runSender(p *peer) {
 		default:
 		}
 		err := n.streamTo(p)
+		if errors.Is(err, errFellBehind) {
+			// Only slow, not down: keep the peer counted live and go
+			// straight back into a catch-up session. Progress is
+			// guaranteed — each round ships the device suffix accumulated
+			// since — and a real failure (dial, handshake, conn) on the
+			// way back clears alive below.
+			n.logf("cluster: replica %s: %v", p.addr, err)
+			attempt = 0
+			continue
+		}
 		p.alive.Store(false)
 		select {
 		case <-p.stopCh:
@@ -202,14 +221,15 @@ func (n *Node) streamTo(p *peer) error {
 		return fmt.Errorf("catch-up: %w", err)
 	}
 
+	// alive is cleared by runSender, not here: a fell-behind restart keeps
+	// it set across the reconnect's catch-up.
 	p.alive.Store(true)
-	defer p.alive.Store(false)
 
 	for {
 		select {
 		case f, ok := <-sub.ch:
 			if !ok {
-				return errors.New("fell behind the stream; restarting with catch-up")
+				return errFellBehind
 			}
 			if err := server.WriteFrame(conn, f.op, f.pos, 0, f.payload); err != nil {
 				return err

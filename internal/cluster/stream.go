@@ -8,12 +8,6 @@ import (
 	"clio/internal/wodev"
 )
 
-// subQueue is each subscriber's frame buffer. A sender that falls this far
-// behind is cut loose and restarts with a fresh device-level catch-up —
-// cheaper than retaining unbounded history centrally, and correct because a
-// follower's state is always reconstructible from the devices themselves.
-const subQueue = 4096
-
 // frame is one replication stream element: a totally ordered record of one
 // device-level mutation (or session ack) with its stream position.
 type frame struct {
@@ -29,13 +23,24 @@ type subscriber struct {
 // stream is the leader's totally ordered mutation log, existing only as a
 // position counter and live fan-out: frames are not retained, because every
 // prefix of the stream is equivalent to the device state that produced it.
+// queue is each subscriber's frame buffer (Config.StreamQueue): a sender
+// that falls this far behind is cut loose and restarts with a fresh
+// device-level catch-up — cheaper than retaining unbounded history
+// centrally, and correct because a follower's state is always
+// reconstructible from the devices themselves. The sender keeps the peer
+// counted live across that restart (see errFellBehind), so a merely slow
+// follower does not flap the pre-gate's quorum estimate.
 type stream struct {
+	queue int
+
 	mu   sync.Mutex
 	pos  uint64
 	subs map[*subscriber]struct{}
 }
 
-func newStream() *stream { return &stream{subs: make(map[*subscriber]struct{})} }
+func newStream(queue int) *stream {
+	return &stream{queue: queue, subs: make(map[*subscriber]struct{})}
+}
 
 // emit assigns the next position and delivers to every live subscriber. A
 // subscriber with a full queue is dropped on the spot (its channel closed);
@@ -61,7 +66,7 @@ func (st *stream) emit(op byte, payload []byte) uint64 {
 // caller owns catching the follower up to it by other means (device suffix
 // copy); everything after arrives on the channel.
 func (st *stream) subscribe() (*subscriber, uint64) {
-	sub := &subscriber{ch: make(chan frame, subQueue)}
+	sub := &subscriber{ch: make(chan frame, st.queue)}
 	st.mu.Lock()
 	st.subs[sub] = struct{}{}
 	pos := st.pos
