@@ -6,7 +6,12 @@
 //
 //	cliod -store /var/lib/clio [-listen :7846] [-create] [-shards N]
 //	      [-volume-blocks N] [-checkpoint-interval N] [-admin :7847]
-//	      [-slow-trace 100ms]
+//	      [-slow-trace 100ms] [-force-window 0]
+//
+// -force-window controls the group-commit policy: 0 (the default) sizes the
+// gather window adaptively from the observed arrival rate and seal latency,
+// a positive duration pins a fixed window, and a negative value restores the
+// legacy leader/rider queue with no window and no seal pipeline.
 //
 // A 1-shard store holds one file per log volume plus the NVRAM sidecar that
 // stages the current partial block across restarts (§2.3.1). -create
@@ -70,6 +75,7 @@ func main() {
 	advertise := flag.String("advertise", "", "address peers and redirected clients reach this node at (default -listen)")
 	role := flag.String("role", "leader", "initial cluster role: leader or follower")
 	quorum := flag.Int("quorum", 2, "replicas (leader included) that must stage a write before it is acked")
+	forceWindow := flag.Duration("force-window", 0, "group-commit gather window: 0 sizes it adaptively from the arrival rate, >0 pins a fixed window, <0 restores the legacy leader/rider queue (no window, no seal pipeline)")
 	flag.Parse()
 	if *store == "" {
 		log.Fatal("cliod: -store is required")
@@ -78,6 +84,7 @@ func main() {
 	opts := clio.DirOptions{VolumeBlocks: *volBlocks, SyncEvery: *syncEvery, Shards: *shards}
 	opts.BlockSize = *blockSize
 	opts.CheckpointInterval = *ckptInterval
+	opts.CommitWindow = *forceWindow
 	if *peers != "" {
 		runCluster(*store, opts, *listen, *create, *peers, *advertise, *role, *quorum, *admin)
 		return

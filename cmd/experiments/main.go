@@ -39,6 +39,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (samples every contended lock)")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (per-experiment wall time, process gauges) to this file at exit")
+	forceOut := flag.String("force-out", "BENCH_force.json", "where the force experiment (-run force) writes its JSON report")
+	forceSeconds := flag.Float64("force-seconds", 0, "measured seconds per force-experiment cell (0 = default)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -224,6 +226,33 @@ func main() {
 			}
 			experiments.PrintRecoveryCheckpoint(out, rows)
 			return nil
+		})
+	}
+
+	// The force-path experiment runs in real time (it measures the adaptive
+	// group-commit window and seal pipeline, which are wall-clock behaviors),
+	// so it only runs when requested by name and never joins "all".
+	if want["force"] {
+		step("force", func() error {
+			rep, err := experiments.RunForce(experiments.ForceConfig{
+				CellSeconds: *forceSeconds,
+			})
+			if err != nil {
+				return err
+			}
+			experiments.PrintForce(out, rep)
+			if *forceOut == "" {
+				return nil
+			}
+			f, err := os.Create(*forceOut)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteForceJSON(f, rep); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
 		})
 	}
 

@@ -362,6 +362,30 @@ func (b *Builder) Seal() []byte {
 	return out
 }
 
+// Reindex returns a copy of a sealed block image relocated to a new
+// volume-relative index with extra footer flags or'ed in, recomputing the
+// checksum. The input image is left unchanged. The device writer uses this
+// when a seal staged earlier must land at a different slot than planned —
+// a damaged block slid past (§2.3.2) or a volume boundary crossed — since
+// footer flags like FlagVolumeSealed are a property of where the block
+// lands, not of when it was sealed.
+func Reindex(block []byte, blockIndex uint32, orFlags uint8) ([]byte, error) {
+	n := len(block)
+	if n < MinBlockSize {
+		return nil, fmt.Errorf("%w: %d-byte block", ErrBlockSize, n)
+	}
+	if !Validate(block) {
+		return nil, ErrBadChecksum
+	}
+	out := make([]byte, n)
+	copy(out, block)
+	foot := out[n-FooterSize:]
+	foot[3] |= orFlags
+	putU32(foot[14:], blockIndex)
+	putU32(foot[18:], wire.Checksum(out[:n-4]))
+	return out, nil
+}
+
 func putU32(b []byte, v uint32) {
 	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 }

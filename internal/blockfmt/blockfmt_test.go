@@ -364,3 +364,55 @@ func TestFormMultiLimits(t *testing.T) {
 		t.Error("13-bit extra id accepted")
 	}
 }
+
+func TestReindex(t *testing.T) {
+	b, err := NewBuilder(512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(Record{LogID: 3, Form: FormFull, Timestamp: 99, Data: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	img := b.Seal()
+	orig := append([]byte(nil), img...)
+
+	moved, err := Reindex(img, 19, FlagVolumeSealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, orig) {
+		t.Fatal("Reindex mutated its input image")
+	}
+	if !Validate(moved) {
+		t.Fatal("reindexed image fails Validate")
+	}
+	p, err := Parse(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BlockIndex != 19 {
+		t.Fatalf("BlockIndex = %d, want 19", p.BlockIndex)
+	}
+	if p.Flags&FlagVolumeSealed == 0 {
+		t.Fatal("FlagVolumeSealed not or'ed in")
+	}
+	if len(p.Records) != 1 || string(p.Records[0].Data) != "payload" {
+		t.Fatalf("records corrupted by Reindex: %+v", p.Records)
+	}
+
+	// No-op reindex keeps the image byte-identical.
+	same, err := Reindex(img, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(same, orig) {
+		t.Fatal("no-op Reindex changed the image")
+	}
+
+	// A damaged image is refused.
+	bad := append([]byte(nil), img...)
+	bad[0] ^= 1
+	if _, err := Reindex(bad, 3, 0); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("Reindex(damaged) = %v, want ErrBadChecksum", err)
+	}
+}

@@ -61,6 +61,10 @@ type entry struct {
 	data  []byte
 	stamp int64 // global access stamp at last touch
 	elem  *list.Element
+	// dec holds an optional decoded form of data, attached by the reader the
+	// first time it interprets the block (see Attach). It rides the entry's
+	// lifetime: replacing or removing the entry discards it.
+	dec any
 }
 
 // numShards must be a power of two.
@@ -177,6 +181,41 @@ func (c *Cache) lookup(key Key) []byte {
 	return e.data
 }
 
+// LookupDecoded returns the cached image for key together with any decoded
+// form previously attached to it (nil when none), promoting the entry and
+// counting a hit or miss exactly like Lookup. It lets a warm reader skip
+// re-parsing a block it has interpreted before.
+func (c *Cache) LookupDecoded(key Key) ([]byte, any) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		sh.stats.Misses++
+		return nil, nil
+	}
+	sh.stats.Hits++
+	e.stamp = c.stamp.Add(1)
+	sh.lru.MoveToFront(e.elem)
+	return e.data, e.dec
+}
+
+// Attach records a decoded form for the block image img, previously returned
+// by Lookup or LookupDecoded for key. The attach succeeds only if the entry
+// still holds that exact slice — a concurrent Put (the staged tail being
+// re-sealed) replaces the slice and must not inherit a decode of the older
+// image. The identity check makes a stale attach a harmless no-op.
+func (c *Cache) Attach(key Key, img []byte, dec any) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok || len(e.data) != len(img) || len(img) == 0 || &e.data[0] != &img[0] {
+		return
+	}
+	e.dec = dec
+}
+
 // Peek reports whether key is cached without promoting it or charging time.
 func (c *Cache) Peek(key Key) bool {
 	sh := c.shardOf(key)
@@ -194,8 +233,10 @@ func (c *Cache) Put(key Key, data []byte) {
 	sh.mu.Lock()
 	if e, ok := sh.entries[key]; ok {
 		// Blocks are immutable; replacing is tolerated for the staged tail
-		// block, which is re-put each time it is re-sealed.
+		// block, which is re-put each time it is re-sealed. Any decoded form
+		// describes the old image and is discarded with it.
 		e.data = cp
+		e.dec = nil
 		e.stamp = c.stamp.Add(1)
 		sh.lru.MoveToFront(e.elem)
 		sh.mu.Unlock()

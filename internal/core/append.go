@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"clio/internal/blockfmt"
@@ -141,6 +142,10 @@ func (s *Service) appendOneLocked(ids []uint16, data []byte, opts AppendOptions)
 	if opts.Forced {
 		attr |= blockfmt.AttrForced
 	}
+	// Take the chain guard before the timestamp: a parked foreign chain would
+	// otherwise let a later-stamped append overtake this one into the log,
+	// breaking the block-order monotonicity of first timestamps.
+	s.awaitChainLocked()
 	ts := s.nextTS(form != blockfmt.FormMinimal)
 	clk := s.opt.Clock
 	clk.ChargeIPC(s.opt.RemoteIPC) // the synchronous client write IPC (§3.2)
@@ -166,6 +171,109 @@ type forceReq struct {
 	done chan struct{}
 }
 
+// Adaptive commit-window bounds. The window never holds a batch longer than
+// one observed commit (so waiting can only help throughput, never double
+// latency), and windowCap keeps a slow-device estimate from stalling forces
+// for longer than any reasonable force latency target.
+const (
+	windowFloor = 50 * time.Microsecond
+	windowCap   = 2 * time.Millisecond
+)
+
+// ewmaUpdate folds one sample into an exponentially weighted moving average
+// with decay 1/8, lock-free. A zero average seeds from the first sample.
+func ewmaUpdate(a *atomic.Int64, sample int64) {
+	for {
+		old := a.Load()
+		next := sample
+		if old != 0 {
+			next = old + (sample-old)/8
+		}
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// noteArrival tracks the inter-arrival time of forced appends; the gather
+// window divides observed commit latency by this to size its batches.
+func (s *Service) noteArrival() {
+	now := time.Now().UnixNano()
+	prev := s.lastArrival.Swap(now)
+	if prev != 0 {
+		ewmaUpdate(&s.arrivalEWMA, now-prev)
+	}
+}
+
+// drainForceQ atomically takes the queued force requests.
+func (s *Service) drainForceQ() []*forceReq {
+	s.forceQMu.Lock()
+	batch := s.forceQ
+	s.forceQ = nil
+	s.forceQMu.Unlock()
+	return batch
+}
+
+// gatherForce optionally holds the leader's batch open to collect more
+// riders before committing. With CommitWindow > 0 the window is fixed; at 0
+// (the default) it adapts: the target batch size is the number of arrivals
+// expected during one commit (commit latency / inter-arrival time), and the
+// leader waits at most one commit's worth of time to reach it. A lone writer
+// (arrivals slower than half the commit latency) commits immediately, so the
+// idle-path latency is untouched; a storm coalesces into near-ideal batches
+// instead of the convoy the bare leader/rider queue forms.
+func (s *Service) gatherForce(batch []*forceReq) []*forceReq {
+	cw := s.opt.CommitWindow
+	if cw < 0 || len(batch) == 0 {
+		return batch
+	}
+	var window time.Duration
+	target := int(^uint(0) >> 1)
+	if cw > 0 {
+		window = cw
+	} else {
+		commit := s.commitEWMA.Load()
+		inter := s.arrivalEWMA.Load()
+		if commit < int64(windowFloor) || inter == 0 || inter*2 > commit {
+			return batch
+		}
+		target = int(commit / inter)
+		if target <= len(batch) {
+			return batch
+		}
+		window = time.Duration(commit)
+		if window > windowCap {
+			window = windowCap
+		}
+		s.adaptiveWaits.Add(1)
+	}
+	s.windowNanos.Store(int64(window))
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	for len(batch) < target {
+		select {
+		case <-s.forceSig:
+			batch = append(batch, s.drainForceQ()...)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// noteBatch records one committed batch's size in the power-of-two histogram
+// (buckets 1, 2, 4, ..., ≥256) and the exported metrics histogram.
+func (s *Service) noteBatch(n int) {
+	b := 0
+	for v := n; v > 1 && b < len(s.batchHist)-1; v >>= 1 {
+		b++
+	}
+	s.batchHist[b].Add(1)
+	if m := s.met(); m != nil {
+		m.batchEntries.Observe(time.Duration(n))
+	}
+}
+
 // appendForcedBatched is the group-commit front door for forced appends
 // (§2.3.1's per-force seal/NVRAM cost amortized across concurrent clients):
 // the request enqueues, then contends for leaderMu. Whoever wins drains the
@@ -176,10 +284,19 @@ type forceReq struct {
 // batch always has one request and the behavior (timestamps, stats, device
 // traffic) is exactly that of an individual forced append.
 func (s *Service) appendForcedBatched(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
+	if s.opt.CommitWindow >= 0 {
+		s.noteArrival()
+	}
 	req := &forceReq{ids: ids, data: data, opts: opts, done: make(chan struct{})}
 	s.forceQMu.Lock()
 	s.forceQ = append(s.forceQ, req)
 	s.forceQMu.Unlock()
+	// Nudge a leader holding its commit window open; non-blocking because the
+	// single-slot channel only needs to be "signaled", not counted.
+	select {
+	case s.forceSig <- struct{}{}:
+	default:
+	}
 	s.leaderMu.Lock()
 	func() {
 		defer s.leaderMu.Unlock()
@@ -202,17 +319,16 @@ func (s *Service) appendForcedBatched(ids []uint16, data []byte, opts AppendOpti
 // writes would. Degraded-relocation notices (§2.3.2) accumulate across the
 // batch and are delivered to each request with its own timestamp.
 func (s *Service) runForceBatch() {
-	s.forceQMu.Lock()
-	batch := s.forceQ
-	s.forceQ = nil
-	s.forceQMu.Unlock()
+	batch := s.drainForceQ()
 	if len(batch) == 0 {
 		return
 	}
+	batch = s.gatherForce(batch)
 	if len(batch) > 1 {
 		s.groupCommits.Add(1)
 		s.batchedForces.Add(int64(len(batch)))
 	}
+	s.noteBatch(len(batch))
 	// When any request in the batch is traced, the leader records the shared
 	// commit once on a batch trace and grafts its spans onto every traced
 	// rider afterwards — the commit IS where a rider's latency went.
@@ -247,6 +363,7 @@ func (s *Service) runForceBatch() {
 			panic(r)
 		}
 	}()
+	cstart := time.Now()
 	s.mu.Lock()
 	func() {
 		defer s.mu.Unlock()
@@ -290,6 +407,11 @@ func (s *Service) runForceBatch() {
 			_ = s.maybeCheckpointLocked()
 		}
 	}()
+	if s.opt.CommitWindow >= 0 {
+		// The adaptive window sizes batches as commit latency over
+		// inter-arrival time; this measured section is the "commit latency".
+		ewmaUpdate(&s.commitEWMA, time.Since(cstart).Nanoseconds())
+	}
 	if batchTr != nil {
 		commitDur := time.Since(commitStart)
 		spans := batchTr.Spans()
@@ -325,10 +447,23 @@ func (s *Service) SealTail() error {
 	if s.closedFlag.Load() {
 		return ErrClosed
 	}
-	if s.tailGlobal < 0 {
-		return nil
+	// A slide during the pipeline's slot wait renumbers the tail, which makes
+	// one enqueue attempt a no-op; loop until the tail is actually gone.
+	for s.tailGlobal >= 0 {
+		s.awaitChainLocked()
+		if s.closedFlag.Load() {
+			return ErrClosed
+		}
+		if s.tailGlobal < 0 {
+			break
+		}
+		if err := s.sealTailLocked(true); err != nil {
+			return err
+		}
 	}
-	if err := s.sealTailLocked(true); err != nil {
+	// Sealing "onto the medium itself" means the device, not the staging
+	// NVRAM: wait out any pipelined writes before returning.
+	if err := s.drainPipeLocked(); err != nil {
 		return err
 	}
 	return s.maybeCheckpointLocked()
@@ -366,16 +501,36 @@ func (s *Service) Force() error {
 	return s.opDegradedErr(s.lastTS)
 }
 
+// awaitChainLocked blocks until no other appender is mid-chain. The
+// pipeline's wait points (slot wait, completion barrier) release s.mu, so a
+// fragmented append can be parked with its chain incomplete while another
+// operation acquires the lock; interleaving records then would split the
+// chain across non-consecutive blocks, which readers cannot reassemble.
+// Without a staging NVRAM nothing ever parks mid-chain, so this never waits.
+func (s *Service) awaitChainLocked() {
+	for s.midChain {
+		s.sealCond.Wait()
+	}
+}
+
+// endChainLocked marks the in-progress chain complete and wakes appenders
+// parked on it.
+func (s *Service) endChainLocked() {
+	s.midChain = false
+	s.sealCond.Broadcast()
+}
+
 // appendEntryLocked writes one entry, fragmenting it over blocks as needed
 // and flushing pending entrymap entries at chain completion. extras lists
 // additional member log files (FormMulti, first fragment only).
 func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, form, attr uint8, ts int64) error {
 	remaining := data
 	first := true
+	s.awaitChainLocked()
 	s.midChain = true
 	for {
 		if err := s.ensureTailLocked(); err != nil {
-			s.midChain = false
+			s.endChainLocked()
 			return err
 		}
 		f, a := form, attr
@@ -394,7 +549,7 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 			// No room for even a header (or one data byte): seal and retry
 			// in a fresh block.
 			if err := s.sealTailLocked(false); err != nil {
-				s.midChain = false
+				s.endChainLocked()
 				return err
 			}
 			continue
@@ -422,7 +577,7 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 			ExtraIDs:  recExtras,
 		}
 		if err := s.builder.Append(rec); err != nil {
-			s.midChain = false
+			s.endChainLocked()
 			return fmt.Errorf("clio: append record: %w", err)
 		}
 		s.tailDirty = true
@@ -436,14 +591,14 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 			// Fragment filled the block exactly; seal it and continue the
 			// chain as the first same-id record of the next block.
 			if err := s.sealTailLocked(false); err != nil {
-				s.midChain = false
+				s.endChainLocked()
 				return err
 			}
 			continue
 		}
 		break
 	}
-	s.midChain = false
+	s.endChainLocked()
 	if err := s.flushDueLocked(); err != nil {
 		return err
 	}
@@ -454,10 +609,21 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 // entries due at any boundary crossed and publishing the new (empty) tail to
 // the reader snapshot.
 func (s *Service) ensureTailLocked() error {
+	// Pipeline barrier: a due entrymap boundary must not be emitted while a
+	// block below it is still in flight (its NoteBlock has not happened),
+	// so drain the pipe first. Slides during the drain can move the
+	// frontier, hence the re-check; completions during the drain emit their
+	// own crossed boundaries, so this usually exits after one pass.
+	n := s.opt.Degree
+	for s.tailGlobal < 0 && len(s.pipe) > 0 && (s.lastBound/n+1)*n <= s.endLocked() {
+		if err := s.drainPipeLocked(); err != nil {
+			return err
+		}
+	}
 	if s.tailGlobal >= 0 {
 		return nil
 	}
-	g := s.sealedEnd
+	g := s.endLocked()
 	if s.builder == nil {
 		b, err := blockfmt.NewBuilder(s.opt.BlockSize, uint32(g))
 		if err != nil {
@@ -493,6 +659,18 @@ func (s *Service) emitDueLocked(g int) {
 // at (or displaced just after) their boundary block, and the blocks holding
 // them are flagged for the displaced-entry scan (§2.3.2).
 func (s *Service) flushDueLocked() error {
+	// Bad-block records queued by background pipeline slides ride out with
+	// the next foreground append (appending them from the sealer would
+	// recurse into the tail machinery it runs underneath).
+	for len(s.pendingBad) > 0 && !s.midChain {
+		bad := s.pendingBad[0]
+		s.pendingBad = s.pendingBad[1:]
+		payload := wire.PutUvarint(nil, uint64(bad))
+		if err := s.appendSystemLocked(entrymap.BadBlockID, payload,
+			blockfmt.FormMinimal, 0, 0, false); err != nil {
+			return err
+		}
+	}
 	for len(s.pendingDue) > 0 && !s.midChain {
 		e := s.pendingDue[0]
 		s.pendingDue = s.pendingDue[1:]
@@ -507,8 +685,19 @@ func (s *Service) flushDueLocked() error {
 
 // appendSystemLocked appends a service-internal record (entrymap, catalog,
 // bad-block). boundary=true marks the receiving block(s) with the
-// entrymap-boundary flag.
+// entrymap-boundary flag. System records fragment like client entries, so
+// the same chain exclusion applies while one is being written.
 func (s *Service) appendSystemLocked(id uint16, data []byte, form, attr uint8, ts int64, boundary bool) error {
+	s.awaitChainLocked()
+	s.midChain = true
+	defer s.endChainLocked()
+	return s.appendSystemChainLocked(id, data, form, attr, ts, boundary)
+}
+
+// appendSystemChainLocked is appendSystemLocked without the chain guard, for
+// the one caller already inside a chain: the legacy seal path's bad-block
+// records (non-staging mode, where nothing ever parks mid-chain).
+func (s *Service) appendSystemChainLocked(id uint16, data []byte, form, attr uint8, ts int64, boundary bool) error {
 	remaining := data
 	first := true
 	for {
@@ -591,6 +780,10 @@ func (s *Service) appendCatalogLocked(rec *catalog.Record, ts int64) error {
 // forceLocked makes the staged tail durable: stored to the NVRAM tail, or
 // sealed (padded) straight to the device when no NVRAM is configured.
 func (s *Service) forceLocked() error {
+	// A foreign append parked mid-chain must finish before the tail image is
+	// captured — persisting a tail whose last record still continues would be
+	// discarded as torn by recovery.
+	s.awaitChainLocked()
 	if s.tailGlobal < 0 {
 		return nil
 	}
@@ -636,6 +829,11 @@ func (s *Service) stageTailLocked(persist bool) error {
 func (s *Service) sealTailLocked(forced bool) error {
 	if s.tailGlobal < 0 {
 		return nil
+	}
+	if s.staging {
+		// Pipelined path: durability via staging NVRAM, device write in the
+		// background (pipeline.go).
+		return s.enqueueSealLocked(forced)
 	}
 	if m := s.met(); m != nil {
 		defer m.sealLat.ObserveSince(time.Now())
@@ -690,7 +888,7 @@ func (s *Service) sealTailLocked(forced bool) error {
 			// log file, so a rebooted server can find them (§2.3.2).
 			for _, bad := range slidBad {
 				payload := wire.PutUvarint(nil, uint64(bad))
-				if err := s.appendSystemLocked(entrymap.BadBlockID, payload,
+				if err := s.appendSystemChainLocked(entrymap.BadBlockID, payload,
 					blockfmt.FormMinimal, 0, 0, false); err != nil {
 					return err
 				}

@@ -177,7 +177,7 @@ func (s *Service) maybeCheckpointLocked() error {
 // fragment chain, queued entrymap or snapshot records) skips silently; the
 // next completion point retries.
 func (s *Service) emitCheckpointLocked() error {
-	if s.midChain || len(s.pendingDue) > 0 || len(s.pendingSnapshot) > 0 {
+	if s.midChain || len(s.pendingDue) > 0 || len(s.pendingBad) > 0 || len(s.pendingSnapshot) > 0 {
 		return nil
 	}
 	payload := s.encodeCheckpointLocked()

@@ -55,10 +55,19 @@ func IsDegraded(err error) bool {
 }
 
 // opDegradedReset starts a fresh degradation record for one client
-// operation; s.mu held.
+// operation; s.mu held. Relocations performed by the background sealer
+// since the last operation are folded in, so a pipelined slide — whose own
+// append was acked before the damage was discovered — is still reported to
+// a client, on the next completed operation (§2.3.2's notice, deferred).
 func (s *Service) opDegradedReset() {
 	s.opDegraded = s.opDegraded[:0]
 	s.opDegradedCause = nil
+	if len(s.pendingDegraded) > 0 {
+		s.opDegraded = append(s.opDegraded, s.pendingDegraded...)
+		s.opDegradedCause = s.pendingDegradedCause
+		s.pendingDegraded = s.pendingDegraded[:0]
+		s.pendingDegradedCause = nil
+	}
 }
 
 // opDegradedErr returns the operation's degraded-completion notice, or nil

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"clio/internal/wire"
@@ -23,6 +25,28 @@ type NVRAM interface {
 	Clear() error
 }
 
+// StagingNVRAM extends NVRAM with slots for fully sealed block images
+// waiting on their asynchronous device write. This is the NVLog-style
+// widening of the §2.3.1 tail: the pipelined sealer makes a batch durable
+// by staging its sealed image here (fast, rewriteable) and acks the force
+// immediately, while the write-once device write proceeds in the
+// background. A crash between the two replays the staged images at
+// recovery, so an acked force never depends on the device write having
+// completed. The pipeline engages only when the configured NVRAM
+// implements this interface; otherwise seals stay synchronous.
+type StagingNVRAM interface {
+	NVRAM
+	// StoreSealed persists a sealed block image keyed by the global
+	// data-block index it was sealed at, replacing any previous image under
+	// that key.
+	StoreSealed(global int, image []byte) error
+	// DropSealed discards the staged image for the given key, if any.
+	DropSealed(global int) error
+	// LoadSealed returns all staged sealed images (any order; the caller
+	// sorts by global). Torn stores are skipped, matching Load.
+	LoadSealed() ([]int, [][]byte, error)
+}
+
 // MemNVRAM is an in-process NVRAM simulation. Because battery-backed RAM
 // survives power failures, tests model a crash by reusing the same MemNVRAM
 // across a Crash/Open pair while discarding everything else.
@@ -30,6 +54,7 @@ type MemNVRAM struct {
 	mu     sync.Mutex
 	global int
 	image  []byte
+	sealed map[int][]byte
 }
 
 // NewMemNVRAM returns an empty NVRAM.
@@ -63,6 +88,38 @@ func (m *MemNVRAM) Clear() error {
 	m.image = nil
 	m.global = 0
 	return nil
+}
+
+// StoreSealed implements StagingNVRAM.
+func (m *MemNVRAM) StoreSealed(global int, image []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sealed == nil {
+		m.sealed = make(map[int][]byte)
+	}
+	m.sealed[global] = append([]byte(nil), image...)
+	return nil
+}
+
+// DropSealed implements StagingNVRAM.
+func (m *MemNVRAM) DropSealed(global int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.sealed, global)
+	return nil
+}
+
+// LoadSealed implements StagingNVRAM.
+func (m *MemNVRAM) LoadSealed() ([]int, [][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var globals []int
+	var images [][]byte
+	for g, img := range m.sealed {
+		globals = append(globals, g)
+		images = append(images, append([]byte(nil), img...))
+	}
+	return globals, images, nil
 }
 
 // FileNVRAM persists the staged tail block in a small sidecar file, giving
@@ -135,4 +192,80 @@ func (f *FileNVRAM) Clear() error {
 		return nil
 	}
 	return err
+}
+
+// sealedPath names the per-image sidecar for a staged sealed block.
+func (f *FileNVRAM) sealedPath(global int) string {
+	return f.path + fmt.Sprintf(".s%08d", global)
+}
+
+// StoreSealed implements StagingNVRAM: same CRC-framed tmp+rename layout as
+// Store, one sidecar file per in-flight seal.
+func (f *FileNVRAM) StoreSealed(global int, image []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	buf := wire.PutUint64(nil, uint64(global))
+	buf = wire.PutUint32(buf, uint32(len(image)))
+	buf = append(buf, image...)
+	buf = wire.PutUint32(buf, wire.Checksum(buf))
+	path := f.sealedPath(global)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// DropSealed implements StagingNVRAM.
+func (f *FileNVRAM) DropSealed(global int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err := os.Remove(f.sealedPath(global))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// LoadSealed implements StagingNVRAM. Torn sidecars (crash mid-StoreSealed)
+// are skipped: the seal they staged was never acked, because the ack
+// happens only after StoreSealed returns.
+func (f *FileNVRAM) LoadSealed() ([]int, [][]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	matches, err := filepath.Glob(f.path + ".s*")
+	if err != nil {
+		return nil, nil, err
+	}
+	var globals []int
+	var images [][]byte
+	for _, path := range matches {
+		if strings.HasSuffix(path, ".tmp") {
+			continue
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, nil, err
+		}
+		if len(buf) < 16 {
+			continue
+		}
+		body, crcBytes := buf[:len(buf)-4], buf[len(buf)-4:]
+		crc, _ := wire.Uint32(crcBytes)
+		if wire.Checksum(body) != crc {
+			continue // torn store: never acked, safe to drop
+		}
+		g, _ := wire.Uint64(body)
+		n, _ := wire.Uint32(body[8:])
+		img := body[12:]
+		if int(n) != len(img) {
+			return nil, nil, fmt.Errorf("clio: nvram sidecar %s inconsistent", path)
+		}
+		globals = append(globals, int(g))
+		images = append(images, append([]byte(nil), img...))
+	}
+	return globals, images, nil
 }

@@ -21,6 +21,8 @@ type coreMetrics struct {
 	sealLat   *obs.Histogram // sealTailLocked incl. damaged-block slides
 	nvramLat  *obs.Histogram // one NVRAM tail store
 	appendV   *obs.Histogram // whole client append, vclock-simulated time
+
+	batchEntries *obs.Histogram // entries per committed force batch (count, not time)
 }
 
 // met returns the registered metrics, or nil when RegisterMetrics was never
@@ -72,6 +74,11 @@ func (s *Service) RegisterMetricsLabeled(reg *obs.Registry, labels ...obs.Label)
 			"Wall-clock latency of staging the tail block to NVRAM.", nil, labels...),
 		appendV: reg.Histogram("clio_core_append_vtime_seconds",
 			"Vclock-simulated (paper cost model) time of client appends.", nil, labels...),
+		// Batch sizes ride the histogram machinery as raw counts: one
+		// "nanosecond" per entry, power-of-two buckets.
+		batchEntries: reg.Histogram("clio_core_force_batch_entries",
+			"Entries per committed force batch (value is a count, not a duration).",
+			[]time.Duration{1, 2, 4, 8, 16, 32, 64, 128, 256}, labels...),
 	}
 
 	counters := []struct {
@@ -92,11 +99,20 @@ func (s *Service) RegisterMetricsLabeled(reg *obs.Registry, labels ...obs.Label)
 		{"clio_core_batched_forces_total", "Forced appends that shared their commit.", func(st Stats) int64 { return st.BatchedForces }},
 		{"clio_core_checkpoints_total", "Recovery checkpoints emitted.", func(st Stats) int64 { return st.Checkpoints }},
 		{"clio_core_checkpoint_bytes_total", "Checkpoint payload bytes appended.", func(st Stats) int64 { return st.CheckpointBytes }},
+		{"clio_core_adaptive_waits_total", "Force batches that held the adaptive commit window open.", func(st Stats) int64 { return st.AdaptiveWaits }},
+		{"clio_core_pipelined_seals_total", "Seals completed through the pipelined device stage.", func(st Stats) int64 { return st.PipelinedSeals }},
 	}
 	for _, c := range counters {
 		get := c.get
 		reg.CounterFunc(c.name, c.help, func() int64 { return get(s.Stats()) }, labels...)
 	}
+
+	reg.GaugeFunc("clio_core_commit_window_nanoseconds", "Most recent commit-window duration the force leader waited.",
+		func() int64 { return s.Stats().CommitWindowNanos }, labels...)
+	reg.GaugeFunc("clio_core_inflight_seals", "Sealed blocks staged to NVRAM awaiting their device write.",
+		func() int64 { return s.Stats().InflightSeals }, labels...)
+	reg.GaugeFunc("clio_core_staged_bytes", "Bytes of sealed block images staged to NVRAM.",
+		func() int64 { return s.Stats().StagedBytes }, labels...)
 
 	reg.CounterFunc("clio_cache_hits_total", "Block cache hits.",
 		func() int64 { return s.CacheStats().Hits }, labels...)
@@ -199,6 +215,9 @@ type ServiceStatus struct {
 	BlockSize     int                  `json:"block_size"`
 	Degree        int                  `json:"degree"`
 	NVRAM         bool                 `json:"nvram"`
+	Pipelined     bool                 `json:"pipelined"`
+	CommitWindow  int64                `json:"commit_window_ns"`
+	BatchSizes    [9]int64             `json:"force_batch_sizes"`
 	End           int                  `json:"end"`
 	SealedEnd     int                  `json:"sealed_end"`
 	TailGlobal    int                  `json:"tail_global"`
@@ -218,13 +237,16 @@ type ServiceStatus struct {
 // nested — to respect the service's lock ordering.
 func (s *Service) Status() ServiceStatus {
 	st := ServiceStatus{
-		BlockSize: s.opt.BlockSize,
-		Degree:    s.opt.Degree,
-		NVRAM:     s.opt.NVRAM != nil,
-		Stats:     s.Stats(),
-		Cache:     s.CacheStats(),
-		Device:    s.DeviceStats(),
-		Locate:    s.LocateStats(),
+		BlockSize:    s.opt.BlockSize,
+		Degree:       s.opt.Degree,
+		NVRAM:        s.opt.NVRAM != nil,
+		Pipelined:    s.staging,
+		CommitWindow: int64(s.opt.CommitWindow),
+		BatchSizes:   s.BatchSizeHistogram(),
+		Stats:        s.Stats(),
+		Cache:        s.CacheStats(),
+		Device:       s.DeviceStats(),
+		Locate:       s.LocateStats(),
 	}
 	st.CacheBlocks = s.blockCache().Len()
 	st.Recovery = s.LastRecovery()

@@ -73,15 +73,19 @@ type Cursor struct {
 	// itself — footnote 6 — cannot index itself).
 	linear bool
 
+	// idSorted is the cursor's id set, sorted once at open (for locator
+	// fan-out); nil when ids is nil.
+	idSorted []uint16
+
 	block int // current block (gap position)
 	rec   int // next record index to consider within block
 
-	// Per-cursor parse memo: one block's decoded form is reused across the
+	// Per-cursor decode memo: one block's decoded form is reused across the
 	// Next/Prev steps that stay within it, so an entry read touches each
 	// block once (the unit Table 1 counts). The staged tail block is never
 	// memoized — it grows.
-	memoBlock  int
-	memoParsed *blockfmt.Parsed
+	memoBlock int
+	memoDec   *decodedBlock
 }
 
 // OpenCursor returns a cursor over the log file at the given path,
@@ -122,6 +126,8 @@ func (s *Service) cursorFor(id uint16) (*Cursor, error) {
 				c.linear = true
 			}
 		}
+		c.idSorted = append(c.idSorted, ids...)
+		sort.Slice(c.idSorted, func(i, j int) bool { return c.idSorted[i] < c.idSorted[j] })
 	}
 	return c, nil
 }
@@ -145,29 +151,22 @@ func (c *Cursor) matchRecord(r *blockfmt.RecordView) bool {
 }
 
 // idList returns the cursor's id set, sorted (for locator fan-out).
-func (c *Cursor) idList() []uint16 {
-	out := make([]uint16, 0, len(c.ids))
-	for id := range c.ids {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (c *Cursor) idList() []uint16 { return c.idSorted }
 
-// parseCached decodes a block, reusing the cursor's memo when the same
+// decodeCached decodes a block, reusing the cursor's memo when the same
 // block is examined repeatedly. The staged tail block bypasses the memo.
-func (c *Cursor) parseCached(block int) (*blockfmt.Parsed, error) {
+func (c *Cursor) decodeCached(block int) (*decodedBlock, error) {
 	tail := c.s.snap().tailGlobal
-	if block == c.memoBlock && c.memoParsed != nil && block != tail {
-		return c.memoParsed, nil
+	if block == c.memoBlock && c.memoDec != nil && block != tail {
+		return c.memoDec, nil
 	}
-	p, err := c.s.parseBlock(block)
+	db, err := c.s.decodeBlock(block)
 	if err == nil && block != tail {
-		c.memoBlock, c.memoParsed = block, p
+		c.memoBlock, c.memoDec = block, db
 	} else {
-		c.memoBlock, c.memoParsed = -1, nil
+		c.memoBlock, c.memoDec = -1, nil
 	}
-	return p, err
+	return db, err
 }
 
 // SeekStart positions the cursor before the first entry.
@@ -206,7 +205,7 @@ func (c *Cursor) next() (*Entry, error) {
 		if c.block >= end {
 			return nil, io.EOF
 		}
-		parsed, err := c.parseCached(c.block)
+		db, err := c.decodeCached(c.block)
 		if err != nil {
 			// Damaged or invalidated block: its entries are lost (§2.3.2);
 			// skip to the next candidate block.
@@ -215,7 +214,7 @@ func (c *Cursor) next() (*Entry, error) {
 			}
 			continue
 		}
-		effs := effectiveTimestamps(parsed)
+		parsed, effs := db.p, db.effs
 		for c.rec < len(parsed.Records) {
 			i := c.rec
 			r := parsed.Records[i]
@@ -306,10 +305,10 @@ func (c *Cursor) prev() (*Entry, error) {
 		if c.block < 0 {
 			return nil, io.EOF
 		}
-		var parsed *blockfmt.Parsed
+		var db *decodedBlock
 		var err error
 		if c.block < end {
-			parsed, err = c.parseCached(c.block)
+			db, err = c.decodeCached(c.block)
 		}
 		if c.block == end || err != nil {
 			// Past-the-end gap position or unreadable block: step back.
@@ -318,7 +317,7 @@ func (c *Cursor) prev() (*Entry, error) {
 			}
 			continue
 		}
-		effs := effectiveTimestamps(parsed)
+		parsed, effs := db.p, db.effs
 		for c.rec > 0 {
 			i := c.rec - 1
 			c.rec--
@@ -370,8 +369,8 @@ func (c *Cursor) retreatBlock() error {
 		return nil
 	}
 	c.block = prev
-	if parsed, err := c.parseCached(prev); err == nil {
-		c.rec = len(parsed.Records)
+	if db, err := c.decodeCached(prev); err == nil {
+		c.rec = len(db.p.Records)
 	} else {
 		c.rec = 0
 	}
@@ -484,36 +483,50 @@ func (c *Cursor) LocateUnique(clientTS, maxSkew int64, match func(*Entry) bool) 
 // reference to an entry and fetch it later. Like cursors, it runs without
 // the writer lock.
 func (s *Service) ReadAt(block, index int) (*Entry, error) {
+	e := new(Entry)
+	if err := s.ReadAtInto(block, index, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ReadAtInto is ReadAt into a caller-provided Entry, so a warm read of a
+// sealed, unfragmented entry performs no allocation at all: the block's
+// decode is reused from the cache entry it is attached to, and e.Data is a
+// subslice of the cache-owned block image. The data must therefore be
+// treated as read-only and copied if retained past the block's cache
+// residency.
+func (s *Service) ReadAtInto(block, index int, e *Entry) error {
 	if m := s.met(); m != nil {
 		defer m.readLat.ObserveSince(time.Now())
 	}
 	if s.closedFlag.Load() {
-		return nil, ErrClosed
+		return ErrClosed
 	}
-	parsed, err := s.parseBlock(block)
+	db, err := s.decodeBlock(block)
 	if err != nil {
-		return nil, fmt.Errorf("%w: block %d unreadable: %v", ErrLost, block, err)
+		return fmt.Errorf("%w: block %d unreadable: %v", ErrLost, block, err)
 	}
-	if index < 0 || index >= len(parsed.Records) {
-		return nil, fmt.Errorf("clio: no record %d in block %d", index, block)
+	if index < 0 || index >= len(db.p.Records) {
+		return fmt.Errorf("clio: no record %d in block %d", index, block)
 	}
-	r := parsed.Records[index]
+	r := &db.p.Records[index]
 	if r.Continued {
-		return nil, fmt.Errorf("clio: record %d of block %d is a continuation fragment", index, block)
+		return fmt.Errorf("clio: record %d of block %d is a continuation fragment", index, block)
 	}
-	data, err := s.assemble(block, index, parsed)
+	data, err := s.assemble(block, index, db.p)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	effs := effectiveTimestamps(parsed)
-	return &Entry{
+	*e = Entry{
 		LogID:       r.LogID,
-		Timestamp:   effs[index],
+		Timestamp:   db.effs[index],
 		Timestamped: r.Form != blockfmt.FormMinimal,
 		Forced:      r.AttrFlags&blockfmt.AttrForced != 0,
 		Data:        data,
 		Block:       block,
 		Index:       index,
 		ExtraIDs:    r.ExtraIDs,
-	}, nil
+	}
+	return nil
 }

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"sort"
 
 	"clio/internal/blockfmt"
 	"clio/internal/cache"
 	"clio/internal/catalog"
 	"clio/internal/entrymap"
 	"clio/internal/wire"
+	"clio/internal/wodev"
 )
 
 // RecoveryReport describes the work server initialization performed, for
@@ -29,6 +33,10 @@ type RecoveryReport struct {
 	// BadBlocks lists the known corrupted block indices from the bad-block
 	// log file.
 	BadBlocks []int
+	// StagedSeals counts sealed block images replayed from the staging
+	// NVRAM — blocks that were acked durable but whose pipelined device
+	// write the crash cut off (see pipeline.go).
+	StagedSeals int
 	// CheckpointUsed reports whether recovery restored from an in-log
 	// checkpoint instead of reconstructing from scratch.
 	CheckpointUsed bool
@@ -72,6 +80,15 @@ func (s *Service) recover() error {
 	s.recovery.SealedBlocks = end
 	s.recovery.EndProbes = s.DeviceStats().Probes - probesBefore
 
+	// Replay sealed block images the crash left in the staging NVRAM before
+	// anything examines the sealed prefix: the replayed blocks can hold
+	// checkpoint, entrymap and catalog records themselves.
+	if err := s.replayStagedSeals(); err != nil {
+		return err
+	}
+	end = s.sealedEnd
+	s.recovery.SealedBlocks = end
+
 	if cp := s.findCheckpoint(end); cp != nil {
 		err := s.restoreFromCheckpoint(cp, end)
 		if err == nil {
@@ -82,6 +99,7 @@ func (s *Service) recover() error {
 			// checkpoint's own blocks always sit past its coveredEnd.)
 			s.ckptAt = end
 			s.badBlocks = append([]int(nil), s.recovery.BadBlocks...)
+			s.mergeReplayBadLocked()
 			s.restoreLastTS()
 			return nil
 		}
@@ -91,6 +109,7 @@ func (s *Service) recover() error {
 		s.recovery = RecoveryReport{
 			SealedBlocks: s.recovery.SealedBlocks,
 			EndProbes:    s.recovery.EndProbes,
+			StagedSeals:  s.recovery.StagedSeals,
 		}
 		s.lastBound = 0
 		s.lastTS = 0
@@ -123,10 +142,130 @@ func (s *Service) recover() error {
 		return err
 	}
 	s.badBlocks = append([]int(nil), s.recovery.BadBlocks...)
+	s.mergeReplayBadLocked()
 
 	// Re-arm the timestamp clock past anything already written.
 	s.restoreLastTS()
 	return nil
+}
+
+// replayStagedSeals writes out sealed block images that were staged to the
+// NVRAM (and acked durable) but whose background device writes a crash cut
+// off (pipeline.go). The pipeline completes strictly in order, so at most
+// the oldest staged image can already be on the device — only its DropSealed
+// was lost; every other image is appended at the current end, sliding past
+// damaged blocks exactly as a live seal would.
+func (s *Service) replayStagedSeals() error {
+	nv, ok := s.opt.NVRAM.(StagingNVRAM)
+	if !ok {
+		return nil
+	}
+	globals, images, err := nv.LoadSealed()
+	if err != nil {
+		return fmt.Errorf("clio: nvram load sealed: %w", err)
+	}
+	if len(globals) == 0 {
+		return nil
+	}
+	order := make([]int, len(globals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return globals[order[a]] < globals[order[b]] })
+	for i, oi := range order {
+		g, img := globals[oi], images[oi]
+		if i == 0 && g > s.sealedEnd {
+			return fmt.Errorf("clio: staged seal for block %d but device end is %d (missing volume?)", g, s.sealedEnd)
+		}
+		if i == 0 && s.sealedEnd > 0 && s.deviceHoldsImage(s.sealedEnd-1, img) {
+			// Already written just before the crash; nothing to replay.
+		} else if err := s.writeStagedImageLocked(img); err != nil {
+			return err
+		}
+		if err := nv.DropSealed(g); err != nil {
+			return fmt.Errorf("clio: nvram drop sealed: %w", err)
+		}
+		s.recovery.StagedSeals++
+		s.stagedTailFrom = g + 1
+	}
+	return nil
+}
+
+// deviceHoldsImage reports whether the device block at pos holds the staged
+// image's contents. The device copy may legitimately differ in block index
+// (damaged-block slides renumber), the volume-sealed flag (decided at write
+// time) and therefore the trailing CRC; the payload, magic, record count and
+// first timestamp must match byte for byte.
+func (s *Service) deviceHoldsImage(pos int, staged []byte) bool {
+	dev, err := s.readBlock(pos)
+	if err != nil || len(dev) != len(staged) || !blockfmt.Validate(dev) {
+		return false
+	}
+	n := len(dev)
+	if !bytes.Equal(dev[:n-blockfmt.FooterSize], staged[:n-blockfmt.FooterSize]) {
+		return false
+	}
+	df := dev[n-blockfmt.FooterSize:]
+	sf := staged[n-blockfmt.FooterSize:]
+	return bytes.Equal(df[:3], sf[:3]) && bytes.Equal(df[4:14], sf[4:14]) &&
+		df[3]&^byte(blockfmt.FlagVolumeSealed) == sf[3]&^byte(blockfmt.FlagVolumeSealed)
+}
+
+// writeStagedImageLocked appends one staged sealed image at the current end,
+// handling damaged blocks and full volumes as the live seal path does. Bad
+// blocks discovered here queue in pendingBad: their log records ride out
+// with the first post-recovery append.
+func (s *Service) writeStagedImageLocked(img []byte) error {
+	target := s.sealedEnd
+	for {
+		v, local, err := s.locateForWriteLocked(target)
+		if err != nil {
+			return err
+		}
+		var orFlags uint8
+		if local == v.DataCapacity()-1 {
+			orFlags = blockfmt.FlagVolumeSealed
+		}
+		out := img
+		if orFlags != 0 || imageBlockIndex(img) != uint32(target) {
+			out, err = blockfmt.Reindex(img, uint32(target), orFlags)
+			if err != nil {
+				return fmt.Errorf("clio: staged seal image for block %d: %w", target, err)
+			}
+		}
+		devIdx := v.DeviceBlock(local)
+		werr := s.writeTailBlockLocked(v, devIdx, out)
+		switch {
+		case werr == nil:
+			s.sealedEnd = target + 1
+			s.publishTail(nil)
+			s.blockCache().Put(cache.Key{Block: target}, out)
+			return nil
+		case errors.Is(werr, wodev.ErrCorrupt) || transientExhausted(werr):
+			if ierr := v.Dev.Invalidate(devIdx); ierr != nil {
+				return fmt.Errorf("clio: invalidate damaged block: %w", ierr)
+			}
+			s.pendingBad = append(s.pendingBad, target)
+			s.stats.DeadBlocks++
+			target++
+		case errors.Is(werr, wodev.ErrFull):
+			if err := s.extendLocked(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("clio: replay staged seal at block %d: %w", target, werr)
+		}
+	}
+}
+
+// mergeReplayBadLocked folds bad blocks discovered while replaying staged
+// seals into the recovery report and live list (their log records are still
+// queued in pendingBad).
+func (s *Service) mergeReplayBadLocked() {
+	for _, b := range s.pendingBad {
+		s.recovery.BadBlocks = append(s.recovery.BadBlocks, b)
+		s.badBlocks = append(s.badBlocks, b)
+	}
 }
 
 // restoreTail re-stages an NVRAM-held tail block whose position matches the
@@ -143,6 +282,14 @@ func (s *Service) restoreTail() error {
 	}
 	if img == nil {
 		return nil
+	}
+	renumbered := false
+	if s.stagedTailFrom >= 0 && g >= s.stagedTailFrom {
+		// The tail was staged after the pipelined seals just replayed; its
+		// stored position reflects the dead server's numbering (possibly
+		// slid), but its place is wherever the replay left the frontier.
+		renumbered = g != s.sealedEnd
+		g = s.sealedEnd
 	}
 	if g < s.sealedEnd {
 		// Stale: the block was sealed to the device before the crash.
@@ -191,6 +338,11 @@ func (s *Service) restoreTail() error {
 	}
 	s.builder = b
 	s.tailGlobal = g
+	if renumbered {
+		// The stored image carries the dead server's block index; publish a
+		// reserialization under the restored position instead.
+		img = b.Seal()
+	}
 	s.publishTail(img)
 	s.blockCache().Put(cache.Key{Block: g}, img)
 	s.recovery.TailRestored = true

@@ -116,6 +116,21 @@ type Options struct {
 	// written portion. 0 (the default) disables both sides; a store
 	// written with checkpoints remains fully openable without them.
 	CheckpointInterval int
+	// CommitWindow controls the group-commit gather window for forced
+	// appends. 0 (the default) sizes the window adaptively from EWMAs of
+	// the arrival rate and the observed commit latency — a lone writer
+	// commits immediately, a storm coalesces into large batches. A positive
+	// duration pins a fixed gather window (the escape hatch for
+	// reproducibility). A negative value disables both the window and the
+	// pipelined sealer, restoring the original leader/rider-only path; it
+	// is also what experiments pin to keep vclock charges deterministic.
+	//
+	// When the configured NVRAM implements StagingNVRAM and CommitWindow is
+	// non-negative, full-block seals are pipelined: the sealed image is
+	// made durable in NVRAM, the force acks, and the write-once device
+	// write proceeds on a background sealer while the next batch
+	// accumulates (bounded in-flight window, in-order completion).
+	CommitWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +174,14 @@ type Stats struct {
 	BatchedForces   int64 // forced appends that shared their commit with others
 	Checkpoints     int64 // recovery checkpoints emitted
 	CheckpointBytes int64 // checkpoint payload bytes incl. their headers
+	AdaptiveWaits   int64 // commit leaders that opened an adaptive gather window
+	PipelinedSeals  int64 // sealed blocks whose device write completed off the ack path
+
+	// Gauges sampled at Stats() time (not cumulative; zeroed by reset only
+	// in the sense that they re-derive from live state).
+	CommitWindowNanos int64 // current adaptive gather window (ns)
+	InflightSeals     int64 // seals staged durable but not yet on device
+	StagedBytes       int64 // bytes held by in-flight staged seals
 }
 
 // Service is the Clio log service for one volume sequence.
@@ -210,9 +233,38 @@ type Service struct {
 	groupCommits  atomic.Int64
 	batchedForces atomic.Int64
 
+	// Adaptive commit window (see gatherWindow): EWMAs, in nanoseconds, of
+	// forced-append inter-arrival time and commit duration, the previous
+	// arrival stamp, and the window the current/most recent leader chose.
+	// forceSig wakes a leader sleeping in its gather window early when a
+	// new request arrives (capacity 1, non-blocking send).
+	arrivalEWMA    atomic.Int64
+	commitEWMA     atomic.Int64
+	lastArrival    atomic.Int64
+	windowNanos    atomic.Int64
+	adaptiveWaits  atomic.Int64
+	pipelinedSeals atomic.Int64
+	forceSig       chan struct{}
+	batchHist      [9]atomic.Int64 // pow-2 batch-size buckets 1,2,4,...,≥256
+
+	// Pipelined sealer (s.mu + sealCond). pipe holds sealed blocks whose
+	// images are durable in staging NVRAM but whose in-order device writes
+	// have not completed; the background sealer drains it head-first.
+	// pipeErr parks a hard device-write failure until a foreground
+	// operation absorbs it (drainPipeLocked). staging is set at Open when
+	// the NVRAM supports StagingNVRAM and CommitWindow >= 0.
+	sealCond       *sync.Cond
+	pipe           []*pendingSeal
+	pipeErr        error
+	sealerOn       bool
+	sealerStop     bool
+	staging        bool
+	pendingBad     []int // bad-block records queued by pipeline slides
+	stagedTailFrom int   // recovery: NVRAM tail renumber key (replayStagedSeals)
+
 	lastTS          int64
-	lastBound       int // last boundary EntriesDue has been called for
-	ckptAt          int // sealedEnd as of the last emitted/restored checkpoint
+	lastBound       int   // last boundary EntriesDue has been called for
+	ckptAt          int   // sealedEnd as of the last emitted/restored checkpoint
 	badBlocks       []int // full known bad-block list (recovery + live slides)
 	pendingSnapshot []*catalog.Record
 	closedFlag      atomic.Bool
@@ -225,6 +277,9 @@ type Service struct {
 	retry           faults.RetryPolicy
 	opDegraded      []int
 	opDegradedCause error
+	// Relocations by the background sealer, reported on the next operation.
+	pendingDegraded      []int
+	pendingDegradedCause error
 
 	// Observability: obsM holds the registered latency instruments (nil
 	// until RegisterMetrics — the same swap-able pattern as cacheP); tr is
@@ -246,6 +301,29 @@ type tailSnap struct {
 	tailGlobal int             // -1 when no tail is staged
 	tailImage  []byte          // sealed image of the staged tail (nil when none)
 	tailIDs    map[uint16]bool // ids present in the staged tail (never mutated)
+	// pipe mirrors the in-flight pipelined seals, in global order just
+	// above sealedEnd: readers resolve those blocks from the staged images
+	// exactly like the tail, since the device copies may not exist yet.
+	pipe []pipeSnap
+}
+
+// pipeSnap is the reader view of one in-flight pipelined seal.
+type pipeSnap struct {
+	global int
+	img    []byte
+	ids    map[uint16]bool
+}
+
+// end returns the snapshot's readable-block count (sealed + in-flight +
+// staged tail).
+func (sn *tailSnap) end() int {
+	if sn.tailGlobal >= 0 {
+		return sn.tailGlobal + 1
+	}
+	if n := len(sn.pipe); n > 0 {
+		return sn.pipe[n-1].global + 1
+	}
+	return sn.sealedEnd
 }
 
 // publishTail publishes the current tail state for lock-free readers; s.mu
@@ -254,6 +332,14 @@ type tailSnap struct {
 // have publishTail derive it from the builder.
 func (s *Service) publishTail(img []byte) {
 	sn := &tailSnap{sealedEnd: s.sealedEnd, tailGlobal: s.tailGlobal}
+	if len(s.pipe) > 0 {
+		sn.pipe = make([]pipeSnap, len(s.pipe))
+		for i, ps := range s.pipe {
+			// ps.img and ps.idSet are never mutated after enqueue (slides
+			// replace the image wholesale), so aliasing them is safe.
+			sn.pipe[i] = pipeSnap{global: ps.global, img: ps.img, ids: ps.idSet}
+		}
+	}
 	if s.tailGlobal >= 0 {
 		if img == nil {
 			img = s.builder.Seal()
@@ -276,11 +362,7 @@ func (s *Service) blockCache() *cache.Cache { return s.cacheP.Load() }
 
 // endShared is the reader-side endLocked: readable blocks per the snapshot.
 func (s *Service) endShared() int {
-	sn := s.snap()
-	if sn.tailGlobal >= 0 {
-		return sn.tailGlobal + 1
-	}
-	return sn.sealedEnd
+	return s.snap().end()
 }
 
 // New creates a brand-new volume sequence on the given fresh device and
@@ -322,10 +404,16 @@ func Open(devs []wodev.Device, opt Options) (*Service, error) {
 		return nil, errors.New("clio: no devices to mount")
 	}
 	s := &Service{
-		opt:        opt,
-		cat:        catalog.NewTable(),
-		tailGlobal: -1,
-		retry:      faults.DefaultDevicePolicy(),
+		opt:            opt,
+		cat:            catalog.NewTable(),
+		tailGlobal:     -1,
+		retry:          faults.DefaultDevicePolicy(),
+		forceSig:       make(chan struct{}, 1),
+		stagedTailFrom: -1,
+	}
+	s.sealCond = sync.NewCond(&s.mu)
+	if _, ok := opt.NVRAM.(StagingNVRAM); ok && opt.CommitWindow >= 0 {
+		s.staging = true
 	}
 	s.cacheP.Store(cache.New(opt.CacheBlocks, opt.Clock))
 	s.publishTail(nil)
@@ -388,6 +476,24 @@ func (s *Service) Stats() Stats {
 	out := s.stats
 	out.GroupCommits = s.groupCommits.Load()
 	out.BatchedForces = s.batchedForces.Load()
+	out.AdaptiveWaits = s.adaptiveWaits.Load()
+	out.PipelinedSeals = s.pipelinedSeals.Load()
+	out.CommitWindowNanos = s.windowNanos.Load()
+	out.InflightSeals = int64(len(s.pipe))
+	for _, ps := range s.pipe {
+		out.StagedBytes += int64(len(ps.img))
+	}
+	return out
+}
+
+// BatchSizeHistogram returns the distribution of group-commit batch sizes
+// in power-of-two buckets: index i counts batches of 2^i..2^(i+1)-1 entries
+// (the last bucket is unbounded).
+func (s *Service) BatchSizeHistogram() [9]int64 {
+	var out [9]int64
+	for i := range s.batchHist {
+		out[i] = s.batchHist[i].Load()
+	}
 	return out
 }
 
@@ -401,6 +507,11 @@ func (s *Service) ResetCounters() {
 	s.mu.Unlock()
 	s.groupCommits.Store(0)
 	s.batchedForces.Store(0)
+	s.adaptiveWaits.Store(0)
+	s.pipelinedSeals.Store(0)
+	for i := range s.batchHist {
+		s.batchHist[i].Store(0)
+	}
 	s.blockCache().ResetStats()
 	for _, v := range s.set.Volumes() {
 		v.Dev.ResetStats()
@@ -445,6 +556,9 @@ func (s *Service) End() int {
 func (s *Service) endLocked() int {
 	if s.tailGlobal >= 0 {
 		return s.tailGlobal + 1
+	}
+	if n := len(s.pipe); n > 0 {
+		return s.pipe[n-1].global + 1
 	}
 	return s.sealedEnd
 }
@@ -529,16 +643,22 @@ func (s *Service) Close() error {
 	if s.tailGlobal >= 0 {
 		if s.opt.NVRAM != nil {
 			if err := s.stageTailLocked(true); err != nil {
+				s.stopSealerLocked()
 				return err
 			}
 		} else {
 			if err := s.sealTailLocked(false); err != nil {
+				s.stopSealerLocked()
 				return err
 			}
 		}
 	}
+	// Completion barrier: every in-flight pipelined seal reaches the device
+	// (or its hard error surfaces here) before the service reports closed.
+	err := s.drainPipeLocked()
+	s.stopSealerLocked()
 	s.closedFlag.Store(true)
-	return nil
+	return err
 }
 
 // Crash simulates a power failure: the service is abandoned without
@@ -547,6 +667,12 @@ func (s *Service) Close() error {
 func (s *Service) Crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Stop the background sealer without draining: in-flight staged seals
+	// are abandoned exactly where the power cut caught them (a device
+	// write already underway may still land — indistinguishable from the
+	// cut arriving a moment later). The wait is only so the sealer cannot
+	// keep touching devices a test is about to hand to a new Open.
+	s.stopSealerLocked()
 	s.closedFlag.Store(true)
 }
 
@@ -602,6 +728,7 @@ func (s *Service) CreateLog(path string, perms uint16, owner string) (uint16, er
 	if err != nil {
 		return 0, err
 	}
+	s.awaitChainLocked()
 	ts := s.nextTS(false)
 	d, rec, err := s.cat.Create(parent, name, perms, owner, ts)
 	if err != nil {
@@ -659,6 +786,7 @@ func (s *Service) SetPerms(path string, perms uint16) error {
 	if err != nil {
 		return err
 	}
+	s.awaitChainLocked()
 	return s.appendCatalogLocked(rec, s.nextTS(false))
 }
 
@@ -674,6 +802,7 @@ func (s *Service) Retire(path string) error {
 	if err != nil {
 		return err
 	}
+	s.awaitChainLocked()
 	return s.appendCatalogLocked(rec, s.nextTS(false))
 }
 

@@ -83,14 +83,27 @@ func (ls *locatorSource) Pending(level int, id uint16) wire.Bitmap {
 	}
 	s.idxMu.Unlock()
 	sn := s.snap()
-	if level == 1 && sn.tailGlobal >= 0 && sn.tailIDs[id] {
+	if level == 1 {
 		n := s.opt.Degree
-		if len(bm) < (n+7)/8 {
-			eff := make(wire.Bitmap, (n+7)/8)
-			copy(eff, bm)
-			bm = eff
+		grow := func() {
+			if len(bm) < (n+7)/8 {
+				eff := make(wire.Bitmap, (n+7)/8)
+				copy(eff, bm)
+				bm = eff
+			}
 		}
-		bm.Set(sn.tailGlobal % n)
+		// Pipelined seals are readable but, like the tail, not yet noted in
+		// the accumulator (that happens when their device write completes).
+		for i := range sn.pipe {
+			if sn.pipe[i].ids[id] {
+				grow()
+				bm.Set(sn.pipe[i].global % n)
+			}
+		}
+		if sn.tailGlobal >= 0 && sn.tailIDs[id] {
+			grow()
+			bm.Set(sn.tailGlobal % n)
+		}
 	}
 	return bm
 }
@@ -161,6 +174,15 @@ func (s *Service) readBlock(global int) ([]byte, error) {
 		s.opt.Clock.ChargeCachedBlock()
 		return img, nil
 	}
+	return s.readBlockMiss(global)
+}
+
+// readBlockMiss is readBlock after a cache miss: it serves the staged tail
+// and pipelined seals from the published snapshot and reads everything else
+// from the device, populating the cache either way.
+func (s *Service) readBlockMiss(global int) ([]byte, error) {
+	key := cache.Key{Block: global}
+	bc := s.blockCache()
 	sn := s.snap()
 	if global == sn.tailGlobal {
 		// The staged tail exists only in memory (and NVRAM); if the cache
@@ -174,6 +196,19 @@ func (s *Service) readBlock(global int) ([]byte, error) {
 		}
 		s.opt.Clock.ChargeCachedBlock()
 		return sn.tailImage, nil
+	}
+	for i := range sn.pipe {
+		if ps := &sn.pipe[i]; ps.global == global {
+			// A pipelined seal awaiting its device write: serve the staged
+			// image, with the same republication-race rule as the tail (a
+			// slide can renumber in-flight blocks).
+			bc.Put(key, ps.img)
+			if s.snap() != sn {
+				bc.Invalidate(key)
+			}
+			s.opt.Clock.ChargeCachedBlock()
+			return ps.img, nil
+		}
 	}
 	v, local, err := s.set.Locate(global)
 	if err != nil {
@@ -198,14 +233,58 @@ type validatedReader interface {
 	ReadValidated(idx int, dst []byte, valid func([]byte) bool) error
 }
 
-// parseBlock reads and decodes a global data block (lock-free, see
+// decodedBlock is one block's interpreted form: its parse plus the derived
+// per-record effective timestamps. For device-durable (hence immutable)
+// blocks it is attached to the block's cache entry, so a warm read decodes
+// each block once and every Entry.Data handed out is a subslice of the
+// cache-owned image — the zero-copy read path.
+type decodedBlock struct {
+	p    *blockfmt.Parsed
+	effs []int64
+}
+
+// decodeBlock returns the decoded form of a global data block, reusing a
+// decode attached to the block's cache entry when present (lock-free, see
 // readBlock).
-func (s *Service) parseBlock(global int) (*blockfmt.Parsed, error) {
-	img, err := s.readBlock(global)
+func (s *Service) decodeBlock(global int) (*decodedBlock, error) {
+	key := cache.Key{Block: global}
+	bc := s.blockCache()
+	img, dec := bc.LookupDecoded(key)
+	if img != nil {
+		s.opt.Clock.ChargeCachedBlock()
+		if db, ok := dec.(*decodedBlock); ok {
+			return db, nil
+		}
+	} else {
+		var err error
+		if img, err = s.readBlockMiss(global); err != nil {
+			return nil, err
+		}
+	}
+	p, err := blockfmt.Parse(img)
 	if err != nil {
 		return nil, err
 	}
-	return blockfmt.Parse(img)
+	db := &decodedBlock{p: p, effs: effectiveTimestamps(p)}
+	if global < s.snap().sealedEnd {
+		// Attach only for sealed, device-durable blocks: the staged tail and
+		// pipelined seals are re-put as they change, and Attach's identity
+		// check alone would still let a decode of a just-superseded tail
+		// image linger until the next re-put. Sealed images never change, so
+		// their decode is safe for the entry's whole lifetime.
+		bc.Attach(key, img, db)
+	}
+	return db, nil
+}
+
+// parseBlock reads and decodes a global data block (lock-free, see
+// readBlock).
+func (s *Service) parseBlock(global int) (*blockfmt.Parsed, error) {
+	db, err := s.decodeBlock(global)
+	if err != nil {
+		return nil, err
+	}
+	return db.p, nil
 }
 
 // assemble reassembles the full data of the entry whose first fragment is

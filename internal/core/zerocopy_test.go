@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"unsafe"
+
+	"clio/internal/cache"
+	"clio/internal/wodev"
+)
+
+// zeroCopySetup builds a service with a few sealed blocks and returns it
+// along with the (block, index) of a sealed, unfragmented entry.
+func zeroCopySetup(t testing.TB) (*Service, int, int) {
+	tc := &testClock{}
+	opt := Options{BlockSize: 256, Degree: 4, Now: tc.Now}
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: opt.BlockSize, Capacity: 1 << 12})
+	s, err := New(dev, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch tt := t.(type) {
+	case *testing.T:
+		tt.Cleanup(func() { s.Close() })
+	case *testing.B:
+		tt.Cleanup(func() { s.Close() })
+	}
+	id, err := s.CreateLog("/zc", 0o644, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := s.Append(id, []byte(fmt.Sprintf("payload-%03d", i)), AppendOptions{}); err != nil && !IsDegraded(err) {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SealTail(); err != nil {
+		t.Fatal(err)
+	}
+	// Find a sealed entry to read back.
+	var e Entry
+	for b := 0; b < s.endShared(); b++ {
+		db, err := s.decodeBlock(b)
+		if err != nil {
+			continue
+		}
+		for i := range db.p.Records {
+			r := &db.p.Records[i]
+			if r.LogID == id && !r.Continued && !r.Continues {
+				if err := s.ReadAtInto(b, i, &e); err == nil {
+					return s, b, i
+				}
+			}
+		}
+	}
+	t.Fatal("no sealed unfragmented entry found")
+	return nil, 0, 0
+}
+
+// TestZeroCopyWarmRead verifies both halves of the zero-copy contract: a
+// warm ReadAtInto performs no allocations, and the Entry.Data it returns is
+// a subslice of the cache-owned block image rather than a copy.
+func TestZeroCopyWarmRead(t *testing.T) {
+	s, block, index := zeroCopySetup(t)
+
+	var e Entry
+	if err := s.ReadAtInto(block, index, &e); err != nil { // warm the decode
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := s.ReadAtInto(block, index, &e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ReadAtInto allocated %.1f objects/op, want 0", allocs)
+	}
+
+	// e.Data must alias the cached block image, not a copy of it.
+	img := s.blockCache().Lookup(cache.Key{Block: block})
+	if img == nil {
+		t.Fatal("block image not cached after warm read")
+	}
+	start := uintptr(unsafe.Pointer(unsafe.SliceData(img)))
+	end := start + uintptr(len(img))
+	p := uintptr(unsafe.Pointer(unsafe.SliceData(e.Data)))
+	if p < start || p+uintptr(len(e.Data)) > end {
+		t.Fatalf("Entry.Data does not alias the cached block image")
+	}
+}
+
+// TestZeroCopyCursorWarmNext verifies that a cursor re-walking a sealed
+// region reuses cache-attached decodes: the second pass must not re-parse
+// (no per-block allocation beyond the Entry values themselves).
+func TestZeroCopyCursorWarmNext(t *testing.T) {
+	s, _, _ := zeroCopySetup(t)
+	c, err := s.OpenCursor("/zc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := 0
+	for {
+		e, err := c.Next()
+		if err != nil {
+			break
+		}
+		_ = e
+		first++
+	}
+	c.SeekStart()
+	second := 0
+	for {
+		e, err := c.Next()
+		if err != nil {
+			break
+		}
+		if len(e.Data) == 0 {
+			t.Fatal("empty entry data")
+		}
+		second++
+	}
+	if first == 0 || first != second {
+		t.Fatalf("cursor passes disagree: %d then %d", first, second)
+	}
+}
+
+// BenchmarkReadAtWarm measures the warm zero-copy read path; the CI bench
+// gate asserts 0 allocs/op from this benchmark's output.
+func BenchmarkReadAtWarm(b *testing.B) {
+	s, block, index := zeroCopySetup(b)
+	var e Entry
+	if err := s.ReadAtInto(block, index, &e); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ReadAtInto(block, index, &e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

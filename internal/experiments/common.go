@@ -34,6 +34,11 @@ func newService(blockSize, degree, capacityBlocks int, clk *vclock.Clock, nv cor
 		Clock:       clk,
 		NVRAM:       nv,
 		Now:         testNow(),
+		// The paper-table experiments count seals and device writes
+		// deterministically; the adaptive window and seal pipeline introduce
+		// real-time dependence, so they run in legacy (unwindowed, unpipelined)
+		// mode. The force experiment exercises the adaptive path explicitly.
+		CommitWindow: -1,
 	})
 	return svc, dev, err
 }

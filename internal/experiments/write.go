@@ -32,7 +32,7 @@ func RunWrite(entries int) ([]WriteRow, error) {
 		svc, err := core.New(dev, core.Options{
 			BlockSize: 1024, Degree: 16, CacheBlocks: -1,
 			Clock: clk, NVRAM: core.NewMemNVRAM(), Now: testNow(),
-			RemoteIPC: remote,
+			RemoteIPC: remote, CommitWindow: -1,
 		})
 		if err != nil {
 			return 0, 0, 0, err

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 
 	"clio/internal/wire"
 )
@@ -126,23 +127,33 @@ var ErrFrameTooLarge = errors.New("server: frame too large")
 // WriteFrame writes one length-prefixed frame (op byte + seq + traceID +
 // payload).
 func WriteFrame(w io.Writer, op byte, seq, trace uint64, payload []byte) error {
-	if len(payload)+17 > MaxFrame {
+	return WriteFrameChunks(w, op, seq, trace, payload, nil)
+}
+
+// WriteFrameChunks writes one frame whose payload is head followed by body,
+// without concatenating them. body may be a subslice borrowed from the block
+// cache (a sealed entry's data): a read response then travels from the
+// immutable block image to the connection with no intermediate copy. On a
+// TCP connection the three pieces go out in a single writev.
+func WriteFrameChunks(w io.Writer, op byte, seq, trace uint64, head, body []byte) error {
+	n := len(head) + len(body)
+	if n+17 > MaxFrame {
 		return ErrFrameTooLarge
 	}
 	var hdr [21]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+17))
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(n+17))
 	hdr[4] = op
 	binary.LittleEndian.PutUint64(hdr[5:13], seq)
 	binary.LittleEndian.PutUint64(hdr[13:], trace)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	bufs := net.Buffers{hdr[:]}
+	if len(head) > 0 {
+		bufs = append(bufs, head)
 	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
+	if len(body) > 0 {
+		bufs = append(bufs, body)
 	}
-	return nil
+	_, err := bufs.WriteTo(w)
+	return err
 }
 
 // ReadFrame reads one frame, returning its op byte, sequence number, trace

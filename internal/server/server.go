@@ -418,13 +418,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 	var wmu sync.Mutex
 	var inflight sync.WaitGroup
 	defer inflight.Wait()
-	write := func(status byte, seq, trace uint64, resp []byte) bool {
+	write := func(status byte, seq, trace uint64, resp, body []byte) bool {
 		wmu.Lock()
 		defer wmu.Unlock()
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		if err := WriteFrame(conn, status, seq, trace, resp); err != nil {
+		if err := WriteFrameChunks(conn, status, seq, trace, resp, body); err != nil {
 			s.logf("clio server: write: %v", err)
 			return false
 		}
@@ -467,8 +467,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 						defer inflight.Done()
 						defer func() { <-pool }()
 						tr := s.Tracer.Start(traceID, opName(op))
-						status, resp := h.dispatch(tr, op, payload)
-						ok := write(status, seq, traceID, resp)
+						status, resp, body := h.dispatch(tr, op, payload)
+						ok := write(status, seq, traceID, resp, body)
 						s.Tracer.Finish(tr)
 						m.reqLat.ObserveSince(start)
 						if !ok {
@@ -481,8 +481,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 				}
 			}
 			tr := s.Tracer.Start(traceID, opName(op))
-			status, resp := h.dispatch(tr, op, payload)
-			ok := write(status, seq, traceID, resp)
+			status, resp, body := h.dispatch(tr, op, payload)
+			ok := write(status, seq, traceID, resp, body)
 			s.Tracer.Finish(tr)
 			m.reqLat.ObserveSince(start)
 			if !ok {
@@ -492,7 +492,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		tr := s.Tracer.Start(traceID, opName(op))
 		status, resp := h.handle(tr, op, seq, payload)
-		ok := write(status, seq, traceID, resp)
+		ok := write(status, seq, traceID, resp, nil)
 		s.Tracer.Finish(tr)
 		m.reqLat.ObserveSince(start)
 		if !ok {
@@ -611,6 +611,20 @@ func errResp(err error) (byte, []byte) {
 	return StatusErr, PutString(nil, err.Error())
 }
 
+// errResp3 is errResp in dispatch's three-value (status, resp, body) shape.
+func errResp3(err error) (byte, []byte, []byte) {
+	return StatusErr, PutString(nil, err.Error()), nil
+}
+
+// flattenResp folds a borrowed body into one retained payload; a nil body
+// returns resp unchanged.
+func flattenResp(resp, body []byte) []byte {
+	if body == nil {
+		return resp
+	}
+	return append(resp, body...)
+}
+
 // handle processes one request frame. Requests with seq > 0 pass through
 // the session's duplicate-suppression window: a seq already processed
 // returns its original cached response without re-executing, which is what
@@ -626,7 +640,8 @@ func (h *connHandler) handle(tr *obs.Trace, op byte, seq uint64, payload []byte)
 				return status, resp
 			}
 		}
-		status, resp := h.dispatch(tr, op, payload)
+		status, resp, body := h.dispatch(tr, op, payload)
+		resp = flattenResp(resp, body)
 		if g := h.srv.Gate; g != nil && IsMutating(op) {
 			status, resp, _ = g(op, h.sess.id, 0, status, resp)
 		}
@@ -647,7 +662,11 @@ func (h *connHandler) handle(tr *obs.Trace, op byte, seq uint64, payload []byte)
 			return status, resp
 		}
 	}
-	status, resp := h.dispatch(tr, op, payload)
+	status, resp, body := h.dispatch(tr, op, payload)
+	// Sequenced responses outlive the request (dedup window, Gate), so a
+	// borrowed body is folded into one retained payload here; only the
+	// read-class path (OpReadAt) ships a borrowed body without copying.
+	resp = flattenResp(resp, body)
 	record := true
 	if g := h.srv.Gate; g != nil && IsMutating(op) {
 		// The gate may hold the response for quorum, rewrite it on quorum
@@ -699,7 +718,12 @@ func decodeID(d *Decoder) (logapi.ID, error) {
 	return logapi.ID(v), nil
 }
 
-func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []byte) {
+// dispatch executes one request and returns (status, resp, body). body,
+// when non-nil, is the entry-data tail of the response, borrowed straight
+// from the block cache: the read-class path writes it to the connection
+// without copying, while sequenced paths (which must retain the response for
+// the dedup window and the replication gate) flatten it first.
+func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []byte, []byte) {
 	defer tr.Span("server.dispatch")()
 	store := h.srv.store
 	// Requests are uninterruptible once read off the wire — a dropped
@@ -709,61 +733,61 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 	d := NewDecoder(payload)
 	switch op {
 	case OpPing:
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpCreate:
 		path, err := d.String()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		perms, err := d.Uint16()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		owner, err := d.String()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		id, err := store.CreateLog(ctx, path, perms, owner)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, wire.PutUvarint(nil, uint64(id))
+		return StatusOK, wire.PutUvarint(nil, uint64(id)), nil
 
 	case OpResolve:
 		path, err := d.String()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		id, err := store.Resolve(ctx, path)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, wire.PutUvarint(nil, uint64(id))
+		return StatusOK, wire.PutUvarint(nil, uint64(id)), nil
 
 	case OpList:
 		path, err := d.String()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		names, err := store.List(ctx, path)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		out := wire.PutUvarint(nil, uint64(len(names)))
 		for _, n := range names {
 			out = PutString(out, n)
 		}
-		return StatusOK, out
+		return StatusOK, out, nil
 
 	case OpStat:
 		path, err := d.String()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		desc, err := store.Stat(ctx, path)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		out := wire.PutUvarint(nil, uint64(desc.ID))
 		out = wire.PutUvarint(out, uint64(desc.Parent))
@@ -778,102 +802,102 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		if desc.System {
 			flags |= 2
 		}
-		return StatusOK, append(out, flags)
+		return StatusOK, append(out, flags), nil
 
 	case OpSetPerms:
 		path, err := d.String()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		perms, err := d.Uint16()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		if err := store.SetPerms(ctx, path, perms); err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpRetire:
 		path, err := d.String()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		if err := store.Retire(ctx, path); err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpAppend:
 		id, err := decodeID(d)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		flags, err := d.Byte()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		data, err := d.Bytes()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		ts, err := store.Append(ctx, id, data, core.AppendOptions{
 			Timestamped: flags&AppendTimestamped != 0,
 			Forced:      flags&AppendForced != 0,
 			Trace:       tr,
 		})
-		return appendResp(ts, err)
+		return appendResp3(ts, err)
 
 	case OpAppendMulti:
 		nIDs, err := d.Uvarint()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		if nIDs == 0 || nIDs > 64 {
-			return errResp(fmt.Errorf("server: bad member count %d", nIDs))
+			return errResp3(fmt.Errorf("server: bad member count %d", nIDs))
 		}
 		ids := make([]logapi.ID, nIDs)
 		for i := range ids {
 			if ids[i], err = decodeID(d); err != nil {
-				return errResp(err)
+				return errResp3(err)
 			}
 		}
 		flags, err := d.Byte()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		data, err := d.Bytes()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		ts, err := store.AppendMulti(ctx, ids, data, core.AppendOptions{
 			Timestamped: flags&AppendTimestamped != 0,
 			Forced:      flags&AppendForced != 0,
 			Trace:       tr,
 		})
-		return appendResp(ts, err)
+		return appendResp3(ts, err)
 
 	case OpForce:
 		if err := store.Force(ctx); err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpCursorOpen:
 		path, err := d.String()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		cur, err := store.OpenCursor(ctx, path)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, wire.PutUint32(nil, h.sess.addCursor(cur))
+		return StatusOK, wire.PutUint32(nil, h.sess.addCursor(cur)), nil
 
 	case OpNext, OpPrev:
 		cur, err := h.cursor(d)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		var e *core.Entry
 		readDone := tr.Span("core.read")
@@ -884,31 +908,31 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		}
 		readDone()
 		if err == io.EOF {
-			return StatusEOF, nil
+			return StatusEOF, nil, nil
 		}
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, encodeEntry(e)
+		return StatusOK, encodeEntryHead(e), e.Data
 
 	case OpSeekTime:
 		cur, err := h.cursor(d)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		ts, err := d.Int64()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		if err := cur.SeekTime(ctx, ts); err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpSeekStart, OpSeekEnd:
 		cur, err := h.cursor(d)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		if op == OpSeekStart {
 			err = cur.SeekStart(ctx)
@@ -916,56 +940,56 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 			err = cur.SeekEnd(ctx)
 		}
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpSeekPos:
 		cur, err := h.cursor(d)
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		block, err := d.Uvarint()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		rec, err := d.Uvarint()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		if err := cur.SeekPos(ctx, int(block), int(rec)); err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpCursorEnd:
 		handle, err := d.Uvarint()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		h.sess.delCursor(uint32(handle))
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpReadAt:
 		shardN, err := d.Uvarint()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		block, err := d.Uvarint()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		index, err := d.Uvarint()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
 		readDone := tr.Span("core.read")
 		e, err := store.ReadAt(ctx, int(shardN), int(block), int(index))
 		readDone()
 		if err != nil {
-			return errResp(err)
+			return errResp3(err)
 		}
-		return StatusOK, encodeEntry(e)
+		return StatusOK, encodeEntryHead(e), e.Data
 
 	case OpStats:
 		st := store.Stats()
@@ -973,15 +997,15 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		out = wire.PutUint64(out, uint64(st.BlocksSealed))
 		out = wire.PutUint64(out, uint64(st.ClientBytes))
 		out = wire.PutUint64(out, uint64(store.End()))
-		return StatusOK, out
+		return StatusOK, out, nil
 
 	default:
 		if ext := h.srv.ExtOp; ext != nil {
 			if status, resp, handled := ext(op, payload); handled {
-				return status, resp
+				return status, resp, nil
 			}
 		}
-		return errResp(fmt.Errorf("server: unknown op %d", op))
+		return errResp3(fmt.Errorf("server: unknown op %d", op))
 	}
 }
 
@@ -996,6 +1020,12 @@ func appendResp(ts int64, err error) (byte, []byte) {
 		return errResp(err)
 	}
 	return StatusOK, wire.PutUint64(nil, uint64(ts))
+}
+
+// appendResp3 is appendResp in dispatch's three-value shape.
+func appendResp3(ts int64, err error) (byte, []byte, []byte) {
+	status, resp := appendResp(ts, err)
+	return status, resp, nil
 }
 
 func (h *connHandler) cursor(d *Decoder) (logapi.Cursor, error) {
@@ -1019,6 +1049,13 @@ func EncodeEntry(e *core.Entry) []byte { return encodeEntry(e) }
 // byte, then the shard ordinal and the shard-local (block, index) position
 // as uvarints, the extra member ids, and the data.
 func encodeEntry(e *core.Entry) []byte {
+	return append(encodeEntryHead(e), e.Data...)
+}
+
+// encodeEntryHead lays out everything up to and including the data length
+// prefix, so the data itself can be shipped as a separate borrowed chunk
+// (WriteFrameChunks): head + e.Data is byte-identical to encodeEntry.
+func encodeEntryHead(e *core.Entry) []byte {
 	out := wire.PutUint16(nil, e.LogID)
 	out = wire.PutUint64(out, uint64(e.Timestamp))
 	var flags byte
@@ -1036,5 +1073,5 @@ func encodeEntry(e *core.Entry) []byte {
 	for _, id := range e.ExtraIDs {
 		out = wire.PutUint16(out, id)
 	}
-	return PutBytes(out, e.Data)
+	return wire.PutUvarint(out, uint64(len(e.Data)))
 }

@@ -397,6 +397,17 @@ func (st *Store) Stats() core.Stats {
 		out.FooterBytes += s.FooterBytes
 		out.GroupCommits += s.GroupCommits
 		out.BatchedForces += s.BatchedForces
+		out.Checkpoints += s.Checkpoints
+		out.CheckpointBytes += s.CheckpointBytes
+		out.AdaptiveWaits += s.AdaptiveWaits
+		out.PipelinedSeals += s.PipelinedSeals
+		out.InflightSeals += s.InflightSeals
+		out.StagedBytes += s.StagedBytes
+		// The commit window is a per-shard gauge, not additive: report the
+		// widest shard's, the one currently shaping worst-case force latency.
+		if s.CommitWindowNanos > out.CommitWindowNanos {
+			out.CommitWindowNanos = s.CommitWindowNanos
+		}
 	}
 	return out
 }
