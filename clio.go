@@ -96,12 +96,6 @@ type AppendOptions = core.AppendOptions
 // Entry is one log entry as returned by a cursor.
 type Entry = core.Entry
 
-// Cursor iterates a log file in either direction and seeks by time.
-//
-// Deprecated: new code should use LogCursor, the context-first cursor the
-// Log interface returns; Cursor is the context-free core cursor.
-type Cursor = core.Cursor
-
 // Stats aggregates service activity counters.
 type Stats = core.Stats
 

@@ -36,8 +36,10 @@ import (
 	"clio/internal/archive"
 	"clio/internal/client"
 	"clio/internal/cluster"
+	"clio/internal/logapi"
 	"clio/internal/scrub"
 	"clio/internal/server"
+	"clio/internal/stream/group"
 	"clio/internal/wire"
 	"clio/internal/wodev"
 )
@@ -49,7 +51,11 @@ commands:
   create <path>            create a log file (parents must exist)
   append <path>            append one entry per stdin line (forced)
   cat <path>               print every entry
-  tail [-n K] [-f] <path>  print the last K entries; -f follows
+  tail [-n K] [-f] <path>  print the last K entries; -f follows via a live
+                           tail subscription (no polling)
+  tail -f -group G [-member M] [-partitions N] <topic>
+                           consume a partitioned topic as a consumer-group
+                           member, acking each entry into /.offsets/G
   since <path> <RFC3339>   print entries at/after a time
   ls <path>                list sublogs
   stat <path>              show a log file's descriptor
@@ -150,10 +156,20 @@ func main() {
 	case "tail":
 		fs := flag.NewFlagSet("tail", flag.ExitOnError)
 		n := fs.Int("n", 10, "entries")
-		follow := fs.Bool("f", false, "keep following new entries")
+		follow := fs.Bool("f", false, "keep following new entries (live tail subscription)")
+		grp := fs.String("group", "", "consume as a member of this consumer group; the path argument is the topic")
+		member := fs.String("member", "", "member name within -group (default host-pid)")
+		parts := fs.Int("partitions", 1, "partition count of the -group topic")
 		_ = fs.Parse(args[1:])
 		if fs.NArg() != 1 {
 			usage()
+		}
+		if *grp != "" {
+			if !*follow {
+				fatal(fmt.Errorf("tail -group requires -f"))
+			}
+			runGroupTail(ctx, cl, *grp, *member, fs.Arg(0), *parts)
+			return
 		}
 		cur, err := cl.OpenCursor(ctx, fs.Arg(0))
 		if err != nil {
@@ -178,19 +194,24 @@ func main() {
 			printEntry(entries[i])
 		}
 		if *follow {
-			// Re-walk forward past what was printed, then poll: cursors
-			// observe new entries as the log grows.
-			for range entries {
-				if _, err := cur.Next(ctx); err != nil && err != io.EOF {
-					fatal(err)
+			// Live tail: subscribe from the gap position after the newest
+			// printed entry on each shard. The server pushes entries as group
+			// commit publishes them — no polling.
+			var from []logapi.Position
+			seen := make(map[int]bool)
+			for _, e := range entries { // newest-first, so first hit per shard wins
+				if !seen[e.Shard] {
+					seen[e.Shard] = true
+					from = append(from, logapi.Position{Shard: e.Shard, Block: e.Block, Rec: e.Index + 1})
 				}
 			}
+			sub, err := cl.Watch(ctx, fs.Arg(0), logapi.WatchOptions{From: from})
+			if err != nil {
+				fatal(err)
+			}
+			defer sub.Close()
 			for {
-				e, err := cur.Next(ctx)
-				if err == io.EOF {
-					time.Sleep(500 * time.Millisecond)
-					continue
-				}
+				e, err := sub.Recv(ctx)
 				if err != nil {
 					fatal(err)
 				}
@@ -250,6 +271,35 @@ func main() {
 
 	default:
 		usage()
+	}
+}
+
+// runGroupTail consumes a partitioned topic as one member of a consumer
+// group: partitions are divided among the group's live members, every
+// printed entry is acknowledged into the group's offsets log, and a
+// restarted member resumes after the group's last acknowledged entry.
+func runGroupTail(ctx context.Context, cl *client.Client, grp, member, topic string, partitions int) {
+	if member == "" {
+		host, _ := os.Hostname()
+		member = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	c, err := group.Join(ctx, cl, grp, member, topic, partitions, group.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(os.Stderr, "clio: joined group %q as %q (topic %s, %d partitions)\n",
+		grp, member, topic, partitions)
+	for {
+		m, err := c.Recv(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.Ack(ctx, m); err != nil {
+			continue // partition moved between delivery and ack; the new owner redelivers
+		}
+		fmt.Printf("[p%d] ", m.Partition)
+		printEntry(m.Entry)
 	}
 }
 
@@ -394,9 +444,19 @@ func connect(addr, store string) (*client.Client, func(), error) {
 			return nil, nil, err
 		}
 		srv := server.NewStore(st)
-		cConn, sConn := net.Pipe()
-		go srv.ServeConn(sConn)
-		cl := client.New(cConn)
+		// A dialer (rather than a single pipe) so Watch — which runs each
+		// subscription on a dedicated connection — works in-process too.
+		dialer := func(ctx context.Context) (net.Conn, error) {
+			cConn, sConn := net.Pipe()
+			go srv.ServeConn(sConn)
+			return cConn, nil
+		}
+		cl, err := client.DialContext(context.Background(), "", client.Options{Dialer: dialer})
+		if err != nil {
+			srv.Close()
+			st.Close()
+			return nil, nil, err
+		}
 		return cl, func() {
 			cl.Close()
 			srv.Close()

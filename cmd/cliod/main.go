@@ -110,6 +110,7 @@ func main() {
 	if *admin != "" {
 		reg := obs.NewRegistry()
 		st.RegisterMetrics(reg)
+		st.RegisterStreamMetrics(reg)
 		srv.RegisterMetrics(reg)
 		obs.RegisterProcessMetrics(reg)
 		srv.Tracer = obs.NewTracer(256, *slowTrace)

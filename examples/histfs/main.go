@@ -7,28 +7,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"clio"
 	"clio/internal/histfs"
-	"clio/internal/logapi"
 )
 
 func main() {
+	ctx := context.Background()
 	store, err := clio.NewMemStore(1, 1024, 1<<15, clio.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer store.Close()
 
-	fs, err := histfs.New(logapi.AsStore(store), "/histfs")
+	fs, err := histfs.New(ctx, store, "/histfs")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if err := fs.Create("report.txt", 0o644); err != nil {
+	if err := fs.Create(ctx, "report.txt", 0o644); err != nil {
 		log.Fatal(err)
 	}
 	versions := []string{
@@ -38,21 +39,21 @@ func main() {
 	}
 	var stamps []int64
 	for _, v := range versions {
-		if err := fs.Truncate("report.txt", 0); err != nil {
+		if err := fs.Truncate(ctx, "report.txt", 0); err != nil {
 			log.Fatal(err)
 		}
-		if err := fs.Append("report.txt", []byte(v)); err != nil {
+		if err := fs.Append(ctx, "report.txt", []byte(v)); err != nil {
 			log.Fatal(err)
 		}
 		stamps = append(stamps, time.Now().UnixNano())
 		time.Sleep(2 * time.Millisecond)
 	}
 
-	cur, _ := fs.Read("report.txt")
+	cur, _ := fs.Read(ctx, "report.txt")
 	fmt.Printf("current contents: %q\n", cur)
 
 	for i, ts := range stamps {
-		v, err := fs.ReadAsOf("report.txt", ts)
+		v, err := fs.ReadAsOf(ctx, "report.txt", ts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,13 +61,13 @@ func main() {
 	}
 
 	// Delete removes the file from the namespace but not from history.
-	if err := fs.Delete("report.txt"); err != nil {
+	if err := fs.Delete(ctx, "report.txt"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := fs.Read("report.txt"); err != nil {
+	if _, err := fs.Read(ctx, "report.txt"); err != nil {
 		fmt.Printf("after delete, Read fails as expected: %v\n", err)
 	}
-	v, err := fs.ReadAsOf("report.txt", stamps[2])
+	v, err := fs.ReadAsOf(ctx, "report.txt", stamps[2])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,21 +75,21 @@ func main() {
 
 	// The current state is only a cache of the history: drop it and replay.
 	fs.EvictCache()
-	names, _ := fs.List()
+	names, _ := fs.List(ctx)
 	fmt.Printf("live files after cache rebuild: %v (report.txt stays deleted)\n", names)
 
-	info := mustStat(fs, "notes.txt")
+	info := mustStat(ctx, fs, "notes.txt")
 	_ = info
 }
 
-func mustStat(fs *histfs.FS, name string) histfs.Info {
-	if err := fs.Create(name, 0o600); err != nil {
+func mustStat(ctx context.Context, fs *histfs.FS, name string) histfs.Info {
+	if err := fs.Create(ctx, name, 0o600); err != nil {
 		log.Fatal(err)
 	}
-	if err := fs.Append(name, []byte("hello")); err != nil {
+	if err := fs.Append(ctx, name, []byte("hello")); err != nil {
 		log.Fatal(err)
 	}
-	info, err := fs.Stat(name)
+	info, err := fs.Stat(ctx, name)
 	if err != nil {
 		log.Fatal(err)
 	}

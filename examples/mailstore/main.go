@@ -7,26 +7,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"clio"
-	"clio/internal/logapi"
 	"clio/internal/mailstore"
 )
 
 func main() {
+	ctx := context.Background()
 	logs, err := clio.NewMemStore(1, 1024, 1<<15, clio.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer logs.Close()
 
-	store, err := mailstore.New(logapi.AsStore(logs), "/mail")
+	store, err := mailstore.New(ctx, logs, "/mail")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := store.CreateMailbox("smith"); err != nil {
+	if err := store.CreateMailbox(ctx, "smith"); err != nil {
 		log.Fatal(err)
 	}
 
@@ -36,7 +37,7 @@ func main() {
 		{"finlayson", "log service", "entrymap level-2 entries are working"},
 		{"spam-bot", "WIN BIG", "click here"},
 	} {
-		id, err := store.Deliver("smith", m.from, m.subj, m.body)
+		id, err := store.Deliver(ctx, "smith", m.from, m.subj, m.body)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,36 +45,36 @@ func main() {
 	}
 
 	// A CC'd announcement: one multi-membership log entry, two mailboxes.
-	if err := store.CreateMailbox("jones"); err != nil {
+	if err := store.CreateMailbox(ctx, "jones"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := store.DeliverCC([]string{"smith", "jones"},
+	if _, err := store.DeliverCC(ctx, []string{"smith", "jones"},
 		"root", "maintenance", "the optical drive arrives tuesday"); err != nil {
 		log.Fatal(err)
 	}
 
-	if err := store.MarkRead("smith", ids[0]); err != nil {
+	if err := store.MarkRead(ctx, "smith", ids[0]); err != nil {
 		log.Fatal(err)
 	}
-	if err := store.Hide("smith", ids[2]); err != nil { // "delete" the spam
+	if err := store.Hide(ctx, "smith", ids[2]); err != nil { // "delete" the spam
 		log.Fatal(err)
 	}
 
 	fmt.Println("== mailbox view (hidden messages filtered) ==")
-	printBox(store, "smith", false)
+	printBox(ctx, store, "smith", false)
 
 	fmt.Println("== the permanent history (nothing is ever gone) ==")
-	printBox(store, "smith", true)
+	printBox(ctx, store, "smith", true)
 
 	// The agent's state is just a cache over the logs: drop it and the
 	// mailbox — including the flags — rebuilds from the history.
 	store.EvictCache()
 	fmt.Println("== after rebuilding the agent's cache from the logs ==")
-	printBox(store, "smith", true)
+	printBox(ctx, store, "smith", true)
 }
 
-func printBox(store *mailstore.Store, user string, all bool) {
-	msgs, err := store.List(user, all)
+func printBox(ctx context.Context, store *mailstore.Store, user string, all bool) {
+	msgs, err := store.List(ctx, user, all)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,17 +54,18 @@ func TestFullSystemIntegration(t *testing.T) {
 			return
 		}
 		defer cl.Close()
-		ms, err := mailstore.New(logapi.AsStore(cl), "/mail")
+		ctx := context.Background()
+		ms, err := mailstore.New(ctx, cl, "/mail")
 		if err != nil {
 			errs <- err
 			return
 		}
-		if err := ms.CreateMailbox("ops"); err != nil {
+		if err := ms.CreateMailbox(ctx, "ops"); err != nil {
 			errs <- err
 			return
 		}
 		for i := 0; i < 25; i++ {
-			if _, err := ms.Deliver("ops", "monitor", fmt.Sprintf("alert %d", i), "disk almost full"); err != nil {
+			if _, err := ms.Deliver(ctx, "ops", "monitor", fmt.Sprintf("alert %d", i), "disk almost full"); err != nil {
 				errs <- err
 				return
 			}
@@ -80,21 +81,22 @@ func TestFullSystemIntegration(t *testing.T) {
 			return
 		}
 		defer cl.Close()
-		fs, err := histfs.New(logapi.AsStore(cl), "/histfs")
+		ctx := context.Background()
+		fs, err := histfs.New(ctx, cl, "/histfs")
 		if err != nil {
 			errs <- err
 			return
 		}
-		if err := fs.Create("config", 0o644); err != nil {
+		if err := fs.Create(ctx, "config", 0o644); err != nil {
 			errs <- err
 			return
 		}
 		for i := 0; i < 15; i++ {
-			if err := fs.Truncate("config", 0); err != nil {
+			if err := fs.Truncate(ctx, "config", 0); err != nil {
 				errs <- err
 				return
 			}
-			if err := fs.Append("config", []byte(fmt.Sprintf("version=%d", i))); err != nil {
+			if err := fs.Append(ctx, "config", []byte(fmt.Sprintf("version=%d", i))); err != nil {
 				errs <- err
 				return
 			}
@@ -149,19 +151,20 @@ func TestFullSystemIntegration(t *testing.T) {
 	}
 
 	// All three applications see their state.
-	ms, err := mailstore.New(logapi.FromService(svc2), "/mail")
+	ctx := context.Background()
+	ms, err := mailstore.New(ctx, logapi.NewLocal(svc2), "/mail")
 	if err != nil {
 		t.Fatal(err)
 	}
-	msgs, err := ms.List("ops", true)
+	msgs, err := ms.List(ctx, "ops", true)
 	if err != nil || len(msgs) != 25 {
 		t.Fatalf("mail after recovery: %d, %v", len(msgs), err)
 	}
-	fs2, err := histfs.New(logapi.FromService(svc2), "/histfs")
+	fs2, err := histfs.New(ctx, logapi.NewLocal(svc2), "/histfs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := fs2.Read("config")
+	cfg, err := fs2.Read(ctx, "config")
 	if err != nil || string(cfg) != "version=14" {
 		t.Fatalf("config after recovery: %q, %v", cfg, err)
 	}

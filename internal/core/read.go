@@ -174,9 +174,22 @@ func (c *Cursor) SeekStart() {
 	c.block, c.rec = 0, 0
 }
 
-// SeekEnd positions the cursor after the last entry.
+// SeekEnd positions the cursor after the last entry. The end is a gap, not
+// a wall: when a partial tail block is staged, the cursor parks inside it
+// after its current records, so entries appended later — to that same
+// still-growing block or beyond — are returned by subsequent Next calls.
+// (Parking past the tail block would skip every entry the block gains
+// before it seals, which is exactly the boundary a live subscription
+// resumes from.)
 func (c *Cursor) SeekEnd() {
-	c.block, c.rec = c.s.endShared(), 0
+	sn := c.s.snap()
+	if sn.tailGlobal >= 0 {
+		if db, err := c.decodeCached(sn.tailGlobal); err == nil {
+			c.block, c.rec = sn.tailGlobal, len(db.p.Records)
+			return
+		}
+	}
+	c.block, c.rec = sn.end(), 0
 }
 
 // Next returns the first matching entry after the cursor position and

@@ -218,6 +218,14 @@ type Service struct {
 	// tail image}; the writer republishes it at every tail transition.
 	tailState atomic.Pointer[tailSnap]
 
+	// Tail-publish notifier for streaming subscribers. pubSeq counts tail
+	// publishes; tailWake holds the broadcast channel the current waiters
+	// share, nil when nobody is waiting. The publish hook is a single
+	// atomic load in that (common) case — subscribing must never tax the
+	// force path of a store nobody is tailing.
+	pubSeq   atomic.Uint64
+	tailWake atomic.Pointer[chan struct{}]
+
 	// idxMu guards s.acc against concurrent locator reads; locMu serializes
 	// locator use by the lock-free read path.
 	idxMu sync.Mutex
@@ -352,6 +360,68 @@ func (s *Service) publishTail(img []byte) {
 		sn.tailIDs = ids
 	}
 	s.tailState.Store(sn)
+	// Publish-order matters for the no-lost-wakeup protocol: the sequence
+	// bump happens after the snapshot store, the broadcast after the bump,
+	// so a subscriber that re-reads the sequence after installing a waiter
+	// cannot miss the state this publish made visible.
+	s.pubSeq.Add(1)
+	s.wakeTail()
+}
+
+// wakeTail broadcasts a tail publish to any waiters. The idle path — no
+// subscriber blocked at the tail — is a single atomic load.
+func (s *Service) wakeTail() {
+	if s.tailWake.Load() == nil {
+		return
+	}
+	if ch := s.tailWake.Swap(nil); ch != nil {
+		close(*ch)
+	}
+}
+
+// TailSeq returns the current tail-publish sequence number. A subscriber
+// reads it before scanning for new entries; if the scan comes up empty,
+// TailNotify(seq) supplies a wake channel for anything published since.
+func (s *Service) TailSeq() uint64 { return s.pubSeq.Load() }
+
+// closedChan is the permanently closed channel TailNotify returns when the
+// awaited publish has already happened.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// TailNotify returns a channel that is closed at the first tail publish
+// after the given sequence (taken from TailSeq before the caller's scan).
+// If a publish already happened — or the service closed — the returned
+// channel is already closed, so a bare receive never loses a wakeup:
+//
+//	seq := s.TailSeq()
+//	// ... cursor scan hits io.EOF ...
+//	<-s.TailNotify(seq) // or select against ctx.Done()
+//
+// Waiters share one broadcast channel; a publish closes it for all of them.
+func (s *Service) TailNotify(seq uint64) <-chan struct{} {
+	for {
+		if s.pubSeq.Load() != seq || s.closedFlag.Load() {
+			return closedChan
+		}
+		ch := s.tailWake.Load()
+		if ch == nil {
+			nc := make(chan struct{})
+			if !s.tailWake.CompareAndSwap(nil, &nc) {
+				continue
+			}
+			ch = &nc
+		}
+		// Re-check after installing the waiter: a publish that raced ahead
+		// of the install may have missed it.
+		if s.pubSeq.Load() != seq || s.closedFlag.Load() {
+			return closedChan
+		}
+		return *ch
+	}
 }
 
 // snap returns the published tail snapshot (never nil after Open).
@@ -658,6 +728,7 @@ func (s *Service) Close() error {
 	err := s.drainPipeLocked()
 	s.stopSealerLocked()
 	s.closedFlag.Store(true)
+	s.wakeTail()
 	return err
 }
 
@@ -674,6 +745,7 @@ func (s *Service) Crash() {
 	// keep touching devices a test is about to hand to a new Open.
 	s.stopSealerLocked()
 	s.closedFlag.Store(true)
+	s.wakeTail()
 }
 
 // Volumes returns the mounted volumes.

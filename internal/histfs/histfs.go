@@ -16,6 +16,7 @@
 package histfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -53,17 +54,17 @@ const (
 )
 
 // FS is a history-based file system rooted at a log-file directory. It
-// works against any logapi.Store — an in-process service or a network
-// client.
+// works against any logapi.Service — an in-process service, a sharded
+// store, or a network client.
 type FS struct {
 	mu   sync.Mutex
-	svc  logapi.Store
+	svc  logapi.Service
 	root string
 	// cache holds materialized current versions, keyed by file name. It is
 	// a pure cache: Evict/recovery rebuilds entries by replay.
 	cache map[string]*fileState
 	// logs caches name → log-file id.
-	logs map[string]uint16
+	logs map[string]logapi.ID
 	// logReads, when set, appends a read-access record on every Read
 	// (§4.1). Off by default.
 	logReads bool
@@ -87,12 +88,12 @@ type Info struct {
 
 // New returns a history-based file system storing its histories under the
 // given root log directory (created if absent, e.g. "/histfs").
-func New(svc logapi.Store, root string) (*FS, error) {
+func New(ctx context.Context, svc logapi.Service, root string) (*FS, error) {
 	if !strings.HasPrefix(root, "/") {
 		return nil, fmt.Errorf("%w: root %q", ErrBadName, root)
 	}
-	if _, err := svc.Resolve(root); err != nil {
-		if _, err := svc.CreateLog(root, 0o755, "histfs"); err != nil {
+	if _, err := svc.Resolve(ctx, root); err != nil {
+		if _, err := svc.CreateLog(ctx, root, 0o755, "histfs"); err != nil {
 			return nil, err
 		}
 	}
@@ -100,7 +101,7 @@ func New(svc logapi.Store, root string) (*FS, error) {
 		svc:   svc,
 		root:  root,
 		cache: make(map[string]*fileState),
-		logs:  make(map[string]uint16),
+		logs:  make(map[string]logapi.ID),
 	}, nil
 }
 
@@ -124,12 +125,12 @@ func validName(name string) bool {
 }
 
 // logFor returns (creating if asked) the history log id for a file.
-func (fs *FS) logFor(name string, create bool) (uint16, error) {
+func (fs *FS) logFor(ctx context.Context, name string, create bool) (logapi.ID, error) {
 	if id, ok := fs.logs[name]; ok {
 		return id, nil
 	}
 	path := fs.root + "/" + escapeName(name)
-	id, err := fs.svc.Resolve(path)
+	id, err := fs.svc.Resolve(ctx, path)
 	if err == nil {
 		fs.logs[name] = id
 		return id, nil
@@ -137,7 +138,7 @@ func (fs *FS) logFor(name string, create bool) (uint16, error) {
 	if !create {
 		return 0, ErrNotExist
 	}
-	id, err = fs.svc.CreateLog(path, 0o644, "histfs")
+	id, err = fs.svc.CreateLog(ctx, path, 0o644, "histfs")
 	if err != nil {
 		return 0, err
 	}
@@ -230,8 +231,8 @@ func (st *fileState) apply(u *update, ts int64) {
 }
 
 // appendUpdate logs an update and folds it into the cached state.
-func (fs *FS) appendUpdate(name string, id uint16, u []byte, force bool) error {
-	ts, err := fs.svc.Append(id, u, logapi.AppendOptions{Timestamped: true, Forced: force})
+func (fs *FS) appendUpdate(ctx context.Context, name string, id logapi.ID, u []byte, force bool) error {
+	ts, err := fs.svc.Append(ctx, id, u, logapi.AppendOptions{Timestamped: true, Forced: force})
 	if err != nil {
 		return err
 	}
@@ -246,11 +247,11 @@ func (fs *FS) appendUpdate(name string, id uint16, u []byte, force bool) error {
 }
 
 // state materializes the current state of a file by cache or replay.
-func (fs *FS) state(name string) (*fileState, error) {
+func (fs *FS) state(ctx context.Context, name string) (*fileState, error) {
 	if st, ok := fs.cache[name]; ok {
 		return st, nil
 	}
-	st, _, err := fs.replay(name, 1<<62)
+	st, _, err := fs.replay(ctx, name, 1<<62)
 	if err != nil {
 		return nil, err
 	}
@@ -259,11 +260,11 @@ func (fs *FS) state(name string) (*fileState, error) {
 }
 
 // replay rebuilds a file state from its history up to and including asOf.
-func (fs *FS) replay(name string, asOf int64) (*fileState, int, error) {
-	if _, err := fs.logFor(name, false); err != nil {
+func (fs *FS) replay(ctx context.Context, name string, asOf int64) (*fileState, int, error) {
+	if _, err := fs.logFor(ctx, name, false); err != nil {
 		return nil, 0, err
 	}
-	cur, err := fs.svc.OpenCursor(fs.root + "/" + escapeName(name))
+	cur, err := fs.svc.OpenCursor(ctx, fs.root+"/"+escapeName(name))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -271,7 +272,7 @@ func (fs *FS) replay(name string, asOf int64) (*fileState, int, error) {
 	st := &fileState{}
 	n := 0
 	for {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -292,72 +293,72 @@ func (fs *FS) replay(name string, asOf int64) (*fileState, int, error) {
 }
 
 // Create makes a new empty file.
-func (fs *FS) Create(name string, mode uint16) error {
+func (fs *FS) Create(ctx context.Context, name string, mode uint16) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !validName(name) {
 		return fmt.Errorf("%w: %q", ErrBadName, name)
 	}
-	id, err := fs.logFor(name, true)
+	id, err := fs.logFor(ctx, name, true)
 	if err != nil {
 		return err
 	}
-	st, err := fs.state(name)
+	st, err := fs.state(ctx, name)
 	if err != nil {
 		return err
 	}
 	if st.exists {
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	return fs.appendUpdate(name, id, record(opCreate, 0, mode, nil), true)
+	return fs.appendUpdate(ctx, name, id, record(opCreate, 0, mode, nil), true)
 }
 
 // WriteAt writes data at an offset, extending the file with zeros if needed.
-func (fs *FS) WriteAt(name string, offset int, data []byte) error {
+func (fs *FS) WriteAt(ctx context.Context, name string, offset int, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.mutate(name, record(opWrite, uint64(offset), 0, data))
+	return fs.mutate(ctx, name, record(opWrite, uint64(offset), 0, data))
 }
 
 // Append appends data at the current end of the file.
-func (fs *FS) Append(name string, data []byte) error {
+func (fs *FS) Append(ctx context.Context, name string, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	st, err := fs.liveState(name)
+	st, err := fs.liveState(ctx, name)
 	if err != nil {
 		return err
 	}
 	off := len(st.data)
-	return fs.mutate(name, record(opWrite, uint64(off), 0, data))
+	return fs.mutate(ctx, name, record(opWrite, uint64(off), 0, data))
 }
 
 // Truncate sets the file size.
-func (fs *FS) Truncate(name string, size int) error {
+func (fs *FS) Truncate(ctx context.Context, name string, size int) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.mutate(name, record(opTruncate, uint64(size), 0, nil))
+	return fs.mutate(ctx, name, record(opTruncate, uint64(size), 0, nil))
 }
 
 // SetMode changes the file mode.
-func (fs *FS) SetMode(name string, mode uint16) error {
+func (fs *FS) SetMode(ctx context.Context, name string, mode uint16) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.mutate(name, record(opSetMode, 0, mode, nil))
+	return fs.mutate(ctx, name, record(opSetMode, 0, mode, nil))
 }
 
 // Delete removes the file from the namespace. Its history — and therefore
 // every version it ever had — remains readable via ReadAsOf.
-func (fs *FS) Delete(name string) error {
+func (fs *FS) Delete(ctx context.Context, name string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.mutate(name, record(opDelete, 0, 0, nil))
+	return fs.mutate(ctx, name, record(opDelete, 0, 0, nil))
 }
 
-func (fs *FS) liveState(name string) (*fileState, error) {
+func (fs *FS) liveState(ctx context.Context, name string) (*fileState, error) {
 	if !validName(name) {
 		return nil, fmt.Errorf("%w: %q", ErrBadName, name)
 	}
-	st, err := fs.state(name)
+	st, err := fs.state(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -367,30 +368,30 @@ func (fs *FS) liveState(name string) (*fileState, error) {
 	return st, nil
 }
 
-func (fs *FS) mutate(name string, rec []byte) error {
-	if _, err := fs.liveState(name); err != nil {
+func (fs *FS) mutate(ctx context.Context, name string, rec []byte) error {
+	if _, err := fs.liveState(ctx, name); err != nil {
 		return err
 	}
-	id, err := fs.logFor(name, false)
+	id, err := fs.logFor(ctx, name, false)
 	if err != nil {
 		return err
 	}
-	return fs.appendUpdate(name, id, rec, false)
+	return fs.appendUpdate(ctx, name, id, rec, false)
 }
 
 // Read returns the file's current contents (a copy). With read logging
 // enabled, the access itself is appended to the history.
-func (fs *FS) Read(name string) ([]byte, error) {
+func (fs *FS) Read(ctx context.Context, name string) ([]byte, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	st, err := fs.liveState(name)
+	st, err := fs.liveState(ctx, name)
 	if err != nil {
 		return nil, err
 	}
 	if fs.logReads {
-		id, lerr := fs.logFor(name, false)
+		id, lerr := fs.logFor(ctx, name, false)
 		if lerr == nil {
-			if aerr := fs.appendUpdate(name, id, record(opRead, 0, 0, nil), false); aerr != nil {
+			if aerr := fs.appendUpdate(ctx, name, id, record(opRead, 0, 0, nil), false); aerr != nil {
 				return nil, aerr
 			}
 		}
@@ -401,20 +402,20 @@ func (fs *FS) Read(name string) ([]byte, error) {
 }
 
 // ReadAccesses counts the read-access records in a file's history.
-func (fs *FS) ReadAccesses(name string) (int, error) {
+func (fs *FS) ReadAccesses(ctx context.Context, name string) (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if _, err := fs.logFor(name, false); err != nil {
+	if _, err := fs.logFor(ctx, name, false); err != nil {
 		return 0, err
 	}
-	cur, err := fs.svc.OpenCursor(fs.root + "/" + escapeName(name))
+	cur, err := fs.svc.OpenCursor(ctx, fs.root+"/"+escapeName(name))
 	if err != nil {
 		return 0, err
 	}
 	defer cur.Close()
 	n := 0
 	for {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err == io.EOF {
 			return n, nil
 		}
@@ -431,13 +432,13 @@ func (fs *FS) ReadAccesses(name string) (int, error) {
 // file server can extract, from the file history, either the current
 // version of a file, or an earlier version" (§4.1). It works for deleted
 // files too.
-func (fs *FS) ReadAsOf(name string, asOf int64) ([]byte, error) {
+func (fs *FS) ReadAsOf(ctx context.Context, name string, asOf int64) ([]byte, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !validName(name) {
 		return nil, fmt.Errorf("%w: %q", ErrBadName, name)
 	}
-	st, _, err := fs.replay(name, asOf)
+	st, _, err := fs.replay(ctx, name, asOf)
 	if err != nil {
 		return nil, err
 	}
@@ -450,14 +451,14 @@ func (fs *FS) ReadAsOf(name string, asOf int64) ([]byte, error) {
 }
 
 // Stat returns the file's current info.
-func (fs *FS) Stat(name string) (Info, error) {
+func (fs *FS) Stat(ctx context.Context, name string) (Info, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	st, err := fs.liveState(name)
+	st, err := fs.liveState(ctx, name)
 	if err != nil {
 		return Info{}, err
 	}
-	_, n, err := fs.replay(name, 1<<62)
+	_, n, err := fs.replay(ctx, name, 1<<62)
 	if err != nil {
 		return Info{}, err
 	}
@@ -465,17 +466,17 @@ func (fs *FS) Stat(name string) (Info, error) {
 }
 
 // List returns the live file names, sorted.
-func (fs *FS) List() ([]string, error) {
+func (fs *FS) List(ctx context.Context) ([]string, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	names, err := fs.svc.List(fs.root)
+	names, err := fs.svc.List(ctx, fs.root)
 	if err != nil {
 		return nil, err
 	}
 	var out []string
 	for _, esc := range names {
 		name := unescapeName(esc)
-		st, err := fs.state(name)
+		st, err := fs.state(ctx, name)
 		if err != nil {
 			continue
 		}

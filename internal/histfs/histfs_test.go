@@ -2,6 +2,7 @@ package histfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -26,7 +27,7 @@ func newFS(t *testing.T) (*FS, *core.Service) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { svc.Close() })
-	fs, err := New(logapi.FromService(svc), "/histfs")
+	fs, err := New(context.Background(), logapi.NewLocal(svc), "/histfs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,20 +36,21 @@ func newFS(t *testing.T) (*FS, *core.Service) {
 
 func TestCreateWriteRead(t *testing.T) {
 	fs, _ := newFS(t)
-	if err := fs.Create("hello.txt", 0o644); err != nil {
+	ctx := context.Background()
+	if err := fs.Create(ctx, "hello.txt", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append("hello.txt", []byte("hello ")); err != nil {
+	if err := fs.Append(ctx, "hello.txt", []byte("hello ")); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append("hello.txt", []byte("world")); err != nil {
+	if err := fs.Append(ctx, "hello.txt", []byte("world")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fs.Read("hello.txt")
+	got, err := fs.Read(ctx, "hello.txt")
 	if err != nil || string(got) != "hello world" {
 		t.Fatalf("Read: %q, %v", got, err)
 	}
-	info, err := fs.Stat("hello.txt")
+	info, err := fs.Stat(ctx, "hello.txt")
 	if err != nil || info.Size != 11 || info.Mode != 0o644 || info.Versions != 3 {
 		t.Errorf("Stat: %+v, %v", info, err)
 	}
@@ -56,27 +58,28 @@ func TestCreateWriteRead(t *testing.T) {
 
 func TestWriteAtAndTruncate(t *testing.T) {
 	fs, _ := newFS(t)
-	if err := fs.Create("f", 0); err != nil {
+	ctx := context.Background()
+	if err := fs.Create(ctx, "f", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.WriteAt("f", 4, []byte("ABCD")); err != nil {
+	if err := fs.WriteAt(ctx, "f", 4, []byte("ABCD")); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := fs.Read("f")
+	got, _ := fs.Read(ctx, "f")
 	if !bytes.Equal(got, []byte("\x00\x00\x00\x00ABCD")) {
 		t.Fatalf("sparse write: %q", got)
 	}
-	if err := fs.Truncate("f", 6); err != nil {
+	if err := fs.Truncate(ctx, "f", 6); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = fs.Read("f")
+	got, _ = fs.Read(ctx, "f")
 	if !bytes.Equal(got, []byte("\x00\x00\x00\x00AB")) {
 		t.Fatalf("after truncate: %q", got)
 	}
-	if err := fs.WriteAt("f", 0, []byte("zz")); err != nil {
+	if err := fs.WriteAt(ctx, "f", 0, []byte("zz")); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = fs.Read("f")
+	got, _ = fs.Read(ctx, "f")
 	if !bytes.Equal(got, []byte("zz\x00\x00AB")) {
 		t.Fatalf("overwrite: %q", got)
 	}
@@ -84,45 +87,47 @@ func TestWriteAtAndTruncate(t *testing.T) {
 
 func TestCreateValidation(t *testing.T) {
 	fs, _ := newFS(t)
-	if err := fs.Create("", 0); !errors.Is(err, ErrBadName) {
+	ctx := context.Background()
+	if err := fs.Create(ctx, "", 0); !errors.Is(err, ErrBadName) {
 		t.Errorf("empty name: %v", err)
 	}
-	if err := fs.Create("dup", 0); err != nil {
+	if err := fs.Create(ctx, "dup", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Create("dup", 0); !errors.Is(err, ErrExists) {
+	if err := fs.Create(ctx, "dup", 0); !errors.Is(err, ErrExists) {
 		t.Errorf("duplicate: %v", err)
 	}
-	if _, err := fs.Read("missing"); !errors.Is(err, ErrNotExist) {
+	if _, err := fs.Read(ctx, "missing"); !errors.Is(err, ErrNotExist) {
 		t.Errorf("missing read: %v", err)
 	}
 }
 
 func TestVersionTravel(t *testing.T) {
 	fs, svc := newFS(t)
-	if err := fs.Create("doc", 0); err != nil {
+	ctx := context.Background()
+	if err := fs.Create(ctx, "doc", 0); err != nil {
 		t.Fatal(err)
 	}
 	versions := []string{"v1", "v2 longer", "v3"}
 	var stamps []int64
 	for _, v := range versions {
-		if err := fs.Truncate("doc", 0); err != nil {
+		if err := fs.Truncate(ctx, "doc", 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := fs.Append("doc", []byte(v)); err != nil {
+		if err := fs.Append(ctx, "doc", []byte(v)); err != nil {
 			t.Fatal(err)
 		}
 		// Snapshot timestamp after each version (monotonic clock).
 		stamps = append(stamps, lastHistTS(t, svc))
 	}
 	for i, v := range versions {
-		got, err := fs.ReadAsOf("doc", stamps[i])
+		got, err := fs.ReadAsOf(ctx, "doc", stamps[i])
 		if err != nil || string(got) != v {
 			t.Errorf("version %d: %q, %v (want %q)", i, got, err, v)
 		}
 	}
 	// Current equals last version.
-	got, _ := fs.Read("doc")
+	got, _ := fs.Read(ctx, "doc")
 	if string(got) != "v3" {
 		t.Errorf("current: %q", got)
 	}
@@ -145,27 +150,28 @@ func lastHistTS(t *testing.T, svc *core.Service) int64 {
 
 func TestDeleteKeepsHistory(t *testing.T) {
 	fs, svc := newFS(t)
-	if err := fs.Create("gone", 0); err != nil {
+	ctx := context.Background()
+	if err := fs.Create(ctx, "gone", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append("gone", []byte("precious")); err != nil {
+	if err := fs.Append(ctx, "gone", []byte("precious")); err != nil {
 		t.Fatal(err)
 	}
 	before := lastHistTS(t, svc)
-	if err := fs.Delete("gone"); err != nil {
+	if err := fs.Delete(ctx, "gone"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Read("gone"); !errors.Is(err, ErrNotExist) {
+	if _, err := fs.Read(ctx, "gone"); !errors.Is(err, ErrNotExist) {
 		t.Errorf("read after delete: %v", err)
 	}
-	names, _ := fs.List()
+	names, _ := fs.List(ctx)
 	for _, n := range names {
 		if n == "gone" {
 			t.Error("deleted file still listed")
 		}
 	}
 	// But the old version is still there.
-	got, err := fs.ReadAsOf("gone", before)
+	got, err := fs.ReadAsOf(ctx, "gone", before)
 	if err != nil || string(got) != "precious" {
 		t.Errorf("ReadAsOf deleted file: %q, %v", got, err)
 	}
@@ -173,20 +179,21 @@ func TestDeleteKeepsHistory(t *testing.T) {
 
 func TestCacheIsPure(t *testing.T) {
 	fs, _ := newFS(t)
+	ctx := context.Background()
 	files := []string{"a", "b", "c"}
 	for i, f := range files {
-		if err := fs.Create(f, uint16(i)); err != nil {
+		if err := fs.Create(ctx, f, uint16(i)); err != nil {
 			t.Fatal(err)
 		}
 		for j := 0; j < 5; j++ {
-			if err := fs.Append(f, []byte(fmt.Sprintf("%s-%d;", f, j))); err != nil {
+			if err := fs.Append(ctx, f, []byte(fmt.Sprintf("%s-%d;", f, j))); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 	var before [][]byte
 	for _, f := range files {
-		b, err := fs.Read(f)
+		b, err := fs.Read(ctx, f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,7 +201,7 @@ func TestCacheIsPure(t *testing.T) {
 	}
 	fs.EvictCache()
 	for i, f := range files {
-		b, err := fs.Read(f)
+		b, err := fs.Read(ctx, f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -205,6 +212,7 @@ func TestCacheIsPure(t *testing.T) {
 }
 
 func TestSurvivesServiceRecovery(t *testing.T) {
+	ctx := context.Background()
 	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
 	now := int64(0)
 	opt := core.Options{BlockSize: 512, Degree: 8,
@@ -213,14 +221,14 @@ func TestSurvivesServiceRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs, err := New(logapi.FromService(svc), "/histfs")
+	fs, err := New(ctx, logapi.NewLocal(svc), "/histfs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Create("persist", 0o600); err != nil {
+	if err := fs.Create(ctx, "persist", 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append("persist", []byte("data!")); err != nil {
+	if err := fs.Append(ctx, "persist", []byte("data!")); err != nil {
 		t.Fatal(err)
 	}
 	if err := svc.Force(); err != nil {
@@ -232,15 +240,15 @@ func TestSurvivesServiceRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc2.Close()
-	fs2, err := New(logapi.FromService(svc2), "/histfs")
+	fs2, err := New(ctx, logapi.NewLocal(svc2), "/histfs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := fs2.Read("persist")
+	got, err := fs2.Read(ctx, "persist")
 	if err != nil || string(got) != "data!" {
 		t.Fatalf("after recovery: %q, %v", got, err)
 	}
-	info, err := fs2.Stat("persist")
+	info, err := fs2.Stat(ctx, "persist")
 	if err != nil || info.Mode != 0o600 {
 		t.Errorf("mode after recovery: %+v, %v", info, err)
 	}
@@ -248,14 +256,15 @@ func TestSurvivesServiceRecovery(t *testing.T) {
 
 func TestEscapedNames(t *testing.T) {
 	fs, _ := newFS(t)
+	ctx := context.Background()
 	name := "dir/sub/file%.txt"
-	if err := fs.Create(name, 0); err != nil {
+	if err := fs.Create(ctx, name, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append(name, []byte("x")); err != nil {
+	if err := fs.Append(ctx, name, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	names, err := fs.List()
+	names, err := fs.List(ctx)
 	if err != nil || len(names) != 1 || names[0] != name {
 		t.Errorf("List = %v, %v", names, err)
 	}
@@ -263,13 +272,14 @@ func TestEscapedNames(t *testing.T) {
 
 func TestSetMode(t *testing.T) {
 	fs, _ := newFS(t)
-	if err := fs.Create("m", 0o600); err != nil {
+	ctx := context.Background()
+	if err := fs.Create(ctx, "m", 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.SetMode("m", 0o755); err != nil {
+	if err := fs.SetMode(ctx, "m", 0o755); err != nil {
 		t.Fatal(err)
 	}
-	info, _ := fs.Stat("m")
+	info, _ := fs.Stat(ctx, "m")
 	if info.Mode != 0o755 {
 		t.Errorf("mode = %o", info.Mode)
 	}
@@ -277,38 +287,40 @@ func TestSetMode(t *testing.T) {
 
 func TestReadAccessLogging(t *testing.T) {
 	fs, _ := newFS(t)
-	if err := fs.Create("watched", 0); err != nil {
+	ctx := context.Background()
+	if err := fs.Create(ctx, "watched", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append("watched", []byte("secret")); err != nil {
+	if err := fs.Append(ctx, "watched", []byte("secret")); err != nil {
 		t.Fatal(err)
 	}
 	// Reads are silent by default.
-	if _, err := fs.Read("watched"); err != nil {
+	if _, err := fs.Read(ctx, "watched"); err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := fs.ReadAccesses("watched"); n != 0 {
+	if n, _ := fs.ReadAccesses(ctx, "watched"); n != 0 {
 		t.Errorf("accesses logged while disabled: %d", n)
 	}
 	fs.SetLogReads(true)
 	for i := 0; i < 3; i++ {
-		if _, err := fs.Read("watched"); err != nil {
+		if _, err := fs.Read(ctx, "watched"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	n, err := fs.ReadAccesses("watched")
+	n, err := fs.ReadAccesses(ctx, "watched")
 	if err != nil || n != 3 {
 		t.Fatalf("accesses = %d, %v", n, err)
 	}
 	// Access records do not perturb contents or replay.
 	fs.EvictCache()
-	got, err := fs.Read("watched")
+	got, err := fs.Read(ctx, "watched")
 	if err != nil || string(got) != "secret" {
 		t.Fatalf("contents after access logging: %q, %v", got, err)
 	}
 }
 
 func TestHistfsOverTheNetwork(t *testing.T) {
+	ctx := context.Background()
 	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
 	now := int64(0)
 	svc, err := core.New(dev, core.Options{
@@ -325,14 +337,14 @@ func TestHistfsOverTheNetwork(t *testing.T) {
 	cl := client.New(cConn)
 	defer func() { cl.Close(); srv.Close() }()
 
-	rfs, err := New(logapi.AsStore(cl), "/histfs")
+	rfs, err := New(ctx, cl, "/histfs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rfs.Create("remote.txt", 0o600); err != nil {
+	if err := rfs.Create(ctx, "remote.txt", 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := rfs.Append("remote.txt", []byte("over the wire")); err != nil {
+	if err := rfs.Append(ctx, "remote.txt", []byte("over the wire")); err != nil {
 		t.Fatal(err)
 	}
 	// A second agent on a fresh connection sees the same file.
@@ -340,11 +352,11 @@ func TestHistfsOverTheNetwork(t *testing.T) {
 	go srv.ServeConn(sConn2)
 	cl2 := client.New(cConn2)
 	defer cl2.Close()
-	rfs2, err := New(logapi.AsStore(cl2), "/histfs")
+	rfs2, err := New(ctx, cl2, "/histfs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := rfs2.Read("remote.txt")
+	got, err := rfs2.Read(ctx, "remote.txt")
 	if err != nil || string(got) != "over the wire" {
 		t.Fatalf("remote read: %q, %v", got, err)
 	}

@@ -14,9 +14,9 @@
 // bits the shard-local catalog id, so a single-shard store's IDs are
 // numerically identical to its catalog ids.
 //
-// The pre-redesign, context-free Store surface is retained at the bottom of
-// this file for the history-based applications (internal/histfs,
-// internal/mailstore); new code should use Service.
+// Implementations that support streaming reads additionally satisfy
+// Watcher: Watch returns a live tail subscription that blocks at the end of
+// the log and is woken by group commit (see internal/stream).
 package logapi
 
 import (
@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"clio/internal/core"
+	"clio/internal/stream"
 )
 
 // AppendOptions selects the append form and durability; it is the
@@ -57,6 +58,13 @@ func (id ID) String() string { return fmt.Sprintf("%d:%d", id.Shard(), id.Local(
 // ErrShardRange reports an ID addressed to a shard the store does not have
 // (including any non-zero shard on a single-shard surface).
 var ErrShardRange = errors.New("logapi: id addresses a shard this store does not have")
+
+// OffsetsRoot is the reserved top-level sublog holding consumer-group state:
+// group g's membership and acknowledgement records live in the ordinary log
+// file OffsetsRoot + "/" + g. Its root segment hashes to one shard, so every
+// group's records are totally ordered — the property the deterministic
+// partition assignment and the ack audit (stream/group) depend on.
+const OffsetsRoot = "/.offsets"
 
 // Info describes one log file: the catalog descriptor, addressed with
 // store-wide IDs.
@@ -127,6 +135,62 @@ type Service interface {
 	Force(ctx context.Context) error
 }
 
+// Position is a shard-local cursor gap position, used to resume a watch
+// after the last delivered entry: Position{Shard: e.Shard, Block: e.Block,
+// Rec: e.Index + 1}.
+type Position struct {
+	Shard int
+	Block int
+	Rec   int
+}
+
+// WatchOptions configures a live tail subscription.
+type WatchOptions struct {
+	// Buffer bounds the per-subscriber delivery buffer in entries; 0 uses
+	// the implementation default (stream.DefaultBuffer).
+	Buffer int
+	// FromStart delivers the log's existing history before live entries.
+	// The default starts at the current end.
+	FromStart bool
+	// From resumes listed shard legs from gap positions (overriding
+	// FromStart for those shards) — how a consumer continues after its
+	// last acknowledged entry.
+	From []Position
+}
+
+// Subscription delivers live entries in seal order. Recv blocks until an
+// entry is published, ctx is done, or the subscription is closed.
+type Subscription interface {
+	Recv(ctx context.Context) (*Entry, error)
+	Close() error
+}
+
+// Watcher is the streaming-read extension of Service: a live tail
+// subscription to the log file at path, woken by group-commit publish
+// rather than polling. Implemented alike by Local, shard.Store and
+// client.Client.
+type Watcher interface {
+	Watch(ctx context.Context, path string, opts WatchOptions) (Subscription, error)
+}
+
+// StreamService is a Service that also supports live tail subscriptions —
+// what the consumer-group machinery (stream/group) and streaming clients
+// program against.
+type StreamService interface {
+	Service
+	Watcher
+}
+
+// StreamOptions converts WatchOptions to the stream engine's option struct
+// (shared by the in-process implementations).
+func StreamOptions(opts WatchOptions) stream.Options {
+	so := stream.Options{Buffer: opts.Buffer, FromStart: opts.FromStart}
+	for _, p := range opts.From {
+		so.From = append(so.From, stream.Pos{Shard: p.Shard, Block: p.Block, Rec: p.Rec})
+	}
+	return so
+}
+
 // Local adapts an in-process *core.Service (one volume sequence, shard 0)
 // to Service. Core operations are synchronous and uninterruptible, so the
 // context is only consulted on entry.
@@ -135,7 +199,10 @@ type Local struct{ Svc *core.Service }
 // NewLocal returns svc wrapped as a Service.
 func NewLocal(svc *core.Service) Local { return Local{Svc: svc} }
 
-var _ Service = Local{}
+var (
+	_ Service = Local{}
+	_ Watcher = Local{}
+)
 
 // localIDs checks every id routes to shard 0 and strips the shard bits.
 func localIDs(ids []ID) ([]uint16, error) {
@@ -255,6 +322,14 @@ func (l Local) Force(ctx context.Context) error {
 	return l.Svc.Force()
 }
 
+// Watch opens a live tail subscription over the single volume sequence.
+func (l Local) Watch(ctx context.Context, path string, opts WatchOptions) (Subscription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return stream.Open(path, StreamOptions(opts), stream.Leg{Svc: l.Svc, Shard: 0})
+}
+
 // LocalCursor adapts a *core.Cursor to Cursor. Exported so sharded stores
 // can wrap their per-shard core cursors the same way.
 type LocalCursor struct{ Cur *core.Cursor }
@@ -306,123 +381,3 @@ func (c LocalCursor) SeekPos(ctx context.Context, block, rec int) error {
 }
 
 func (c LocalCursor) Close() error { return nil }
-
-// ---------------------------------------------------------------------------
-// Legacy context-free surface.
-
-// StoreCursor iterates a log file without contexts.
-//
-// Deprecated: new code should use Cursor via Service.
-type StoreCursor interface {
-	// Next returns the next entry, or io.EOF at the end.
-	Next() (*Entry, error)
-	// Prev returns the previous entry, or io.EOF at the beginning.
-	Prev() (*Entry, error)
-	// SeekStart positions before the first entry.
-	SeekStart() error
-	// SeekEnd positions after the last entry.
-	SeekEnd() error
-	// SeekTime positions so Next returns the first entry at/after ts.
-	SeekTime(ts int64) error
-	// Close releases the cursor.
-	Close() error
-}
-
-// Store is the context-free, single-shard log-service surface the
-// history-based applications were written against. Its uint16 ids are
-// shard-local, so it can only address shard 0 of a sharded store.
-//
-// Deprecated: new code should use Service.
-type Store interface {
-	// CreateLog creates a log file at an absolute path (a sublog of its
-	// parent).
-	CreateLog(path string, perms uint16, owner string) (uint16, error)
-	// Resolve maps a path to a log-file id.
-	Resolve(path string) (uint16, error)
-	// List returns the sublog names beneath a path.
-	List(path string) ([]string, error)
-	// Append writes one entry and returns its server timestamp.
-	Append(id uint16, data []byte, opts AppendOptions) (int64, error)
-	// OpenCursor opens a cursor at the start of the log file at path.
-	OpenCursor(path string) (StoreCursor, error)
-}
-
-// MultiStore is implemented by stores that support multi-membership
-// appends (§2.1): one entry belonging to several log files.
-//
-// Deprecated: new code should use Service, which carries AppendMulti.
-type MultiStore interface {
-	Store
-	// AppendMulti writes one entry into every listed log file; ids[0] is
-	// the primary member.
-	AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error)
-}
-
-// AsStore adapts any Service to the legacy Store surface using background
-// contexts. IDs outside shard 0 surface as ErrShardRange, so the adapter
-// suits single-shard deployments; callers needing deadlines or shards use
-// the Service directly.
-func AsStore(svc Service) Store { return legacyStore{svc} }
-
-// FromService adapts an in-process core.Service to the legacy Store
-// surface.
-//
-// Deprecated: new code should use NewLocal, which returns the full
-// Service.
-func FromService(svc *core.Service) Store { return AsStore(NewLocal(svc)) }
-
-type legacyStore struct{ svc Service }
-
-// Compile-time check: the legacy adapter supports multi-membership.
-var _ MultiStore = legacyStore{}
-
-func localID(id ID, err error) (uint16, error) {
-	if err != nil {
-		return 0, err
-	}
-	if id.Shard() != 0 {
-		return 0, fmt.Errorf("logapi: id %v beyond the legacy single-shard surface: %w", id, ErrShardRange)
-	}
-	return id.Local(), nil
-}
-
-func (s legacyStore) CreateLog(path string, perms uint16, owner string) (uint16, error) {
-	return localID(s.svc.CreateLog(context.Background(), path, perms, owner))
-}
-
-func (s legacyStore) Resolve(path string) (uint16, error) {
-	return localID(s.svc.Resolve(context.Background(), path))
-}
-
-func (s legacyStore) List(path string) ([]string, error) {
-	return s.svc.List(context.Background(), path)
-}
-
-func (s legacyStore) Append(id uint16, data []byte, opts AppendOptions) (int64, error) {
-	return s.svc.Append(context.Background(), MakeID(0, id), data, opts)
-}
-
-func (s legacyStore) AppendMulti(ids []uint16, data []byte, opts AppendOptions) (int64, error) {
-	wide := make([]ID, len(ids))
-	for i, id := range ids {
-		wide[i] = MakeID(0, id)
-	}
-	return s.svc.AppendMulti(context.Background(), wide, data, opts)
-}
-
-func (s legacyStore) OpenCursor(path string) (StoreCursor, error) {
-	cur, err := s.svc.OpenCursor(context.Background(), path)
-	if err != nil {
-		return nil, err
-	}
-	return legacyCursor{cur}, nil
-}
-
-type legacyCursor struct{ cur Cursor }
-
-func (c legacyCursor) Next() (*Entry, error)   { return c.cur.Next(context.Background()) }
-func (c legacyCursor) Prev() (*Entry, error)   { return c.cur.Prev(context.Background()) }
-func (c legacyCursor) SeekStart() error        { return c.cur.SeekStart(context.Background()) }
-func (c legacyCursor) SeekEnd() error          { return c.cur.SeekEnd(context.Background()) }
-func (c legacyCursor) SeekTime(ts int64) error { return c.cur.SeekTime(context.Background(), ts) }
-func (c legacyCursor) Close() error            { return c.cur.Close() }

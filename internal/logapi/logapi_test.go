@@ -1,6 +1,7 @@
 package logapi_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -13,8 +14,8 @@ import (
 	"clio/internal/wodev"
 )
 
-// stores yields the same service through both adapters.
-func stores(t *testing.T) (local logapi.Store, remote logapi.Store) {
+// services yields the same service through both adapters.
+func services(t *testing.T) (local logapi.Service, remote logapi.Service) {
 	t.Helper()
 	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
 	now := int64(0)
@@ -30,36 +31,37 @@ func stores(t *testing.T) (local logapi.Store, remote logapi.Store) {
 	go srv.ServeConn(sConn)
 	cl := client.New(cConn)
 	t.Cleanup(func() { cl.Close(); srv.Close(); svc.Close() })
-	return logapi.FromService(svc), logapi.AsStore(cl)
+	return logapi.NewLocal(svc), cl
 }
 
-// exercise runs the same scenario through a Store.
-func exercise(t *testing.T, st logapi.Store, prefix string) {
+// exercise runs the same scenario through a Service.
+func exercise(t *testing.T, st logapi.Service, prefix string) {
 	t.Helper()
+	ctx := context.Background()
 	path := "/" + prefix
-	id, err := st.CreateLog(path, 0o644, "t")
+	id, err := st.CreateLog(ctx, path, 0o644, "t")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := st.Resolve(path); err != nil || got != id {
-		t.Fatalf("Resolve: %d, %v", got, err)
+	if got, err := st.Resolve(ctx, path); err != nil || got != id {
+		t.Fatalf("Resolve: %v, %v", got, err)
 	}
 	var stamps []int64
 	for i := 0; i < 20; i++ {
-		ts, err := st.Append(id, []byte(fmt.Sprintf("%s-%02d", prefix, i)),
+		ts, err := st.Append(ctx, id, []byte(fmt.Sprintf("%s-%02d", prefix, i)),
 			logapi.AppendOptions{Timestamped: true, Forced: i%5 == 0})
 		if err != nil {
 			t.Fatal(err)
 		}
 		stamps = append(stamps, ts)
 	}
-	cur, err := st.OpenCursor(path)
+	cur, err := st.OpenCursor(ctx, path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cur.Close()
 	for i := 0; i < 20; i++ {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err != nil {
 			t.Fatalf("Next %d: %v", i, err)
 		}
@@ -67,28 +69,28 @@ func exercise(t *testing.T, st logapi.Store, prefix string) {
 			t.Fatalf("entry %d: %q", i, e.Data)
 		}
 	}
-	if _, err := cur.Next(); err != io.EOF {
+	if _, err := cur.Next(ctx); err != io.EOF {
 		t.Fatalf("EOF: %v", err)
 	}
-	if err := cur.SeekTime(stamps[10]); err != nil {
+	if err := cur.SeekTime(ctx, stamps[10]); err != nil {
 		t.Fatal(err)
 	}
-	if e, err := cur.Next(); err != nil || string(e.Data) != fmt.Sprintf("%s-10", prefix) {
+	if e, err := cur.Next(ctx); err != nil || string(e.Data) != fmt.Sprintf("%s-10", prefix) {
 		t.Fatalf("SeekTime: %v", err)
 	}
-	if err := cur.SeekEnd(); err != nil {
+	if err := cur.SeekEnd(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if e, err := cur.Prev(); err != nil || string(e.Data) != fmt.Sprintf("%s-19", prefix) {
+	if e, err := cur.Prev(ctx); err != nil || string(e.Data) != fmt.Sprintf("%s-19", prefix) {
 		t.Fatalf("Prev from end: %v", err)
 	}
-	if err := cur.SeekStart(); err != nil {
+	if err := cur.SeekStart(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if e, err := cur.Next(); err != nil || string(e.Data) != fmt.Sprintf("%s-00", prefix) {
+	if e, err := cur.Next(ctx); err != nil || string(e.Data) != fmt.Sprintf("%s-00", prefix) {
 		t.Fatalf("after SeekStart: %v", err)
 	}
-	names, err := st.List("/")
+	names, err := st.List(ctx, "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,27 +106,28 @@ func exercise(t *testing.T, st logapi.Store, prefix string) {
 }
 
 func TestAdaptersBehaveIdentically(t *testing.T) {
-	local, remote := stores(t)
+	ctx := context.Background()
+	local, remote := services(t)
 	exercise(t, local, "local")
 	exercise(t, remote, "remote")
 	// Cross-visibility: entries written through one adapter read through
 	// the other (same underlying service).
-	id, err := local.Resolve("/remote")
+	id, err := local.Resolve(ctx, "/remote")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := local.Append(id, []byte("cross"), logapi.AppendOptions{}); err != nil {
+	if _, err := local.Append(ctx, id, []byte("cross"), logapi.AppendOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	cur, err := remote.OpenCursor("/remote")
+	cur, err := remote.OpenCursor(ctx, "/remote")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cur.Close()
-	if err := cur.SeekEnd(); err != nil {
+	if err := cur.SeekEnd(ctx); err != nil {
 		t.Fatal(err)
 	}
-	e, err := cur.Prev()
+	e, err := cur.Prev(ctx)
 	if err != nil || string(e.Data) != "cross" {
 		t.Fatalf("cross read: %v %q", err, e.Data)
 	}

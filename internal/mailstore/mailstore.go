@@ -14,6 +14,7 @@
 package mailstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -76,11 +77,11 @@ const (
 	flagHide = 2
 )
 
-// Store is a history-based mail store over a log service — local or
-// remote (any logapi.Store).
+// Store is a history-based mail store over a log service — in-process,
+// sharded or remote (any logapi.Service).
 type Store struct {
 	mu   sync.Mutex
-	svc  logapi.Store
+	svc  logapi.Service
 	root string
 	// box caches per-user state: the agent's "pointers into the mail
 	// history" plus cached message copies.
@@ -89,17 +90,17 @@ type Store struct {
 
 type mailbox struct {
 	user          string
-	msgID         uint16
-	flagID        uint16
+	msgID         logapi.ID
+	flagID        logapi.ID
 	msgs          []*Message // cached copies in delivery order
 	replayedFlags bool
 }
 
 // New returns a mail store rooted at the given log directory (created if
 // needed, e.g. "/mail").
-func New(svc logapi.Store, root string) (*Store, error) {
-	if _, err := svc.Resolve(root); err != nil {
-		if _, err := svc.CreateLog(root, 0o755, "mail"); err != nil {
+func New(ctx context.Context, svc logapi.Service, root string) (*Store, error) {
+	if _, err := svc.Resolve(ctx, root); err != nil {
+		if _, err := svc.CreateLog(ctx, root, 0o755, "mail"); err != nil {
 			return nil, err
 		}
 	}
@@ -107,24 +108,24 @@ func New(svc logapi.Store, root string) (*Store, error) {
 }
 
 // CreateMailbox provisions a user's mailbox and flag sublog.
-func (s *Store) CreateMailbox(user string) error {
+func (s *Store) CreateMailbox(ctx context.Context, user string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, err := s.mailboxLocked(user, true)
+	_, err := s.mailboxLocked(ctx, user, true)
 	return err
 }
 
 // Deliver appends a message to the user's mail history (forced: mail must
 // survive a crash once accepted) and returns its message id.
-func (s *Store) Deliver(user string, from, subject, body string) (int64, error) {
+func (s *Store) Deliver(ctx context.Context, user string, from, subject, body string) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	mb, err := s.mailboxLocked(user, false)
+	mb, err := s.mailboxLocked(ctx, user, false)
 	if err != nil {
 		return 0, err
 	}
 	m := &Message{From: from, Subject: subject, Body: body}
-	ts, err := s.svc.Append(mb.msgID, m.encode(), logapi.AppendOptions{Timestamped: true, Forced: true})
+	ts, err := s.svc.Append(ctx, mb.msgID, m.encode(), logapi.AppendOptions{Timestamped: true, Forced: true})
 	if err != nil {
 		return 0, err
 	}
@@ -134,18 +135,19 @@ func (s *Store) Deliver(user string, from, subject, body string) (int64, error) 
 }
 
 // DeliverCC appends one message to several mailboxes at once, using a
-// single multi-membership log entry when the store supports it (§2.1) —
-// the message is stored once, yet appears in every recipient's history.
-func (s *Store) DeliverCC(users []string, from, subject, body string) (int64, error) {
+// single multi-membership log entry (§2.1) — the message is stored once,
+// yet appears in every recipient's history. All recipients must live on
+// one shard; cross-shard recipient sets surface logapi.ErrShardRange.
+func (s *Store) DeliverCC(ctx context.Context, users []string, from, subject, body string) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(users) == 0 {
 		return 0, fmt.Errorf("mailstore: no recipients")
 	}
 	boxes := make([]*mailbox, len(users))
-	ids := make([]uint16, len(users))
+	ids := make([]logapi.ID, len(users))
 	for i, u := range users {
-		mb, err := s.mailboxLocked(u, false)
+		mb, err := s.mailboxLocked(ctx, u, false)
 		if err != nil {
 			return 0, err
 		}
@@ -153,11 +155,7 @@ func (s *Store) DeliverCC(users []string, from, subject, body string) (int64, er
 		ids[i] = mb.msgID
 	}
 	m := &Message{From: from, Subject: subject, Body: body}
-	multi, ok := s.svc.(logapi.MultiStore)
-	if !ok {
-		return 0, fmt.Errorf("mailstore: store does not support multi-membership delivery")
-	}
-	ts, err := multi.AppendMulti(ids, m.encode(), logapi.AppendOptions{Timestamped: true, Forced: true})
+	ts, err := s.svc.AppendMulti(ctx, ids, m.encode(), logapi.AppendOptions{Timestamped: true, Forced: true})
 	if err != nil {
 		return 0, err
 	}
@@ -172,10 +170,10 @@ func (s *Store) DeliverCC(users []string, from, subject, body string) (int64, er
 // List returns the user's messages in delivery order; hidden messages are
 // included only when includeHidden is set (they are never gone — §4.2's
 // Walnut comparison: this design does not allow permanent deletion).
-func (s *Store) List(user string, includeHidden bool) ([]*Message, error) {
+func (s *Store) List(ctx context.Context, user string, includeHidden bool) ([]*Message, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	mb, err := s.mailboxLocked(user, false)
+	mb, err := s.mailboxLocked(ctx, user, false)
 	if err != nil {
 		return nil, err
 	}
@@ -191,10 +189,10 @@ func (s *Store) List(user string, includeHidden bool) ([]*Message, error) {
 }
 
 // Get returns one message by id.
-func (s *Store) Get(user string, id int64) (*Message, error) {
+func (s *Store) Get(ctx context.Context, user string, id int64) (*Message, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	mb, err := s.mailboxLocked(user, false)
+	mb, err := s.mailboxLocked(ctx, user, false)
 	if err != nil {
 		return nil, err
 	}
@@ -207,20 +205,20 @@ func (s *Store) Get(user string, id int64) (*Message, error) {
 }
 
 // MarkRead logs and applies a read mark.
-func (s *Store) MarkRead(user string, id int64) error {
-	return s.setFlag(user, id, flagRead)
+func (s *Store) MarkRead(ctx context.Context, user string, id int64) error {
+	return s.setFlag(ctx, user, id, flagRead)
 }
 
 // Hide logs and applies a hide mark (a soft delete: the message stays in
 // the history and in List(includeHidden)).
-func (s *Store) Hide(user string, id int64) error {
-	return s.setFlag(user, id, flagHide)
+func (s *Store) Hide(ctx context.Context, user string, id int64) error {
+	return s.setFlag(ctx, user, id, flagHide)
 }
 
-func (s *Store) setFlag(user string, id int64, kind byte) error {
+func (s *Store) setFlag(ctx context.Context, user string, id int64, kind byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	mb, err := s.mailboxLocked(user, false)
+	mb, err := s.mailboxLocked(ctx, user, false)
 	if err != nil {
 		return err
 	}
@@ -229,7 +227,7 @@ func (s *Store) setFlag(user string, id int64, kind byte) error {
 		return fmt.Errorf("%w: %d", ErrNoMessage, id)
 	}
 	rec := append([]byte{kind}, wire.PutUint64(nil, uint64(id))...)
-	if _, err := s.svc.Append(mb.flagID, rec, logapi.AppendOptions{Timestamped: true}); err != nil {
+	if _, err := s.svc.Append(ctx, mb.flagID, rec, logapi.AppendOptions{Timestamped: true}); err != nil {
 		return err
 	}
 	applyFlag(m, kind)
@@ -255,10 +253,10 @@ func (mb *mailbox) find(id int64) *Message {
 }
 
 // Users lists the mailboxes.
-func (s *Store) Users() ([]string, error) {
+func (s *Store) Users(ctx context.Context) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.svc.List(s.root)
+	return s.svc.List(ctx, s.root)
 }
 
 // EvictCache drops all cached mailbox state; subsequent operations rebuild
@@ -271,31 +269,32 @@ func (s *Store) EvictCache() {
 
 // mailboxLocked returns the cached mailbox, rebuilding it from the logs —
 // the agent re-deriving its pointers and cached copies from the history.
-func (s *Store) mailboxLocked(user string, create bool) (*mailbox, error) {
+func (s *Store) mailboxLocked(ctx context.Context, user string, create bool) (*mailbox, error) {
 	if mb, ok := s.box[user]; ok {
 		return mb, nil
 	}
 	msgPath := s.root + "/" + user
 	flagPath := msgPath + "/.flags"
-	msgID, err := s.svc.Resolve(msgPath)
+	msgID, err := s.svc.Resolve(ctx, msgPath)
 	if err != nil {
 		if !create {
 			return nil, fmt.Errorf("%w: %q", ErrNoMailbox, user)
 		}
-		if msgID, err = s.svc.CreateLog(msgPath, 0o600, user); err != nil {
+		if msgID, err = s.svc.CreateLog(ctx, msgPath, 0o600, user); err != nil {
 			return nil, err
 		}
 	}
-	flagID, err := s.svc.Resolve(flagPath)
+	flagID, err := s.svc.Resolve(ctx, flagPath)
 	if err != nil {
-		if flagID, err = s.svc.CreateLog(flagPath, 0o600, user); err != nil {
+		if flagID, err = s.svc.CreateLog(ctx, flagPath, 0o600, user); err != nil {
 			return nil, err
 		}
 	}
 	mb := &mailbox{user: user, msgID: msgID, flagID: flagID}
 	// Replay the mail history. The mailbox log's entries include the flag
-	// sublog's (it is a sublog), so filter by id.
-	cur, err := s.svc.OpenCursor(msgPath)
+	// sublog's (it is a sublog), so filter by id. Entry ids are
+	// shard-local; the mailbox and its flag sublog share a shard.
+	cur, err := s.svc.OpenCursor(ctx, msgPath)
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +304,7 @@ func (s *Store) mailboxLocked(user string, create bool) (*mailbox, error) {
 		id   int64
 	}
 	for {
-		e, err := cur.Next()
+		e, err := cur.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -313,14 +312,14 @@ func (s *Store) mailboxLocked(user string, create bool) (*mailbox, error) {
 			return nil, err
 		}
 		switch {
-		case e.MemberOf(msgID) && e.LogID != flagID:
+		case e.MemberOf(mb.msgID.Local()) && e.LogID != mb.flagID.Local():
 			m, derr := decodeMessage(e.Data)
 			if derr != nil {
 				continue // damaged message entry: lost
 			}
 			m.Delivered = e.Timestamp
 			mb.msgs = append(mb.msgs, m)
-		case e.LogID == flagID:
+		case e.LogID == mb.flagID.Local():
 			if len(e.Data) == 9 {
 				id, _ := wire.Uint64(e.Data[1:])
 				flags = append(flags, struct {

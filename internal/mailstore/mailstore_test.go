@@ -1,6 +1,7 @@
 package mailstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -20,7 +21,7 @@ func newStore(t *testing.T) (*Store, *core.Service, wodev.Device, core.Options) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := New(logapi.FromService(svc), "/mail")
+	st, err := New(context.Background(), logapi.NewLocal(svc), "/mail")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,18 +31,19 @@ func newStore(t *testing.T) (*Store, *core.Service, wodev.Device, core.Options) 
 func TestDeliverAndList(t *testing.T) {
 	st, svc, _, _ := newStore(t)
 	defer svc.Close()
-	if err := st.CreateMailbox("smith"); err != nil {
+	ctx := context.Background()
+	if err := st.CreateMailbox(ctx, "smith"); err != nil {
 		t.Fatal(err)
 	}
-	id1, err := st.Deliver("smith", "alice", "hi", "hello smith")
+	id1, err := st.Deliver(ctx, "smith", "alice", "hi", "hello smith")
 	if err != nil {
 		t.Fatal(err)
 	}
-	id2, err := st.Deliver("smith", "bob", "re: hi", "hello again")
+	id2, err := st.Deliver(ctx, "smith", "bob", "re: hi", "hello again")
 	if err != nil || id2 <= id1 {
 		t.Fatalf("second delivery: %d, %v", id2, err)
 	}
-	msgs, err := st.List("smith", false)
+	msgs, err := st.List(ctx, "smith", false)
 	if err != nil || len(msgs) != 2 {
 		t.Fatalf("List: %d msgs, %v", len(msgs), err)
 	}
@@ -56,10 +58,11 @@ func TestDeliverAndList(t *testing.T) {
 func TestUnknownMailbox(t *testing.T) {
 	st, svc, _, _ := newStore(t)
 	defer svc.Close()
-	if _, err := st.Deliver("ghost", "x", "y", "z"); !errors.Is(err, ErrNoMailbox) {
+	ctx := context.Background()
+	if _, err := st.Deliver(ctx, "ghost", "x", "y", "z"); !errors.Is(err, ErrNoMailbox) {
 		t.Errorf("deliver to ghost: %v", err)
 	}
-	if _, err := st.List("ghost", false); !errors.Is(err, ErrNoMailbox) {
+	if _, err := st.List(ctx, "ghost", false); !errors.Is(err, ErrNoMailbox) {
 		t.Errorf("list ghost: %v", err)
 	}
 }
@@ -67,35 +70,36 @@ func TestUnknownMailbox(t *testing.T) {
 func TestFlagsAndHiding(t *testing.T) {
 	st, svc, _, _ := newStore(t)
 	defer svc.Close()
-	if err := st.CreateMailbox("u"); err != nil {
+	ctx := context.Background()
+	if err := st.CreateMailbox(ctx, "u"); err != nil {
 		t.Fatal(err)
 	}
 	var ids []int64
 	for i := 0; i < 3; i++ {
-		id, err := st.Deliver("u", "from", fmt.Sprintf("s%d", i), "body")
+		id, err := st.Deliver(ctx, "u", "from", fmt.Sprintf("s%d", i), "body")
 		if err != nil {
 			t.Fatal(err)
 		}
 		ids = append(ids, id)
 	}
-	if err := st.MarkRead("u", ids[0]); err != nil {
+	if err := st.MarkRead(ctx, "u", ids[0]); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Hide("u", ids[1]); err != nil {
+	if err := st.Hide(ctx, "u", ids[1]); err != nil {
 		t.Fatal(err)
 	}
-	msgs, _ := st.List("u", false)
+	msgs, _ := st.List(ctx, "u", false)
 	if len(msgs) != 2 {
 		t.Fatalf("visible: %d", len(msgs))
 	}
 	if !msgs[0].Read || msgs[0].Delivered != ids[0] {
 		t.Errorf("msg 0 flags: %+v", msgs[0])
 	}
-	all, _ := st.List("u", true)
+	all, _ := st.List(ctx, "u", true)
 	if len(all) != 3 || !all[1].Hidden {
 		t.Errorf("all: %d, hidden=%v", len(all), all[1].Hidden)
 	}
-	if err := st.MarkRead("u", 424242); !errors.Is(err, ErrNoMessage) {
+	if err := st.MarkRead(ctx, "u", 424242); !errors.Is(err, ErrNoMessage) {
 		t.Errorf("flag unknown: %v", err)
 	}
 }
@@ -103,18 +107,19 @@ func TestFlagsAndHiding(t *testing.T) {
 func TestCacheRebuildFromHistory(t *testing.T) {
 	st, svc, _, _ := newStore(t)
 	defer svc.Close()
-	if err := st.CreateMailbox("u"); err != nil {
+	ctx := context.Background()
+	if err := st.CreateMailbox(ctx, "u"); err != nil {
 		t.Fatal(err)
 	}
-	id, err := st.Deliver("u", "a", "s", "b")
+	id, err := st.Deliver(ctx, "u", "a", "s", "b")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.MarkRead("u", id); err != nil {
+	if err := st.MarkRead(ctx, "u", id); err != nil {
 		t.Fatal(err)
 	}
 	st.EvictCache()
-	msgs, err := st.List("u", true)
+	msgs, err := st.List(ctx, "u", true)
 	if err != nil || len(msgs) != 1 {
 		t.Fatalf("after evict: %d, %v", len(msgs), err)
 	}
@@ -125,12 +130,13 @@ func TestCacheRebuildFromHistory(t *testing.T) {
 
 func TestMailSurvivesCrash(t *testing.T) {
 	st, svc, dev, opt := newStore(t)
-	if err := st.CreateMailbox("u"); err != nil {
+	ctx := context.Background()
+	if err := st.CreateMailbox(ctx, "u"); err != nil {
 		t.Fatal(err)
 	}
 	var ids []int64
 	for i := 0; i < 10; i++ {
-		id, err := st.Deliver("u", "postmaster", fmt.Sprintf("msg %d", i), "body body body")
+		id, err := st.Deliver(ctx, "u", "postmaster", fmt.Sprintf("msg %d", i), "body body body")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,11 +148,11 @@ func TestMailSurvivesCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc2.Close()
-	st2, err := New(logapi.FromService(svc2), "/mail")
+	st2, err := New(ctx, logapi.NewLocal(svc2), "/mail")
 	if err != nil {
 		t.Fatal(err)
 	}
-	msgs, err := st2.List("u", true)
+	msgs, err := st2.List(ctx, "u", true)
 	if err != nil || len(msgs) != 10 {
 		t.Fatalf("after crash: %d msgs, %v", len(msgs), err)
 	}
@@ -156,7 +162,7 @@ func TestMailSurvivesCrash(t *testing.T) {
 		}
 	}
 	// The mail history remains appendable.
-	if _, err := st2.Deliver("u", "x", "new", "mail"); err != nil {
+	if _, err := st2.Deliver(ctx, "u", "x", "new", "mail"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -164,21 +170,22 @@ func TestMailSurvivesCrash(t *testing.T) {
 func TestUsersAndGet(t *testing.T) {
 	st, svc, _, _ := newStore(t)
 	defer svc.Close()
+	ctx := context.Background()
 	for _, u := range []string{"alice", "bob"} {
-		if err := st.CreateMailbox(u); err != nil {
+		if err := st.CreateMailbox(ctx, u); err != nil {
 			t.Fatal(err)
 		}
 	}
-	users, err := st.Users()
+	users, err := st.Users(ctx)
 	if err != nil || fmt.Sprint(users) != "[alice bob]" {
 		t.Errorf("Users: %v, %v", users, err)
 	}
-	id, _ := st.Deliver("alice", "bob", "s", "b")
-	m, err := st.Get("alice", id)
+	id, _ := st.Deliver(ctx, "alice", "bob", "s", "b")
+	m, err := st.Get(ctx, "alice", id)
 	if err != nil || m.From != "bob" {
 		t.Errorf("Get: %+v, %v", m, err)
 	}
-	if _, err := st.Get("alice", 1); !errors.Is(err, ErrNoMessage) {
+	if _, err := st.Get(ctx, "alice", 1); !errors.Is(err, ErrNoMessage) {
 		t.Errorf("Get missing: %v", err)
 	}
 }
@@ -186,17 +193,18 @@ func TestUsersAndGet(t *testing.T) {
 func TestDeliverCC(t *testing.T) {
 	st, svc, _, _ := newStore(t)
 	defer svc.Close()
+	ctx := context.Background()
 	for _, u := range []string{"alice", "bob", "carol"} {
-		if err := st.CreateMailbox(u); err != nil {
+		if err := st.CreateMailbox(ctx, u); err != nil {
 			t.Fatal(err)
 		}
 	}
-	id, err := st.DeliverCC([]string{"alice", "bob"}, "carol", "meeting", "3pm in the lab")
+	id, err := st.DeliverCC(ctx, []string{"alice", "bob"}, "carol", "meeting", "3pm in the lab")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, u := range []string{"alice", "bob"} {
-		msgs, err := st.List(u, false)
+		msgs, err := st.List(ctx, u, false)
 		if err != nil || len(msgs) != 1 {
 			t.Fatalf("%s: %d msgs, %v", u, len(msgs), err)
 		}
@@ -204,28 +212,28 @@ func TestDeliverCC(t *testing.T) {
 			t.Errorf("%s: %+v", u, msgs[0])
 		}
 	}
-	if msgs, _ := st.List("carol", false); len(msgs) != 0 {
+	if msgs, _ := st.List(ctx, "carol", false); len(msgs) != 0 {
 		t.Errorf("carol got a copy: %d", len(msgs))
 	}
 	// The agents' caches rebuild the CC'd message from the single entry.
 	st.EvictCache()
 	for _, u := range []string{"alice", "bob"} {
-		msgs, err := st.List(u, false)
+		msgs, err := st.List(ctx, u, false)
 		if err != nil || len(msgs) != 1 || msgs[0].Body != "3pm in the lab" {
 			t.Fatalf("%s after evict: %v, %v", u, msgs, err)
 		}
 	}
 	// Per-recipient flags stay independent.
-	if err := st.Hide("alice", id); err != nil {
+	if err := st.Hide(ctx, "alice", id); err != nil {
 		t.Fatal(err)
 	}
-	if msgs, _ := st.List("alice", false); len(msgs) != 0 {
+	if msgs, _ := st.List(ctx, "alice", false); len(msgs) != 0 {
 		t.Error("alice still sees hidden CC")
 	}
-	if msgs, _ := st.List("bob", false); len(msgs) != 1 {
+	if msgs, _ := st.List(ctx, "bob", false); len(msgs) != 1 {
 		t.Error("bob lost the CC when alice hid hers")
 	}
-	if _, err := st.DeliverCC(nil, "x", "y", "z"); err == nil {
+	if _, err := st.DeliverCC(ctx, nil, "x", "y", "z"); err == nil {
 		t.Error("empty recipient list accepted")
 	}
 }

@@ -1,13 +1,13 @@
 package mailstore
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
 
 	"clio/internal/client"
 	"clio/internal/core"
-	"clio/internal/logapi"
 	"clio/internal/server"
 	"clio/internal/wodev"
 )
@@ -16,6 +16,7 @@ import (
 // log server — the paper's actual deployment shape, where the mail agent is
 // a client of the extended file server.
 func TestMailOverTheNetwork(t *testing.T) {
+	ctx := context.Background()
 	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
 	now := int64(0)
 	svc, err := core.New(dev, core.Options{
@@ -40,25 +41,25 @@ func TestMailOverTheNetwork(t *testing.T) {
 	}
 	defer cl.Close()
 
-	st, err := New(logapi.AsStore(cl), "/mail")
+	st, err := New(ctx, cl, "/mail")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.CreateMailbox("remote-user"); err != nil {
+	if err := st.CreateMailbox(ctx, "remote-user"); err != nil {
 		t.Fatal(err)
 	}
 	var ids []int64
 	for i := 0; i < 8; i++ {
-		id, err := st.Deliver("remote-user", "sender", fmt.Sprintf("subject %d", i), "body over tcp")
+		id, err := st.Deliver(ctx, "remote-user", "sender", fmt.Sprintf("subject %d", i), "body over tcp")
 		if err != nil {
 			t.Fatal(err)
 		}
 		ids = append(ids, id)
 	}
-	if err := st.MarkRead("remote-user", ids[2]); err != nil {
+	if err := st.MarkRead(ctx, "remote-user", ids[2]); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Hide("remote-user", ids[3]); err != nil {
+	if err := st.Hide(ctx, "remote-user", ids[3]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -69,18 +70,18 @@ func TestMailOverTheNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl2.Close()
-	st2, err := New(logapi.AsStore(cl2), "/mail")
+	st2, err := New(ctx, cl2, "/mail")
 	if err != nil {
 		t.Fatal(err)
 	}
-	msgs, err := st2.List("remote-user", true)
+	msgs, err := st2.List(ctx, "remote-user", true)
 	if err != nil || len(msgs) != 8 {
 		t.Fatalf("remote list: %d msgs, %v", len(msgs), err)
 	}
 	if !msgs[2].Read || !msgs[3].Hidden {
 		t.Errorf("flags not visible remotely: %+v %+v", msgs[2], msgs[3])
 	}
-	visible, _ := st2.List("remote-user", false)
+	visible, _ := st2.List(ctx, "remote-user", false)
 	if len(visible) != 7 {
 		t.Errorf("visible: %d", len(visible))
 	}

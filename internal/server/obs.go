@@ -43,6 +43,14 @@ var opNames = map[byte]string{
 	wire.OpReplReset:      "repl_reset",
 	wire.OpPromote:        "promote",
 	wire.OpReplStatus:     "repl_status",
+
+	wire.OpStreamSubscribe:   "stream_subscribe",
+	wire.OpStreamDeliver:     "stream_deliver",
+	wire.OpStreamCredit:      "stream_credit",
+	wire.OpStreamUnsubscribe: "stream_unsubscribe",
+	wire.OpStreamEnd:         "stream_end",
+	wire.OpStreamAck:         "stream_ack",
+	wire.OpStreamRebalance:   "stream_rebalance",
 }
 
 func opName(op byte) string {

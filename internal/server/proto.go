@@ -100,7 +100,8 @@ const (
 // after a quorum has durably staged their effects.
 func IsMutating(op byte) bool {
 	switch op {
-	case OpCreate, OpSetPerms, OpRetire, OpAppend, OpAppendMulti, OpForce:
+	case OpCreate, OpSetPerms, OpRetire, OpAppend, OpAppendMulti, OpForce,
+		wire.OpStreamAck, wire.OpStreamRebalance:
 		return true
 	}
 	return false

@@ -431,9 +431,16 @@ func (s *Server) ServeConn(conn net.Conn) {
 		return true
 	}
 	pools := s.readPools()
+	// Streaming subscriptions are connection-domain; closeAll (registered
+	// after inflight.Wait, so it runs first) cancels the pushers, then the
+	// Wait joins them before the connection is torn down.
+	streams := newConnStreams(s, write, func() { conn.Close() }, &inflight)
+	defer streams.closeAll()
 	for {
-		if d := s.idleTimeout(); d > 0 {
+		if d := s.idleTimeout(); d > 0 && streams.active() == 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
+		} else {
+			conn.SetReadDeadline(time.Time{})
 		}
 		op, seq, traceID, payload, err := ReadFrame(conn)
 		if err != nil {
@@ -450,6 +457,16 @@ func (s *Server) ServeConn(conn net.Conn) {
 		m := s.met()
 		m.countReq(op)
 		start := time.Now()
+		if isStreamConnOp(op) {
+			tr := s.Tracer.Start(traceID, opName(op))
+			ok := streams.handle(op, seq, traceID, payload)
+			s.Tracer.Finish(tr)
+			m.reqLat.ObserveSince(start)
+			if !ok {
+				return
+			}
+			continue
+		}
 		if isReadClass(op) {
 			// Read-class requests bypass the dedup window entirely (they are
 			// idempotent by nature, so a replay may simply re-execute) and,
@@ -998,6 +1015,9 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		out = wire.PutUint64(out, uint64(st.ClientBytes))
 		out = wire.PutUint64(out, uint64(store.End()))
 		return StatusOK, out, nil
+
+	case wire.OpStreamAck, wire.OpStreamRebalance:
+		return h.streamGroupOp(tr, op, payload)
 
 	default:
 		if ext := h.srv.ExtOp; ext != nil {

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"clio/internal/core"
+	"clio/internal/logapi"
+	"clio/internal/obs"
+	"clio/internal/wire"
+)
+
+// DefaultStreamCredit is the delivery window granted to a subscription whose
+// subscribe payload leaves Credit zero.
+const DefaultStreamCredit = 256
+
+// maxStreamBuffer caps the server-side delivery buffer a client may request.
+const maxStreamBuffer = 1 << 14
+
+// OffsetsRoot is the reserved sublog holding consumer-group state: the
+// group log for group g is OffsetsRoot + "/" + g (see logapi.OffsetsRoot).
+const OffsetsRoot = logapi.OffsetsRoot
+
+// connStreams is one connection's subscription registry. Subscriptions are
+// connection-domain (like cursors are session-domain): tearing down the
+// connection tears down its subscriptions, and a reconnecting client
+// re-subscribes from its last delivered position.
+type connStreams struct {
+	srv *Server
+	// write is the connection's serialized frame writer (ServeConn's
+	// closure); kill closes the connection to wake its read loop after a
+	// write failure, mirroring the read-class worker path.
+	write func(status byte, seq, trace uint64, resp, body []byte) bool
+	kill  func()
+	wg    *sync.WaitGroup
+
+	mu     sync.Mutex
+	next   uint32
+	subs   map[uint32]*connSub
+	closed bool
+}
+
+// connSub is one live subscription: the store-side Sub plus the client's
+// delivery window.
+type connSub struct {
+	id     uint32
+	sub    logapi.Subscription
+	ctx    context.Context
+	cancel context.CancelFunc
+	// credit is the remaining delivery window; the pusher parks on wake
+	// when it hits zero and OpStreamCredit tops it up.
+	credit atomic.Int64
+	wake   chan struct{}
+}
+
+func newConnStreams(srv *Server, write func(byte, uint64, uint64, []byte, []byte) bool, kill func(), wg *sync.WaitGroup) *connStreams {
+	return &connStreams{srv: srv, write: write, kill: kill, wg: wg, subs: make(map[uint32]*connSub)}
+}
+
+// handle processes one streaming control frame inline in the read loop; the
+// return value mirrors write's (false ends the connection).
+func (cs *connStreams) handle(op byte, seq, traceID uint64, payload []byte) bool {
+	switch op {
+	case wire.OpStreamSubscribe:
+		req, err := wire.DecodeStreamSubscribe(payload)
+		if err != nil {
+			status, resp := errResp(err)
+			return cs.write(status, seq, traceID, resp, nil)
+		}
+		id, err := cs.subscribe(req)
+		if err != nil {
+			status, resp := errResp(err)
+			return cs.write(status, seq, traceID, resp, nil)
+		}
+		return cs.write(StatusOK, seq, traceID, wire.PutUint32(nil, id), nil)
+
+	case wire.OpStreamCredit:
+		req, err := wire.DecodeStreamCredit(payload)
+		if err != nil {
+			status, resp := errResp(err)
+			return cs.write(status, seq, traceID, resp, nil)
+		}
+		cs.mu.Lock()
+		c := cs.subs[req.SubID]
+		cs.mu.Unlock()
+		if c == nil {
+			status, resp := errResp(fmt.Errorf("server: unknown subscription %d", req.SubID))
+			return cs.write(status, seq, traceID, resp, nil)
+		}
+		c.grant(int64(req.Credit))
+		return cs.write(StatusOK, seq, traceID, nil, nil)
+
+	case wire.OpStreamUnsubscribe:
+		req, err := wire.DecodeStreamUnsubscribe(payload)
+		if err != nil {
+			status, resp := errResp(err)
+			return cs.write(status, seq, traceID, resp, nil)
+		}
+		cs.remove(req.SubID)
+		return cs.write(StatusOK, seq, traceID, nil, nil)
+	}
+	status, resp := errResp(fmt.Errorf("server: stream op %#x is not connection-scoped", op))
+	return cs.write(status, seq, traceID, resp, nil)
+}
+
+// subscribe opens the store-side subscription, registers it and starts its
+// pusher. The subscribe response is written by the caller before the pusher
+// can race it onto the wire only because handle runs inline in the read
+// loop — the pusher is started here but its first write contends on the same
+// write mutex after the response.
+func (cs *connStreams) subscribe(req *wire.StreamSubscribe) (uint32, error) {
+	opts := logapi.WatchOptions{
+		Buffer:    int(min(req.Buffer, maxStreamBuffer)),
+		FromStart: req.FromStart,
+	}
+	for _, p := range req.From {
+		opts.From = append(opts.From, logapi.Position{Shard: int(p.Shard), Block: int(p.Block), Rec: int(p.Rec)})
+	}
+	sub, err := cs.srv.store.Watch(context.Background(), req.Path, opts)
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &connSub{sub: sub, ctx: ctx, cancel: cancel, wake: make(chan struct{}, 1)}
+	credit := int64(req.Credit)
+	if credit == 0 {
+		credit = DefaultStreamCredit
+	}
+	c.credit.Store(credit)
+	cs.mu.Lock()
+	if cs.closed {
+		cs.mu.Unlock()
+		cancel()
+		sub.Close()
+		return 0, fmt.Errorf("server: connection closing")
+	}
+	cs.next++
+	c.id = cs.next
+	cs.subs[c.id] = c
+	cs.mu.Unlock()
+	cs.wg.Add(1)
+	go cs.push(c)
+	return c.id, nil
+}
+
+// push is the per-subscription pusher: wait for credit, receive from the
+// store-side subscription, write one deliver frame. The entry data rides as
+// a borrowed writev chunk — the same zero-copy path sealed reads use.
+func (cs *connStreams) push(c *connSub) {
+	defer cs.wg.Done()
+	for {
+		if c.credit.Load() <= 0 {
+			select {
+			case <-c.wake:
+			case <-c.ctx.Done():
+				return
+			}
+			continue
+		}
+		e, err := c.sub.Recv(c.ctx)
+		if err != nil {
+			if c.ctx.Err() != nil {
+				return // local unsubscribe or connection teardown
+			}
+			// The subscription ended underneath (service closed, media
+			// loss): tell the client, then retire the registration.
+			end := wire.StreamEnd{SubID: c.id, Msg: err.Error()}
+			cs.write(wire.OpStreamEnd, uint64(c.id), 0, end.Encode(nil), nil)
+			cs.remove(c.id)
+			return
+		}
+		d := wire.StreamDeliver{
+			SubID:     c.id,
+			LogID:     e.LogID,
+			Timestamp: e.Timestamp,
+			Shard:     uint32(e.Shard),
+			Block:     uint64(e.Block),
+			Index:     uint64(e.Index),
+			ExtraIDs:  e.ExtraIDs,
+			Data:      e.Data,
+		}
+		if e.Timestamped {
+			d.Flags |= EntryTimestamped
+		}
+		if e.Forced {
+			d.Flags |= EntryForced
+		}
+		if !cs.write(wire.OpStreamDeliver, uint64(c.id), 0, d.EncodeHead(nil), e.Data) {
+			cs.kill() // wake the read loop; teardown closes the subscription
+			return
+		}
+		c.credit.Add(-1)
+	}
+}
+
+// grant tops up the delivery window and wakes a parked pusher.
+func (c *connSub) grant(n int64) {
+	c.credit.Add(n)
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// remove retires one subscription: cancel its pusher, close the store-side
+// sub.
+func (cs *connStreams) remove(id uint32) {
+	cs.mu.Lock()
+	c := cs.subs[id]
+	delete(cs.subs, id)
+	cs.mu.Unlock()
+	if c != nil {
+		c.cancel()
+		c.sub.Close()
+	}
+}
+
+// active reports how many subscriptions the connection holds. The read loop
+// consults it to suspend the idle timeout: a subscription connection is
+// supposed to sit quiet between pushes, and dropping it would tear down the
+// very tails it exists to keep open.
+func (cs *connStreams) active() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.subs)
+}
+
+// closeAll tears down every subscription at connection end. Pushers observe
+// the canceled contexts and exit; the caller's inflight.Wait() joins them.
+func (cs *connStreams) closeAll() {
+	cs.mu.Lock()
+	cs.closed = true
+	subs := make([]*connSub, 0, len(cs.subs))
+	for _, c := range cs.subs {
+		subs = append(subs, c)
+	}
+	cs.subs = map[uint32]*connSub{}
+	cs.mu.Unlock()
+	for _, c := range subs {
+		c.cancel()
+		c.sub.Close()
+	}
+}
+
+// isStreamConnOp reports whether op is a connection-scoped streaming control
+// op, handled by the connection's registry rather than dispatch. The group
+// ops (OpStreamAck, OpStreamRebalance) are ordinary sequenced mutations and
+// go through handle/dispatch like any append.
+func isStreamConnOp(op byte) bool {
+	switch op {
+	case wire.OpStreamSubscribe, wire.OpStreamCredit, wire.OpStreamUnsubscribe:
+		return true
+	}
+	return false
+}
+
+// groupLog resolves — creating on first use — the offsets log for a group.
+func (s *Server) groupLog(ctx context.Context, group string) (logapi.ID, error) {
+	if group == "" || strings.ContainsAny(group, "/\x00") {
+		return 0, fmt.Errorf("server: bad group name %q", group)
+	}
+	path := OffsetsRoot + "/" + group
+	if id, err := s.store.Resolve(ctx, path); err == nil {
+		return id, nil
+	}
+	// Racing creators are fine: the loser's CreateLog fails and the
+	// re-resolve finds the winner's log.
+	s.store.CreateLog(ctx, OffsetsRoot, 0o600, "system")
+	if id, err := s.store.CreateLog(ctx, path, 0o600, "system"); err == nil {
+		return id, nil
+	}
+	return s.store.Resolve(ctx, path)
+}
+
+// streamGroupOp executes OpStreamAck / OpStreamRebalance: append one group
+// record to the group's offsets log, forced (an ack must not be lost with
+// the tail) and timestamped (the record order is the audit order).
+func (h *connHandler) streamGroupOp(tr *obs.Trace, op byte, payload []byte) (byte, []byte, []byte) {
+	gop, err := wire.DecodeStreamGroupOp(payload)
+	if err != nil {
+		return errResp3(err)
+	}
+	switch op {
+	case wire.OpStreamAck:
+		if gop.Rec.Kind != wire.GroupAck && gop.Rec.Kind != wire.GroupHeartbeat {
+			return errResp3(fmt.Errorf("server: kind %d is not an ack record", gop.Rec.Kind))
+		}
+	case wire.OpStreamRebalance:
+		switch gop.Rec.Kind {
+		case wire.GroupJoin, wire.GroupLeave, wire.GroupClaim, wire.GroupRelease:
+		default:
+			return errResp3(fmt.Errorf("server: kind %d is not a rebalance record", gop.Rec.Kind))
+		}
+	}
+	ctx := context.Background()
+	id, err := h.srv.groupLog(ctx, gop.Group)
+	if err != nil {
+		return errResp3(err)
+	}
+	ts, err := h.srv.store.Append(ctx, id, gop.Rec.Encode(nil), core.AppendOptions{
+		Timestamped: true,
+		Forced:      true,
+		Trace:       tr,
+	})
+	return appendResp3(ts, err)
+}

@@ -37,10 +37,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"clio/internal/core"
 	"clio/internal/logapi"
 	"clio/internal/obs"
+	"clio/internal/stream"
 	"clio/internal/wodev"
 )
 
@@ -49,6 +51,9 @@ import (
 // shard synchronizes internally; the Store itself is immutable after New).
 type Store struct {
 	svcs []*core.Service
+	// streamMet, when set (RegisterStreamMetrics), instruments every
+	// subsequently opened Watch subscription.
+	streamMet atomic.Pointer[stream.Metrics]
 }
 
 var _ logapi.Service = (*Store)(nil)

@@ -1,0 +1,47 @@
+package shard
+
+import (
+	"context"
+
+	"clio/internal/logapi"
+	"clio/internal/obs"
+	"clio/internal/stream"
+)
+
+var _ logapi.StreamService = (*Store)(nil)
+
+// Watch opens a live tail subscription to the log file at path. A path that
+// routes to one shard tails that shard's volume sequence; the root "/"
+// live-merges every shard's tail — the streaming analogue of the merged
+// root cursor, delivering the lowest (timestamp, shard) entry whenever more
+// than one shard has entries pending, without ever waiting for an idle
+// shard.
+func (st *Store) Watch(ctx context.Context, path string, opts logapi.WatchOptions) (logapi.Subscription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	seg, err := rootSegment(path)
+	if err != nil {
+		return nil, err
+	}
+	so := logapi.StreamOptions(opts)
+	so.Metrics = st.streamMet.Load()
+	if seg == "" {
+		legs := make([]stream.Leg, len(st.svcs))
+		for i, svc := range st.svcs {
+			legs[i] = stream.Leg{Svc: svc, Shard: i}
+		}
+		return stream.Open(path, so, legs...)
+	}
+	sh := hashSegment(seg, len(st.svcs))
+	return stream.Open(path, so, stream.Leg{Svc: st.svcs[sh], Shard: sh})
+}
+
+// RegisterStreamMetrics creates the clio_stream_* instruments in reg and
+// attaches them to every subscription subsequently opened through Watch.
+// Call it alongside RegisterMetrics, before serving traffic.
+func (st *Store) RegisterStreamMetrics(reg *obs.Registry) *stream.Metrics {
+	m := stream.RegisterMetrics(reg)
+	st.streamMet.Store(m)
+	return m
+}

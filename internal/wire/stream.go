@@ -1,0 +1,553 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Streaming-read opcodes, an extension of the sessioned frame protocol
+// (internal/server: u32 len | u8 op | u64 seq | u64 traceID | payload).
+// They live in the 0x60 range so they can never collide with the client ops
+// (1–21) or the replication extension (0x40–0x4A).
+//
+// A subscription runs on a dedicated connection: the client sends one
+// OpStreamSubscribe, then the server pushes OpStreamDeliver frames — the
+// status byte of a pushed frame is the opcode itself, which no response
+// status (0–5) can collide with, and the seq field carries the subscription
+// id. Flow control is credit-based: the subscribe payload grants an initial
+// window, OpStreamCredit replenishes it as the consumer drains, and the
+// server stops pushing when the window is exhausted — backpressure on a slow
+// network consumer without buffering unbounded entries server-side.
+const (
+	// OpStreamSubscribe opens a live tail subscription (client → server).
+	// Payload: StreamSubscribe. The response carries the subscription id
+	// (u32).
+	OpStreamSubscribe = 0x60
+	// OpStreamDeliver carries one delivered entry (server → client, pushed).
+	// Payload: StreamDeliver. The frame's seq field echoes the subscription
+	// id.
+	OpStreamDeliver = 0x61
+	// OpStreamCredit replenishes a subscription's delivery window (client →
+	// server). Payload: StreamCredit.
+	OpStreamCredit = 0x62
+	// OpStreamUnsubscribe closes a subscription (client → server). Payload:
+	// StreamUnsubscribe.
+	OpStreamUnsubscribe = 0x63
+	// OpStreamEnd reports a subscription ended server-side (pushed) — the
+	// backing service closed, the log was lost, or the server is shutting
+	// down. Payload: StreamEnd.
+	OpStreamEnd = 0x64
+	// OpStreamAck appends one consumer-group acknowledgement record to the
+	// group's offsets log (client → server). Payload: StreamGroupOp whose
+	// record kind is GroupAck or GroupHeartbeat. The response carries the
+	// record's server timestamp (u64).
+	OpStreamAck = 0x65
+	// OpStreamRebalance appends one consumer-group membership record —
+	// join, leave, claim or release — to the group's offsets log (client →
+	// server). Payload: StreamGroupOp. The response carries the record's
+	// server timestamp (u64).
+	OpStreamRebalance = 0x66
+)
+
+// ErrStreamPayload is wrapped by every streaming payload decode failure.
+var ErrStreamPayload = errors.New("wire: malformed stream payload")
+
+// Bounds a decoder will allocate for; anything larger is malformed.
+const (
+	maxStreamFrom  = 1 << 16
+	maxStreamExtra = 64
+)
+
+// StreamPos is one shard's resume position inside a subscribe payload: the
+// gap position after the last entry the consumer has (Rec = Index + 1).
+type StreamPos struct {
+	Shard uint32
+	Block uint64
+	Rec   uint64
+}
+
+// StreamSubscribe opens a subscription to the log file at Path.
+type StreamSubscribe struct {
+	Path string
+	// Buffer bounds the server-side delivery buffer in entries; 0 uses the
+	// server default.
+	Buffer uint32
+	// FromStart delivers existing history before live entries; the default
+	// starts at the current end.
+	FromStart bool
+	// From resumes listed shard legs from gap positions (overriding
+	// FromStart for those shards).
+	From []StreamPos
+	// Credit is the initial delivery window in entries; 0 uses the server
+	// default.
+	Credit uint32
+}
+
+// StreamDeliver is one pushed entry.
+type StreamDeliver struct {
+	SubID uint32
+	// Entry fields, mirroring core.Entry.
+	LogID     uint16
+	Timestamp int64
+	// Flags carries the EntryTimestamped/EntryForced bits.
+	Flags    byte
+	Shard    uint32
+	Block    uint64
+	Index    uint64
+	ExtraIDs []uint16
+	Data     []byte
+}
+
+// StreamCredit replenishes a subscription's delivery window.
+type StreamCredit struct {
+	SubID  uint32
+	Credit uint32
+}
+
+// StreamUnsubscribe closes a subscription.
+type StreamUnsubscribe struct {
+	SubID uint32
+}
+
+// StreamEnd reports a server-side subscription end; Msg explains why.
+type StreamEnd struct {
+	SubID uint32
+	Msg   string
+}
+
+// Consumer-group record kinds (GroupRec.Kind). The records are appended to
+// the group's offsets log — an ordinary log file under the reserved
+// /.offsets system sublog — so group state recovers exactly like any other
+// log data and the ack trail is auditable after the fact.
+const (
+	// GroupJoin announces a member; assignment is recomputed over the new
+	// live set.
+	GroupJoin = 1
+	// GroupLeave retires a member (graceful shutdown).
+	GroupLeave = 2
+	// GroupHeartbeat refreshes a member's liveness lease.
+	GroupHeartbeat = 3
+	// GroupAck acknowledges delivery through a position: Partition consumed
+	// up to the gap position (Shard, Block, Rec), Count entries so far.
+	GroupAck = 4
+	// GroupClaim records that Member took ownership of Partition. Block/Rec
+	// carry the claim's fencing citation: the group-log gap position of the
+	// last ownership event the claimer observed for the partition. The
+	// claim is valid only if the citation still matches when the claim
+	// lands — racing claims cite the same event, the log orders them, the
+	// first is valid and the rest are void.
+	GroupClaim = 5
+	// GroupRelease records that Member gave up Partition (handoff).
+	GroupRelease = 6
+)
+
+// GroupRec is one consumer-group record. The same encoding is both the
+// offsets-log record body and the OpStreamAck/OpStreamRebalance wire
+// payload's record part.
+type GroupRec struct {
+	Kind   byte
+	Member string
+	// Partition is the partition ordinal the record concerns (acks, claims,
+	// releases); unused for membership records.
+	Partition uint32
+	// Shard, Block, Rec are the acknowledged gap position (GroupAck);
+	// Block, Rec double as the fencing citation of a claim (GroupClaim).
+	Shard uint32
+	Block uint64
+	Rec   uint64
+	// Count is the member's cumulative delivered-entry count for the
+	// partition (GroupAck), the audit trail's exactly-once evidence.
+	Count uint64
+}
+
+// StreamGroupOp addresses one group record to a named group.
+type StreamGroupOp struct {
+	Group string
+	Rec   GroupRec
+}
+
+// streamReader consumes a payload front to back with explicit bounds
+// checks; every failure wraps ErrStreamPayload, and no input can make it
+// panic or allocate more than the payload's own length.
+type streamReader struct {
+	buf []byte
+}
+
+func (r *streamReader) fail(what string) error {
+	return fmt.Errorf("%w: %s", ErrStreamPayload, what)
+}
+
+func (r *streamReader) uvarint(what string) (uint64, error) {
+	v, n, err := Uvarint(r.buf)
+	if err != nil {
+		return 0, r.fail(what)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *streamReader) u64(what string) (uint64, error) {
+	v, err := Uint64(r.buf)
+	if err != nil {
+		return 0, r.fail(what)
+	}
+	r.buf = r.buf[8:]
+	return v, nil
+}
+
+func (r *streamReader) u32(what string) (uint32, error) {
+	v, err := Uint32(r.buf)
+	if err != nil {
+		return 0, r.fail(what)
+	}
+	r.buf = r.buf[4:]
+	return v, nil
+}
+
+func (r *streamReader) u16(what string) (uint16, error) {
+	v, err := Uint16(r.buf)
+	if err != nil {
+		return 0, r.fail(what)
+	}
+	r.buf = r.buf[2:]
+	return v, nil
+}
+
+func (r *streamReader) byte(what string) (byte, error) {
+	if len(r.buf) < 1 {
+		return 0, r.fail(what)
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b, nil
+}
+
+func (r *streamReader) bytes(what string) ([]byte, error) {
+	n, err := r.uvarint(what)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)) {
+		return nil, r.fail(what + " body")
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[:n])
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+func (r *streamReader) str(what string) (string, error) {
+	b, err := r.bytes(what)
+	return string(b), err
+}
+
+// Encode appends the subscribe's wire form.
+func (s *StreamSubscribe) Encode(b []byte) []byte {
+	b = putBytes(b, []byte(s.Path))
+	b = PutUvarint(b, uint64(s.Buffer))
+	var fs byte
+	if s.FromStart {
+		fs = 1
+	}
+	b = append(b, fs)
+	b = PutUvarint(b, uint64(len(s.From)))
+	for _, p := range s.From {
+		b = PutUvarint(b, uint64(p.Shard))
+		b = PutUvarint(b, p.Block)
+		b = PutUvarint(b, p.Rec)
+	}
+	return PutUvarint(b, uint64(s.Credit))
+}
+
+// DecodeStreamSubscribe parses a StreamSubscribe payload.
+func DecodeStreamSubscribe(payload []byte) (*StreamSubscribe, error) {
+	r := &streamReader{buf: payload}
+	s := &StreamSubscribe{}
+	var err error
+	if s.Path, err = r.str("path"); err != nil {
+		return nil, err
+	}
+	buf, err := r.uvarint("buffer")
+	if err != nil {
+		return nil, err
+	}
+	fs, err := r.byte("from-start")
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint("from count")
+	if err != nil {
+		return nil, err
+	}
+	if buf > maxStreamFrom || n > maxStreamFrom {
+		return nil, r.fail("from count range")
+	}
+	s.Buffer, s.FromStart = uint32(buf), fs != 0
+	for i := uint64(0); i < n; i++ {
+		var p StreamPos
+		sh, err := r.uvarint("from shard")
+		if err != nil {
+			return nil, err
+		}
+		if sh > maxStreamFrom {
+			return nil, r.fail("from shard range")
+		}
+		p.Shard = uint32(sh)
+		if p.Block, err = r.uvarint("from block"); err != nil {
+			return nil, err
+		}
+		if p.Rec, err = r.uvarint("from rec"); err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, p)
+	}
+	credit, err := r.uvarint("credit")
+	if err != nil {
+		return nil, err
+	}
+	if credit > 1<<30 {
+		return nil, r.fail("credit range")
+	}
+	s.Credit = uint32(credit)
+	return s, nil
+}
+
+// Encode appends the deliver's wire form.
+func (d *StreamDeliver) Encode(b []byte) []byte {
+	return append(d.EncodeHead(b), d.Data...)
+}
+
+// EncodeHead appends everything up to and including the data length prefix,
+// so the data itself can be shipped as a separate borrowed chunk (writev):
+// head + d.Data is byte-identical to Encode.
+func (d *StreamDeliver) EncodeHead(b []byte) []byte {
+	b = PutUvarint(b, uint64(d.SubID))
+	b = PutUint16(b, d.LogID)
+	b = PutUint64(b, uint64(d.Timestamp))
+	b = append(b, d.Flags)
+	b = PutUvarint(b, uint64(d.Shard))
+	b = PutUvarint(b, d.Block)
+	b = PutUvarint(b, d.Index)
+	b = PutUvarint(b, uint64(len(d.ExtraIDs)))
+	for _, id := range d.ExtraIDs {
+		b = PutUint16(b, id)
+	}
+	return PutUvarint(b, uint64(len(d.Data)))
+}
+
+// DecodeStreamDeliver parses a StreamDeliver payload.
+func DecodeStreamDeliver(payload []byte) (*StreamDeliver, error) {
+	r := &streamReader{buf: payload}
+	d := &StreamDeliver{}
+	sub, err := r.uvarint("sub id")
+	if err != nil {
+		return nil, err
+	}
+	if sub > uint64(^uint32(0)) {
+		return nil, r.fail("sub id range")
+	}
+	d.SubID = uint32(sub)
+	if d.LogID, err = r.u16("log id"); err != nil {
+		return nil, err
+	}
+	ts, err := r.u64("timestamp")
+	if err != nil {
+		return nil, err
+	}
+	d.Timestamp = int64(ts)
+	if d.Flags, err = r.byte("flags"); err != nil {
+		return nil, err
+	}
+	sh, err := r.uvarint("shard")
+	if err != nil {
+		return nil, err
+	}
+	if sh > maxStreamFrom {
+		return nil, r.fail("shard range")
+	}
+	d.Shard = uint32(sh)
+	if d.Block, err = r.uvarint("block"); err != nil {
+		return nil, err
+	}
+	if d.Index, err = r.uvarint("index"); err != nil {
+		return nil, err
+	}
+	nx, err := r.uvarint("extra count")
+	if err != nil {
+		return nil, err
+	}
+	if nx > maxStreamExtra {
+		return nil, r.fail("extra count range")
+	}
+	for i := uint64(0); i < nx; i++ {
+		id, err := r.u16("extra id")
+		if err != nil {
+			return nil, err
+		}
+		d.ExtraIDs = append(d.ExtraIDs, id)
+	}
+	if d.Data, err = r.bytes("data"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Encode appends the credit grant's wire form.
+func (c *StreamCredit) Encode(b []byte) []byte {
+	b = PutUvarint(b, uint64(c.SubID))
+	return PutUvarint(b, uint64(c.Credit))
+}
+
+// DecodeStreamCredit parses a StreamCredit payload.
+func DecodeStreamCredit(payload []byte) (*StreamCredit, error) {
+	r := &streamReader{buf: payload}
+	sub, err := r.uvarint("sub id")
+	if err != nil {
+		return nil, err
+	}
+	credit, err := r.uvarint("credit")
+	if err != nil {
+		return nil, err
+	}
+	if sub > uint64(^uint32(0)) || credit > 1<<30 {
+		return nil, r.fail("credit range")
+	}
+	return &StreamCredit{SubID: uint32(sub), Credit: uint32(credit)}, nil
+}
+
+// Encode appends the unsubscribe's wire form.
+func (u *StreamUnsubscribe) Encode(b []byte) []byte {
+	return PutUvarint(b, uint64(u.SubID))
+}
+
+// DecodeStreamUnsubscribe parses a StreamUnsubscribe payload.
+func DecodeStreamUnsubscribe(payload []byte) (*StreamUnsubscribe, error) {
+	r := &streamReader{buf: payload}
+	sub, err := r.uvarint("sub id")
+	if err != nil {
+		return nil, err
+	}
+	if sub > uint64(^uint32(0)) {
+		return nil, r.fail("sub id range")
+	}
+	return &StreamUnsubscribe{SubID: uint32(sub)}, nil
+}
+
+// Encode appends the end notice's wire form.
+func (e *StreamEnd) Encode(b []byte) []byte {
+	b = PutUvarint(b, uint64(e.SubID))
+	return putBytes(b, []byte(e.Msg))
+}
+
+// DecodeStreamEnd parses a StreamEnd payload.
+func DecodeStreamEnd(payload []byte) (*StreamEnd, error) {
+	r := &streamReader{buf: payload}
+	sub, err := r.uvarint("sub id")
+	if err != nil {
+		return nil, err
+	}
+	if sub > uint64(^uint32(0)) {
+		return nil, r.fail("sub id range")
+	}
+	msg, err := r.str("msg")
+	if err != nil {
+		return nil, err
+	}
+	return &StreamEnd{SubID: uint32(sub), Msg: msg}, nil
+}
+
+// Encode appends the group record's wire form — the same bytes used as the
+// offsets-log record body.
+func (g *GroupRec) Encode(b []byte) []byte {
+	b = append(b, g.Kind)
+	b = putBytes(b, []byte(g.Member))
+	b = PutUvarint(b, uint64(g.Partition))
+	b = PutUvarint(b, uint64(g.Shard))
+	b = PutUvarint(b, g.Block)
+	b = PutUvarint(b, g.Rec)
+	return PutUvarint(b, g.Count)
+}
+
+// DecodeGroupRec parses a GroupRec from an offsets-log record body or a
+// wire payload.
+func DecodeGroupRec(payload []byte) (*GroupRec, error) {
+	r := &streamReader{buf: payload}
+	g := &GroupRec{}
+	var err error
+	if g.Kind, err = r.byte("kind"); err != nil {
+		return nil, err
+	}
+	if g.Kind < GroupJoin || g.Kind > GroupRelease {
+		return nil, r.fail("kind range")
+	}
+	if g.Member, err = r.str("member"); err != nil {
+		return nil, err
+	}
+	part, err := r.uvarint("partition")
+	if err != nil {
+		return nil, err
+	}
+	sh, err := r.uvarint("shard")
+	if err != nil {
+		return nil, err
+	}
+	if part > maxStreamFrom || sh > maxStreamFrom {
+		return nil, r.fail("partition range")
+	}
+	g.Partition, g.Shard = uint32(part), uint32(sh)
+	if g.Block, err = r.uvarint("block"); err != nil {
+		return nil, err
+	}
+	if g.Rec, err = r.uvarint("rec"); err != nil {
+		return nil, err
+	}
+	if g.Count, err = r.uvarint("count"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Encode appends the group op's wire form.
+func (o *StreamGroupOp) Encode(b []byte) []byte {
+	b = putBytes(b, []byte(o.Group))
+	return o.Rec.Encode(b)
+}
+
+// DecodeStreamGroupOp parses a StreamGroupOp payload.
+func DecodeStreamGroupOp(payload []byte) (*StreamGroupOp, error) {
+	r := &streamReader{buf: payload}
+	group, err := r.str("group")
+	if err != nil {
+		return nil, err
+	}
+	rec, err := DecodeGroupRec(r.buf)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamGroupOp{Group: group, Rec: *rec}, nil
+}
+
+// DecodeStream parses any streaming payload by opcode — the single entry
+// point protocol handlers (and the fuzz harness) use, so every streaming
+// decoder shares the no-panic guarantee. Unknown ops return an error.
+func DecodeStream(op byte, payload []byte) (any, error) {
+	switch op {
+	case OpStreamSubscribe:
+		return DecodeStreamSubscribe(payload)
+	case OpStreamDeliver:
+		return DecodeStreamDeliver(payload)
+	case OpStreamCredit:
+		return DecodeStreamCredit(payload)
+	case OpStreamUnsubscribe:
+		return DecodeStreamUnsubscribe(payload)
+	case OpStreamEnd:
+		return DecodeStreamEnd(payload)
+	case OpStreamAck, OpStreamRebalance:
+		return DecodeStreamGroupOp(payload)
+	default:
+		return nil, fmt.Errorf("%w: unknown stream op %#x", ErrStreamPayload, op)
+	}
+}
+
+// IsStreamOp reports whether op belongs to the streaming extension.
+func IsStreamOp(op byte) bool { return op >= OpStreamSubscribe && op <= OpStreamRebalance }

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestStreamSubscribeRoundTrip(t *testing.T) {
+	in := &StreamSubscribe{
+		Path:      "/feed",
+		Buffer:    128,
+		FromStart: true,
+		From: []StreamPos{
+			{Shard: 0, Block: 12, Rec: 3},
+			{Shard: 3, Block: 7, Rec: 0},
+		},
+		Credit: 64,
+	}
+	out, err := DecodeStreamSubscribe(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	// Minimal form: no resume positions, defaults everywhere.
+	min := &StreamSubscribe{Path: "/"}
+	out, err = DecodeStreamSubscribe(min.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(min, out) {
+		t.Fatalf("minimal round trip: %+v != %+v", out, min)
+	}
+}
+
+func TestStreamDeliverRoundTrip(t *testing.T) {
+	in := &StreamDeliver{
+		SubID:     7,
+		LogID:     42,
+		Timestamp: 1_700_000_000_000_000_001,
+		Flags:     3, // timestamped | forced
+		Shard:     2,
+		Block:     901,
+		Index:     14,
+		ExtraIDs:  []uint16{5, 9},
+		Data:      []byte("hello stream"),
+	}
+	out, err := DecodeStreamDeliver(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestStreamControlRoundTrips(t *testing.T) {
+	cr, err := DecodeStreamCredit((&StreamCredit{SubID: 3, Credit: 512}).Encode(nil))
+	if err != nil || cr.SubID != 3 || cr.Credit != 512 {
+		t.Fatalf("credit: %+v, %v", cr, err)
+	}
+	un, err := DecodeStreamUnsubscribe((&StreamUnsubscribe{SubID: 9}).Encode(nil))
+	if err != nil || un.SubID != 9 {
+		t.Fatalf("unsubscribe: %+v, %v", un, err)
+	}
+	end, err := DecodeStreamEnd((&StreamEnd{SubID: 4, Msg: "service closed"}).Encode(nil))
+	if err != nil || end.SubID != 4 || end.Msg != "service closed" {
+		t.Fatalf("end: %+v, %v", end, err)
+	}
+}
+
+func TestGroupRecRoundTrip(t *testing.T) {
+	for _, in := range []*GroupRec{
+		{Kind: GroupJoin, Member: "c1"},
+		{Kind: GroupLeave, Member: "c2"},
+		{Kind: GroupHeartbeat, Member: "c1"},
+		{Kind: GroupAck, Member: "c1", Partition: 2, Shard: 2, Block: 88, Rec: 4, Count: 1024},
+		{Kind: GroupClaim, Member: "c3", Partition: 1},
+		{Kind: GroupRelease, Member: "c3", Partition: 1},
+	} {
+		out, err := DecodeGroupRec(in.Encode(nil))
+		if err != nil {
+			t.Fatalf("%+v: %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	}
+}
+
+func TestStreamGroupOpRoundTrip(t *testing.T) {
+	in := &StreamGroupOp{
+		Group: "mailers",
+		Rec:   GroupRec{Kind: GroupAck, Member: "c1", Partition: 3, Shard: 3, Block: 10, Rec: 2, Count: 55},
+	}
+	out, err := DecodeStreamGroupOp(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestDecodeStreamDispatch(t *testing.T) {
+	cases := []struct {
+		op      byte
+		payload []byte
+	}{
+		{OpStreamSubscribe, (&StreamSubscribe{Path: "/x"}).Encode(nil)},
+		{OpStreamDeliver, (&StreamDeliver{SubID: 1, Data: []byte("d")}).Encode(nil)},
+		{OpStreamCredit, (&StreamCredit{SubID: 1, Credit: 1}).Encode(nil)},
+		{OpStreamUnsubscribe, (&StreamUnsubscribe{SubID: 1}).Encode(nil)},
+		{OpStreamEnd, (&StreamEnd{SubID: 1, Msg: "m"}).Encode(nil)},
+		{OpStreamAck, (&StreamGroupOp{Group: "g", Rec: GroupRec{Kind: GroupAck, Member: "m"}}).Encode(nil)},
+		{OpStreamRebalance, (&StreamGroupOp{Group: "g", Rec: GroupRec{Kind: GroupJoin, Member: "m"}}).Encode(nil)},
+	}
+	for _, c := range cases {
+		if !IsStreamOp(c.op) {
+			t.Errorf("IsStreamOp(%#x) = false", c.op)
+		}
+		if _, err := DecodeStream(c.op, c.payload); err != nil {
+			t.Errorf("DecodeStream(%#x): %v", c.op, err)
+		}
+	}
+	if IsStreamOp(OpReplStatus) || IsStreamOp(0x67) {
+		t.Error("IsStreamOp accepts non-stream ops")
+	}
+	if _, err := DecodeStream(0x00, nil); !errors.Is(err, ErrStreamPayload) {
+		t.Errorf("unknown op error: %v", err)
+	}
+}
+
+func TestStreamDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		op      byte
+		payload []byte
+	}{
+		{"subscribe truncated path", OpStreamSubscribe, []byte{0x05, 'a'}},
+		{"subscribe from-count overflow", OpStreamSubscribe,
+			append((&StreamSubscribe{Path: "/x"}).Encode(nil)[:4], 0xFF, 0xFF, 0xFF, 0x7F)},
+		{"deliver truncated data", OpStreamDeliver, (&StreamDeliver{SubID: 1, Data: []byte("abc")}).Encode(nil)[:8]},
+		{"group bad kind", OpStreamAck, (&StreamGroupOp{Group: "g", Rec: GroupRec{Kind: 0, Member: "m"}}).Encode(nil)},
+		{"group kind out of range", OpStreamRebalance, (&StreamGroupOp{Group: "g", Rec: GroupRec{Kind: 99, Member: "m"}}).Encode(nil)},
+		{"empty credit", OpStreamCredit, nil},
+	}
+	for _, c := range cases {
+		if _, err := DecodeStream(c.op, c.payload); !errors.Is(err, ErrStreamPayload) {
+			t.Errorf("%s: err = %v, want ErrStreamPayload", c.name, err)
+		}
+	}
+}
