@@ -398,13 +398,14 @@ func BenchmarkServerRoundTrip(b *testing.B) {
 
 // BenchmarkFileStore measures the file-backed append path end to end.
 func BenchmarkFileStore(b *testing.B) {
+	ctx := context.Background()
 	dir := b.TempDir()
-	svc, err := clio.CreateDir(dir, clio.DirOptions{})
+	st, err := clio.CreateStore(dir, clio.DirOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer svc.Close()
-	id, err := svc.CreateLog("/f", 0, "")
+	defer st.Close()
+	id, err := st.CreateLog(ctx, "/f", 0, "")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -413,7 +414,7 @@ func BenchmarkFileStore(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := svc.Append(id, payload, clio.AppendOptions{}); err != nil {
+		if _, err := st.Append(ctx, id, payload, clio.AppendOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -506,14 +507,15 @@ func BenchmarkBackup(b *testing.B) {
 		b.Fatal(err)
 	}
 	svc.Crash()
-	dir := b.TempDir()
-	if _, err := archive.Backup([]wodev.Device{dev}, dir); err != nil {
+	ctx := context.Background()
+	be := archive.NewDir(b.TempDir())
+	if _, err := archive.Backup(ctx, []wodev.Device{dev}, be); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := archive.Backup([]wodev.Device{dev}, dir)
+		res, err := archive.Backup(ctx, []wodev.Device{dev}, be)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -38,6 +38,7 @@ package clio
 import (
 	"fmt"
 
+	"clio/internal/archive"
 	"clio/internal/core"
 	"clio/internal/logapi"
 	"clio/internal/shard"
@@ -47,8 +48,7 @@ import (
 )
 
 // Log is the uniform context-first log-service interface, implemented by
-// *Store (local, possibly sharded), internal/client.Client (network), and
-// NewLog's wrapper over a bare Service.
+// *Store (local, possibly sharded) and internal/client.Client (network).
 type Log = logapi.Service
 
 // LogCursor iterates a log file through the Log interface.
@@ -69,25 +69,11 @@ type Info = logapi.Info
 // implements Log.
 type Store = shard.Store
 
-// NewStore assembles a Store over already-open services; the slice order
-// is the shard numbering. A single service makes a 1-shard store.
-func NewStore(svcs []*Service) (*Store, error) { return shard.New(svcs) }
-
-// NewLog wraps a bare Service in the Log interface (one shard, shard 0).
-func NewLog(svc *Service) Log { return logapi.NewLocal(svc) }
-
 // ErrShardRange reports an ID or shard ordinal outside a store's shards.
 var ErrShardRange = logapi.ErrShardRange
 
-// Service is the Clio log service for one volume sequence. See the internal
-// core package for method documentation.
-//
-// Deprecated: new code should hold a *Store (or the Log interface), which
-// scales past one volume sequence; Service remains the building block and
-// the surface of CreateDir/OpenDir.
-type Service = core.Service
-
-// Options configures a Service.
+// Options configures one shard's service (embedded in DirOptions for
+// file-backed stores).
 type Options = core.Options
 
 // AppendOptions controls one append (timestamping and forced durability).
@@ -127,23 +113,62 @@ func NewFileNVRAM(path string) *core.FileNVRAM { return core.NewFileNVRAM(path) 
 // model, for use as Options.Clock in experiments.
 func NewCostClock() *vclock.Clock { return vclock.New(vclock.DefaultModel()) }
 
-// New creates a brand-new volume sequence on a fresh write-once device.
-func New(dev wodev.Device, opt Options) (*Service, error) { return core.New(dev, opt) }
+// Reclamation and cold tiering: the compactor copies the live entries of
+// old sealed volumes forward, demotes the emptied volumes to an archive
+// backend, and serves reads of demoted blocks through the backend at
+// archival latency. File-backed stores wire the tier automatically
+// (DirOptions.ColdDir / NoCold); other deployments set Options.Cold.
 
-// Open mounts the devices of an existing volume sequence and recovers.
-func Open(devs []wodev.Device, opt Options) (*Service, error) { return core.Open(devs, opt) }
+// CompactOptions bounds one compaction pass (Store.CompactOnce).
+type CompactOptions = core.CompactOptions
+
+// CompactResult reports one compaction pass.
+type CompactResult = core.CompactResult
+
+// ColdTier wires the reclamation subsystem into a service: where demoted
+// volume images go, where the compactor's checkpoint lives, and how the
+// embedding store reclaims a demoted volume's local media.
+type ColdTier = core.ColdTier
+
+// ColdBackend is the archive backend interface demoted volume images are
+// stored in and read back through.
+type ColdBackend = archive.Backend
+
+// StateStore persists the compaction sidecar (the compactor's checkpoint).
+type StateStore = core.StateStore
+
+// ErrNoColdTier is returned by CompactOnce on a store with no cold tier.
+var ErrNoColdTier = core.ErrNoColdTier
+
+// NewDirBackend returns a directory-backed archive backend (one file per
+// volume image; the directory is created lazily on first write).
+func NewDirBackend(dir string) ColdBackend { return archive.NewDir(dir) }
+
+// NewMemBackend returns an in-memory archive backend for tests and
+// mem-backed stores.
+func NewMemBackend() ColdBackend { return archive.NewMem() }
+
+// NewFileState returns a compaction-sidecar store backed by a single file,
+// written atomically.
+func NewFileState(path string) StateStore { return core.NewFileState(path) }
+
+// NewMemState returns an in-memory compaction-sidecar store for tests.
+func NewMemState() StateStore { return core.NewMemState() }
 
 // NewMemStore creates an n-shard Store over fresh in-memory write-once
 // devices — the quickest way to a sharded store for tests and examples.
-// capacityBlocks <= 0 selects a large default. An NVRAM in opt would be
-// shared — and stomped — by every shard, so a non-nil opt.NVRAM is only
-// accepted for n = 1; sharded stores wanting NVRAM tails assemble their
-// services with NewStore.
+// capacityBlocks <= 0 selects a large default. An NVRAM or ColdTier in opt
+// would be shared — and stomped — by every shard, so non-nil opt.NVRAM and
+// opt.Cold are only accepted for n = 1; sharded stores wanting them
+// assemble per-shard services through internal/shard.New.
 func NewMemStore(n, blockSize, capacityBlocks int, opt Options) (*Store, error) {
 	if opt.NVRAM != nil && n > 1 {
 		return nil, fmt.Errorf("clio: one NVRAM cannot back %d shards", n)
 	}
-	svcs := make([]*Service, n)
+	if opt.Cold != nil && n > 1 {
+		return nil, fmt.Errorf("clio: one cold tier cannot back %d shards", n)
+	}
+	svcs := make([]*core.Service, n)
 	for i := range svcs {
 		svc, err := core.New(NewMemDevice(blockSize, capacityBlocks), opt)
 		if err != nil {

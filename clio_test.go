@@ -1,26 +1,28 @@
 package clio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"testing"
 )
 
-func TestCreateOpenDirRoundTrip(t *testing.T) {
+func TestCreateOpenStoreRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
-	s, err := CreateDir(dir, DirOptions{VolumeBlocks: 256})
+	s, err := CreateStore(dir, DirOptions{VolumeBlocks: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := s.CreateLog("/app", 0o644, "me")
+	id, err := s.CreateLog(ctx, "/app", 0o644, "me")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var want []string
 	for i := 0; i < 30; i++ {
 		p := fmt.Sprintf("line-%02d", i)
-		if _, err := s.Append(id, []byte(p), AppendOptions{Forced: i%5 == 0}); err != nil {
+		if _, err := s.Append(ctx, id, []byte(p), AppendOptions{Forced: i%5 == 0}); err != nil {
 			t.Fatal(err)
 		}
 		want = append(want, p)
@@ -29,18 +31,18 @@ func TestCreateOpenDirRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s2, err := OpenDir(dir, DirOptions{VolumeBlocks: 256})
+	s2, err := OpenStore(dir, DirOptions{VolumeBlocks: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	c, err := s2.OpenCursor("/app")
+	c, err := s2.OpenCursor(ctx, "/app")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var got []string
 	for {
-		e, err := c.Next()
+		e, err := c.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -54,37 +56,38 @@ func TestCreateOpenDirRoundTrip(t *testing.T) {
 	}
 }
 
-func TestCreateDirRefusesExisting(t *testing.T) {
+func TestCreateStoreRefusesExisting(t *testing.T) {
 	dir := t.TempDir()
-	s, err := CreateDir(dir, DirOptions{VolumeBlocks: 64})
+	s, err := CreateStore(dir, DirOptions{VolumeBlocks: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
-	if _, err := CreateDir(dir, DirOptions{VolumeBlocks: 64}); err == nil {
-		t.Error("CreateDir over existing store accepted")
+	if _, err := CreateStore(dir, DirOptions{VolumeBlocks: 64}); err == nil {
+		t.Error("CreateStore over existing store accepted")
 	}
 }
 
-func TestOpenDirEmpty(t *testing.T) {
-	if _, err := OpenDir(t.TempDir(), DirOptions{}); err == nil {
-		t.Error("OpenDir on empty dir accepted")
+func TestOpenStoreEmpty(t *testing.T) {
+	if _, err := OpenStore(t.TempDir(), DirOptions{}); err == nil {
+		t.Error("OpenStore on empty dir accepted")
 	}
 }
 
 func TestDirStoreSpansVolumeFiles(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
-	s, err := CreateDir(dir, DirOptions{VolumeBlocks: 16})
+	s, err := CreateStore(dir, DirOptions{VolumeBlocks: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := s.CreateLog("/big", 0, "")
+	id, err := s.CreateLog(ctx, "/big", 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	payload := make([]byte, 200)
 	for i := 0; i < 200; i++ {
-		if _, err := s.Append(id, payload, AppendOptions{}); err != nil {
+		if _, err := s.Append(ctx, id, payload, AppendOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -95,15 +98,15 @@ func TestDirStoreSpansVolumeFiles(t *testing.T) {
 	if err != nil || len(names) < 2 {
 		t.Fatalf("volume files: %v, %v", names, err)
 	}
-	s2, err := OpenDir(dir, DirOptions{VolumeBlocks: 16})
+	s2, err := OpenStore(dir, DirOptions{VolumeBlocks: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	c, _ := s2.OpenCursor("/big")
+	c, _ := s2.OpenCursor(ctx, "/big")
 	count := 0
 	for {
-		_, err := c.Next()
+		_, err := c.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -118,30 +121,29 @@ func TestDirStoreSpansVolumeFiles(t *testing.T) {
 }
 
 func TestMemAllocatorFacade(t *testing.T) {
-	dev := NewMemDevice(256, 16)
-	s, err := New(dev, Options{BlockSize: 256, Degree: 4, Allocate: MemAllocator(16)})
+	ctx := context.Background()
+	st, err := NewMemStore(1, 256, 16, Options{BlockSize: 256, Degree: 4, Allocate: MemAllocator(16)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
-	id, err := s.CreateLog("/x", 0, "")
+	defer st.Close()
+	id, err := st.CreateLog(ctx, "/x", 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		if _, err := s.Append(id, make([]byte, 100), AppendOptions{}); err != nil {
+		if _, err := st.Append(ctx, id, make([]byte, 100), AppendOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if len(s.Volumes()) < 2 {
-		t.Errorf("allocator not used: %d volumes", len(s.Volumes()))
+	if len(st.Service(0).Volumes()) < 2 {
+		t.Errorf("allocator not used: %d volumes", len(st.Service(0).Volumes()))
 	}
 }
 
 // TestStoreSentinelErrors pins the error-wrapping contract of the store
 // open/create paths: every refusal wraps ErrStoreExists or ErrNoStore with
-// %w, so errors.Is works through both the Store helpers and the deprecated
-// single-sequence dir helpers.
+// %w, so errors.Is works through the Store helpers.
 func TestStoreSentinelErrors(t *testing.T) {
 	dir := t.TempDir()
 	st, err := CreateStore(dir, DirOptions{VolumeBlocks: 64, Shards: 2})
@@ -154,12 +156,9 @@ func TestStoreSentinelErrors(t *testing.T) {
 	if _, err := CreateStore(dir, DirOptions{VolumeBlocks: 64}); !errors.Is(err, ErrStoreExists) {
 		t.Errorf("CreateStore over sharded store: %v, want ErrStoreExists", err)
 	}
-	if _, err := CreateDir(dir, DirOptions{VolumeBlocks: 64}); !errors.Is(err, ErrStoreExists) {
-		t.Errorf("CreateDir over sharded store: %v, want ErrStoreExists", err)
-	}
 
 	flat := t.TempDir()
-	svc, err := CreateDir(flat, DirOptions{VolumeBlocks: 64})
+	svc, err := CreateStore(flat, DirOptions{VolumeBlocks: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,9 +172,6 @@ func TestStoreSentinelErrors(t *testing.T) {
 	empty := t.TempDir()
 	if _, err := OpenStore(empty, DirOptions{}); !errors.Is(err, ErrNoStore) {
 		t.Errorf("OpenStore on empty dir: %v, want ErrNoStore", err)
-	}
-	if _, err := OpenDir(empty, DirOptions{}); !errors.Is(err, ErrNoStore) {
-		t.Errorf("OpenDir on empty dir: %v, want ErrNoStore", err)
 	}
 	if _, err := OpenStore(empty, DirOptions{Shards: 3}); !errors.Is(err, ErrNoStore) {
 		t.Errorf("OpenStore asserting shards on empty dir: %v, want ErrNoStore", err)

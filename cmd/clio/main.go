@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,16 +37,21 @@ import (
 	"clio/internal/archive"
 	"clio/internal/client"
 	"clio/internal/cluster"
+	"clio/internal/core"
 	"clio/internal/logapi"
 	"clio/internal/scrub"
 	"clio/internal/server"
 	"clio/internal/stream/group"
+	"clio/internal/volume"
 	"clio/internal/wire"
 	"clio/internal/wodev"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: clio [-addr host:port | -store dir] <command> [args]
+
+-store mode opens the store in-process; a store created with non-default
+cliod geometry needs the matching -volume-blocks / -block-size.
 
 commands:
   create <path>            create a log file (parents must exist)
@@ -64,19 +70,34 @@ commands:
   status                   cluster role, term and per-shard replication lag
                            (-admin for a node's admin endpoint, or -addr)
   promote                  promote the follower at -addr to cluster leader
-  fsck [-repair]           verify a local store's media (-store only; the
-                           NVRAM-staged tail is not on the media yet)
-  du                       per-log-file space usage (-store only)
-  backup <archive-dir>     incremental backup of a local store (-store only)
+  fsck [-repair]           verify a local store's media, demoted cold
+                           volumes included (-store only; the NVRAM-staged
+                           tail is not on the media yet)
+  du                       per-log-file space usage plus the hot/cold byte
+                           split per shard (-store only)
+  compact [-max-live F] [-min-hot N] [-max-volumes N]
+                           run one compaction pass: copy live entries of
+                           mostly-dead sealed volumes forward, demote them
+                           to the cold tier, delete the local files
+                           (-store only, offline)
+  backup <archive-dir>     incremental backup of a local store, demoted
+                           cold volumes included (-store only)
   verify-backup <archive-dir>  open an archive and scrub it
 `)
 	os.Exit(2)
 }
 
+// geom carries the store geometry for -store mode, set from the global
+// flags. A store created with non-default cliod geometry must be opened
+// with the same values.
+var geom clio.DirOptions
+
 func main() {
 	addr := flag.String("addr", "", "log server address")
 	store := flag.String("store", "", "local store directory (serve in-process)")
 	adminAddr := flag.String("admin", "", "cluster node admin (HTTP) address, for status")
+	flag.IntVar(&geom.VolumeBlocks, "volume-blocks", 0, "store's volume capacity in blocks, as given to cliod (0 = the default; -store only)")
+	flag.IntVar(&geom.BlockSize, "block-size", 0, "store's block size in bytes, as given to cliod (0 = the default; -store only)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -93,6 +114,9 @@ func main() {
 		return
 	case "fsck":
 		runFsck(*store, args[1:])
+		return
+	case "compact":
+		runCompact(*store, args[1:])
 		return
 	case "backup":
 		need(args, 2)
@@ -303,9 +327,11 @@ func runGroupTail(ctx context.Context, cl *client.Client, grp, member, topic str
 	}
 }
 
-// runStatus prints a cluster node's role, term and per-shard replication
-// state, read from its admin endpoint (-admin) or over the log-file wire
-// protocol (-addr).
+// runStatus prints a node's status, read from its admin endpoint (-admin)
+// or over the log-file wire protocol (-addr): cluster role, term and
+// per-shard replication state in cluster mode, plus each shard's
+// compaction state (volumes relocated and demoted cold) when the admin
+// endpoint serves it.
 func runStatus(adminAddr, addr string) {
 	var st cluster.NodeStatus
 	switch {
@@ -316,13 +342,21 @@ func runStatus(adminAddr, addr string) {
 		}
 		defer resp.Body.Close()
 		var doc struct {
-			Cluster *cluster.NodeStatus `json:"cluster"`
+			Cluster *cluster.NodeStatus  `json:"cluster"`
+			Shards  []core.ServiceStatus `json:"shards"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 			fatal(fmt.Errorf("parse %s/statusz: %w", adminAddr, err))
 		}
+		if doc.Cluster == nil && doc.Shards == nil {
+			fatal(fmt.Errorf("%s serves neither a cluster nor a shards section in /statusz", adminAddr))
+		}
+		for i, sh := range doc.Shards {
+			fmt.Printf("shard %d: %d data blocks, %d volumes hot, %d relocated, %d demoted cold, %d cold fetches\n",
+				i, sh.End, len(sh.Volumes), sh.Stats.VolumesRelocated, sh.Stats.VolumesDemoted, sh.Stats.ColdFetches)
+		}
 		if doc.Cluster == nil {
-			fatal(fmt.Errorf("%s is not running in cluster mode (no cluster section in /statusz)", adminAddr))
+			return
 		}
 		st = *doc.Cluster
 	case addr != "":
@@ -439,7 +473,7 @@ func connect(addr, store string) (*client.Client, func(), error) {
 		}
 		return cl, func() { cl.Close() }, nil
 	case store != "":
-		st, err := clio.OpenStore(store, clio.DirOptions{})
+		st, err := clio.OpenStore(store, geom)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -535,22 +569,78 @@ func runFsck(store string, args []string) {
 	fmt.Println("clean")
 }
 
-// scrubShard scrubs one shard directory's volume sequence.
+// scrubShard scrubs one shard directory's volume sequence, including
+// demoted volumes restored from the shard's cold archive — a demoted
+// volume's only copy is its cold image, and fsck must cover the whole
+// physical history.
 func scrubShard(dir string, opt scrub.Options) *scrub.Report {
 	devs, closeAll, err := openStoreDevices(dir)
 	if err != nil {
 		fatal(err)
 	}
 	defer closeAll()
-	rep, err := scrub.Volumes(devs, opt)
+	all, err := withColdDevices(dir, devs)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := scrub.Volumes(all, opt)
 	if err != nil {
 		fatal(err)
 	}
 	return rep
 }
 
-// runDu prints per-log-file space usage for a local store. Each log file
-// lives wholly on one shard, so the per-shard reports concatenate.
+// withColdDevices appends restored cold volume images missing from the hot
+// set, deduped by volume index: a crash between archiving and releasing can
+// leave a volume both local and cold, and the local copy wins. The merged
+// set is returned in sequence (volume-index) order.
+func withColdDevices(dir string, hot []wodev.Device) ([]wodev.Device, error) {
+	coldDir := filepath.Join(dir, "cold")
+	if _, err := os.Stat(coldDir); err != nil {
+		return hot, nil
+	}
+	cold, err := archive.Restore(context.Background(), archive.NewDir(coldDir))
+	if errors.Is(err, archive.ErrNotArchive) {
+		return hot, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	type indexed struct {
+		idx uint32
+		dev wodev.Device
+	}
+	var all []indexed
+	seen := make(map[uint32]bool)
+	for _, d := range hot {
+		hdr, err := volume.ReadHeader(d)
+		if err != nil {
+			return nil, err
+		}
+		seen[hdr.Index] = true
+		all = append(all, indexed{hdr.Index, d})
+	}
+	for _, d := range cold {
+		hdr, err := volume.ReadHeader(d)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[hdr.Index] {
+			all = append(all, indexed{hdr.Index, d})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].idx < all[j].idx })
+	out := make([]wodev.Device, len(all))
+	for i, v := range all {
+		out[i] = v.dev
+	}
+	return out, nil
+}
+
+// runDu prints per-log-file space usage for a local store, then the hot
+// versus cold byte split per shard: hot is the local volume files (the
+// bounded working set the compactor maintains), cold is the demoted volume
+// images in each shard's cold archive.
 func runDu(store string) {
 	if store == "" {
 		fatal(fmt.Errorf("du requires -store"))
@@ -568,6 +658,73 @@ func runDu(store string) {
 	for _, u := range usage {
 		fmt.Printf("%10d %10d  %s\n", u.Entries, u.Bytes, u.Path)
 	}
+	var totalHot, totalCold int64
+	for i, d := range dirs {
+		hot, cold := tierBytes(d)
+		totalHot += hot
+		totalCold += cold
+		if len(dirs) > 1 {
+			fmt.Printf("shard %d: %d bytes hot, %d bytes cold\n", i, hot, cold)
+		}
+	}
+	fmt.Printf("total: %d bytes hot, %d bytes cold\n", totalHot, totalCold)
+}
+
+// tierBytes sums one shard directory's hot bytes (local vol-*.clio files)
+// and cold bytes (volume images in its cold archive).
+func tierBytes(dir string) (hot, cold int64) {
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), "vol-") && strings.HasSuffix(e.Name(), ".clio") {
+				if fi, err := e.Info(); err == nil {
+					hot += fi.Size()
+				}
+			}
+		}
+	}
+	if ents, err := os.ReadDir(filepath.Join(dir, "cold")); err == nil {
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".vol") {
+				if fi, err := e.Info(); err == nil {
+					cold += fi.Size()
+				}
+			}
+		}
+	}
+	return hot, cold
+}
+
+// runCompact runs one offline compaction pass over a local store: every
+// shard copies the live entries of its mostly-dead sealed volumes forward,
+// demotes the emptied volumes to its cold archive, and deletes the local
+// volume files — the reclamation act itself.
+func runCompact(store string, args []string) {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	maxLive := fs.Float64("max-live", 0, "max fraction of live blocks for a volume to be compacted (0 = default 0.5)")
+	minHot := fs.Int("min-hot", 0, "minimum volumes kept mounted per shard (0 = default 2)")
+	maxVols := fs.Int("max-volumes", 0, "cap on volumes compacted per shard (0 = no cap)")
+	_ = fs.Parse(args)
+	if store == "" {
+		fatal(fmt.Errorf("compact requires -store"))
+	}
+	st, err := clio.OpenStore(store, geom)
+	if err != nil {
+		fatal(err)
+	}
+	res, cerr := st.CompactOnce(context.Background(), clio.CompactOptions{
+		MaxLiveFraction: *maxLive,
+		MinHotVolumes:   *minHot,
+		MaxVolumes:      *maxVols,
+	})
+	if err := st.Close(); err != nil {
+		fatal(err)
+	}
+	if cerr != nil {
+		fatal(cerr)
+	}
+	fmt.Printf("examined %d volumes: %d left hot (dense), %d relocated (%d entries, %d bytes), %d demoted cold\n",
+		res.VolumesExamined, res.VolumesSkipped, res.VolumesReloc,
+		res.EntriesCopied, res.BytesCopied, res.VolumesDemoted)
 }
 
 // runBackup incrementally archives a local store's volumes (§1: only the
@@ -580,6 +737,7 @@ func runBackup(store, archiveDir string) {
 	if err != nil {
 		fatal(err)
 	}
+	ctx := context.Background()
 	var total archive.Result
 	for _, d := range dirs {
 		// The archive mirrors the store layout: shard-K subdirectories
@@ -588,14 +746,24 @@ func runBackup(store, archiveDir string) {
 		if len(dirs) > 1 {
 			dst = filepath.Join(archiveDir, filepath.Base(d))
 		}
+		be := archive.NewDir(dst)
 		devs, closeAll, err := openStoreDevices(d)
 		if err != nil {
 			fatal(err)
 		}
-		res, err := archive.Backup(devs, dst)
+		res, err := archive.Backup(ctx, devs, be)
 		closeAll()
 		if err != nil {
 			fatal(err)
+		}
+		// Demoted volumes exist locally only as images in the shard's cold
+		// archive; adopting them gives the backup the complete sequence.
+		if _, err := os.Stat(filepath.Join(d, "cold")); err == nil {
+			vols, _, err := archive.Adopt(ctx, be, archive.NewDir(filepath.Join(d, "cold")))
+			if err != nil {
+				fatal(err)
+			}
+			res.ColdVolumes = vols
 		}
 		// The NVRAM sidecar holds the staged (not yet sealed) tail block;
 		// a complete backup carries it along.
@@ -609,9 +777,10 @@ func runBackup(store, archiveDir string) {
 		total.VolumesSeen += res.VolumesSeen
 		total.BlocksCopied += res.BlocksCopied
 		total.BlocksSkipped += res.BlocksSkipped
+		total.ColdVolumes += res.ColdVolumes
 	}
-	fmt.Printf("backed up %d volumes: %d blocks copied, %d already archived\n",
-		total.VolumesSeen, total.BlocksCopied, total.BlocksSkipped)
+	fmt.Printf("backed up %d volumes: %d blocks copied, %d already archived, %d cold volumes adopted\n",
+		total.VolumesSeen, total.BlocksCopied, total.BlocksSkipped, total.ColdVolumes)
 }
 
 // runVerifyBackup restores an archive in memory and scrubs it, one
@@ -624,7 +793,7 @@ func runVerifyBackup(archiveDir string) {
 	clean := true
 	var blocks, entries, catalog int
 	for i, d := range dirs {
-		devs, err := archive.Restore(d)
+		devs, err := archive.Restore(context.Background(), archive.NewDir(d))
 		if err != nil {
 			fatal(err)
 		}
@@ -698,12 +867,28 @@ func openStoreDevices(dir string) ([]wodev.Device, func(), error) {
 			d.Close()
 		}
 	}
+	blockSize := geom.BlockSize
+	if blockSize <= 0 {
+		blockSize = wodev.DefaultBlockSize
+	}
 	for _, e := range ents {
 		name := e.Name()
 		if !strings.HasPrefix(name, "vol-") || !strings.HasSuffix(name, ".clio") {
 			continue
 		}
-		dev, err := wodev.OpenFile(filepath.Join(dir, name), wodev.FileOptions{})
+		path := filepath.Join(dir, name)
+		// Capacity: from -volume-blocks when given, else derived from the
+		// file extent — exact for sealed (full) volumes, which is what the
+		// sequence's block mapping depends on. Only the tail volume is
+		// still growing, and it is last, so an underestimate there shifts
+		// no boundary.
+		capBlocks := geom.VolumeBlocks
+		if capBlocks <= 0 {
+			if st, err := os.Stat(path); err == nil {
+				capBlocks = int(st.Size()) / blockSize
+			}
+		}
+		dev, err := wodev.OpenFile(path, wodev.FileOptions{BlockSize: blockSize, Capacity: capBlocks})
 		if err != nil {
 			closeAll()
 			return nil, nil, err

@@ -7,11 +7,21 @@
 //	cliod -store /var/lib/clio [-listen :7846] [-create] [-shards N]
 //	      [-volume-blocks N] [-checkpoint-interval N] [-admin :7847]
 //	      [-slow-trace 100ms] [-force-window 0]
+//	      [-compact-interval 0] [-compact-max-live 0.5] [-compact-min-hot 2]
 //
 // -force-window controls the group-commit policy: 0 (the default) sizes the
 // gather window adaptively from the observed arrival rate and seal latency,
 // a positive duration pins a fixed window, and a negative value restores the
 // legacy leader/rider queue with no window and no seal pipeline.
+//
+// -compact-interval enables background space reclamation: every interval,
+// each shard copies the live entries of mostly-dead sealed volumes forward,
+// demotes the emptied volumes to its cold archive (<shard>/cold) and deletes
+// the local volume files, keeping hot storage bounded while reads of demoted
+// blocks transparently fetch from the archive. -compact-max-live caps the
+// live fraction a volume may have and still be compacted; -compact-min-hot
+// is the floor of volumes kept mounted per shard. 0 disables the loop
+// (`clio compact` still works offline).
 //
 // A 1-shard store holds one file per log volume plus the NVRAM sidecar that
 // stages the current partial block across restarts (§2.3.1). -create
@@ -43,6 +53,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
@@ -76,6 +87,9 @@ func main() {
 	role := flag.String("role", "leader", "initial cluster role: leader or follower")
 	quorum := flag.Int("quorum", 2, "replicas (leader included) that must stage a write before it is acked")
 	forceWindow := flag.Duration("force-window", 0, "group-commit gather window: 0 sizes it adaptively from the arrival rate, >0 pins a fixed window, <0 restores the legacy leader/rider queue (no window, no seal pipeline)")
+	compactInterval := flag.Duration("compact-interval", 0, "run a compaction pass on every shard this often; 0 disables background reclamation")
+	compactMaxLive := flag.Float64("compact-max-live", 0, "max fraction of live blocks for a volume to be compacted (0 = default 0.5)")
+	compactMinHot := flag.Int("compact-min-hot", 0, "minimum volumes kept mounted per shard (0 = default 2)")
 	flag.Parse()
 	if *store == "" {
 		log.Fatal("cliod: -store is required")
@@ -104,6 +118,42 @@ func main() {
 	rep := st.LastRecovery()
 	log.Printf("cliod: store %s open: %d shards, %d data blocks, %d catalog records, tails restored=%d, checkpoints used=%d/%d",
 		*store, st.Shards(), rep.SealedBlocks, rep.CatalogEntries, rep.TailsRestored, rep.CheckpointsUsed, st.Shards())
+	if rep.VolumesRelocated > 0 || rep.VolumesDemoted > 0 {
+		log.Printf("cliod: compaction state: %d volumes relocated, %d demoted cold", rep.VolumesRelocated, rep.VolumesDemoted)
+	}
+
+	// Background reclamation: one compaction pass across every shard per
+	// tick. CompactOnce serializes with itself per shard, and a pass only
+	// examines volumes present when it starts, so a slow pass simply delays
+	// the next tick rather than piling up.
+	stopCompact := func() {}
+	if *compactInterval > 0 {
+		copt := clio.CompactOptions{MaxLiveFraction: *compactMaxLive, MinHotVolumes: *compactMinHot}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		ticker := time.NewTicker(*compactInterval)
+		go func() {
+			defer close(done)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				res, err := st.CompactOnce(ctx, copt)
+				if err != nil {
+					log.Printf("cliod: compact: %v", err)
+				}
+				if res.VolumesReloc > 0 || res.VolumesDemoted > 0 {
+					log.Printf("cliod: compacted %d volumes (%d entries, %d bytes relocated), %d demoted cold",
+						res.VolumesReloc, res.EntriesCopied, res.BytesCopied, res.VolumesDemoted)
+				}
+			}
+		}()
+		stopCompact = func() { cancel(); <-done }
+		log.Printf("cliod: background compaction every %s", *compactInterval)
+	}
 
 	srv := server.NewStore(st)
 	srv.Logf = log.Printf
@@ -147,6 +197,7 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		log.Printf("cliod: serve: %v", err)
 	}
+	stopCompact()
 	if err := st.Close(); err != nil {
 		log.Printf("cliod: close: %v", err)
 	}

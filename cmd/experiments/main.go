@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|write|table1|fig3|fig4|space|baseline|nvram|tailgrowth|shards|checkpoint]
+//	experiments [-run all|write|table1|fig3|fig4|space|compact|baseline|nvram|tailgrowth|shards|checkpoint]
 //	            [-deep] [-shards N] [-checkpoint-interval N] [-cpuprofile out.pprof]
 //	            [-mutexprofile out.pprof] [-metrics-out out.json]
 //
@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiments to run (comma separated): all, write, table1, fig3, fig4, space, baseline, nvram, cache, degree, tailgrowth, shards")
+	run := flag.String("run", "all", "experiments to run (comma separated): all, write, table1, fig3, fig4, space, compact, baseline, nvram, cache, degree, tailgrowth, shards")
 	shards := flag.Int("shards", 1, "shard count for the scaling section; 1 (the default) omits it entirely")
 	ckptInterval := flag.Int("checkpoint-interval", 16, "sealed blocks between recovery checkpoints for the checkpoint section (run it with -run checkpoint; it is not part of all)")
 	deep := flag.Bool("deep", false, "extend locate experiments to the paper's full N^5 distance (slow, ~0.5 GiB)")
@@ -163,6 +163,15 @@ func main() {
 			return err
 		}
 		experiments.PrintSpace(out, row)
+		return nil
+	})
+
+	step("compact", func() error {
+		rows, err := experiments.RunCompact(6)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCompact(out, rows)
 		return nil
 	})
 

@@ -15,7 +15,6 @@ import (
 	"clio/internal/client"
 	"clio/internal/core"
 	"clio/internal/histfs"
-	"clio/internal/logapi"
 	"clio/internal/mailstore"
 	"clio/internal/rewritefs"
 	"clio/internal/scrub"
@@ -29,11 +28,11 @@ import (
 // and a final cross-check that the restored sequence holds the same data.
 func TestFullSystemIntegration(t *testing.T) {
 	dir := t.TempDir()
-	svc, err := clio.CreateDir(dir, clio.DirOptions{VolumeBlocks: 4096})
+	st, err := clio.CreateStore(dir, clio.DirOptions{VolumeBlocks: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(svc)
+	srv := server.NewStore(st)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -133,26 +132,26 @@ func TestFullSystemIntegration(t *testing.T) {
 	}
 
 	// Force everything durable, then crash the whole server.
-	if err := svc.Force(); err != nil {
+	ctx := context.Background()
+	if err := st.Force(ctx); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
-	svc.Crash()
+	st.Crash()
 
 	// Reopen from disk (recovery: end-find, entrymap rebuild, catalog
 	// replay, NVRAM tail restore).
-	svc2, err := clio.OpenDir(dir, clio.DirOptions{VolumeBlocks: 4096})
+	st2, err := clio.OpenStore(dir, clio.DirOptions{VolumeBlocks: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := svc2.LastRecovery()
+	rep := st2.LastRecovery()
 	if rep.CatalogEntries == 0 {
 		t.Error("no catalog records replayed")
 	}
 
 	// All three applications see their state.
-	ctx := context.Background()
-	ms, err := mailstore.New(ctx, logapi.NewLocal(svc2), "/mail")
+	ms, err := mailstore.New(ctx, st2, "/mail")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +159,7 @@ func TestFullSystemIntegration(t *testing.T) {
 	if err != nil || len(msgs) != 25 {
 		t.Fatalf("mail after recovery: %d, %v", len(msgs), err)
 	}
-	fs2, err := histfs.New(ctx, logapi.NewLocal(svc2), "/histfs")
+	fs2, err := histfs.New(ctx, st2, "/histfs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,13 +167,13 @@ func TestFullSystemIntegration(t *testing.T) {
 	if err != nil || string(cfg) != "version=14" {
 		t.Fatalf("config after recovery: %q, %v", cfg, err)
 	}
-	cur, err := svc2.OpenCursor("/audit")
+	cur, err := st2.OpenCursor(ctx, "/audit")
 	if err != nil {
 		t.Fatal(err)
 	}
 	audit := 0
 	for {
-		if _, err := cur.Next(); err == io.EOF {
+		if _, err := cur.Next(ctx); err == io.EOF {
 			break
 		} else if err != nil {
 			t.Fatal(err)
@@ -186,7 +185,7 @@ func TestFullSystemIntegration(t *testing.T) {
 	}
 
 	// The atomic-update extension shares the same sequence.
-	afs, err := atomicfs.New(svc2, rewritefs.New(rewritefs.NewStore(1024, 1<<16)), "/wal")
+	afs, err := atomicfs.New(st2.Service(0), rewritefs.New(rewritefs.NewStore(1024, 1<<16)), "/wal")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,10 +198,10 @@ func TestFullSystemIntegration(t *testing.T) {
 
 	// Seal the staged tail onto the medium (as one would before removing
 	// a volume), close cleanly, then fsck the store on disk.
-	if err := svc2.SealTail(); err != nil {
+	if err := st2.Service(0).SealTail(); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc2.Close(); err != nil {
+	if err := st2.Close(); err != nil {
 		t.Fatal(err)
 	}
 	devs, err := openVolumeFiles(t, dir)
@@ -218,14 +217,14 @@ func TestFullSystemIntegration(t *testing.T) {
 	}
 
 	// Incremental backup, then restore and compare the audit log.
-	arch := t.TempDir()
-	if _, err := archive.Backup(devs, arch); err != nil {
+	arch := archive.NewDir(t.TempDir())
+	if _, err := archive.Backup(ctx, devs, arch); err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range devs {
 		d.Close()
 	}
-	restored, err := archive.Restore(arch)
+	restored, err := archive.Restore(ctx, arch)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,14 +1,21 @@
-package archive
+package archive_test
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"testing"
 
+	"clio/internal/archive"
 	"clio/internal/core"
 	"clio/internal/volume"
 	"clio/internal/wodev"
 )
+
+var ctx = context.Background()
 
 func newSeq(t *testing.T) (*core.Service, *[]*wodev.MemDevice, core.Options, uint16) {
 	t.Helper()
@@ -62,7 +69,7 @@ func TestBackupRestoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	res, err := Backup(asDevices(devs), dir)
+	res, err := archive.Backup(ctx, asDevices(devs), archive.NewDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +77,7 @@ func TestBackupRestoreRoundTrip(t *testing.T) {
 		t.Fatalf("result: %+v", res)
 	}
 
-	restored, err := Restore(dir)
+	restored, err := archive.Restore(ctx, archive.NewDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,12 +110,12 @@ func TestIncrementalBackupCopiesOnlyTheTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	res1, err := Backup(asDevices(devs), dir)
+	res1, err := archive.Backup(ctx, asDevices(devs), archive.NewDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// No new writes: the second run copies nothing.
-	res2, err := Backup(asDevices(devs), dir)
+	res2, err := archive.Backup(ctx, asDevices(devs), archive.NewDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +130,7 @@ func TestIncrementalBackupCopiesOnlyTheTail(t *testing.T) {
 	if err := svc.Close(); err != nil {
 		t.Fatal(err)
 	}
-	res3, err := Backup(asDevices(devs), dir)
+	res3, err := archive.Backup(ctx, asDevices(devs), archive.NewDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,10 +155,10 @@ func TestBackupPreservesInvalidatedBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if _, err := Backup(asDevices(devs), dir); err != nil {
+	if _, err := archive.Backup(ctx, asDevices(devs), archive.NewDir(dir)); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := Restore(dir)
+	restored, err := archive.Restore(ctx, archive.NewDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,14 +181,14 @@ func TestBackupPreservesInvalidatedBlocks(t *testing.T) {
 }
 
 func TestRestoreEmptyDir(t *testing.T) {
-	if _, err := Restore(t.TempDir()); err == nil {
+	if _, err := archive.Restore(ctx, archive.NewDir(t.TempDir())); err == nil {
 		t.Error("empty dir restored")
 	}
 }
 
 func TestBackupRejectsUnformattedDevice(t *testing.T) {
 	raw := wodev.NewMem(wodev.MemOptions{BlockSize: 256, Capacity: 8})
-	if _, err := Backup([]wodev.Device{raw}, t.TempDir()); err == nil {
+	if _, err := archive.Backup(ctx, []wodev.Device{raw}, archive.NewDir(t.TempDir())); err == nil {
 		t.Error("unformatted device accepted")
 	}
 }
@@ -193,16 +200,140 @@ func TestManifestCorruptionDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if _, err := Backup(asDevices(devs), dir); err != nil {
+	if _, err := archive.Backup(ctx, asDevices(devs), archive.NewDir(dir)); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(dir+"/MANIFEST", []byte("not a manifest\n"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("not a manifest\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Restore(dir); err == nil {
+	if _, err := archive.Restore(ctx, archive.NewDir(dir)); err == nil {
 		t.Error("corrupt manifest accepted")
 	}
-	if _, err := Backup(asDevices(devs), dir); err == nil {
+	if _, err := archive.Backup(ctx, asDevices(devs), archive.NewDir(dir)); err == nil {
 		t.Error("backup over corrupt manifest accepted")
+	}
+}
+
+// TestMemBackendRoundTrip runs the backup/restore round trip over the
+// in-memory backend, exercising the Backend contract shared with Dir.
+func TestMemBackendRoundTrip(t *testing.T) {
+	svc, devs, opt, id := newSeq(t)
+	want := appendN(t, svc, id, 0, 40)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	be := archive.NewMem()
+	if _, err := archive.Backup(ctx, asDevices(devs), be); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := archive.Restore(ctx, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := core.Open(restored, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	cur, err := svc2.OpenCursor("/l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		e, err := cur.Next()
+		if err != nil {
+			break
+		}
+		got = append(got, string(e.Data))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("restored %d entries, want %d", len(got), len(want))
+	}
+}
+
+// TestBackupVolumeAndReadThrough archives one volume and reads its blocks
+// back through ReadVolumeBlock, byte for byte, invalidation included.
+func TestBackupVolumeAndReadThrough(t *testing.T) {
+	svc, devs, _, id := newSeq(t)
+	appendN(t, svc, id, 0, 10)
+	d0 := (*devs)[0]
+	if err := d0.Damage(d0.Written(), nil); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, svc, id, 10, 30)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	be := archive.NewMem()
+	n, err := archive.BackupVolume(ctx, be, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no blocks archived")
+	}
+	// Idempotent: a second call copies nothing.
+	if n2, err := archive.BackupVolume(ctx, be, d0); err != nil || n2 != 0 {
+		t.Fatalf("recopy: n=%d err=%v", n2, err)
+	}
+	written := d0.Written()
+	if ok, err := archive.HasVolume(ctx, be, 0, written); err != nil || !ok {
+		t.Fatalf("HasVolume: %v %v", ok, err)
+	}
+	want := make([]byte, d0.BlockSize())
+	got := make([]byte, d0.BlockSize())
+	for b := 0; b < written; b++ {
+		werr := d0.ReadBlock(b, want)
+		gerr := archive.ReadVolumeBlock(ctx, be, 0, b, got)
+		if werr != nil {
+			if !errors.Is(werr, wodev.ErrInvalidated) || !errors.Is(gerr, wodev.ErrInvalidated) {
+				t.Fatalf("block %d: device %v, archive %v", b, werr, gerr)
+			}
+			continue
+		}
+		if gerr != nil {
+			t.Fatalf("block %d: %v", b, gerr)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("block %d differs", b)
+		}
+	}
+}
+
+// TestAdoptMergesArchives adopts a cold tier's volumes into a backup
+// archive and restores the union.
+func TestAdoptMergesArchives(t *testing.T) {
+	svc, devs, _, id := newSeq(t)
+	appendN(t, svc, id, 0, 60)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	all := asDevices(devs)
+	cold, hot := archive.NewMem(), archive.NewMem()
+	// Volume 0 lives only in the cold archive, the rest only in the hot one.
+	if _, err := archive.BackupVolume(ctx, cold, all[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := archive.Backup(ctx, all[1:], hot); err != nil {
+		t.Fatal(err)
+	}
+	vols, blocks, err := archive.Adopt(ctx, hot, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vols != 1 || blocks == 0 {
+		t.Fatalf("adopted %d volumes, %d blocks", vols, blocks)
+	}
+	restored, err := archive.Restore(ctx, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(all) {
+		t.Fatalf("restored %d devices, want %d", len(restored), len(all))
+	}
+	// A second adopt is a no-op.
+	if vols, blocks, err = archive.Adopt(ctx, hot, cold); err != nil || vols != 0 || blocks != 0 {
+		t.Fatalf("re-adopt: %d %d %v", vols, blocks, err)
 	}
 }

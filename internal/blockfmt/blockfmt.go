@@ -65,6 +65,11 @@ const (
 	// AttrSystem marks an entry written by the service itself (entrymap,
 	// catalog, bad-block records).
 	AttrSystem = 1 << 1
+	// AttrRelocated marks an entry copied forward by the compactor from an
+	// old sealed volume. A relocated copy is only visible to readers once
+	// the compaction that wrote it has committed; an uncommitted copy (a
+	// crash between writing copies and committing) is permanently skipped.
+	AttrRelocated = 1 << 2
 )
 
 // Size-slot flag bits (the slot's low 14 bits are the fragment length).

@@ -39,6 +39,8 @@ const (
 	// of the id space so the client range stays contiguous from
 	// FirstClientID.
 	CheckpointID = wire.MaxLogID
+	// CompactID holds compaction commit records, just below CheckpointID.
+	CompactID = wire.MaxLogID - 1
 )
 
 // MaxLogID is the top of the 12-bit id space.
@@ -201,8 +203,8 @@ type Table struct {
 }
 
 // NewTable returns a catalog pre-populated with the reserved system log
-// files: "/" (the volume sequence log), "/.entrymap", "/.catalog" and
-// "/.badblocks".
+// files: "/" (the volume sequence log), "/.entrymap", "/.catalog",
+// "/.badblocks", "/.checkpoint" and "/.compact".
 func NewTable() *Table {
 	t := &Table{
 		byID:     make(map[uint16]*Descriptor),
@@ -218,6 +220,7 @@ func NewTable() *Table {
 		{CatalogID, ".catalog"},
 		{BadBlockID, ".badblocks"},
 		{CheckpointID, ".checkpoint"},
+		{CompactID, ".compact"},
 	}
 	for _, s := range sys {
 		d := &Descriptor{ID: s.id, Parent: VolumeSeqID, Name: s.name, System: true}
@@ -591,6 +594,21 @@ func (t *Table) SnapshotRecords() []*Record {
 	}
 	for _, id := range t.idsLocked() {
 		emit(id)
+	}
+	return out
+}
+
+// RetiredSet returns the set of retired log-file ids — the compactor's
+// notion of which sublogs' entries are dead (readable from the cold tier,
+// never copied forward).
+func (t *Table) RetiredSet() map[uint16]bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[uint16]bool)
+	for id, d := range t.byID {
+		if d.Retired {
+			out[id] = true
+		}
 	}
 	return out
 }

@@ -12,17 +12,18 @@ import (
 func TestReservedIDsMatchEntrymap(t *testing.T) {
 	if VolumeSeqID != entrymap.VolumeSeqID || EntrymapID != entrymap.EntrymapID ||
 		CatalogID != entrymap.CatalogID || BadBlockID != entrymap.BadBlockID ||
-		FirstClientID != entrymap.FirstClientID || CheckpointID != entrymap.CheckpointID {
+		FirstClientID != entrymap.FirstClientID || CheckpointID != entrymap.CheckpointID ||
+		CompactID != entrymap.CompactID {
 		t.Error("reserved id constants diverge from internal/entrymap")
 	}
 }
 
 func TestNewTableSystemFiles(t *testing.T) {
 	tab := NewTable()
-	if tab.Len() != 5 {
+	if tab.Len() != 6 {
 		t.Fatalf("Len = %d", tab.Len())
 	}
-	for _, id := range []uint16{VolumeSeqID, EntrymapID, CatalogID, BadBlockID, CheckpointID} {
+	for _, id := range []uint16{VolumeSeqID, EntrymapID, CatalogID, BadBlockID, CheckpointID, CompactID} {
 		d, err := tab.Get(id)
 		if err != nil {
 			t.Fatalf("Get(%d): %v", id, err)
@@ -35,7 +36,7 @@ func TestNewTableSystemFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{".badblocks", ".catalog", ".checkpoint", ".entrymap"}
+	want := []string{".badblocks", ".catalog", ".checkpoint", ".compact", ".entrymap"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("List(/) = %v", names)
 	}
@@ -232,10 +233,10 @@ func TestIDExhaustion(t *testing.T) {
 		}
 		count++
 	}
-	// 4096 ids minus the 4 low reserved ids and the checkpoint id at the
-	// top of the space.
-	if count != MaxLogID-FirstClientID {
-		t.Errorf("created %d log files before exhaustion, want %d", count, MaxLogID-FirstClientID)
+	// 4096 ids minus the 4 low reserved ids and the checkpoint and compact
+	// ids at the top of the space.
+	if count != MaxLogID-FirstClientID-1 {
+		t.Errorf("created %d log files before exhaustion, want %d", count, MaxLogID-FirstClientID-1)
 	}
 }
 

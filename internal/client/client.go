@@ -140,11 +140,6 @@ type Entry = logapi.Entry
 // ID is the store-wide log-file id (shard ordinal in the high 16 bits).
 type ID = logapi.ID
 
-// Stat is the client-side view of a log file descriptor.
-//
-// Deprecated: it is the logapi.Info descriptor; use that name.
-type Stat = logapi.Info
-
 // Stats is the subset of server counters exposed over the protocol.
 type Stats struct {
 	EntriesAppended int64

@@ -151,7 +151,7 @@ func (s *Service) appendOneLocked(ids []uint16, data []byte, opts AppendOptions)
 	clk.ChargeIPC(s.opt.RemoteIPC) // the synchronous client write IPC (§3.2)
 	clk.ChargeWriteFixed()
 	clk.ChargeCopy(len(data))
-	if err := s.appendEntryLocked(ids[0], extras, data, form, attr, ts); err != nil {
+	if _, _, err := s.appendEntryLocked(ids[0], extras, data, form, attr, ts, false); err != nil {
 		return 0, err
 	}
 	clk.ChargeEntrymapMaint()
@@ -522,16 +522,22 @@ func (s *Service) endChainLocked() {
 
 // appendEntryLocked writes one entry, fragmenting it over blocks as needed
 // and flushing pending entrymap entries at chain completion. extras lists
-// additional member log files (FormMulti, first fragment only).
-func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, form, attr uint8, ts int64) error {
+// additional member log files (FormMulti, first fragment only). It returns
+// the global block and record slot where the entry's first fragment landed.
+// footNow stamps any block this entry opens with a fresh footer timestamp
+// instead of the entry's own ts — the compactor appends copies that keep
+// their original (old) record timestamps, and the footer monotonicity
+// recovery and scrubbing rely on must not regress.
+func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, form, attr uint8, ts int64, footNow bool) (int, int, error) {
 	remaining := data
 	first := true
+	block, recIdx := -1, -1
 	s.awaitChainLocked()
 	s.midChain = true
 	for {
 		if err := s.ensureTailLocked(); err != nil {
 			s.endChainLocked()
-			return err
+			return 0, 0, err
 		}
 		f, a := form, attr
 		continued := !first
@@ -550,7 +556,7 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 			// in a fresh block.
 			if err := s.sealTailLocked(false); err != nil {
 				s.endChainLocked()
-				return err
+				return 0, 0, err
 			}
 			continue
 		}
@@ -564,7 +570,11 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 		// minimal headers (§2.1); a block opened by a continuation fragment
 		// inherits the entry's timestamp.
 		if _, ok := s.builder.FirstTimestamp(); !ok {
-			s.builder.SetFirstTimestamp(ts)
+			stamp := ts
+			if footNow {
+				stamp = s.nextTS(false)
+			}
+			s.builder.SetFirstTimestamp(stamp)
 		}
 		rec := blockfmt.Record{
 			LogID:     id,
@@ -578,7 +588,10 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 		}
 		if err := s.builder.Append(rec); err != nil {
 			s.endChainLocked()
-			return fmt.Errorf("clio: append record: %w", err)
+			return 0, 0, fmt.Errorf("clio: append record: %w", err)
+		}
+		if first {
+			block, recIdx = s.tailGlobal, s.builder.Count()-1
 		}
 		s.tailDirty = true
 		s.tailIDs[id] = true
@@ -592,7 +605,7 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 			// chain as the first same-id record of the next block.
 			if err := s.sealTailLocked(false); err != nil {
 				s.endChainLocked()
-				return err
+				return 0, 0, err
 			}
 			continue
 		}
@@ -600,9 +613,9 @@ func (s *Service) appendEntryLocked(id uint16, extras []uint16, data []byte, for
 	}
 	s.endChainLocked()
 	if err := s.flushDueLocked(); err != nil {
-		return err
+		return 0, 0, err
 	}
-	return s.flushSnapshotLocked()
+	return block, recIdx, s.flushSnapshotLocked()
 }
 
 // ensureTailLocked makes sure a tail block is staged, emitting the entrymap

@@ -101,6 +101,9 @@ func (s *Service) RegisterMetricsLabeled(reg *obs.Registry, labels ...obs.Label)
 		{"clio_core_checkpoint_bytes_total", "Checkpoint payload bytes appended.", func(st Stats) int64 { return st.CheckpointBytes }},
 		{"clio_core_adaptive_waits_total", "Force batches that held the adaptive commit window open.", func(st Stats) int64 { return st.AdaptiveWaits }},
 		{"clio_core_pipelined_seals_total", "Seals completed through the pipelined device stage.", func(st Stats) int64 { return st.PipelinedSeals }},
+		{"clio_compact_entries_relocated_total", "Live entries copied forward by the compactor.", func(st Stats) int64 { return st.EntriesRelocated }},
+		{"clio_compact_bytes_relocated_total", "Data bytes of relocated entries.", func(st Stats) int64 { return st.BytesRelocated }},
+		{"clio_cold_fetches_total", "Block reads served from the cold backend.", func(st Stats) int64 { return st.ColdFetches }},
 	}
 	for _, c := range counters {
 		get := c.get
@@ -113,6 +116,10 @@ func (s *Service) RegisterMetricsLabeled(reg *obs.Registry, labels ...obs.Label)
 		func() int64 { return s.Stats().InflightSeals }, labels...)
 	reg.GaugeFunc("clio_core_staged_bytes", "Bytes of sealed block images staged to NVRAM.",
 		func() int64 { return s.Stats().StagedBytes }, labels...)
+	reg.GaugeFunc("clio_compact_volumes_relocated", "Volumes whose live entries have been copied forward.",
+		func() int64 { return s.Stats().VolumesRelocated }, labels...)
+	reg.GaugeFunc("clio_compact_volumes_demoted", "Volumes archived to the cold tier and released locally.",
+		func() int64 { return s.Stats().VolumesDemoted }, labels...)
 
 	reg.CounterFunc("clio_cache_hits_total", "Block cache hits.",
 		func() int64 { return s.CacheStats().Hits }, labels...)

@@ -80,12 +80,55 @@ type Cursor struct {
 	block int // current block (gap position)
 	rec   int // next record index to consider within block
 
+	// redir, when non-nil, is the in-progress redirection of this cursor
+	// through a compacted volume's relocated copies: the volume's original
+	// blocks (possibly demoted to the cold tier) are skipped and its entries
+	// are served from the hot copies instead, in original order. Only
+	// selective cursors whose whole id set was relocated out of the volume
+	// redirect; everything else reads the original blocks. See compact.go.
+	redir *redirState
+
 	// Per-cursor decode memo: one block's decoded form is reused across the
 	// Next/Prev steps that stay within it, so an entry read touches each
 	// block once (the unit Table 1 counts). The staged tail block is never
 	// memoized — it grows.
 	memoBlock int
 	memoDec   *decodedBlock
+}
+
+// redirState tracks a cursor's walk over one compacted volume's copy ranges.
+// c.block stays parked inside the volume while the walk runs; on exhaustion
+// the cursor jumps past the volume (forward) or before it (backward).
+type redirState struct {
+	v    *relocVol
+	back bool // iterating v.Ranges in reverse (Prev)
+	ri   int  // current index into v.Ranges
+	rb   int  // current physical block within the range; -1 = range not entered
+	rr   int  // next record to consider in rb (forward) / one past (backward); -1 = unset
+}
+
+// enterRedirect reports whether a selective cursor positioned on the given
+// block should serve a compacted volume through its relocated copies, and
+// installs the walk state if so. Cursors over "/" (ids == nil) and linear
+// cursors always read the original blocks: they are the physical views.
+func (c *Cursor) enterRedirect(block int, back bool) bool {
+	if c.ids == nil || c.linear || c.redir != nil {
+		return false
+	}
+	view := c.s.compView()
+	if view == nil {
+		return false
+	}
+	v := view.volAt(block)
+	if v == nil || !v.covers(c.idSorted) {
+		return false
+	}
+	rd := &redirState{v: v, back: back, rb: -1, rr: -1}
+	if back {
+		rd.ri = len(v.Ranges) - 1
+	}
+	c.redir = rd
+	return true
 }
 
 // OpenCursor returns a cursor over the log file at the given path,
@@ -172,6 +215,7 @@ func (c *Cursor) decodeCached(block int) (*decodedBlock, error) {
 // SeekStart positions the cursor before the first entry.
 func (c *Cursor) SeekStart() {
 	c.block, c.rec = 0, 0
+	c.redir = nil
 }
 
 // SeekEnd positions the cursor after the last entry. The end is a gap, not
@@ -182,6 +226,7 @@ func (c *Cursor) SeekStart() {
 // before it seals, which is exactly the boundary a live subscription
 // resumes from.)
 func (c *Cursor) SeekEnd() {
+	c.redir = nil
 	sn := c.s.snap()
 	if sn.tailGlobal >= 0 {
 		if db, err := c.decodeCached(sn.tailGlobal); err == nil {
@@ -215,8 +260,24 @@ func (c *Cursor) next() (*Entry, error) {
 		if sn.tailGlobal >= 0 {
 			end = sn.tailGlobal + 1
 		}
+		if c.redir != nil {
+			e, err := c.redirNext()
+			if err != nil {
+				return nil, err
+			}
+			if e != nil {
+				return e, nil
+			}
+			// Copies exhausted: resume the sweep just past the volume.
+			c.block, c.rec = c.redir.v.end(), 0
+			c.redir = nil
+			continue
+		}
 		if c.block >= end {
 			return nil, io.EOF
+		}
+		if c.enterRedirect(c.block, false) {
+			continue
 		}
 		db, err := c.decodeCached(c.block)
 		if err != nil {
@@ -233,6 +294,12 @@ func (c *Cursor) next() (*Entry, error) {
 			r := parsed.Records[i]
 			c.rec++
 			if r.Continued || !c.matchRecord(&r) {
+				continue
+			}
+			if c.ids != nil && r.AttrFlags&blockfmt.AttrRelocated != 0 {
+				// Relocated copies are served only through redirection (above);
+				// the sweep always skips them, so an entry whose original
+				// volume the cursor reads directly is never delivered twice.
 				continue
 			}
 			data, aerr := s.assemble(c.block, i, parsed)
@@ -259,6 +326,65 @@ func (c *Cursor) next() (*Entry, error) {
 		if err := c.advanceBlock(end, sn.tailGlobal); err != nil {
 			return nil, err
 		}
+	}
+}
+
+// redirNext returns the next matching entry from the redirected volume's
+// copy ranges, or (nil, nil) when the ranges are exhausted.
+func (c *Cursor) redirNext() (*Entry, error) {
+	rd := c.redir
+	for rd.ri < len(rd.v.Ranges) {
+		r := &rd.v.Ranges[rd.ri]
+		if rd.rb < r.StartBlock {
+			rd.rb, rd.rr = r.StartBlock, r.StartRec
+		}
+		db, err := c.decodeCached(rd.rb)
+		if err != nil {
+			// A copy block should never be unreadable (copies are forced
+			// before commit); treat damage like the sweep does and move on.
+			rd.advance(r)
+			continue
+		}
+		last := len(db.p.Records) - 1
+		if rd.rb == r.EndBlock && r.EndRec < last {
+			last = r.EndRec
+		}
+		for rd.rr <= last {
+			i := rd.rr
+			rd.rr++
+			rec := db.p.Records[i]
+			if rec.Continued || !c.matchRecord(&rec) {
+				continue
+			}
+			data, aerr := c.s.assemble(rd.rb, i, db.p)
+			if aerr != nil {
+				continue
+			}
+			return &Entry{
+				LogID:       rec.LogID,
+				Timestamp:   db.effs[i],
+				Timestamped: rec.Form != blockfmt.FormMinimal,
+				Forced:      rec.AttrFlags&blockfmt.AttrForced != 0,
+				Data:        data,
+				Block:       rd.rb,
+				Index:       i,
+				ExtraIDs:    rec.ExtraIDs,
+			}, nil
+		}
+		rd.advance(r)
+	}
+	return nil, nil
+}
+
+// advance steps a forward redirect walk to the next block of the current
+// range, or to the next range.
+func (rd *redirState) advance(r *copyRange) {
+	if rd.rb >= r.EndBlock {
+		rd.ri++
+		rd.rb, rd.rr = -1, -1
+	} else {
+		rd.rb++
+		rd.rr = 0
 	}
 }
 
@@ -315,8 +441,28 @@ func (c *Cursor) prev() (*Entry, error) {
 		c.block, c.rec = end, 0
 	}
 	for {
+		if c.redir != nil {
+			e, err := c.redirPrev()
+			if err != nil {
+				return nil, err
+			}
+			if e != nil {
+				return e, nil
+			}
+			// Copies exhausted: resume the sweep just before the volume.
+			v := c.redir.v
+			c.redir = nil
+			c.block, c.rec = v.Start, 0
+			if err := c.retreatBlock(); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if c.block < 0 {
 			return nil, io.EOF
+		}
+		if c.block < end && c.enterRedirect(c.block, true) {
+			continue
 		}
 		var db *decodedBlock
 		var err error
@@ -338,6 +484,9 @@ func (c *Cursor) prev() (*Entry, error) {
 			if r.Continued || !c.matchRecord(&r) {
 				continue
 			}
+			if c.ids != nil && r.AttrFlags&blockfmt.AttrRelocated != 0 {
+				continue // copies are served only through redirection
+			}
 			data, aerr := s.assemble(c.block, i, parsed)
 			if aerr != nil {
 				continue
@@ -356,6 +505,69 @@ func (c *Cursor) prev() (*Entry, error) {
 		if err := c.retreatBlock(); err != nil {
 			return nil, err
 		}
+	}
+}
+
+// redirPrev is redirNext in reverse: the last not-yet-returned matching copy
+// of the redirected volume, or (nil, nil) when exhausted.
+func (c *Cursor) redirPrev() (*Entry, error) {
+	rd := c.redir
+	for rd.ri >= 0 {
+		r := &rd.v.Ranges[rd.ri]
+		if rd.rb < 0 || rd.rb > r.EndBlock {
+			rd.rb, rd.rr = r.EndBlock, -1
+		}
+		db, err := c.decodeCached(rd.rb)
+		if err != nil {
+			rd.retreat(r)
+			continue
+		}
+		if rd.rr < 0 {
+			rd.rr = len(db.p.Records)
+			if rd.rb == r.EndBlock && r.EndRec+1 < rd.rr {
+				rd.rr = r.EndRec + 1
+			}
+		}
+		first := 0
+		if rd.rb == r.StartBlock {
+			first = r.StartRec
+		}
+		for rd.rr > first {
+			i := rd.rr - 1
+			rd.rr--
+			rec := db.p.Records[i]
+			if rec.Continued || !c.matchRecord(&rec) {
+				continue
+			}
+			data, aerr := c.s.assemble(rd.rb, i, db.p)
+			if aerr != nil {
+				continue
+			}
+			return &Entry{
+				LogID:       rec.LogID,
+				Timestamp:   db.effs[i],
+				Timestamped: rec.Form != blockfmt.FormMinimal,
+				Forced:      rec.AttrFlags&blockfmt.AttrForced != 0,
+				Data:        data,
+				Block:       rd.rb,
+				Index:       i,
+				ExtraIDs:    rec.ExtraIDs,
+			}, nil
+		}
+		rd.retreat(r)
+	}
+	return nil, nil
+}
+
+// retreat steps a backward redirect walk to the previous block of the
+// current range, or to the previous range.
+func (rd *redirState) retreat(r *copyRange) {
+	if rd.rb <= r.StartBlock {
+		rd.ri--
+		rd.rb, rd.rr = -1, -1
+	} else {
+		rd.rb--
+		rd.rr = -1
 	}
 }
 
@@ -382,6 +594,17 @@ func (c *Cursor) retreatBlock() error {
 		return nil
 	}
 	c.block = prev
+	// When the previous block belongs to a compacted volume the cursor will
+	// redirect through, skip the decode: it could hit the cold tier, and the
+	// record position is irrelevant once the redirect walk takes over.
+	if c.ids != nil && !c.linear {
+		if view := c.s.compView(); view != nil {
+			if v := view.volAt(prev); v != nil && v.covers(c.idSorted) {
+				c.rec = 0
+				return nil
+			}
+		}
+	}
 	if db, err := c.decodeCached(prev); err == nil {
 		c.rec = len(db.p.Records)
 	} else {
@@ -408,8 +631,9 @@ func (c *Cursor) SeekTime(ts int64) error {
 	// Scan forward from the located block for the first entry at/after ts,
 	// leaving the gap just before it.
 	c.block, c.rec = b, 0
+	c.redir = nil
 	for {
-		prevBlock, prevRec := c.block, c.rec
+		pos := c.savePos()
 		e, err := c.next()
 		if err == io.EOF {
 			return nil // gap at end: everything is before ts
@@ -418,10 +642,30 @@ func (c *Cursor) SeekTime(ts int64) error {
 			return err
 		}
 		if e.Timestamp >= ts {
-			c.block, c.rec = prevBlock, prevRec
+			c.restorePos(pos)
 			return nil
 		}
 	}
+}
+
+// cursorPos captures a cursor's full position — gap plus any in-progress
+// redirect walk — so a scan can rewind exactly one step.
+type cursorPos struct {
+	block, rec int
+	redir      *redirState
+}
+
+func (c *Cursor) savePos() cursorPos {
+	p := cursorPos{block: c.block, rec: c.rec}
+	if c.redir != nil {
+		rd := *c.redir
+		p.redir = &rd
+	}
+	return p
+}
+
+func (c *Cursor) restorePos(p cursorPos) {
+	c.block, c.rec, c.redir = p.block, p.rec, p.redir
 }
 
 // Position returns the cursor's gap position (global block, record index)
@@ -433,7 +677,9 @@ func (c *Cursor) Position() (block, rec int) { return c.block, c.rec }
 // monitoring process that periodically drains new entries (§3's "audit and
 // monitoring processes read hundreds of records ... periodically"). Passing
 // the Block/Index of an Entry positions the gap *before* that entry;
-// resume after it by passing Index+1.
+// resume after it by passing Index+1. A position saved before a compaction
+// pass may fall inside a since-compacted volume; iteration stays correct but
+// restarts that volume's entries from its boundary (at-least-once delivery).
 func (c *Cursor) SeekPos(block, rec int) error {
 	if c.s.closedFlag.Load() {
 		return ErrClosed
@@ -442,6 +688,7 @@ func (c *Cursor) SeekPos(block, rec int) error {
 		return fmt.Errorf("clio: invalid cursor position (%d, %d)", block, rec)
 	}
 	c.block, c.rec = block, rec
+	c.redir = nil
 	return nil
 }
 

@@ -43,6 +43,11 @@ type RecoveryReport struct {
 	// BlocksReplayed counts the sealed blocks replayed after the
 	// checkpoint; zero when CheckpointUsed is false.
 	BlocksReplayed int
+	// VolumesRelocated counts volumes the compactor has copied forward
+	// (the compaction sidecar's committed volumes), VolumesDemoted those
+	// already archived to the cold tier and released locally.
+	VolumesRelocated int
+	VolumesDemoted   int
 }
 
 // LastRecovery returns the report from the service's Open.

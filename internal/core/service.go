@@ -131,6 +131,12 @@ type Options struct {
 	// write proceeds on a background sealer while the next batch
 	// accumulates (bounded in-flight window, in-order completion).
 	CommitWindow time.Duration
+	// Cold, when non-nil, enables the space-reclamation compactor and the
+	// cold storage tier: CompactOnce copies the live entries of old sealed
+	// volumes forward, demotes the emptied volumes to the configured archive
+	// backend, and reads of demoted blocks transparently fetch from the
+	// backend at archival latency. Nil disables compaction and cold reads.
+	Cold *ColdTier
 }
 
 func (o Options) withDefaults() Options {
@@ -177,11 +183,18 @@ type Stats struct {
 	AdaptiveWaits   int64 // commit leaders that opened an adaptive gather window
 	PipelinedSeals  int64 // sealed blocks whose device write completed off the ack path
 
+	// Compaction / cold tier.
+	EntriesRelocated int64 // live entries copied forward by the compactor
+	BytesRelocated   int64 // their data bytes
+	ColdFetches      int64 // block reads served from the cold backend
+
 	// Gauges sampled at Stats() time (not cumulative; zeroed by reset only
 	// in the sense that they re-derive from live state).
 	CommitWindowNanos int64 // current adaptive gather window (ns)
 	InflightSeals     int64 // seals staged durable but not yet on device
 	StagedBytes       int64 // bytes held by in-flight staged seals
+	VolumesRelocated  int64 // volumes whose live entries have been copied forward
+	VolumesDemoted    int64 // volumes archived cold and released locally
 }
 
 // Service is the Clio log service for one volume sequence.
@@ -288,6 +301,18 @@ type Service struct {
 	// Relocations by the background sealer, reported on the next operation.
 	pendingDegraded      []int
 	pendingDegradedCause error
+
+	// Compaction / cold tier (Options.Cold non-nil). cmpMu serializes
+	// CompactOnce passes; cmpState is the sidecar-backed state, mutated only
+	// under cmpMu (and read at Open before concurrency starts); cmpView is
+	// the lock-free reader view republished at every sidecar commit;
+	// compactHook is a test-only stage callback; coldFetches counts reads
+	// served from the cold backend.
+	cmpMu       sync.Mutex
+	cmpState    *compactState
+	cmpView     atomic.Pointer[compactView]
+	compactHook func(stage string) error
+	coldFetches atomic.Int64
 
 	// Observability: obsM holds the registered latency instruments (nil
 	// until RegisterMetrics — the same swap-able pattern as cacheP); tr is
@@ -524,8 +549,27 @@ func Open(devs []wodev.Device, opt Options) (*Service, error) {
 		return nil, err
 	}
 	s.loc = loc
+	// The compaction sidecar must load before recovery: replay may need to
+	// read blocks of already-demoted volumes through the cold backend.
+	if err := s.loadColdState(); err != nil {
+		return nil, err
+	}
 	if err := s.recover(); err != nil {
 		return nil, err
+	}
+	// Finish demotions a crash interrupted, then surface the compaction
+	// state in the recovery report (recover() may have rebuilt s.recovery
+	// from a checkpoint, so the counts are set afterwards).
+	if err := s.sweepDemoted(); err != nil {
+		return nil, err
+	}
+	if s.cmpState != nil {
+		for _, v := range s.cmpState.Vols {
+			s.recovery.VolumesRelocated++
+			if v.Demoted {
+				s.recovery.VolumesDemoted++
+			}
+		}
 	}
 	return s, nil
 }
@@ -552,6 +596,15 @@ func (s *Service) Stats() Stats {
 	out.InflightSeals = int64(len(s.pipe))
 	for _, ps := range s.pipe {
 		out.StagedBytes += int64(len(ps.img))
+	}
+	out.ColdFetches = s.coldFetches.Load()
+	if cv := s.cmpView.Load(); cv != nil {
+		out.VolumesRelocated = int64(len(cv.vols))
+		for _, v := range cv.vols {
+			if v.Demoted {
+				out.VolumesDemoted++
+			}
+		}
 	}
 	return out
 }
@@ -862,7 +915,9 @@ func (s *Service) SetPerms(path string, perms uint16) error {
 	return s.appendCatalogLocked(rec, s.nextTS(false))
 }
 
-// Retire closes a log file for further appends; its entries remain readable.
+// Retire closes a log file for further appends. Its entries remain readable
+// until a compaction pass (Options.Cold) reclaims the space; without a cold
+// tier they remain readable forever.
 func (s *Service) Retire(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

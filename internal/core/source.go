@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
+	"clio/internal/archive"
 	"clio/internal/blockfmt"
 	"clio/internal/cache"
 	"clio/internal/entrymap"
+	"clio/internal/volume"
 	"clio/internal/wire"
 	"clio/internal/wodev"
 )
@@ -212,6 +216,9 @@ func (s *Service) readBlockMiss(global int) ([]byte, error) {
 	}
 	v, local, err := s.set.Locate(global)
 	if err != nil {
+		if errors.Is(err, volume.ErrOffline) {
+			return s.readColdBlock(global)
+		}
 		return nil, err
 	}
 	buf := make([]byte, s.opt.BlockSize)
@@ -225,6 +232,30 @@ func (s *Service) readBlockMiss(global int) ([]byte, error) {
 	}
 	bc.Put(key, buf)
 	s.opt.Clock.ChargeCachedBlock()
+	return buf, nil
+}
+
+// readColdBlock serves a block of a demoted volume from the cold backend at
+// archival latency, populating the block cache so a re-read of recently
+// touched cold data is a hot cache hit. Blocks of volumes that are merely
+// offline (unmounted, not demoted) stay unreadable.
+func (s *Service) readColdBlock(global int) ([]byte, error) {
+	view := s.compView()
+	if view == nil {
+		return nil, fmt.Errorf("clio: block %d: %w", global, volume.ErrOffline)
+	}
+	v := view.demotedAt(global)
+	if v == nil {
+		return nil, fmt.Errorf("clio: block %d: %w", global, volume.ErrOffline)
+	}
+	buf := make([]byte, s.opt.BlockSize)
+	s.opt.Clock.ChargeColdFetch(s.opt.BlockSize)
+	devBlock := (global - v.Start) + 1 // past the volume header
+	if err := archive.ReadVolumeBlock(context.Background(), s.opt.Cold.Backend, v.Index, devBlock, buf); err != nil {
+		return nil, err
+	}
+	s.coldFetches.Add(1)
+	s.blockCache().Put(cache.Key{Block: global}, buf)
 	return buf, nil
 }
 

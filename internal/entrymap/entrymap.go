@@ -57,6 +57,13 @@ const (
 	// bitmaps, so recovery can find checkpoint blocks with the ordinary
 	// locator search.
 	CheckpointID = wire.MaxLogID
+	// CompactID is the log file recording compaction commits: one entry
+	// per relocated volume, appended after that volume's live entries have
+	// been copied forward. Like CheckpointID it lives at the top of the id
+	// space and is carried in entrymap bitmaps. Its entries also reset the
+	// running block timestamp after a batch of relocated copies (which
+	// carry their original, older timestamps).
+	CompactID = wire.MaxLogID - 1
 )
 
 // Errors.

@@ -329,3 +329,31 @@ func TestPrintersProduceOutput(t *testing.T) {
 		t.Errorf("printers produced only %d bytes", buf.Len())
 	}
 }
+
+func TestRunCompactBoundsHotStorage(t *testing.T) {
+	rows, err := RunCompact(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// The logical history grows linearly with the cycles...
+	if last.LogicalBlocks < 3*first.LogicalBlocks {
+		t.Errorf("history barely grew: %d -> %d blocks", first.LogicalBlocks, last.LogicalBlocks)
+	}
+	// ...while the hot working set stays bounded: demotion keeps pace with
+	// churn, so hot storage must not track the history's linear growth.
+	if last.HotBlocks > 2*first.HotBlocks {
+		t.Errorf("hot storage tracked history growth: %d -> %d blocks", first.HotBlocks, last.HotBlocks)
+	}
+	if last.ColdVolumes == 0 {
+		t.Error("no volumes were demoted cold")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ColdVolumes < rows[i-1].ColdVolumes {
+			t.Errorf("cold volume count regressed at cycle %d", rows[i].Cycle)
+		}
+	}
+}

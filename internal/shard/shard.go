@@ -406,8 +406,13 @@ func (st *Store) Stats() core.Stats {
 		out.CheckpointBytes += s.CheckpointBytes
 		out.AdaptiveWaits += s.AdaptiveWaits
 		out.PipelinedSeals += s.PipelinedSeals
+		out.EntriesRelocated += s.EntriesRelocated
+		out.BytesRelocated += s.BytesRelocated
+		out.ColdFetches += s.ColdFetches
 		out.InflightSeals += s.InflightSeals
 		out.StagedBytes += s.StagedBytes
+		out.VolumesRelocated += s.VolumesRelocated
+		out.VolumesDemoted += s.VolumesDemoted
 		// The commit window is a per-shard gauge, not additive: report the
 		// widest shard's, the one currently shaping worst-case force latency.
 		if s.CommitWindowNanos > out.CommitWindowNanos {
@@ -477,6 +482,11 @@ type MergedRecovery struct {
 	// CheckpointsUsed counts the shards that recovered from an in-log
 	// checkpoint rather than full reconstruction.
 	CheckpointsUsed int
+	// VolumesRelocated and VolumesDemoted sum each shard's compaction state
+	// as of the open: volumes whose live entries have been copied forward,
+	// and the subset archived cold and released locally.
+	VolumesRelocated int
+	VolumesDemoted   int
 	// BadBlocks lists every known-corrupted block, attributed to its shard.
 	BadBlocks []BadBlockRef
 }
@@ -498,6 +508,8 @@ func (st *Store) LastRecovery() MergedRecovery {
 		if r.CheckpointUsed {
 			out.CheckpointsUsed++
 		}
+		out.VolumesRelocated += r.VolumesRelocated
+		out.VolumesDemoted += r.VolumesDemoted
 		for _, b := range r.BadBlocks {
 			out.BadBlocks = append(out.BadBlocks, BadBlockRef{Shard: sh, Block: b})
 		}
@@ -511,6 +523,43 @@ func (st *Store) LastRecovery() MergedRecovery {
 // state; there is no cross-shard snapshot to coordinate).
 func (st *Store) Checkpoint() error {
 	return st.each(func(svc *core.Service) error { return svc.Checkpoint() })
+}
+
+// CompactOnce runs one compaction pass on every shard concurrently and sums
+// the per-shard results. Each shard compacts its own volume sequence
+// independently (a log file lives wholly on one shard, so there is no
+// cross-shard liveness to coordinate). Shards that fail are reported in the
+// joined error; the result still sums the shards that succeeded.
+func (st *Store) CompactOnce(ctx context.Context, opt core.CompactOptions) (core.CompactResult, error) {
+	results := make([]*core.CompactResult, len(st.svcs))
+	errs := make([]error, len(st.svcs))
+	var wg sync.WaitGroup
+	for i, svc := range st.svcs {
+		wg.Add(1)
+		go func(i int, svc *core.Service) {
+			defer wg.Done()
+			r, err := svc.CompactOnce(ctx, opt)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			results[i] = r
+		}(i, svc)
+	}
+	wg.Wait()
+	var out core.CompactResult
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		out.VolumesExamined += r.VolumesExamined
+		out.VolumesSkipped += r.VolumesSkipped
+		out.VolumesReloc += r.VolumesReloc
+		out.VolumesDemoted += r.VolumesDemoted
+		out.EntriesCopied += r.EntriesCopied
+		out.BytesCopied += r.BytesCopied
+	}
+	return out, errors.Join(errs...)
 }
 
 // RegisterMetrics registers every shard's full metric surface in reg, each

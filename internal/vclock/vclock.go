@@ -58,6 +58,11 @@ type CostModel struct {
 	// calibrated so a distance-0 cached read costs Table 1's 1.46 ms:
 	// 1.46 ms = LocalIPC + ServerFixed + 1×CachedBlock.
 	ServerFixed time.Duration
+	// ColdFetch is the fixed cost of staging a block from the cold
+	// (archival) tier: the era-appropriate analogue is a robotic
+	// autochanger swapping an optical platter into a drive, a few seconds
+	// per fetch. Transfer is charged per KiB on top via DeviceReadPerKB.
+	ColdFetch time.Duration
 }
 
 // DefaultModel returns the paper-calibrated cost model.
@@ -73,6 +78,7 @@ func DefaultModel() CostModel {
 		CopyPerKB:       18432 * time.Microsecond,
 		WriteFixed:      830 * time.Microsecond,
 		ServerFixed:     160 * time.Microsecond,
+		ColdFetch:       2500 * time.Millisecond,
 	}
 }
 
@@ -181,6 +187,7 @@ const (
 	CatTimestamp = "timestamp"
 	CatEntrymap  = "entrymap-maint"
 	CatCopy      = "copy"
+	CatCold      = "cold-fetch"
 	CatServer    = "server-fixed"
 	CatWrite     = "write-fixed"
 )
@@ -238,6 +245,17 @@ func (c *Clock) ChargeEntrymapMaint() {
 		return
 	}
 	c.Charge(CatEntrymap, c.Model().EntrymapMaint)
+}
+
+// ChargeColdFetch charges staging n bytes from the cold (archival) tier:
+// the autochanger fetch plus the per-KiB transfer.
+func (c *Clock) ChargeColdFetch(n int) {
+	if c == nil {
+		return
+	}
+	m := c.Model()
+	c.Charge(CatCold, m.ColdFetch)
+	c.Charge(CatTransfer, m.DeviceReadPerKB*time.Duration(n)/1024)
 }
 
 // ChargeCopy charges copying n bytes of client data.

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"clio/internal/archive"
 	"clio/internal/core"
 	"clio/internal/shard"
 	"clio/internal/volume"
@@ -30,6 +31,11 @@ const (
 	volSuffix      = ".clio"
 	nvramFile      = "nvram.clio"
 	shardDirPrefix = "shard-"
+	// Per shard directory, the reclamation subsystem keeps a cold/ archive
+	// directory holding demoted volume images and a compact.clio sidecar
+	// holding the compactor's committed state.
+	coldDirName = "cold"
+	compactFile = "compact.clio"
 )
 
 // Sentinel errors for the file-backed store helpers, matchable with
@@ -57,6 +63,15 @@ type DirOptions struct {
 	// which keeps the flat single-sequence layout). OpenStore detects the
 	// count from the directory; setting Shards there asserts it.
 	Shards int
+	// ColdDir overrides where demoted volume images are archived. The
+	// default keeps them beside the volumes they replace: <dir>/cold for a
+	// flat store, <dir>/shard-K/cold per shard. A sharded store splits an
+	// override the same way (ColdDir/shard-K), because each shard numbers
+	// its volumes from zero and the images must not collide.
+	ColdDir string
+	// NoCold disables the cold tier entirely: CompactOnce returns
+	// ErrNoColdTier and no reclamation state is created on disk.
+	NoCold bool
 }
 
 func volPath(dir string, index uint32) string {
@@ -91,13 +106,36 @@ func dirAllocator(dir string, o DirOptions) Allocator {
 	}
 }
 
-// CreateDir initializes a new flat (single-sequence) file-backed log store
+// dirColdTier wires the reclamation subsystem for one shard directory:
+// demoted volume images go to the cold archive directory, the compaction
+// sidecar lives beside the NVRAM sidecar, and releasing a demoted volume
+// deletes its local file — the act that actually reclaims the space.
+func dirColdTier(dir string, o DirOptions) *core.ColdTier {
+	if o.NoCold {
+		return nil
+	}
+	cold := o.ColdDir
+	if cold == "" {
+		cold = filepath.Join(dir, coldDirName)
+	}
+	return &core.ColdTier{
+		Backend: archive.NewDir(cold),
+		State:   core.NewFileState(filepath.Join(dir, compactFile)),
+		Release: func(index uint32) error {
+			err := os.Remove(volPath(dir, index))
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		},
+	}
+}
+
+// createDir initializes a new flat (single-sequence) file-backed log store
 // in dir (created if needed, which must not already contain a store) and
-// returns the running service.
-//
-// Deprecated: new code should use CreateStore, which also handles sharded
-// layouts and returns the Store interface surface.
-func CreateDir(dir string, o DirOptions) (*Service, error) {
+// returns the running service. CreateStore is the public surface; this is
+// its per-shard building block.
+func createDir(dir string, o DirOptions) (*core.Service, error) {
 	o = o.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -123,6 +161,9 @@ func CreateDir(dir string, o DirOptions) (*Service, error) {
 	opt := o.Options
 	opt.NVRAM = core.NewFileNVRAM(filepath.Join(dir, nvramFile))
 	opt.Allocate = dirAllocator(dir, o)
+	if opt.Cold == nil {
+		opt.Cold = dirColdTier(dir, o)
+	}
 	s, err := core.New(dev, opt)
 	if err != nil {
 		dev.Close()
@@ -131,12 +172,10 @@ func CreateDir(dir string, o DirOptions) (*Service, error) {
 	return s, nil
 }
 
-// OpenDir opens an existing flat file-backed log store in dir, recovering
-// state as server initialization does (§2.3.1).
-//
-// Deprecated: new code should use OpenStore, which also detects sharded
-// layouts.
-func OpenDir(dir string, o DirOptions) (*Service, error) {
+// openDir opens an existing flat file-backed log store in dir, recovering
+// state as server initialization does (§2.3.1). OpenStore is the public
+// surface; this is its per-shard building block.
+func openDir(dir string, o DirOptions) (*core.Service, error) {
 	o = o.withDefaults()
 	devs, err := openVolumeFiles(dir, o)
 	if err != nil {
@@ -145,6 +184,9 @@ func OpenDir(dir string, o DirOptions) (*Service, error) {
 	opt := o.Options
 	opt.NVRAM = core.NewFileNVRAM(filepath.Join(dir, nvramFile))
 	opt.Allocate = dirAllocator(dir, o)
+	if opt.Cold == nil {
+		opt.Cold = dirColdTier(dir, o)
+	}
 	s, err := core.Open(devs, opt)
 	if err != nil {
 		closeDevs(devs)
@@ -187,13 +229,13 @@ func closeDevs(devs []wodev.Device) {
 
 // CreateStore initializes a new file-backed store in dir with
 // o.Shards hash partitions and returns the running sharded store. One
-// shard produces the flat layout CreateDir produces; more produce
+// shard produces the flat single-sequence layout; more produce
 // shard-K subdirectories, each a complete volume sequence with its own
 // NVRAM sidecar.
 func CreateStore(dir string, o DirOptions) (*Store, error) {
 	o = o.withDefaults()
 	if o.Shards == 1 {
-		svc, err := CreateDir(dir, o)
+		svc, err := createDir(dir, o)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +266,10 @@ func CreateStore(dir string, o DirOptions) (*Store, error) {
 	for i := range svcs {
 		sub := o
 		sub.Shards = 1
-		svc, err := CreateDir(shardDir(dir, i), sub)
+		if sub.ColdDir != "" {
+			sub.ColdDir = shardDir(sub.ColdDir, i)
+		}
+		svc, err := createDir(shardDir(dir, i), sub)
 		if err != nil {
 			return fail(fmt.Errorf("clio: create shard %d: %w", i, err))
 		}
@@ -253,7 +298,7 @@ func OpenStore(dir string, o DirOptions) (*Store, error) {
 			}
 			return nil, fmt.Errorf("clio: %s is a flat (1-shard) store, not %d shards", dir, detect)
 		}
-		svc, err := OpenDir(dir, o)
+		svc, err := openDir(dir, o)
 		if err != nil {
 			return nil, err
 		}
@@ -277,9 +322,16 @@ func OpenStore(dir string, o DirOptions) (*Store, error) {
 			return fail(fmt.Errorf("clio: shard %d: %w", i, err))
 		}
 		devs[i] = ds
+		sub := o
+		if sub.ColdDir != "" {
+			sub.ColdDir = shardDir(sub.ColdDir, i)
+		}
 		opt := o.Options
 		opt.NVRAM = core.NewFileNVRAM(filepath.Join(sd, nvramFile))
 		opt.Allocate = dirAllocator(sd, o)
+		if opt.Cold == nil {
+			opt.Cold = dirColdTier(sd, sub)
+		}
 		opts[i] = opt
 	}
 	st, err := shard.Open(devs, opts)

@@ -1,0 +1,286 @@
+package clio
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFileStoreCompactionReclaimsDisk exercises the reclamation subsystem
+// end to end over the file-backed layout: fill several volume files with a
+// mostly-churn workload, retire the churn, compact, and verify the local
+// volume files are actually gone (space reclaimed), their images live in
+// the cold archive directory, every live entry still reads back hot, the
+// retired history still reads back through the cold tier, and a reopen
+// recovers the compacted store intact.
+func TestFileStoreCompactionReclaimsDisk(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	opts := DirOptions{VolumeBlocks: 24}
+	opts.BlockSize = 256
+	opts.Degree = 4
+	st, err := CreateStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keep, err := st.CreateLog(ctx, "/keep", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := st.CreateLog(ctx, "/churn", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept, churned []string
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("churn-%04d-%s", i, "padpadpadpadpadpadpadpad")
+		if _, err := st.Append(ctx, churn, []byte(p), AppendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		churned = append(churned, p)
+		if i%32 == 0 {
+			k := fmt.Sprintf("keep-%04d", i)
+			if _, err := st.Append(ctx, keep, []byte(k), AppendOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			kept = append(kept, k)
+		}
+		if names, err := listVolumes(dir); err != nil {
+			t.Fatal(err)
+		} else if len(names) >= 5 {
+			break
+		}
+	}
+	if err := st.Retire(ctx, "/churn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Force(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before, err := listVolumes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := st.CompactOnce(ctx, CompactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VolumesDemoted == 0 {
+		t.Fatalf("nothing demoted: %+v", res)
+	}
+
+	// Space is actually reclaimed: fewer local volume files, and the cold
+	// archive directory holds the demoted images.
+	after, err := listVolumes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before) {
+		t.Errorf("volume files: %d before compaction, %d after", len(before), len(after))
+	}
+	coldEnts, err := os.ReadDir(filepath.Join(dir, coldDirName))
+	if err != nil || len(coldEnts) == 0 {
+		t.Fatalf("cold archive: %v entries, %v", len(coldEnts), err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, compactFile)); err != nil {
+		t.Fatalf("compaction sidecar: %v", err)
+	}
+
+	readAll := func(s *Store, path string) []string {
+		t.Helper()
+		cur, err := s.OpenCursor(ctx, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cur.Close()
+		var out []string
+		for {
+			e, err := cur.Next(ctx)
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, string(e.Data))
+		}
+	}
+
+	// Live entries read back hot (relocated copies); the retired history
+	// reads back through the cold tier, byte for byte.
+	if got := readAll(st, "/keep"); fmt.Sprint(got) != fmt.Sprint(kept) {
+		t.Errorf("live entries after compaction: %d, want %d", len(got), len(kept))
+	}
+	if got := readAll(st, "/churn"); fmt.Sprint(got) != fmt.Sprint(churned) {
+		t.Errorf("retired entries after compaction: %d, want %d", len(got), len(churned))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: recovery mounts only the hot files, reads demoted history
+	// through the archive, and reports the compaction state.
+	st2, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rep := st2.LastRecovery()
+	if rep.VolumesRelocated == 0 || rep.VolumesDemoted == 0 {
+		t.Errorf("recovery report: %d relocated, %d demoted", rep.VolumesRelocated, rep.VolumesDemoted)
+	}
+	if got := readAll(st2, "/keep"); fmt.Sprint(got) != fmt.Sprint(kept) {
+		t.Errorf("live entries after reopen: %d, want %d", len(got), len(kept))
+	}
+	if got := readAll(st2, "/churn"); fmt.Sprint(got) != fmt.Sprint(churned) {
+		t.Errorf("retired entries after reopen: %d, want %d", len(got), len(churned))
+	}
+	// The fresh process had no cached copies of the demoted blocks, so that
+	// read (or recovery before it) must have fetched from the archive.
+	if st2.Stats().ColdFetches == 0 {
+		t.Error("retired history read without a single cold fetch")
+	}
+
+	// The store keeps appending normally after compaction and reopen.
+	id2, err := st2.Resolve(ctx, "/keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Append(ctx, id2, []byte("post-compact"), AppendOptions{Forced: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedStoreCompaction runs a compaction pass over a sharded store:
+// every shard gets its own cold archive and sidecar, Store.CompactOnce fans
+// out across shards, and the merged result and recovery report aggregate
+// the per-shard state.
+func TestShardedStoreCompaction(t *testing.T) {
+	const shards = 2
+	ctx := context.Background()
+	dir := t.TempDir()
+	opts := DirOptions{VolumeBlocks: 24, Shards: shards}
+	opts.BlockSize = 256
+	opts.Degree = 4
+	st, err := CreateStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enough distinct roots that both shards hold logs; all get retired.
+	paths := make([]string, 8)
+	counts := make(map[string]int)
+	ids := make([]ID, len(paths))
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/c%02d", i)
+		id, err := st.CreateLog(ctx, paths[i], 0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for round := 0; ; round++ {
+		for i, id := range ids {
+			p := fmt.Sprintf("%s-%04d-%s", paths[i], counts[paths[i]], "padpadpadpadpad")
+			if _, err := st.Append(ctx, id, []byte(p), AppendOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			counts[paths[i]]++
+		}
+		all := true
+		for s := 0; s < shards; s++ {
+			if len(st.Service(s).Volumes()) < 3 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if round > 4000 {
+			t.Fatal("shards never grew to 3 volumes")
+		}
+	}
+	for _, p := range paths {
+		if err := st.Retire(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Force(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := st.CompactOnce(ctx, CompactOptions{MinHotVolumes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VolumesDemoted == 0 {
+		t.Fatalf("nothing demoted: %+v", res)
+	}
+	// Each shard that demoted holds its own cold archive under shard-K/cold.
+	coldDirs := 0
+	for s := 0; s < shards; s++ {
+		if ents, err := os.ReadDir(filepath.Join(shardDir(dir, s), coldDirName)); err == nil && len(ents) > 0 {
+			coldDirs++
+		}
+	}
+	if coldDirs == 0 {
+		t.Error("no shard populated its cold archive")
+	}
+
+	// Every retired log still reads back complete through the cold tier.
+	for _, p := range paths {
+		cur, err := st.OpenCursor(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := cur.Next(ctx); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		cur.Close()
+		if n != counts[p] {
+			t.Errorf("%s: %d entries after compaction, want %d", p, n, counts[p])
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if rep := st2.LastRecovery(); rep.VolumesDemoted == 0 {
+		t.Errorf("merged recovery reports no demoted volumes: %+v", rep)
+	}
+	for _, p := range paths {
+		cur, err := st2.OpenCursor(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := cur.Next(ctx); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		cur.Close()
+		if n != counts[p] {
+			t.Errorf("%s: %d entries after reopen, want %d", p, n, counts[p])
+		}
+	}
+}
