@@ -48,10 +48,12 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: clio [-addr host:port | -store dir] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: clio [-addr host:port | -store dir] [-tenant T -token S] <command> [args]
 
 -store mode opens the store in-process; a store created with non-default
 cliod geometry needs the matching -volume-blocks / -block-size.
+Against a multi-tenant server, -tenant and -token authenticate the session;
+paths must then live under /<tenant>.
 
 commands:
   create <path>            create a log file (parents must exist)
@@ -96,6 +98,8 @@ func main() {
 	addr := flag.String("addr", "", "log server address")
 	store := flag.String("store", "", "local store directory (serve in-process)")
 	adminAddr := flag.String("admin", "", "cluster node admin (HTTP) address, for status")
+	tenant := flag.String("tenant", "", "tenant name for a multi-tenant server (with -token)")
+	token := flag.String("token", "", "tenant shared secret (with -tenant)")
 	flag.IntVar(&geom.VolumeBlocks, "volume-blocks", 0, "store's volume capacity in blocks, as given to cliod (0 = the default; -store only)")
 	flag.IntVar(&geom.BlockSize, "block-size", 0, "store's block size in bytes, as given to cliod (0 = the default; -store only)")
 	flag.Usage = usage
@@ -132,7 +136,7 @@ func main() {
 	}
 
 	ctx := context.Background()
-	cl, cleanup, err := connect(*addr, *store)
+	cl, cleanup, err := connect(*addr, *store, *tenant, *token)
 	if err != nil {
 		fatal(err)
 	}
@@ -462,12 +466,12 @@ func runPromote(addr string) {
 
 // connect returns a client either over TCP or over a net.Pipe to an
 // in-process server on a local store.
-func connect(addr, store string) (*client.Client, func(), error) {
+func connect(addr, store, tenant, token string) (*client.Client, func(), error) {
 	switch {
 	case addr != "" && store != "":
 		return nil, nil, fmt.Errorf("clio: -addr and -store are mutually exclusive")
 	case addr != "":
-		cl, err := client.Dial(addr)
+		cl, err := client.DialOptions(addr, client.Options{Tenant: tenant, Token: token})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -80,6 +80,11 @@ type Options struct {
 	// DialAddr establishes a connection to one named address; nil means
 	// TCP. Lets tests and partition injectors intercept per-address dials.
 	DialAddr func(ctx context.Context, addr string) (net.Conn, error)
+	// Tenant and Token authenticate the session on a multi-tenant server:
+	// the hello handshake presents them, and every path the client touches
+	// must live under /<Tenant>. Leave empty against an open server.
+	Tenant string
+	Token  string
 }
 
 // ErrNotLeader reports that a write-class request was sent to a replication
@@ -115,6 +120,24 @@ func (e *AmbiguousError) Error() string {
 }
 
 func (e *AmbiguousError) Unwrap() error { return e.Err }
+
+// QuotaError reports a request the server refused with StatusQuotaExceeded:
+// the session's tenant is over one of its configured quotas (logs, appended
+// bytes, or concurrent sessions). The request did not execute, and — unlike
+// a transient fault — the client does not retry it: the condition clears
+// only when the operator raises the quota or the tenant's usage drops.
+type QuotaError struct {
+	// Msg is the server's reason, naming the tenant and quota.
+	Msg string
+}
+
+func (e *QuotaError) Error() string { return "client: " + e.Msg }
+
+// IsQuota reports whether err (or anything it wraps) is a *QuotaError.
+func IsQuota(err error) bool {
+	var q *QuotaError
+	return errors.As(err, &q)
+}
 
 // DegradedError reports an append that COMPLETED — the entry is durable and
 // Timestamp is its server timestamp — but required the service to relocate
@@ -321,7 +344,7 @@ func (c *Client) reconnectLocked(ctx context.Context, ambiguous bool, opName str
 		c.addrFailedLocked(dialed)
 		return err
 	}
-	hello := wire.PutUint64(nil, c.session)
+	hello := wire.Hello{Session: c.session, Tenant: c.opt.Tenant, Token: c.opt.Token}.Encode(nil)
 	status, d, err := c.roundTrip(ctx, conn, server.OpHello, 0, traceID(c.session, 0), hello)
 	if err != nil {
 		conn.Close()
@@ -331,8 +354,17 @@ func (c *Client) reconnectLocked(ctx context.Context, ambiguous bool, opName str
 	if status != server.StatusOK {
 		conn.Close()
 		c.addrFailedLocked(dialed)
+		msg, derr := d.String()
+		if derr != nil {
+			msg = fmt.Sprintf("handshake rejected (status %d)", status)
+		}
+		if status == server.StatusQuotaExceeded {
+			// A session-quota refusal may clear as other connections leave;
+			// transient keeps the retry schedule in charge.
+			return faults.WithClass(&QuotaError{Msg: msg}, faults.Transient)
+		}
 		// Transient: another node in the rotation may accept the session.
-		return faults.WithClass(fmt.Errorf("client: handshake rejected (status %d)", status), faults.Transient)
+		return faults.WithClass(fmt.Errorf("client: %s", msg), faults.Transient)
 	}
 	epoch, err := d.Int64()
 	if err != nil {
@@ -553,6 +585,15 @@ func (c *Client) call(ctx context.Context, op byte, opName string, mutating bool
 				c.failStreak++
 				lastErr = errors.New(msg)
 				continue
+			}
+			if status == server.StatusQuotaExceeded {
+				// The request did not execute and retrying cannot help —
+				// the tenant's quota is a policy, not a transient fault.
+				msg, derr := d.String()
+				if derr != nil {
+					msg = "tenant quota exceeded"
+				}
+				return status, nil, &QuotaError{Msg: msg}
 			}
 			if status == server.StatusErr {
 				msg, derr := d.String()

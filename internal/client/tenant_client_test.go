@@ -1,0 +1,179 @@
+package client
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"clio/internal/core"
+	"clio/internal/logapi"
+	"clio/internal/server"
+	"clio/internal/shard"
+	"clio/internal/wire"
+	"clio/internal/wodev"
+)
+
+// tenantPair serves an in-memory store with the given tenant table and
+// returns a redialable client authenticated as the tenant.
+func tenantPair(t *testing.T, tenants []server.Tenant, tenant, token string) (*Client, *server.Server) {
+	t.Helper()
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
+	svc, err := core.New(dev, core.Options{BlockSize: 512, Degree: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := shard.New([]*core.Service{svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewStore(st)
+	srv.SetTenants(tenants)
+	dialer := func(ctx context.Context) (net.Conn, error) {
+		cConn, sConn := net.Pipe()
+		go srv.ServeConn(sConn)
+		return cConn, nil
+	}
+	cl, err := DialContext(bg, "", Options{Dialer: dialer, Tenant: tenant, Token: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close(); srv.Close(); st.Close() })
+	return cl, srv
+}
+
+func TestClientTenantSession(t *testing.T) {
+	tenants := []server.Tenant{{Name: "acme", Token: "s3cret", MaxBytes: 64}}
+	cl, _ := tenantPair(t, tenants, "acme", "s3cret")
+
+	id, err := cl.CreateLog(bg, "/acme", 0o644, "t")
+	if err != nil {
+		t.Fatalf("create inside namespace: %v", err)
+	}
+	if _, err := cl.Append(bg, id, []byte(strings.Repeat("x", 40)), AppendOptions{Forced: true}); err != nil {
+		t.Fatalf("append inside budget: %v", err)
+	}
+
+	// Over budget: the typed quota error comes back once, un-retried.
+	_, err = cl.Append(bg, id, []byte(strings.Repeat("y", 40)), AppendOptions{Forced: true})
+	if !IsQuota(err) {
+		t.Fatalf("append over budget: %v, want QuotaError", err)
+	}
+	if !strings.Contains(err.Error(), "over bytes quota") {
+		t.Errorf("quota error text = %q", err)
+	}
+
+	// Outside the namespace: refused.
+	if _, err := cl.CreateLog(bg, "/other", 0o644, "t"); err == nil {
+		t.Error("create outside namespace accepted")
+	}
+}
+
+func TestClientBadTokenFailsHandshake(t *testing.T) {
+	tenants := []server.Tenant{{Name: "acme", Token: "s3cret"}}
+	dev := wodev.NewMem(wodev.MemOptions{BlockSize: 512, Capacity: 1 << 14})
+	svc, err := core.New(dev, core.Options{BlockSize: 512, Degree: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := shard.New([]*core.Service{svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewStore(st)
+	srv.SetTenants(tenants)
+	t.Cleanup(func() { srv.Close(); st.Close() })
+	dialer := func(ctx context.Context) (net.Conn, error) {
+		cConn, sConn := net.Pipe()
+		go srv.ServeConn(sConn)
+		return cConn, nil
+	}
+	ctx, cancel := context.WithTimeout(bg, 2*time.Second)
+	defer cancel()
+	cl, err := DialContext(ctx, "", Options{Dialer: dialer, Tenant: "acme", Token: "wrong"})
+	if err == nil {
+		cl.Close()
+		t.Fatal("handshake with a bad token succeeded")
+	}
+}
+
+// TestWatchSurvivesDrainWithStreamEnd: the client-visible half of the drain
+// guarantee — a Watch subscriber of a server being SIGTERM-drained gets the
+// explicit "ended by server" error, never a bare connection reset.
+func TestWatchSurvivesDrainWithStreamEnd(t *testing.T) {
+	tenants := []server.Tenant{{Name: "acme", Token: "s3cret"}}
+	cl, srv := tenantPair(t, tenants, "acme", "s3cret")
+	if _, err := cl.CreateLog(bg, "/acme", 0o644, "t"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cl.Watch(bg, "/acme", logapi.WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(bg, 30*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+	defer cancel()
+	_, err = sub.Recv(ctx)
+	if err == nil || !strings.Contains(err.Error(), "subscription ended by server") {
+		t.Fatalf("Recv during drain: %v, want explicit stream end", err)
+	}
+	if !strings.Contains(err.Error(), "shutting down") {
+		t.Errorf("stream end reason = %q", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestWatchAuthenticates: a multi-tenant server refuses an unauthenticated
+// subscribe, and the tenant client's dedicated Watch connection presents
+// its credentials.
+func TestWatchAuthenticates(t *testing.T) {
+	tenants := []server.Tenant{{Name: "acme", Token: "s3cret"}}
+	cl, srv := tenantPair(t, tenants, "acme", "s3cret")
+	if _, err := cl.CreateLog(bg, "/acme", 0o644, "t"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cl.Watch(bg, "/acme", logapi.WatchOptions{})
+	if err != nil {
+		t.Fatalf("authenticated watch: %v", err)
+	}
+	defer sub.Close()
+	id, err := cl.Resolve(bg, "/acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Append(bg, id, []byte("hi"), AppendOptions{Forced: true}); err != nil {
+		t.Fatal(err)
+	}
+	e := recvSub(t, sub)
+	if string(e.Data) != "hi" {
+		t.Errorf("delivered %q", e.Data)
+	}
+
+	// A raw, unauthenticated subscribe on the same server is refused.
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	defer cConn.Close()
+	req := wire.StreamSubscribe{Path: "/acme", Buffer: 4, Credit: 4}
+	cConn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := server.WriteFrame(cConn, wire.OpStreamSubscribe, 1, 0, req.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	status, _, _, _, err := server.ReadFrame(cConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status == server.StatusOK {
+		t.Error("unauthenticated subscribe accepted on a multi-tenant server")
+	}
+}

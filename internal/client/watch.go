@@ -35,6 +35,25 @@ func (c *Client) Watch(ctx context.Context, path string, opts logapi.WatchOption
 	if err != nil {
 		return nil, err
 	}
+	if c.opt.Tenant != "" {
+		// The dedicated connection authenticates like the main one: a
+		// multi-tenant server refuses unauthenticated subscribes. Session 0
+		// keeps the binding connection-private.
+		hello := wire.Hello{Tenant: c.opt.Tenant, Token: c.opt.Token}.Encode(nil)
+		status, d, err := c.roundTrip(ctx, conn, server.OpHello, 0, 0, hello)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if status != server.StatusOK {
+			msg, derr := d.String()
+			if derr != nil {
+				msg = fmt.Sprintf("watch handshake rejected (status %d)", status)
+			}
+			conn.Close()
+			return nil, errors.New("client: " + msg)
+		}
+	}
 	window := opts.Buffer
 	if window <= 0 {
 		window = server.DefaultStreamCredit

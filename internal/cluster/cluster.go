@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"clio/internal/core"
+	"clio/internal/obs"
 	"clio/internal/server"
 	"clio/internal/shard"
 	"clio/internal/wire"
@@ -101,6 +102,14 @@ type Config struct {
 	Reset func(shard, dev int) (wodev.Device, error)
 	// Logf, when set, receives node-level logs.
 	Logf func(format string, args ...any)
+	// Tracer, when set, is installed on the leader's embedded server so
+	// request tracing (slow-trace capture) works in cluster mode exactly as
+	// it does single-node. Followers serve no client requests and ignore it.
+	Tracer *obs.Tracer
+	// Tenants, when non-empty, is installed on the leader's embedded server:
+	// clients must authenticate to a tenant and stay inside its namespace.
+	// SetTenants replaces the table at runtime (config reload).
+	Tenants []server.Tenant
 }
 
 // Node is one cluster member, serving either role: as leader it fronts a
@@ -127,6 +136,7 @@ type Node struct {
 	fol        *followerState   // follower only
 	lns        []net.Listener
 	conns      map[net.Conn]struct{}
+	tenants    []server.Tenant // current tenant table; installed on promotion
 	stopped    bool
 	promoRec   shard.MergedRecovery
 	promoRecOK bool
@@ -195,6 +205,7 @@ func New(cfg Config) (*Node, error) {
 		devs:     devs,
 		role:     wire.RoleFollower,
 		conns:    make(map[net.Conn]struct{}),
+		tenants:  append([]server.Tenant(nil), cfg.Tenants...),
 		stopCh:   make(chan struct{}),
 		commitCh: make(chan struct{}),
 	}
@@ -260,6 +271,20 @@ func (n *Node) Start(leader bool) error {
 	return nil
 }
 
+// SetTenants replaces the node's tenant table (config reload). If the node
+// is currently the leader the embedded server picks the table up
+// immediately; either way future promotions install it.
+func (n *Node) SetTenants(list []server.Tenant) {
+	cp := append([]server.Tenant(nil), list...)
+	n.mu.Lock()
+	n.tenants = cp
+	srv := n.srv
+	n.mu.Unlock()
+	if srv != nil {
+		srv.SetTenants(cp)
+	}
+}
+
 // becomeLeader opens the store over tapped devices and installs the
 // replication hooks. roleMu must be held.
 func (n *Node) becomeLeader(term, epoch uint64, sessions []server.SessionState, create bool) error {
@@ -308,6 +333,13 @@ func (n *Node) becomeLeader(term, epoch uint64, sessions []server.SessionState, 
 	}
 	srv := server.NewStore(store)
 	srv.Logf = n.cfg.Logf
+	srv.Tracer = n.cfg.Tracer
+	n.mu.Lock()
+	tenants := n.tenants
+	n.mu.Unlock()
+	if len(tenants) > 0 {
+		srv.SetTenants(tenants)
+	}
 	if epoch != 0 {
 		// Keep the cluster epoch minted by the first leader: clients must
 		// not see a promotion as a state-losing restart.

@@ -47,7 +47,7 @@ func NewAdminMux(reg *Registry, tracer *Tracer, statusFn func() any) *http.Serve
 			SlowThreshold time.Duration `json:"slow_threshold_ns"`
 			Recent        []TraceRecord `json:"recent"`
 			Slow          []TraceRecord `json:"slow"`
-		}{tracer.SlowThreshold, tracer.Recent(), tracer.Slow()})
+		}{tracer.SlowThreshold(), tracer.Recent(), tracer.Slow()})
 	})
 
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)

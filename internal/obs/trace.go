@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -115,13 +116,31 @@ func (rb *ring) list() []TraceRecord {
 // recent ring has churned past them). A nil *Tracer disables tracing: Start
 // returns a nil *Trace and every downstream span call no-ops.
 type Tracer struct {
-	// SlowThreshold is the duration above which a finished trace is also
-	// kept in the slow ring. Zero captures everything as slow.
-	SlowThreshold time.Duration
+	// slowThreshold is the duration (in nanoseconds) above which a finished
+	// trace is also kept in the slow ring. Zero captures everything as slow.
+	// Atomic so a config reload can retune it while requests finish.
+	slowThreshold atomic.Int64
 
 	mu     sync.Mutex
 	recent ring
 	slow   ring
+}
+
+// SlowThreshold returns the current slow-trace threshold.
+func (tc *Tracer) SlowThreshold() time.Duration {
+	if tc == nil {
+		return 0
+	}
+	return time.Duration(tc.slowThreshold.Load())
+}
+
+// SetSlowThreshold retunes the slow-trace threshold. Safe to call while
+// requests finish — the daemon uses it on config reload.
+func (tc *Tracer) SetSlowThreshold(d time.Duration) {
+	if tc == nil {
+		return
+	}
+	tc.slowThreshold.Store(int64(d))
 }
 
 // NewTracer returns a tracer keeping the last cap traces (and up to cap slow
@@ -130,11 +149,12 @@ func NewTracer(cap int, slowThreshold time.Duration) *Tracer {
 	if cap <= 0 {
 		cap = 64
 	}
-	return &Tracer{
-		SlowThreshold: slowThreshold,
-		recent:        ring{buf: make([]TraceRecord, cap)},
-		slow:          ring{buf: make([]TraceRecord, cap)},
+	tc := &Tracer{
+		recent: ring{buf: make([]TraceRecord, cap)},
+		slow:   ring{buf: make([]TraceRecord, cap)},
 	}
+	tc.slowThreshold.Store(int64(slowThreshold))
+	return tc
 }
 
 // Start begins a trace for one request. Returns nil (a valid no-op trace)
@@ -165,7 +185,7 @@ func (tc *Tracer) Finish(t *Trace) {
 
 	tc.mu.Lock()
 	tc.recent.add(rec)
-	if rec.Duration >= tc.SlowThreshold {
+	if rec.Duration >= time.Duration(tc.slowThreshold.Load()) {
 		tc.slow.add(rec)
 	}
 	tc.mu.Unlock()

@@ -120,6 +120,14 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 			defer s.mu.Unlock()
 			return int64(len(s.sessions))
 		})
+	s.obsReg.Store(reg)
+	// Tenants installed before the registry arrived register now; the two
+	// calls are order-independent (registration is idempotent).
+	if tm := s.tenants.Load(); tm != nil {
+		for _, ts := range *tm {
+			ts.register(reg)
+		}
+	}
 	s.obsM.Store(m)
 }
 
@@ -131,17 +139,31 @@ type SessionStatus struct {
 	Window  int    `json:"dedup_window"`
 }
 
+// TenantStatus is one tenant's row in the server status report: the live
+// usage counters next to the configured limits (0 = unlimited).
+type TenantStatus struct {
+	Name        string `json:"name"`
+	Sessions    int64  `json:"sessions"`
+	MaxSessions int64  `json:"max_sessions,omitempty"`
+	Logs        int64  `json:"logs"`
+	MaxLogs     int64  `json:"max_logs,omitempty"`
+	Bytes       int64  `json:"bytes_appended"`
+	MaxBytes    int64  `json:"max_bytes,omitempty"`
+}
+
 // ServerStatus is the server section of /statusz.
 type ServerStatus struct {
 	Epoch    uint64          `json:"epoch"`
 	Conns    int             `json:"connections"`
+	Draining bool            `json:"draining,omitempty"`
 	Sessions []SessionStatus `json:"sessions"`
+	Tenants  []TenantStatus  `json:"tenants,omitempty"`
 }
 
 // Status reports the server's connection and session state for /statusz.
 func (s *Server) Status() ServerStatus {
 	s.mu.Lock()
-	st := ServerStatus{Epoch: s.epoch, Conns: len(s.conns)}
+	st := ServerStatus{Epoch: s.epoch, Conns: len(s.conns), Draining: s.draining.Load()}
 	sessions := make([]*session, 0, len(s.sessions))
 	for _, ss := range s.sessions {
 		sessions = append(sessions, ss)
@@ -158,5 +180,20 @@ func (s *Server) Status() ServerStatus {
 		ss.mu.Unlock()
 	}
 	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	if tm := s.tenants.Load(); tm != nil {
+		for _, ts := range *tm {
+			cfg := ts.cfg.Load()
+			st.Tenants = append(st.Tenants, TenantStatus{
+				Name:        ts.name,
+				Sessions:    ts.sessions.Load(),
+				MaxSessions: cfg.MaxSessions,
+				Logs:        ts.logs.Load(),
+				MaxLogs:     cfg.MaxLogs,
+				Bytes:       ts.bytes.Load(),
+				MaxBytes:    cfg.MaxBytes,
+			})
+		}
+		sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Name < st.Tenants[j].Name })
+	}
 	return st
 }

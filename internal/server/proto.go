@@ -92,6 +92,14 @@ const (
 	// length-prefixed reason. Unlike StatusErr it is a property of the node,
 	// not the request: clients should retry elsewhere.
 	StatusUnavailable = 5
+	// StatusQuotaExceeded rejects a request that would push the session's
+	// tenant past one of its configured quotas (max logs, max appended
+	// bytes, max concurrent sessions). The payload carries a
+	// length-prefixed reason naming the quota. The request did NOT execute
+	// — an append refused for quota wrote nothing — and unlike
+	// StatusUnavailable the condition will not clear by retrying elsewhere:
+	// clients surface it to the application instead of retrying.
+	StatusQuotaExceeded = 6
 )
 
 // IsMutating reports whether op changes store state (as opposed to reads and

@@ -97,6 +97,20 @@ type Server struct {
 	// atomic pointer mirrors core's cacheP pattern: the hot path loads it
 	// once per request without taking s.mu.
 	obsM atomic.Pointer[serverMetrics]
+	// obsReg remembers the registry so tenants installed after
+	// RegisterMetrics (SetTenants on a SIGHUP reload) can register their
+	// series; registration is idempotent, so the two orders converge.
+	obsReg atomic.Pointer[obs.Registry]
+
+	// tenants is the installed tenant table (SetTenants); nil or empty
+	// means open mode. An atomic pointer: dispatch reads it per request,
+	// reloads swap it whole.
+	tenants atomic.Pointer[map[string]*tenantState]
+
+	// draining flips when Shutdown begins: listeners are closed, connection
+	// read loops wind down gracefully (in-flight requests finish and are
+	// acked, subscriptions end with OpStreamEnd) instead of being reset.
+	draining atomic.Bool
 
 	// epoch identifies this Server instance: it changes on restart, which
 	// is how a reconnecting client learns its session state is gone.
@@ -258,26 +272,38 @@ func (s *Server) idleTimeout() time.Duration {
 	}
 }
 
-// Serve accepts connections until the listener closes. It returns the
-// listener's final error (net.ErrClosed after Close).
+// ErrServerClosed is returned by Serve after the server is stopped by Close
+// or Shutdown. It is the expected way for a serve loop to end — daemons
+// match on it to exit quietly instead of logging a shutdown as a failure.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections until the listener closes. After Close or
+// Shutdown it returns ErrServerClosed; any other accept failure is returned
+// as-is.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("server: closed")
+		return ErrServerClosed
 	}
 	s.lns = append(s.lns, ln)
 	s.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || s.draining.Load() {
+				return ErrServerClosed
+			}
 			return err
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining.Load() {
 			s.mu.Unlock()
 			conn.Close()
-			return errors.New("server: closed")
+			return ErrServerClosed
 		}
 		s.conns[conn] = true
 		s.wg.Add(1)
@@ -308,6 +334,65 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return nil
+}
+
+// Shutdown drains the server gracefully: listeners close (new connections
+// are refused), every in-flight request — including a forced append parked
+// in a group commit — runs to completion and is acked, stream subscriptions
+// end with an OpStreamEnd frame, and connections wind down without a reset.
+// If ctx expires first, the remaining connections are force-closed and ctx's
+// error is returned without waiting further: a handler wedged in dispatch
+// (a hung device, say) must not hold the exiting process hostage.
+//
+// The wake-up is a read deadline in the past on every live connection: a
+// blocked ReadFrame returns immediately with a timeout, and the read loop —
+// which re-checks draining after arming its own deadline, so the two writers
+// cannot lose the wake-up — takes the drain path instead of the idle-drop
+// path. A handler mid-request is not disturbed: the past deadline only
+// affects reads, and the loop notices drain on its next iteration, after
+// the response is written.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	lns := s.lns
+	s.lns = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.SetReadDeadline(time.Unix(1, 0))
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		// Close's shape minus the wg.Wait: force-close what remains, but a
+		// handler that never returns cannot block the exit path.
+		s.mu.Lock()
+		s.closed = true
+		conns = conns[:0]
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		return ctx.Err()
+	}
 }
 
 // KillConns forcibly closes every live client connection — listeners and
@@ -394,7 +479,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 		// Direct ServeConn callers bypass Serve's registration.
 		s.conns[conn] = true
 	}
+	// The connection joins the drain group itself (Serve's wrapper holds
+	// its own count; the Add is balanced either way), so Shutdown waits for
+	// directly-served connections — net.Pipe servers — too.
+	s.wg.Add(1)
 	s.mu.Unlock()
+	defer s.wg.Done()
 	defer conn.Close()
 	defer func() {
 		s.mu.Lock()
@@ -434,16 +524,40 @@ func (s *Server) ServeConn(conn net.Conn) {
 	// Streaming subscriptions are connection-domain; closeAll (registered
 	// after inflight.Wait, so it runs first) cancels the pushers, then the
 	// Wait joins them before the connection is torn down.
-	streams := newConnStreams(s, write, func() { conn.Close() }, &inflight)
+	streams := newConnStreams(s, h, write, func() { conn.Close() }, &inflight)
 	defer streams.closeAll()
+	// A tenant session slot is held from hello to teardown; the release is
+	// deferred here so every exit path — EOF, error, idle drop, drain —
+	// returns it.
+	defer func() {
+		if ts := h.tenant.Load(); ts != nil {
+			ts.sessions.Add(-1)
+		}
+	}()
 	for {
 		if d := s.idleTimeout(); d > 0 && streams.active() == 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
 		} else {
 			conn.SetReadDeadline(time.Time{})
 		}
+		// Re-checked AFTER arming the deadline: Shutdown stores draining
+		// before it pokes every connection with a past read deadline, so
+		// whichever order this loop and Shutdown write the deadline, either
+		// the check below fires or the next ReadFrame returns immediately —
+		// the wake-up cannot be overwritten and slept through.
+		if s.draining.Load() {
+			streams.endAll("server shutting down")
+			return
+		}
 		op, seq, traceID, payload, err := ReadFrame(conn)
 		if err != nil {
+			if s.draining.Load() {
+				// Graceful drain: in-flight work already finished (it ran
+				// inline before this read), subscribers get stream-end
+				// frames, and nothing is logged as a failure.
+				streams.endAll("server shutting down")
+				return
+			}
 			var ne net.Error
 			switch {
 			case err == io.EOF, errors.Is(err, net.ErrClosed):
@@ -535,6 +649,10 @@ type session struct {
 	maxSeq     uint64
 	window     map[uint64]cachedResp
 	order      []uint64 // FIFO of cached seqs for eviction
+	// tenant pins a shared session to the tenant that first bound it ("" in
+	// open mode): a session id is client-chosen, so without the pin one
+	// tenant could replay another's session and read its cached responses.
+	tenant string
 }
 
 type cachedResp struct {
@@ -622,6 +740,11 @@ func (ss *session) delCursor(handle uint32) {
 type connHandler struct {
 	srv  *Server
 	sess *session
+	// tenant is the connection's authenticated tenant binding, nil until a
+	// tenant hello succeeds (and always nil in open mode). Atomic because
+	// pooled read-class workers consult it concurrently with an inline
+	// hello swapping it.
+	tenant atomic.Pointer[tenantState]
 }
 
 func errResp(err error) (byte, []byte) {
@@ -698,22 +821,49 @@ func (h *connHandler) handle(tr *obs.Trace, op byte, seq uint64, payload []byte)
 
 // hello attaches the connection to the shared session named in the payload
 // (creating it on first contact) and reports the server epoch plus the
-// session's high-water sequence number.
+// session's high-water sequence number. On a multi-tenant server the
+// payload's extended form (wire.Hello) must carry valid tenant credentials;
+// the session is then owned by that tenant, and a replayed session id
+// cannot be adopted by a different tenant.
 func (h *connHandler) hello(payload []byte) (byte, []byte) {
-	d := NewDecoder(payload)
-	id, err := d.Int64()
+	req, err := wire.DecodeHello(payload)
 	if err != nil {
 		return errResp(err)
 	}
+	ts, err := h.srv.bindTenant(req.Tenant, req.Token)
+	if err != nil {
+		if qe, ok := err.(*quotaError); ok {
+			return quotaResp(qe)
+		}
+		return errResp(err)
+	}
+	if prev := h.tenant.Swap(ts); prev != nil {
+		// A re-hello on the same connection releases the slot the previous
+		// binding held (bindTenant took a fresh one above).
+		prev.sessions.Add(-1)
+	}
+	id := req.Session
 	if id != 0 {
 		s := h.srv
 		s.mu.Lock()
-		sess, ok := s.sessions[uint64(id)]
+		sess, ok := s.sessions[id]
 		if !ok {
-			sess = newSession(uint64(id))
-			s.sessions[uint64(id)] = sess
+			sess = newSession(id)
+			s.sessions[id] = sess
 		}
 		s.mu.Unlock()
+		if ts != nil {
+			sess.mu.Lock()
+			switch sess.tenant {
+			case "":
+				sess.tenant = ts.name
+			case ts.name:
+			default:
+				sess.mu.Unlock()
+				return errResp(fmt.Errorf("server: session %d belongs to another tenant", id))
+			}
+			sess.mu.Unlock()
+		}
 		h.sess = sess
 	}
 	out := wire.PutUint64(nil, h.srv.epoch)
@@ -740,7 +890,23 @@ func decodeID(d *Decoder) (logapi.ID, error) {
 // from the block cache: the read-class path writes it to the connection
 // without copying, while sequenced paths (which must retain the response for
 // the dedup window and the replication gate) flatten it first.
+//
+// On a multi-tenant server the request first passes the tenant gate —
+// namespace scoping and quota reservation — and the reservation is settled
+// against the outcome afterwards. In open mode the gate is a single atomic
+// load.
 func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []byte, []byte) {
+	ts, reserved, status, resp, proceed := h.tenantGate(op, payload)
+	if !proceed {
+		return status, resp, nil
+	}
+	status, resp, body := h.dispatchOp(tr, op, payload)
+	settleTenant(ts, op, reserved, status)
+	return status, resp, body
+}
+
+// dispatchOp is the op switch behind the tenant gate.
+func (h *connHandler) dispatchOp(tr *obs.Trace, op byte, payload []byte) (byte, []byte, []byte) {
 	defer tr.Span("server.dispatch")()
 	store := h.srv.store
 	// Requests are uninterruptible once read off the wire — a dropped
@@ -1004,6 +1170,11 @@ func (h *connHandler) dispatch(tr *obs.Trace, op byte, payload []byte) (byte, []
 		e, err := store.ReadAt(ctx, int(shardN), int(block), int(index))
 		readDone()
 		if err != nil {
+			return errResp3(err)
+		}
+		// Position-addressed reads are attributed after the fact: the
+		// entry's primary log id names the owning namespace.
+		if err := h.tenantEntry(e.Shard, e.LogID); err != nil {
 			return errResp3(err)
 		}
 		return StatusOK, encodeEntryHead(e), e.Data

@@ -30,6 +30,9 @@ const OffsetsRoot = logapi.OffsetsRoot
 // re-subscribes from its last delivered position.
 type connStreams struct {
 	srv *Server
+	// h is the owning connection's handler; subscribe consults its tenant
+	// binding to scope watch paths.
+	h *connHandler
 	// write is the connection's serialized frame writer (ServeConn's
 	// closure); kill closes the connection to wake its read loop after a
 	// write failure, mirroring the read-class worker path.
@@ -56,8 +59,8 @@ type connSub struct {
 	wake   chan struct{}
 }
 
-func newConnStreams(srv *Server, write func(byte, uint64, uint64, []byte, []byte) bool, kill func(), wg *sync.WaitGroup) *connStreams {
-	return &connStreams{srv: srv, write: write, kill: kill, wg: wg, subs: make(map[uint32]*connSub)}
+func newConnStreams(srv *Server, h *connHandler, write func(byte, uint64, uint64, []byte, []byte) bool, kill func(), wg *sync.WaitGroup) *connStreams {
+	return &connStreams{srv: srv, h: h, write: write, kill: kill, wg: wg, subs: make(map[uint32]*connSub)}
 }
 
 // handle processes one streaming control frame inline in the read loop; the
@@ -112,6 +115,18 @@ func (cs *connStreams) handle(op byte, seq, traceID uint64, payload []byte) bool
 // loop — the pusher is started here but its first write contends on the same
 // write mutex after the response.
 func (cs *connStreams) subscribe(req *wire.StreamSubscribe) (uint32, error) {
+	if cs.srv.tenanted() {
+		ts := cs.h.tenant.Load()
+		if ts == nil {
+			return 0, fmt.Errorf("server: authentication required")
+		}
+		if m := ts.met.Load(); m != nil {
+			m.requests.Inc()
+		}
+		if err := ts.allowsPath(req.Path); err != nil {
+			return 0, err
+		}
+	}
 	opts := logapi.WatchOptions{
 		Buffer:    int(min(req.Buffer, maxStreamBuffer)),
 		FromStart: req.FromStart,
@@ -228,6 +243,27 @@ func (cs *connStreams) active() int {
 	return len(cs.subs)
 }
 
+// endAll gracefully retires every subscription for a server drain: each
+// pusher is cancelled first (so at most its in-progress deliver precedes the
+// end frame on the write mutex), then the client receives an OpStreamEnd
+// frame naming the reason — the subscription ends, the connection is not
+// reset. closeAll afterwards finds nothing left.
+func (cs *connStreams) endAll(msg string) {
+	cs.mu.Lock()
+	subs := make([]*connSub, 0, len(cs.subs))
+	for _, c := range cs.subs {
+		subs = append(subs, c)
+	}
+	cs.subs = map[uint32]*connSub{}
+	cs.mu.Unlock()
+	for _, c := range subs {
+		c.cancel()
+		end := wire.StreamEnd{SubID: c.id, Msg: msg}
+		cs.write(wire.OpStreamEnd, uint64(c.id), 0, end.Encode(nil), nil)
+		c.sub.Close()
+	}
+}
+
 // closeAll tears down every subscription at connection end. Pushers observe
 // the canceled contexts and exit; the caller's inflight.Wait() joins them.
 func (cs *connStreams) closeAll() {
@@ -282,6 +318,18 @@ func (h *connHandler) streamGroupOp(tr *obs.Trace, op byte, payload []byte) (byt
 	gop, err := wire.DecodeStreamGroupOp(payload)
 	if err != nil {
 		return errResp3(err)
+	}
+	// Tenant sessions must scope their groups "<tenant>.<group>": the
+	// group's offsets log lives in the shared /.offsets namespace, and the
+	// prefix is what allowsPath admits there.
+	if h.srv.tenanted() {
+		ts := h.tenant.Load()
+		if ts == nil {
+			return errResp3(fmt.Errorf("server: authentication required"))
+		}
+		if err := ts.allowsGroup(gop.Group); err != nil {
+			return errResp3(err)
+		}
 	}
 	switch op {
 	case wire.OpStreamAck:

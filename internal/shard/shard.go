@@ -135,6 +135,12 @@ func hashSegment(seg string, n int) int {
 	return int(h.Sum32() % uint32(n))
 }
 
+// RootSegment returns the first component of an absolute path, "" for "/".
+// It is the unit the partitioner routes by, and — exported — the unit the
+// server's tenant namespaces scope to: a tenant owns exactly one root
+// segment, so tenancy and shard routing agree on what a namespace is.
+func RootSegment(path string) (string, error) { return rootSegment(path) }
+
 // rootSegment returns the first component of an absolute path, "" for "/".
 func rootSegment(path string) (string, error) {
 	if len(path) == 0 || path[0] != '/' {
@@ -159,6 +165,18 @@ func (st *Store) ShardFor(path string) (int, error) {
 		return 0, nil
 	}
 	return hashSegment(seg, len(st.svcs)), nil
+}
+
+// PathOf maps a store-wide id back to its absolute path — the reverse of
+// Resolve, served lock-free from the owning shard's catalog. The server's
+// tenant enforcement uses it to attribute id-addressed operations (appends,
+// position reads) to the namespace that owns the log.
+func (st *Store) PathOf(id logapi.ID) (string, error) {
+	sh, err := st.shardOf(id)
+	if err != nil {
+		return "", err
+	}
+	return st.svcs[sh].PathOf(id.Local())
 }
 
 // shardOf range-checks an id's shard ordinal.
